@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Experiment E7 -- Figure 4.1a/4.1b: peak power and NPE of the
+ * openMSP430-like 65 nm system at 100 MHz across benchmarks and input
+ * sets (input-based, concrete runs). Reproduced claim: requirements
+ * remain application- and input-specific on this implementation too.
+ */
+
+#include "bench/bench_util.hh"
+#include "baseline/baselines.hh"
+
+using namespace ulpeak;
+using namespace ulpeak::bench_util;
+
+int
+main()
+{
+    msp::System sys(CellLibrary::tsmc65Like());
+
+    printHeader("Fig 4.1a/4.1b: openMSP430-like peak power and NPE, "
+                "8 input sets");
+    std::printf("%-10s %12s %12s %12s %12s\n", "benchmark",
+                "minPeak[mW]", "maxPeak[mW]", "minNPE[pJ]",
+                "maxNPE[pJ]");
+    for (const auto &b : bench430::allBenchmarks()) {
+        auto prof = baseline::profile(sys, b.assembleImage(),
+                                      b.makeInputs(8, 4242), kFreq65);
+        double minE = 1e9, maxE = 0;
+        for (double e : prof.npesJPerCycle) {
+            minE = std::min(minE, e);
+            maxE = std::max(maxE, e);
+        }
+        std::printf("%-10s %12.3f %12.3f %12.2f %12.2f\n",
+                    b.name.c_str(), prof.minPeakPowerW * 1e3,
+                    prof.peakPowerW * 1e3, minE * 1e12, maxE * 1e12);
+    }
+    return 0;
+}

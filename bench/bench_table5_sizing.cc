@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Experiments E10/E11 -- Tables 5.1 and 5.2: percentage reduction in
+ * harvester area and battery volume vs each baseline technique, per
+ * processor contribution fraction, averaged over all benchmarks --
+ * plus the paper's worked real-system example (the eZ430-RF2500-SEH
+ * node: 32.6 cm^2 harvester, 6.95 mm^3 battery).
+ */
+
+#include "bench/bench_util.hh"
+#include "peak/peak_analysis.hh"
+#include "sizing/sizing.hh"
+
+using namespace ulpeak;
+using namespace ulpeak::bench_util;
+
+int
+main()
+{
+    msp::System sys(CellLibrary::tsmc65Like());
+
+    auto dt = baseline::designToolRating(sys.netlist(), kFreq65);
+    baseline::StressmarkConfig pcfg;
+    auto stressP = baseline::generateStressmark(sys, kFreq65, pcfg);
+    baseline::StressmarkConfig ecfg;
+    ecfg.objective = baseline::StressObjective::AveragePower;
+    auto stressE = baseline::generateStressmark(sys, kFreq65, ecfg);
+
+    // Per-benchmark requirements.
+    std::vector<double> xP, xE, gbP, gbE;
+    for (const auto &b : bench430::allBenchmarks()) {
+        isa::Image img = b.assembleImage();
+        auto prof = baseline::profile(sys, img, b.makeInputs(8, 99),
+                                      kFreq65);
+        peak::Options opts;
+        peak::Report x = peak::analyze(sys, img, opts);
+        xP.push_back(x.peakPowerW);
+        xE.push_back(x.npeJPerCycle);
+        gbP.push_back(prof.gbPeakPowerW);
+        gbE.push_back(prof.gbNpeJPerCycle);
+    }
+
+    const double fractions[] = {0.10, 0.25, 0.50, 0.75, 0.90, 1.00};
+
+    auto table = [&](const char *title,
+                     const std::vector<double> &ours,
+                     const std::vector<double> &gb, double stress,
+                     double design,
+                     double (*reduce)(double, double, double)) {
+        printHeader(title);
+        std::printf("%-12s", "baseline");
+        for (double f : fractions)
+            std::printf(" %6.0f%%", f * 100);
+        std::printf("\n");
+        const char *names[3] = {"GB-Input", "GB-Stress", "Design Tool"};
+        for (int row = 0; row < 3; ++row) {
+            std::printf("%-12s", names[row]);
+            for (double f : fractions) {
+                double sum = 0.0;
+                for (size_t i = 0; i < ours.size(); ++i) {
+                    double base = row == 0
+                                      ? gb[i]
+                                      : (row == 1 ? stress : design);
+                    sum += reduce(base, ours[i], f);
+                }
+                std::printf(" %6.2f", sum / double(ours.size()));
+            }
+            std::printf("\n");
+        }
+    };
+
+    table("Table 5.1: % harvester-area reduction vs processor "
+          "peak-power fraction",
+          xP, gbP, stressP.gbPeakPowerW, dt.peakPowerW,
+          sizing::harvesterAreaReductionPct);
+    table("Table 5.2: % battery-volume reduction vs processor "
+          "energy fraction",
+          xE, gbE, stressE.gbNpeJPerCycle, dt.npeJPerCycle,
+          sizing::batteryVolumeReductionPct);
+
+    printHeader("worked example: eZ430-RF2500-SEH-class node "
+                "(harvester 32.6 cm^2, battery 6.95 mm^3)");
+    {
+        double f = 1.0;
+        double harvester = 32.6, battery = 6.95;
+        const char *names[3] = {"GB-Input", "GB-Stress", "Design Tool"};
+        for (int row = 0; row < 3; ++row) {
+            double sumA = 0.0, sumV = 0.0;
+            for (size_t i = 0; i < xP.size(); ++i) {
+                double baseP = row == 0 ? gbP[i]
+                               : (row == 1 ? stressP.gbPeakPowerW
+                                           : dt.peakPowerW);
+                double baseE = row == 0 ? gbE[i]
+                               : (row == 1 ? stressE.gbNpeJPerCycle
+                                           : dt.npeJPerCycle);
+                sumA += sizing::harvesterAreaReductionPct(baseP, xP[i],
+                                                          f);
+                sumV += sizing::batteryVolumeReductionPct(baseE, xE[i],
+                                                          f);
+            }
+            sumA /= double(xP.size());
+            sumV /= double(xP.size());
+            std::printf("designed with %-12s: harvester area saved "
+                        "%.2f cm^2, battery volume saved %.2f mm^3\n",
+                        names[row], harvester * sumA / 100.0,
+                        battery * sumV / 100.0);
+        }
+    }
+
+    printHeader("Tables 1.1/1.2 data (sizing library)");
+    for (const auto &bt : sizing::batteryTypes())
+        std::printf("battery %-12s %6.0f J/g  %5.3f MJ/L\n",
+                    bt.name.c_str(), bt.specificEnergyJPerG,
+                    bt.energyDensityMJPerL);
+    for (const auto &ht : sizing::harvesterTypes())
+        std::printf("harvester %-22s %.3g W/cm^2\n", ht.name.c_str(),
+                    ht.powerDensityWPerCm2);
+    return 0;
+}

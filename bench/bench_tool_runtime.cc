@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Analysis-infrastructure throughput, measured with google-benchmark:
+ * symbolic engine cycles/second, concrete gate-level simulation rate,
+ * netlist elaboration, assembly, and statistical power estimation.
+ * The paper reports "complete analysis of our most complex benchmark
+ * takes 2 hours" on a 2x Xeon server; this binary shows where this
+ * implementation stands.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/baselines.hh"
+#include "bench430/benchmarks.hh"
+#include "peak/peak_analysis.hh"
+#include "power/statistical.hh"
+
+using namespace ulpeak;
+
+namespace {
+
+msp::System &
+sharedSystem()
+{
+    static msp::System sys(CellLibrary::tsmc65Like());
+    return sys;
+}
+
+void
+BM_NetlistElaboration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        msp::System sys(CellLibrary::tsmc65Like());
+        benchmark::DoNotOptimize(sys.netlist().numGates());
+    }
+}
+BENCHMARK(BM_NetlistElaboration)->Unit(benchmark::kMillisecond);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    const auto &b = bench430::benchmarkByName("FFT");
+    for (auto _ : state) {
+        isa::Image img = isa::assemble(b.source);
+        benchmark::DoNotOptimize(img.segments.size());
+    }
+}
+BENCHMARK(BM_Assemble)->Unit(benchmark::kMillisecond);
+
+void
+BM_ConcreteSimulation(benchmark::State &state)
+{
+    msp::System &sys = sharedSystem();
+    const auto &b = bench430::benchmarkByName("tea8");
+    isa::Image img = b.assembleImage();
+    power::PowerContext ctx(sys.netlist(), 100e6);
+    auto in = b.makeInputs(1, 3)[0];
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        power::ConcreteRunOptions opts;
+        opts.recordTrace = false;
+        opts.portIn = in.portIn;
+        auto run = power::runConcrete(sys, img, ctx, opts, in.ram);
+        cycles += run.stats.cycles;
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConcreteSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_SymbolicAnalysis(benchmark::State &state)
+{
+    msp::System &sys = sharedSystem();
+    // div: the forkiest kernel (2^8 paths).
+    isa::Image img = bench430::benchmarkByName("div").assembleImage();
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        peak::Options opts;
+        peak::Report r = peak::analyze(sys, img, opts);
+        cycles += r.totalCycles;
+    }
+    state.counters["sym-cycles/s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SymbolicAnalysis)->Unit(benchmark::kMillisecond);
+
+void
+BM_StatisticalPower(benchmark::State &state)
+{
+    msp::System &sys = sharedSystem();
+    for (auto _ : state) {
+        auto r = power::statisticalPower(sys.netlist(), 100e6, 0.4);
+        benchmark::DoNotOptimize(r.totalPowerW);
+    }
+}
+BENCHMARK(BM_StatisticalPower)->Unit(benchmark::kMillisecond);
+
+void
+BM_StressmarkGeneration(benchmark::State &state)
+{
+    msp::System &sys = sharedSystem();
+    for (auto _ : state) {
+        baseline::StressmarkConfig cfg;
+        cfg.population = 6;
+        cfg.generations = 2;
+        cfg.evalCycles = 300;
+        auto r = baseline::generateStressmark(sys, 100e6, cfg);
+        benchmark::DoNotOptimize(r.peakPowerW);
+    }
+}
+BENCHMARK(BM_StressmarkGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared plumbing for the experiment-regeneration binaries: one
+ * binary per table/figure of the paper (see DESIGN.md experiment
+ * index). Binaries print the same rows/series the paper reports and
+ * drop plot-ready CSVs under bench_out/.
+ */
+
+#ifndef ULPEAK_BENCH_BENCH_UTIL_HH
+#define ULPEAK_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench430/benchmarks.hh"
+#include "msp/cpu.hh"
+
+namespace ulpeak {
+namespace bench_util {
+
+constexpr double kFreq65 = 100e6; ///< openMSP430-like operating point
+constexpr double kFreq1610 = 8e6; ///< MSP430F1610 measurement setup
+
+inline std::string
+outDir()
+{
+    std::filesystem::create_directories("bench_out");
+    return "bench_out/";
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("==== %s ====\n", title.c_str());
+}
+
+/** Geometric-mean style average of ratios, reported as "% lower". */
+inline double
+avgPctLower(const std::vector<double> &ours,
+            const std::vector<double> &baseline)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < ours.size(); ++i)
+        sum += 1.0 - ours[i] / baseline[i];
+    return 100.0 * sum / double(ours.size());
+}
+
+} // namespace bench_util
+} // namespace ulpeak
+
+#endif // ULPEAK_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Peak-power optimization workflow (Sections 3.5 / 5.1): analyze an
+ * application, locate the cycles of interest (COIs) with their
+ * culprit instructions and module breakdown, apply the OPT1-3
+ * rewrites, and re-analyze to confirm the reduction.
+ *
+ *   $ ./examples/optimize_app [benchmark-name]
+ */
+
+#include <cstdio>
+
+#include "bench430/benchmarks.hh"
+#include "opt/optimizer.hh"
+#include "peak/coi.hh"
+
+using namespace ulpeak;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "mult";
+    msp::System sys(CellLibrary::tsmc65Like());
+    const bench430::Benchmark &b = bench430::benchmarkByName(name);
+
+    // Step 1: where are the peaks, and who causes them?
+    {
+        sym::SymbolicConfig cfg;
+        cfg.recordModuleTrace = true;
+        sym::SymbolicEngine engine(sys, cfg);
+        sym::SymbolicResult sr = engine.run(b.assembleImage());
+        if (!sr.ok) {
+            std::printf("analysis failed: %s\n", sr.error.c_str());
+            return 1;
+        }
+        peak::CoiReport coi =
+            peak::analyzeCoi(sys.netlist(), sr, b.assembleImage(), 3);
+        std::printf("--- cycles of interest for %s ---\n%s\n",
+                    name.c_str(), coi.toString().c_str());
+    }
+
+    // Step 2: rewrite and re-analyze. The optimizer evaluates every
+    // combination of OPT1 (split register-indexed loads), OPT2 (split
+    // autoincrement/POP) and OPT3 (NOP after multiplier writes) and
+    // keeps the subset with the lowest guaranteed peak.
+    opt::TransformConfig cfg;
+    peak::Options opts;
+    opt::OptimizationReport rep =
+        opt::evaluateOptimizations(sys, b, cfg, opts);
+    if (!rep.ok) {
+        std::printf("optimization failed: %s\n", rep.error.c_str());
+        return 1;
+    }
+
+    std::printf("--- optimization of %s ---\n", name.c_str());
+    std::printf("applied rewrites: OPT1 x%u, OPT2 x%u, OPT3 x%u\n",
+                rep.transforms.opt1Applied, rep.transforms.opt2Applied,
+                rep.transforms.opt3Applied);
+    std::printf("peak power : %.4f -> %.4f mW (%.2f%% reduction)\n",
+                rep.peakBeforeW * 1e3, rep.peakAfterW * 1e3,
+                rep.peakReductionPct);
+    std::printf("dyn. range : %.4f -> %.4f mW (%.2f%% reduction)\n",
+                rep.dynRangeBeforeW * 1e3, rep.dynRangeAfterW * 1e3,
+                rep.dynRangeReductionPct);
+    std::printf("runtime    : %llu -> %llu cycles (%.2f%% slower)\n",
+                (unsigned long long)rep.cyclesBefore,
+                (unsigned long long)rep.cyclesAfter,
+                rep.perfDegradationPct);
+    std::printf("peak energy: %.3f -> %.3f nJ (%.2f%% overhead)\n",
+                rep.energyBeforeJ * 1e9, rep.energyAfterJ * 1e9,
+                rep.energyOverheadPct);
+    if (rep.transforms.total() == 0)
+        std::printf("(no rewrite reduced this application's peak; the "
+                    "tool applies none, as in Section 5.1)\n");
+    return 0;
+}

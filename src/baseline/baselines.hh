@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The three conventional techniques the paper compares against
+ * (Section 4.2 / Figure 1.4):
+ *
+ *  - design_tool: power/energy rating from the design tools' default
+ *    input toggle rate (no application knowledge);
+ *  - input-based profiling: measure several input sets, report the
+ *    max; GB-input adds the 4/3 guardband of prior work;
+ *  - stressmark: a genetic algorithm (after Kim et al., MICRO'12)
+ *    searches instruction sequences that maximize peak (or average)
+ *    power on the processor; GB-stress applies the same guardband.
+ */
+
+#ifndef ULPEAK_BASELINE_BASELINES_HH
+#define ULPEAK_BASELINE_BASELINES_HH
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "msp/cpu.hh"
+#include "power/analysis.hh"
+
+namespace ulpeak {
+namespace baseline {
+
+/** The 4/3 guardband of prior studies (Section 4.2). */
+constexpr double kGuardband = 4.0 / 3.0;
+
+/// @name Design-tool rating
+/// @{
+struct DesignToolRating {
+    double peakPowerW = 0.0;
+    double npeJPerCycle = 0.0; ///< flat: rated power x clock period
+};
+
+/**
+ * Default input toggle rate for the design-tool rating. Vendor
+ * ratings carry margin over any real workload (the MSP430F1610
+ * datasheet rates 4.8 mW against 1.5-2.3 mW measured, Chapter 2);
+ * 0.55 transitions/cycle puts the rating above every application's
+ * guaranteed bound, as in the paper's Figure 5.1.
+ */
+constexpr double kDesignToolToggleRate = 0.55;
+
+DesignToolRating
+designToolRating(const Netlist &nl, double freq_hz,
+                 double default_toggle_rate = kDesignToolToggleRate);
+/// @}
+
+/// @name Input-based profiling
+/// @{
+
+/** One input set: RAM preload plus the port value. */
+struct InputSet {
+    power::RamInit ram;
+    uint16_t portIn = 0;
+};
+
+struct ProfilingResult {
+    /** Max observed over all profiled input sets. */
+    double peakPowerW = 0.0;
+    double npeJPerCycle = 0.0;
+    /** Min observed (the error-bar bottoms of Figures 2.2/4.1). */
+    double minPeakPowerW = 0.0;
+    double minNpeJPerCycle = 0.0;
+    /** Guardbanded requirements (GB-input). */
+    double gbPeakPowerW = 0.0;
+    double gbNpeJPerCycle = 0.0;
+    /** Per-input-set observations. */
+    std::vector<double> peaksW;
+    std::vector<double> npesJPerCycle;
+    uint64_t cyclesLastRun = 0;
+};
+
+/** Profile @p image over @p inputs and apply the guardband. */
+ProfilingResult profile(msp::System &sys, const isa::Image &image,
+                        const std::vector<InputSet> &inputs,
+                        double freq_hz);
+/// @}
+
+/// @name GA stressmark
+/// @{
+enum class StressObjective {
+    PeakPower,    ///< maximize instantaneous power
+    AveragePower, ///< maximize energy rate (peak-energy stressmark)
+};
+
+struct StressmarkConfig {
+    unsigned population = 12;
+    unsigned generations = 8;
+    unsigned genomeLength = 10;
+    unsigned tournament = 3;
+    double mutationRate = 0.15;
+    uint64_t evalCycles = 700;
+    uint32_t seed = 1;
+    StressObjective objective = StressObjective::PeakPower;
+};
+
+struct StressmarkResult {
+    double peakPowerW = 0.0;    ///< peak power of the best stressmark
+    double avgPowerW = 0.0;     ///< its average power
+    double npeJPerCycle = 0.0;  ///< avg power x Tclk (J per cycle)
+    double gbPeakPowerW = 0.0;  ///< guardbanded (GB-stress)
+    double gbNpeJPerCycle = 0.0;
+    std::string bestSource;     ///< assembly of the winner
+    std::vector<double> generationBestW; ///< GA convergence curve
+};
+
+StressmarkResult generateStressmark(msp::System &sys, double freq_hz,
+                                    const StressmarkConfig &cfg);
+/// @}
+
+} // namespace baseline
+} // namespace ulpeak
+
+#endif // ULPEAK_BASELINE_BASELINES_HH

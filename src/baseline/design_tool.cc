@@ -1,0 +1,25 @@
+#include "baseline/baselines.hh"
+
+#include "power/statistical.hh"
+
+namespace ulpeak {
+namespace baseline {
+
+DesignToolRating
+designToolRating(const Netlist &nl, double freq_hz,
+                 double default_toggle_rate)
+{
+    power::StatisticalResult sr =
+        power::statisticalPower(nl, freq_hz, default_toggle_rate);
+    DesignToolRating r;
+    r.peakPowerW = sr.totalPowerW;
+    // The rating knows nothing about dynamic variation: the energy
+    // requirement is flat at the rated power (Section 5: "using a
+    // design specification to determine peak energy is particularly
+    // inaccurate, since it does not consider dynamic variations").
+    r.npeJPerCycle = sr.totalPowerW / freq_hz;
+    return r;
+}
+
+} // namespace baseline
+} // namespace ulpeak

@@ -1,0 +1,44 @@
+#include "baseline/baselines.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ulpeak {
+namespace baseline {
+
+ProfilingResult
+profile(msp::System &sys, const isa::Image &image,
+        const std::vector<InputSet> &inputs, double freq_hz)
+{
+    if (inputs.empty())
+        throw std::invalid_argument("profiling needs input sets");
+
+    power::PowerContext ctx(sys.netlist(), freq_hz);
+    ProfilingResult r;
+    for (const InputSet &in : inputs) {
+        power::ConcreteRunOptions opts;
+        opts.recordTrace = false;
+        opts.portIn = in.portIn;
+        power::ConcreteRunResult run =
+            power::runConcrete(sys, image, ctx, opts, in.ram);
+        if (!run.halted)
+            throw std::runtime_error(
+                "profiling run did not halt (input-dependent hang?)");
+        r.peaksW.push_back(run.stats.peakW);
+        r.npesJPerCycle.push_back(run.npeJPerCycle());
+        r.cyclesLastRun = run.stats.cycles;
+    }
+    r.peakPowerW = *std::max_element(r.peaksW.begin(), r.peaksW.end());
+    r.minPeakPowerW =
+        *std::min_element(r.peaksW.begin(), r.peaksW.end());
+    r.npeJPerCycle = *std::max_element(r.npesJPerCycle.begin(),
+                                       r.npesJPerCycle.end());
+    r.minNpeJPerCycle = *std::min_element(r.npesJPerCycle.begin(),
+                                          r.npesJPerCycle.end());
+    r.gbPeakPowerW = r.peakPowerW * kGuardband;
+    r.gbNpeJPerCycle = r.npeJPerCycle * kGuardband;
+    return r;
+}
+
+} // namespace baseline
+} // namespace ulpeak

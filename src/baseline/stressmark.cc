@@ -1,0 +1,193 @@
+/**
+ * @file
+ * GA-generated stressmarks, after Kim et al. (MICRO'12), retargeted
+ * at peak instantaneous power and average power for the ULP core
+ * (Section 4.2). A genome is a loop body of instruction templates
+ * with evolvable operand values; fitness is measured by concrete
+ * gate-level simulation with the full power model.
+ */
+
+#include "baseline/baselines.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ulpeak {
+namespace baseline {
+
+namespace {
+
+struct Gene {
+    unsigned templateId = 0;
+    uint16_t value = 0;
+    uint8_t reg = 4; ///< r4..r11
+};
+
+constexpr unsigned kNumTemplates = 8;
+
+/** Render one gene as assembly. */
+std::string
+geneAsm(const Gene &g)
+{
+    std::ostringstream os;
+    unsigned r = 4 + (g.reg % 8);
+    unsigned r2 = 4 + ((g.reg + 1) % 8);
+    switch (g.templateId % kNumTemplates) {
+      case 0: // hardware multiplier blast
+        os << "  mov #" << g.value << ", &0x0130\n";
+        os << "  mov #" << (g.value ^ 0xffff) << ", &0x0138\n";
+        os << "  mov &0x013a, r" << r << "\n";
+        break;
+      case 1: // alternating-pattern XOR (flips every register bit)
+        os << "  mov #0x5555, r" << r << "\n";
+        os << "  xor #0xffff, r" << r << "\n";
+        break;
+      case 2: // carry-chain exerciser
+        os << "  mov #0xffff, r" << r << "\n";
+        os << "  add #" << g.value << ", r" << r << "\n";
+        os << "  addc r" << r << ", r" << r2 << "\n";
+        break;
+      case 3: // memory ping-pong
+        os << "  mov #" << g.value << ", &0x0300\n";
+        os << "  mov &0x0300, r" << r << "\n";
+        break;
+      case 4: // stack traffic (POP generates peaks, Section 5.1)
+        os << "  push #" << g.value << "\n";
+        os << "  pop r" << r << "\n";
+        break;
+      case 5: // byte-swap / sign-extend churn
+        os << "  mov #" << g.value << ", r" << r << "\n";
+        os << "  swpb r" << r << "\n";
+        os << "  sxt r" << r << "\n";
+        break;
+      case 6: // shift chain
+        os << "  rla r" << r << "\n";
+        os << "  rlc r" << r2 << "\n";
+        break;
+      default: // register shuffle with inverted patterns
+        os << "  mov #" << g.value << ", r" << r << "\n";
+        os << "  mov r" << r << ", r" << r2 << "\n";
+        os << "  xor #0xaaaa, r" << r2 << "\n";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+genomeAsm(const std::vector<Gene> &genome)
+{
+    std::string body;
+    body += "  mov #0x0a00, sp\n";
+    body += "  mov #0x5a80, &0x0120\n";
+    body += "  mov #0, sr\n";
+    for (unsigned r = 4; r <= 11; ++r)
+        body += "  mov #0x5555, r" + std::to_string(r) + "\n";
+    body += "stress_loop:\n";
+    for (const Gene &g : genome)
+        body += geneAsm(g);
+    body += "  jmp stress_loop\n";
+    return ".org 0xf800\nstart:\n" + body +
+           "  .org 0xfffe\n  .word start\n";
+}
+
+} // namespace
+
+StressmarkResult
+generateStressmark(msp::System &sys, double freq_hz,
+                   const StressmarkConfig &cfg)
+{
+    std::mt19937 rng(cfg.seed);
+    power::PowerContext ctx(sys.netlist(), freq_hz);
+
+    auto randomGene = [&]() {
+        Gene g;
+        g.templateId = unsigned(rng() % kNumTemplates);
+        g.value = uint16_t(rng());
+        g.reg = uint8_t(rng() % 8 + 4);
+        return g;
+    };
+
+    struct Individual {
+        std::vector<Gene> genome;
+        double fitness = 0.0;
+        double peakW = 0.0;
+        double avgW = 0.0;
+    };
+
+    auto evaluate = [&](Individual &ind) {
+        isa::Image image = isa::assemble(genomeAsm(ind.genome));
+        power::ConcreteRunOptions opts;
+        opts.recordTrace = false;
+        opts.maxCycles = cfg.evalCycles;
+        power::ConcreteRunResult run =
+            power::runConcrete(sys, image, ctx, opts);
+        ind.peakW = run.stats.peakW;
+        ind.avgW = run.stats.avgW();
+        ind.fitness = cfg.objective == StressObjective::PeakPower
+                          ? ind.peakW
+                          : ind.avgW;
+    };
+
+    std::vector<Individual> pop(cfg.population);
+    for (Individual &ind : pop) {
+        ind.genome.resize(cfg.genomeLength);
+        for (Gene &g : ind.genome)
+            g = randomGene();
+        evaluate(ind);
+    }
+
+    StressmarkResult result;
+    auto best = [&]() {
+        return *std::max_element(pop.begin(), pop.end(),
+                                 [](const Individual &a,
+                                    const Individual &b) {
+                                     return a.fitness < b.fitness;
+                                 });
+    };
+
+    auto tournament = [&]() -> const Individual & {
+        const Individual *winner = &pop[rng() % pop.size()];
+        for (unsigned i = 1; i < cfg.tournament; ++i) {
+            const Individual *c = &pop[rng() % pop.size()];
+            if (c->fitness > winner->fitness)
+                winner = c;
+        }
+        return *winner;
+    };
+
+    for (unsigned gen = 0; gen < cfg.generations; ++gen) {
+        std::vector<Individual> next;
+        next.push_back(best()); // elitism
+        while (next.size() < pop.size()) {
+            const Individual &a = tournament();
+            const Individual &b = tournament();
+            Individual child;
+            size_t cut = rng() % cfg.genomeLength;
+            child.genome.assign(a.genome.begin(),
+                                a.genome.begin() + long(cut));
+            child.genome.insert(child.genome.end(),
+                                b.genome.begin() + long(cut),
+                                b.genome.end());
+            for (Gene &g : child.genome)
+                if (std::uniform_real_distribution<>(0, 1)(rng) <
+                    cfg.mutationRate)
+                    g = randomGene();
+            evaluate(child);
+            next.push_back(std::move(child));
+        }
+        pop = std::move(next);
+        result.generationBestW.push_back(best().fitness);
+    }
+
+    Individual winner = best();
+    result.peakPowerW = winner.peakW;
+    result.avgPowerW = winner.avgW;
+    result.npeJPerCycle = winner.avgW / freq_hz;
+    result.gbPeakPowerW = winner.peakW * kGuardband;
+    result.gbNpeJPerCycle = result.npeJPerCycle * kGuardband;
+    result.bestSource = genomeAsm(winner.genome);
+    return result;
+}
+
+} // namespace baseline
+} // namespace ulpeak

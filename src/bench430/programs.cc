@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Benchmark bodies, part 1: the embedded sensor kernels
+ * (mult, binSearch, tea8, intFilt, tHold, div, inSort).
+ *
+ * Conventions (see wrapBenchmarkBody): INPUT is the uninitialized RAM
+ * window holding application inputs (X under symbolic analysis), OUT
+ * receives results, ARR is scratch RAM; bodies run from `start` and
+ * fall through (or jump) to `__done`.
+ *
+ * Symbolic-behaviour notes per kernel explain why Algorithm 1's
+ * exploration stays small: either control flow is input-independent
+ * (single path), or forked paths re-converge because the data that
+ * differs is X on every path (state dedup, Algorithm 1 line 19).
+ */
+
+#include "bench430/benchmarks.hh"
+
+namespace ulpeak {
+namespace bench430 {
+
+std::string
+multBody()
+{
+    // 8 products on the hardware multiplier, 32-bit accumulation.
+    // Input-independent control: a single symbolic path in which
+    // every multiplication sees X operands -- the paper's example of
+    // an application whose X-based bound is looser because the
+    // multiplier's power is strongly input-dependent (Section 5).
+    // The push/pop pair is the register-save idiom whose POP the
+    // paper's OPT2 targets.
+    return R"(
+        mov #INPUT, r4
+        mov #8, r5
+        mov #0, r8
+        mov #0, r9
+mu_loop:
+        push r8
+        mov @r4+, &MPY
+        mov @r4+, &OP2
+        pop r8
+        mov &RESLO, r10
+        add r10, r8
+        mov &RESHI, r10
+        addc r10, r9
+        dec r5
+        jnz mu_loop
+        mov r8, &OUT
+        mov r9, &OUT+2
+)";
+}
+
+std::string
+binSearchBody()
+{
+    // Binary search of an X key over a sorted ROM table: every
+    // comparison forks (taken/not-taken), giving the classic search
+    // tree of paths; lo/hi stay concrete per path so the tree is
+    // linear in the table size.
+    return R"(
+        mov &INPUT, r7
+        mov #0, r4          ; lo
+        mov #15, r5         ; hi
+        mov #0xffff, r9     ; result: not found
+bs_loop:
+        cmp r4, r5
+        jl bs_done          ; hi < lo (signed: hi may reach -1)
+        mov r4, r6
+        add r5, r6
+        rra r6              ; mid
+        mov r6, r10
+        rla r10
+        add #bs_table, r10
+        mov @r10, r11
+        cmp r11, r7         ; key - table[mid] (X flags: fork)
+        jeq bs_found
+        jlo bs_left
+        mov r6, r4          ; lo = mid + 1
+        inc r4
+        jmp bs_loop
+bs_left:
+        mov r6, r5          ; hi = mid - 1
+        dec r5
+        jmp bs_loop
+bs_found:
+        mov r6, r9
+bs_done:
+        mov r9, &OUT
+        jmp __done
+bs_table:
+        .word 3, 17, 29, 44, 58, 71, 89, 104
+        .word 120, 137, 155, 170, 188, 203, 221, 240
+)";
+}
+
+std::string
+tea8Body()
+{
+    // 16-bit TEA-style Feistel cipher, 8 rounds: shift/xor/add only
+    // (the paper's example of an application with little
+    // input-induced power variation, so the X-based bound is tight).
+    // v0=r4 v1=r5 k0..k3=r6..r9 sum=r12 round=r13 temps r10/r11.
+    return R"(
+        mov &INPUT, r4
+        mov &INPUT+2, r5
+        mov &INPUT+4, r6
+        mov &INPUT+6, r7
+        mov &INPUT+8, r8
+        mov &INPUT+10, r9
+        mov #0, r12
+        mov #8, r13
+te_round:
+        add #0x9e37, r12    ; sum += delta
+        ; v0 += ((v1<<4)+k0) ^ (v1+sum) ^ ((v1>>5)+k1)
+        mov r5, r10
+        rla r10
+        rla r10
+        rla r10
+        rla r10
+        add r6, r10
+        mov r5, r11
+        add r12, r11
+        xor r11, r10
+        mov r5, r11
+        rra r11
+        rra r11
+        rra r11
+        rra r11
+        rra r11
+        and #0x07ff, r11    ; logical >> 5
+        add r7, r11
+        xor r11, r10
+        add r10, r4
+        ; v1 += ((v0<<4)+k2) ^ (v0+sum) ^ ((v0>>5)+k3)
+        mov r4, r10
+        rla r10
+        rla r10
+        rla r10
+        rla r10
+        add r8, r10
+        mov r4, r11
+        add r12, r11
+        xor r11, r10
+        mov r4, r11
+        rra r11
+        rra r11
+        rra r11
+        rra r11
+        rra r11
+        and #0x07ff, r11
+        add r9, r11
+        xor r11, r10
+        add r10, r5
+        dec r13
+        jnz te_round
+        mov r4, &OUT
+        mov r5, &OUT+2
+)";
+}
+
+std::string
+intFiltBody()
+{
+    // 4-tap integer FIR over 8 samples (5 outputs), MACs on the
+    // hardware multiplier. The register-indexed loads are OPT1
+    // material (Section 5.1).
+    return R"(
+        mov #0, r4          ; n
+if_outer:
+        mov #0, r8          ; acc
+        mov #0, r5          ; j
+if_inner:
+        mov r4, r10
+        add r5, r10
+        rla r10
+        mov INPUT(r10), r11 ; x[n+j] (register-indexed load)
+        mov r11, &MPY
+        mov r5, r11
+        rla r11
+        mov if_coef(r11), r11
+        mov r11, &OP2
+        add &RESLO, r8
+        inc r5
+        cmp #4, r5
+        jne if_inner
+        mov r4, r10
+        rla r10
+        mov r8, OUT(r10)    ; y[n]
+        inc r4
+        cmp #5, r4
+        jne if_outer
+        jmp __done
+if_coef:
+        .word 3, 11, 11, 3
+)";
+}
+
+std::string
+tHoldBody()
+{
+    // Threshold detector: count samples above 0x0400. Each compare
+    // forks; paths with equal running counts re-converge (the count
+    // is the only differing state), so exploration is quadratic, not
+    // exponential. This is the paper's low-activity example (tHold
+    // exercises the fewest gates at its peak, Figure 1.5a).
+    return R"(
+        mov #INPUT, r4
+        mov #8, r5
+        mov #0, r6
+th_loop:
+        mov @r4+, r8
+        cmp #0x0400, r8     ; X flags: fork per sample
+        jlo th_skip
+        inc r6
+th_skip:
+        dec r5
+        jnz th_loop
+        mov r6, &OUT
+)";
+}
+
+std::string
+divBody()
+{
+    // Restoring division of an 8-bit X dividend by 11: the
+    // conditional subtract forks on every iteration and the quotient
+    // bits keep the paths distinct (a genuinely branchy kernel).
+    return R"(
+        mov &INPUT, r10
+        and #0x00ff, r10
+        swpb r10            ; dividend byte to bits 15:8
+        mov #11, r11
+        mov #0, r12         ; quotient
+        mov #0, r13         ; remainder
+        mov #8, r14
+dv_loop:
+        rla r12
+        rla r10
+        rlc r13
+        cmp r11, r13        ; rem >= divisor? (X: fork)
+        jlo dv_skip
+        sub r11, r13
+        bis #1, r12
+dv_skip:
+        dec r14
+        jnz dv_loop
+        mov r12, &OUT
+        mov r13, &OUT+2
+)";
+}
+
+std::string
+inSortBody()
+{
+    // In-place insertion sort of 6 X elements. Every comparison
+    // forks, but shifted elements are X on either path, so states
+    // re-converge at equal (i, j) -- Algorithm 1's dedup is what
+    // makes this kernel analyzable.
+    return R"(
+        mov #1, r4          ; i
+is_outer:
+        cmp #6, r4
+        jeq is_done
+        mov r4, r5
+        rla r5
+        mov INPUT(r5), r7   ; key = a[i]
+        mov r4, r8          ; j
+is_inner:
+        tst r8
+        jz is_place
+        mov r8, r9
+        rla r9
+        add #INPUT-2, r9
+        mov @r9, r10        ; a[j-1]
+        cmp r10, r7         ; key >= a[j-1]? (X: fork)
+        jhs is_place
+        mov @r9, 2(r9)      ; shift right
+        dec r8
+        jmp is_inner
+is_place:
+        mov r8, r9
+        rla r9
+        add #INPUT, r9
+        mov r7, 0(r9)
+        inc r4
+        jmp is_outer
+is_done:
+)";
+}
+
+} // namespace bench430
+} // namespace ulpeak

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Benchmark bodies, part 2: rle, intAVG, the EEMBC kernels
+ * (autoCorr, FFT, ConvEn, Viterbi) and the PI controller.
+ */
+
+#include "bench430/benchmarks.hh"
+
+namespace ulpeak {
+namespace bench430 {
+
+std::string
+rleBody()
+{
+    // Run-length encode 8 samples into (value, length) pairs. The
+    // equality test forks per sample; the output cursor is concrete
+    // per path, so all stores have known addresses.
+    return R"(
+        mov #INPUT, r4
+        mov #OUT, r5
+        mov @r4+, r7        ; current run value
+        mov #1, r8          ; run length
+        mov #7, r9
+rl_loop:
+        mov @r4+, r10
+        cmp r7, r10         ; same as current run? (X: fork)
+        jne rl_flush
+        inc r8
+        jmp rl_next
+rl_flush:
+        mov r7, 0(r5)
+        mov r8, 2(r5)
+        add #4, r5
+        mov r10, r7
+        mov #1, r8
+rl_next:
+        dec r9
+        jnz rl_loop
+        mov r7, 0(r5)       ; final run
+        mov r8, 2(r5)
+)";
+}
+
+std::string
+intAvgBody()
+{
+    // Mean of 8 samples (sum, then arithmetic shift by 3). Straight
+    // line: one symbolic path.
+    return R"(
+        mov #INPUT, r4
+        mov #8, r5
+        mov #0, r6
+ia_loop:
+        add @r4+, r6
+        dec r5
+        jnz ia_loop
+        rra r6
+        rra r6
+        rra r6
+        mov r6, &OUT
+)";
+}
+
+std::string
+autoCorrBody()
+{
+    // Autocorrelation r[k] = sum x[i]*x[i+k], k = 0..3, N = 8 --
+    // multiplier-bound like the EEMBC original.
+    return R"(
+        mov #0, r4          ; k
+ac_outer:
+        mov #0, r8          ; acc
+        mov #0, r5          ; i
+        mov #8, r6
+        sub r4, r6          ; limit = 8 - k
+ac_inner:
+        mov r5, r10
+        rla r10
+        mov INPUT(r10), r11
+        mov r11, &MPY
+        mov r5, r11
+        add r4, r11
+        rla r11
+        mov INPUT(r11), r11
+        mov r11, &OP2
+        add &RESLO, r8
+        inc r5
+        cmp r6, r5
+        jlo ac_inner
+        mov r4, r10
+        rla r10
+        mov r8, OUT(r10)
+        inc r4
+        cmp #4, r4
+        jne ac_outer
+        jmp __done
+)";
+}
+
+std::string
+fftBody()
+{
+    // 8-point decimation-in-frequency FFT, Q8 twiddles on the signed
+    // hardware multiplier (MPYS), driven by a butterfly table of
+    // (addr_i, addr_j, W_re, W_im). Real part at ARR, imaginary at
+    // ARR+16. Single symbolic path; 48 signed multiplications make
+    // this (with mult/autoCorr/intFilt) one of the high-variation
+    // kernels of Section 5.
+    return R"(
+        mov #0, r4
+ff_copy:
+        mov r4, r10
+        rla r10
+        mov INPUT(r10), r11
+        and #0x00ff, r11
+        mov r11, ARR(r10)
+        mov #0, ARR+16(r10)
+        inc r4
+        cmp #8, r4
+        jne ff_copy
+        mov #ff_btab, r4
+        mov #12, r5
+ff_loop:
+        mov @r4+, r6        ; &re[i]
+        mov @r4+, r7        ; &re[j]
+        mov @r4+, r8        ; W_re (Q8)
+        mov @r4+, r9        ; W_im (Q8)
+        call #ff_btfly
+        dec r5
+        jnz ff_loop
+        mov #0, r4
+ff_out:
+        mov r4, r10
+        rla r10
+        mov ARR(r10), r11
+        mov r11, OUT(r10)
+        inc r4
+        cmp #8, r4
+        jne ff_out
+        jmp __done
+
+        ; DIF butterfly: a' = a + b; b' = (a - b) * W, Q8.
+ff_btfly:
+        push r8
+        push r9
+        mov @r6, r10        ; re[i]
+        mov @r7, r11        ; re[j]
+        mov r10, r12
+        sub r11, r12        ; t_re
+        add r11, 0(r6)      ; re[i] += re[j]
+        mov 16(r6), r13
+        mov 16(r7), r14
+        sub r14, r13        ; t_im
+        add r14, 16(r6)     ; im[i] += im[j]
+        ; re[j] = (t_re*Wre)>>8 - (t_im*Wim)>>8
+        mov r12, &MPYS
+        mov r8, &OP2
+        mov &RESLO, r15
+        mov &RESHI, r14
+        swpb r15
+        and #0x00ff, r15
+        swpb r14
+        and #0xff00, r14
+        bis r14, r15
+        mov r13, &MPYS
+        mov r9, &OP2
+        mov &RESLO, r14
+        mov &RESHI, r11
+        swpb r14
+        and #0x00ff, r14
+        swpb r11
+        and #0xff00, r11
+        bis r11, r14
+        sub r14, r15
+        mov r15, 0(r7)
+        ; im[j] = (t_re*Wim)>>8 + (t_im*Wre)>>8
+        mov r12, &MPYS
+        mov r9, &OP2
+        mov &RESLO, r15
+        mov &RESHI, r14
+        swpb r15
+        and #0x00ff, r15
+        swpb r14
+        and #0xff00, r14
+        bis r14, r15
+        mov r13, &MPYS
+        mov r8, &OP2
+        mov &RESLO, r14
+        mov &RESHI, r11
+        swpb r14
+        and #0x00ff, r14
+        swpb r11
+        and #0xff00, r11
+        bis r11, r14
+        add r14, r15
+        mov r15, 16(r7)
+        pop r9
+        pop r8
+        ret
+
+ff_btab:
+        .word ARR+0,  ARR+8,  256, 0
+        .word ARR+2,  ARR+10, 181, -181
+        .word ARR+4,  ARR+12, 0, -256
+        .word ARR+6,  ARR+14, -181, -181
+        .word ARR+0,  ARR+4,  256, 0
+        .word ARR+2,  ARR+6,  0, -256
+        .word ARR+8,  ARR+12, 256, 0
+        .word ARR+10, ARR+14, 0, -256
+        .word ARR+0,  ARR+2,  256, 0
+        .word ARR+4,  ARR+6,  256, 0
+        .word ARR+8,  ARR+10, 256, 0
+        .word ARR+12, ARR+14, 256, 0
+)";
+}
+
+std::string
+convEnBody()
+{
+    // Convolutional encoder, K=3, rate 1/2, generators (7, 5): 8 data
+    // bits from one input word, parities computed bitwise (X data,
+    // concrete control: single path).
+    return R"(
+        mov &INPUT, r4      ; data word (bits 0..7 used)
+        mov #0, r5          ; encoder state
+        mov #8, r6
+        mov #0, r7          ; packed output
+ce_loop:
+        mov r4, r8
+        and #1, r8          ; next data bit (X)
+        rra r4
+        rla r5
+        bis r8, r5
+        and #7, r5          ; state = ((state<<1)|bit) & 7
+        ; g7 parity: b0^b1^b2 of state
+        mov r5, r9
+        mov r5, r10
+        rra r9
+        xor r9, r10
+        rra r9
+        xor r9, r10
+        and #1, r10         ; out0
+        ; g5 parity: b0^b2
+        mov r5, r9
+        rra r9
+        rra r9
+        xor r5, r9
+        and #1, r9          ; out1
+        rla r7
+        rla r7
+        rla r10
+        bis r10, r7
+        bis r9, r7          ; out word <<= 2 | (out0<<1) | out1
+        dec r6
+        jnz ce_loop
+        mov r7, &OUT
+)";
+}
+
+std::string
+viterbiBody()
+{
+    // 4-state Viterbi add-compare-select over 6 received symbols.
+    // The compare-select is branchless (SUBC carry-mask idiom), so
+    // unknown path metrics never fork control flow -- the survivor
+    // bits are X data written to concrete addresses.
+    //
+    // Trellis (K=3, G=(7,5)): next state n has predecessors n>>1 and
+    // (n>>1)+2 with input bit n&1; expected symbols are hardcoded per
+    // edge. Branch metrics for the four expected symbols are staged
+    // at ARR+0..6; old metrics m0..m3 live in r8..r11, new metrics
+    // are staged at ARR+8..14.
+    std::string body = R"(
+        mov #INPUT, r4
+        mov #6, r5
+        mov #0, r8
+        mov #32, r9
+        mov #32, r10
+        mov #32, r11
+        mov #OUT, r15
+vt_symbol:
+        push r5
+        ; received bits r0 (low), r1 -> distances for expected 00,01,10,11
+        mov @r4+, r6
+        mov r6, r7
+        and #1, r6          ; r0 (X)
+        rra r7
+        and #1, r7          ; r1 (X)
+        mov r6, r12
+        add r7, r12
+        mov r12, &ARR+0     ; d(00) = r0 + r1
+        mov #1, r12
+        sub r6, r12
+        add r7, r12
+        mov r12, &ARR+2     ; d(01) = (1-r0) + r1
+        mov #1, r12
+        sub r7, r12
+        add r6, r12
+        mov r12, &ARR+4     ; d(10) = r0 + (1-r1)
+        mov #2, r12
+        sub r6, r12
+        sub r7, r12
+        mov r12, &ARR+6     ; d(11) = (1-r0) + (1-r1)
+        mov #0, r14         ; survivor bits for this symbol
+)";
+    // Unrolled ACS for next states 0..3. Expected symbol for edge
+    // (prev p, bit b): out0 = b ^ p1 ^ p0 (G=7), out1 = b ^ p0 (G=5);
+    // index into ARR as 2*(out0*2 + out1).
+    for (unsigned n = 0; n < 4; ++n) {
+        unsigned p0 = n >> 1;          // predecessor A
+        unsigned p1 = (n >> 1) + 2;    // predecessor B
+        unsigned b = n & 1;
+        auto expIdx = [&](unsigned p) {
+            unsigned s1 = (p >> 1) & 1, s0 = p & 1;
+            unsigned o0 = b ^ s1 ^ s0;
+            unsigned o1 = b ^ s0;
+            return 2 * (o0 * 2 + o1);
+        };
+        std::string mA = "r" + std::to_string(8 + p0);
+        std::string mB = "r" + std::to_string(8 + p1);
+        body += "        ; ACS for next state " + std::to_string(n) +
+                "\n";
+        body += "        mov " + mA + ", r12\n";
+        body += "        add &ARR+" + std::to_string(expIdx(p0)) +
+                ", r12\n";
+        body += "        mov " + mB + ", r13\n";
+        body += "        add &ARR+" + std::to_string(expIdx(p1)) +
+                ", r13\n";
+        // mask r6 = 0xffff when candA < candB (pick A), else 0.
+        body += "        cmp r13, r12\n";  // candA - candB
+        body += "        subc r6, r6\n";   // C=1 (A>=B) -> 0
+        body += "        and r6, r12\n";   // A term
+        body += "        xor #0xffff, r6\n";
+        body += "        and r6, r13\n";   // B term
+        body += "        bis r13, r12\n";  // min
+        body += "        mov r12, &ARR+" + std::to_string(8 + 2 * n) +
+                "\n";
+        // survivor bit: 1 when predecessor B chosen.
+        body += "        and #1, r6\n";
+        body += "        rla r14\n";
+        body += "        bis r6, r14\n";
+    }
+    body += R"(
+        mov r14, 0(r15)     ; survivors for this symbol (X data)
+        add #2, r15
+        mov &ARR+8, r8
+        mov &ARR+10, r9
+        mov &ARR+12, r10
+        mov &ARR+14, r11
+        pop r5
+        dec r5
+        jnz vt_symbol
+        ; emit final metrics
+        mov r8, &OUT+12
+        mov r9, &OUT+14
+        mov r10, &OUT+16
+        mov r11, &OUT+18
+)";
+    return body;
+}
+
+std::string
+piBody()
+{
+    // Proportional-integral controller, 6 steps: the sensor reading
+    // comes from the input port (X every cycle under symbolic
+    // analysis -- the paper's PI exercises the largest gate set at
+    // its peak, Figure 1.5b). Saturation branches fork; clamped
+    // paths carry concrete outputs and re-converge.
+    return R"(
+        mov #0, r9          ; integrator
+        mov #6, r8
+pi_loop:
+        push r8
+        mov &PIN, r5        ; sensor (X)
+        and #0x03ff, r5
+        mov #0x0200, r6
+        sub r5, r6          ; err = setpoint - sensor
+        add r6, r9          ; integ += err
+        ; out = (KP*err + KI*integ) >> 8, Q8 gains
+        mov r6, &MPYS
+        mov #230, &OP2      ; KP = 0.90
+        mov &RESLO, r10
+        mov &RESHI, r11
+        swpb r10
+        and #0x00ff, r10
+        swpb r11
+        and #0xff00, r11
+        bis r11, r10        ; P term
+        mov r9, &MPYS
+        mov #20, &OP2       ; KI = 0.08
+        mov &RESLO, r12
+        mov &RESHI, r11
+        swpb r12
+        and #0x00ff, r12
+        swpb r11
+        and #0xff00, r11
+        bis r11, r12        ; I term
+        add r12, r10
+        ; saturate to [0, 0x03ff]
+        tst r10
+        jn pi_clamp0        ; X flags: fork
+        cmp #0x0400, r10
+        jl pi_emit          ; X flags: fork
+        mov #0x03ff, r10
+        jmp pi_emit
+pi_clamp0:
+        mov #0, r10
+pi_emit:
+        mov r10, &POUT      ; actuate
+        pop r8
+        dec r8
+        jnz pi_loop
+)";
+}
+
+} // namespace bench430
+} // namespace ulpeak

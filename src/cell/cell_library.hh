@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Synthetic standard-cell library.
+ *
+ * The paper synthesizes openMSP430 into TSMC 65GP standard cells and runs
+ * Synopsys PrimeTime power analysis on the placed-and-routed netlist. We
+ * substitute a synthetic cell library: each cell kind carries input
+ * capacitance, internal per-transition switching energy, output drive
+ * (load handled via fanout capacitance), leakage power and area. The
+ * absolute constants are calibrated (see CellLibrary::tsmc65Like and
+ * CellLibrary::f1610Like) so totals land in the paper's milliwatt range;
+ * all of the paper's *comparative* results depend only on relative
+ * activity, which the library preserves.
+ *
+ * The library also provides the "maximum power transition" lookup used by
+ * Algorithm 2: for a gate whose value is X in two consecutive cycles, the
+ * peak-power assignment picks the transition of that cell with the highest
+ * energy (for CMOS cells the 0->1 output transition, which charges the
+ * output load, is the more expensive one here).
+ */
+
+#ifndef ULPEAK_CELL_CELL_LIBRARY_HH
+#define ULPEAK_CELL_CELL_LIBRARY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "logic/v4.hh"
+
+namespace ulpeak {
+
+/**
+ * Every cell kind the hardware builder may instantiate. Combinational
+ * kinds come first; sequential kinds (DFF*) last. INPUT denotes a primary
+ * input (driven by the simulator each cycle); CONST0/1 are tie cells.
+ */
+enum class CellKind : uint8_t {
+    Const0,
+    Const1,
+    Input,
+    Buf,
+    Inv,
+    And2,
+    And3,
+    And4,
+    Or2,
+    Or3,
+    Or4,
+    Nand2,
+    Nand3,
+    Nand4,
+    Nor2,
+    Nor3,
+    Nor4,
+    Xor2,
+    Xnor2,
+    Mux2,   ///< in: a, b, sel; out = sel ? b : a
+    Aoi21,  ///< out = !((a & b) | c)
+    Oai21,  ///< out = !((a | b) & c)
+    Aoi22,  ///< out = !((a & b) | (c & d))
+    Oai22,  ///< out = !((a | b) & (c | d))
+    Dff,    ///< in: d
+    Dffe,   ///< in: d, en      (en==0 holds)
+    Dffr,   ///< in: d, rstn    (rstn==0 clears)
+    Dffre,  ///< in: d, en, rstn
+    NumKinds,
+};
+
+constexpr size_t kNumCellKinds = size_t(CellKind::NumKinds);
+
+/** @return true for the DFF* kinds. */
+bool isSequential(CellKind k);
+
+/** @return number of data fanins for @p k (0 for Const/Input). */
+unsigned cellFaninCount(CellKind k);
+
+/** Canonical liberty-style cell name, e.g. "NAND2_X1". */
+const char *cellName(CellKind k);
+
+/**
+ * Evaluate the combinational function of @p k over three-valued inputs.
+ * Must not be called for sequential or source kinds.
+ */
+V4 evalCell(CellKind k, const V4 *in);
+
+/**
+ * Compute the next state of a sequential cell at a clock edge.
+ *
+ * @param k     sequential cell kind
+ * @param q     present output value
+ * @param in    fanin values at the edge (d [, en][, rstn])
+ * @param held  out-param: set true when the cell provably kept its value
+ *              (e.g. enable low), which the activity tracker uses to rule
+ *              out a toggle even for X values.
+ */
+V4 evalSeqCell(CellKind k, V4 q, const V4 *in, bool &held);
+
+/** Per-cell electrical / power parameters. */
+struct CellParams {
+    double inputCapF = 0.0;     ///< capacitance per input pin [F]
+    double riseEnergyJ = 0.0;   ///< internal energy, output 0->1 [J]
+    double fallEnergyJ = 0.0;   ///< internal energy, output 1->0 [J]
+    double leakageW = 0.0;      ///< static leakage [W]
+    double areaUm2 = 0.0;       ///< cell area [um^2]
+    double clkPinEnergyJ = 0.0; ///< per-cycle clock-pin energy (seq only)
+};
+
+/**
+ * A calibrated cell library: parameters for every kind plus the global
+ * electrical context (supply, wire load per fanout).
+ */
+class CellLibrary {
+  public:
+    /** 65 nm-class profile used for the openMSP430-like evaluations. */
+    static CellLibrary tsmc65Like();
+    /**
+     * 130 nm-class profile standing in for the MSP430F1610 silicon
+     * measured in Chapter 2 (higher caps, lower frequency context).
+     */
+    static CellLibrary f1610Like();
+
+    const CellParams &
+    params(CellKind k) const
+    {
+        return params_[size_t(k)];
+    }
+
+    double vdd() const { return vdd_; }
+    /** Wire + receiver load added per fanout connection [F]. */
+    double wireCapPerFanoutF() const { return wireCapPerFanout_; }
+    const std::string &name() const { return name_; }
+
+    /**
+     * Energy of one output transition of a @p k cell driving
+     * @p fanouts receivers. 0->1 charges the load (0.5*C*V^2 on top of
+     * internal energy); 1->0 dissipates the internal energy only (the
+     * load discharge energy was accounted at charge time).
+     */
+    double transitionEnergyJ(CellKind k, bool rising,
+                             unsigned fanouts) const;
+
+    /** Algorithm 2's maxTransition: the costlier of rise/fall. */
+    double maxTransitionEnergyJ(CellKind k, unsigned fanouts) const;
+
+    /**
+     * The first/second cycle values of the maximum-power transition of
+     * cell @p k (paper: maxTransition(g,1) / maxTransition(g,2)). For
+     * every cell here the rising output transition is the expensive one,
+     * so this returns 0 then 1.
+     */
+    V4 maxTransitionValue(CellKind k, unsigned phase) const;
+
+  private:
+    CellLibrary() = default;
+
+    std::string name_;
+    double vdd_ = 1.0;
+    double wireCapPerFanout_ = 0.0;
+    std::array<CellParams, kNumCellKinds> params_{};
+};
+
+} // namespace ulpeak
+
+#endif // ULPEAK_CELL_CELL_LIBRARY_HH

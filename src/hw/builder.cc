@@ -1,0 +1,351 @@
+#include "hw/builder.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ulpeak {
+namespace hw {
+
+void
+Reg::connect(const Bus &d)
+{
+    if (connected_)
+        throw std::logic_error("register connected twice");
+    if (d.size() != q_.size())
+        throw std::invalid_argument("register width mismatch");
+    for (size_t i = 0; i < d.size(); ++i)
+        b_->netlist().setFanin(q_[i], 0, d[i]);
+    connected_ = true;
+}
+
+Builder::Builder(Netlist &nl) : nl_(&nl)
+{
+    moduleStack_.push_back(kTopModule);
+}
+
+void
+Builder::pushModule(const std::string &name)
+{
+    moduleStack_.push_back(nl_->addModule(name, moduleStack_.back()));
+}
+
+void
+Builder::popModule()
+{
+    assert(moduleStack_.size() > 1);
+    moduleStack_.pop_back();
+}
+
+Sig
+Builder::emit(CellKind kind, std::initializer_list<Sig> fanins)
+{
+    return nl_->addGate(kind, fanins, moduleStack_.back());
+}
+
+Sig
+Builder::zero()
+{
+    if (const0_ == kNoGate)
+        const0_ = nl_->addGate(CellKind::Const0, {}, kTopModule);
+    return const0_;
+}
+
+Sig
+Builder::one()
+{
+    if (const1_ == kNoGate)
+        const1_ = nl_->addGate(CellKind::Const1, {}, kTopModule);
+    return const1_;
+}
+
+Sig
+Builder::input(const std::string &name)
+{
+    Sig s = emit(CellKind::Input, {});
+    if (!name.empty())
+        nl_->setName(s, name);
+    return s;
+}
+
+Bus
+Builder::busInput(unsigned width, const std::string &name)
+{
+    Bus bus(width);
+    for (unsigned i = 0; i < width; ++i) {
+        bus[i] = emit(CellKind::Input, {});
+        if (!name.empty())
+            nl_->setName(bus[i], name + "[" + std::to_string(i) + "]");
+    }
+    return bus;
+}
+
+Bus
+Builder::busConst(unsigned width, uint32_t value)
+{
+    Bus bus(width);
+    for (unsigned i = 0; i < width; ++i)
+        bus[i] = (value >> i) & 1 ? one() : zero();
+    return bus;
+}
+
+Sig Builder::buf(Sig a) { return emit(CellKind::Buf, {a}); }
+Sig Builder::inv(Sig a) { return emit(CellKind::Inv, {a}); }
+Sig Builder::and2(Sig a, Sig b) { return emit(CellKind::And2, {a, b}); }
+Sig Builder::or2(Sig a, Sig b) { return emit(CellKind::Or2, {a, b}); }
+Sig Builder::nand2(Sig a, Sig b) { return emit(CellKind::Nand2, {a, b}); }
+Sig Builder::nor2(Sig a, Sig b) { return emit(CellKind::Nor2, {a, b}); }
+Sig Builder::xor2(Sig a, Sig b) { return emit(CellKind::Xor2, {a, b}); }
+Sig Builder::xnor2(Sig a, Sig b) { return emit(CellKind::Xnor2, {a, b}); }
+
+Sig
+Builder::mux(Sig sel, Sig a0, Sig a1)
+{
+    return emit(CellKind::Mux2, {a0, a1, sel});
+}
+
+Sig
+Builder::aoi21(Sig a, Sig b, Sig c)
+{
+    return emit(CellKind::Aoi21, {a, b, c});
+}
+
+Sig
+Builder::oai21(Sig a, Sig b, Sig c)
+{
+    return emit(CellKind::Oai21, {a, b, c});
+}
+
+Sig
+Builder::andN(const Bus &xs)
+{
+    if (xs.empty())
+        return one();
+    Bus level = xs;
+    while (level.size() > 1) {
+        Bus next;
+        size_t i = 0;
+        while (i < level.size()) {
+            size_t rem = level.size() - i;
+            if (rem >= 4) {
+                next.push_back(emit(CellKind::And4,
+                                    {level[i], level[i + 1],
+                                     level[i + 2], level[i + 3]}));
+                i += 4;
+            } else if (rem == 3) {
+                next.push_back(emit(CellKind::And3,
+                                    {level[i], level[i + 1],
+                                     level[i + 2]}));
+                i += 3;
+            } else if (rem == 2) {
+                next.push_back(and2(level[i], level[i + 1]));
+                i += 2;
+            } else {
+                next.push_back(level[i]);
+                i += 1;
+            }
+        }
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+Sig
+Builder::orN(const Bus &xs)
+{
+    if (xs.empty())
+        return zero();
+    Bus level = xs;
+    while (level.size() > 1) {
+        Bus next;
+        size_t i = 0;
+        while (i < level.size()) {
+            size_t rem = level.size() - i;
+            if (rem >= 4) {
+                next.push_back(emit(CellKind::Or4,
+                                    {level[i], level[i + 1],
+                                     level[i + 2], level[i + 3]}));
+                i += 4;
+            } else if (rem == 3) {
+                next.push_back(emit(CellKind::Or3,
+                                    {level[i], level[i + 1],
+                                     level[i + 2]}));
+                i += 3;
+            } else if (rem == 2) {
+                next.push_back(or2(level[i], level[i + 1]));
+                i += 2;
+            } else {
+                next.push_back(level[i]);
+                i += 1;
+            }
+        }
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+Bus
+Builder::busNot(const Bus &a)
+{
+    Bus r(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        r[i] = inv(a[i]);
+    return r;
+}
+
+Bus
+Builder::busAnd(const Bus &a, const Bus &b)
+{
+    assert(a.size() == b.size());
+    Bus r(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        r[i] = and2(a[i], b[i]);
+    return r;
+}
+
+Bus
+Builder::busOr(const Bus &a, const Bus &b)
+{
+    assert(a.size() == b.size());
+    Bus r(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        r[i] = or2(a[i], b[i]);
+    return r;
+}
+
+Bus
+Builder::busXor(const Bus &a, const Bus &b)
+{
+    assert(a.size() == b.size());
+    Bus r(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        r[i] = xor2(a[i], b[i]);
+    return r;
+}
+
+Bus
+Builder::busAndScalar(const Bus &a, Sig s)
+{
+    Bus r(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        r[i] = and2(a[i], s);
+    return r;
+}
+
+Bus
+Builder::busMux(Sig sel, const Bus &a0, const Bus &a1)
+{
+    assert(a0.size() == a1.size());
+    Bus r(a0.size());
+    for (size_t i = 0; i < a0.size(); ++i)
+        r[i] = mux(sel, a0[i], a1[i]);
+    return r;
+}
+
+Bus
+Builder::busMuxN(const Bus &sel, const std::vector<Bus> &choices)
+{
+    assert(choices.size() == (size_t(1) << sel.size()));
+    std::vector<Bus> level = choices;
+    for (size_t s = 0; s < sel.size(); ++s) {
+        std::vector<Bus> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(busMux(sel[s], level[i], level[i + 1]));
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+Bus
+Builder::busMuxOneHot(const std::vector<Sig> &onehot,
+                      const std::vector<Bus> &choices)
+{
+    assert(onehot.size() == choices.size());
+    assert(!choices.empty());
+    size_t width = choices[0].size();
+    Bus result(width);
+    for (size_t bit = 0; bit < width; ++bit) {
+        Bus terms(choices.size());
+        for (size_t i = 0; i < choices.size(); ++i)
+            terms[i] = and2(choices[i][bit], onehot[i]);
+        result[bit] = orN(terms);
+    }
+    return result;
+}
+
+Sig
+Builder::wireDecl(const std::string &name)
+{
+    Sig s = nl_->addGate(CellKind::Buf, {kNoGate}, moduleStack_.back());
+    if (!name.empty())
+        nl_->setName(s, name);
+    return s;
+}
+
+void
+Builder::wireConnect(Sig wire, Sig driver)
+{
+    nl_->setFanin(wire, 0, driver);
+}
+
+Bus
+Builder::busWireDecl(unsigned width, const std::string &name)
+{
+    Bus bus(width);
+    for (unsigned i = 0; i < width; ++i)
+        bus[i] = wireDecl(
+            name.empty() ? "" : name + "[" + std::to_string(i) + "]");
+    return bus;
+}
+
+void
+Builder::busWireConnect(const Bus &wires, const Bus &drivers)
+{
+    if (wires.size() != drivers.size())
+        throw std::invalid_argument("busWireConnect width mismatch");
+    for (size_t i = 0; i < wires.size(); ++i)
+        wireConnect(wires[i], drivers[i]);
+}
+
+Reg
+Builder::regDecl(unsigned width, const std::string &name, Sig en,
+                 Sig rstn)
+{
+    Reg r;
+    r.b_ = this;
+    r.q_.resize(width);
+    for (unsigned i = 0; i < width; ++i) {
+        CellKind kind;
+        std::vector<GateId> fanins;
+        if (en != kNoGate && rstn != kNoGate) {
+            kind = CellKind::Dffre;
+            fanins = {kNoGate, en, rstn};
+        } else if (en != kNoGate) {
+            kind = CellKind::Dffe;
+            fanins = {kNoGate, en};
+        } else if (rstn != kNoGate) {
+            kind = CellKind::Dffr;
+            fanins = {kNoGate, rstn};
+        } else {
+            kind = CellKind::Dff;
+            fanins = {kNoGate};
+        }
+        // Placeholder D pin; Reg::connect re-points it, and finalize()
+        // reports any register left unconnected.
+        fanins[0] = kNoGate;
+        r.q_[i] = nl_->addGate(kind, fanins, moduleStack_.back());
+        if (!name.empty())
+            nl_->setName(r.q_[i], name + "[" + std::to_string(i) + "]");
+    }
+    return r;
+}
+
+Bus
+Builder::reg(const Bus &d, const std::string &name, Sig en, Sig rstn)
+{
+    Reg r = regDecl(unsigned(d.size()), name, en, rstn);
+    r.connect(d);
+    return r.q();
+}
+
+} // namespace hw
+} // namespace ulpeak

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Hardware construction DSL.
+ *
+ * The paper's netlist comes out of Synopsys Design Compiler; ours comes
+ * out of this builder, a small Chisel-style construction library whose
+ * every operation elaborates to standard cells of the CellLibrary. The
+ * CPU in src/msp is written against this API, so the result is a genuine
+ * gate-level netlist (thousands of mapped cells with DFF state), which is
+ * what the symbolic engine and the power analysis operate on.
+ *
+ * Conventions: a Sig is a single net (the emitting gate's output); a Bus
+ * is a little-endian vector of Sigs (bus[0] is bit 0). Registers may be
+ * declared before their D input is known (Reg::connect) so state machines
+ * with feedback can be described naturally.
+ */
+
+#ifndef ULPEAK_HW_BUILDER_HH
+#define ULPEAK_HW_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace ulpeak {
+namespace hw {
+
+using Sig = GateId;
+using Bus = std::vector<Sig>;
+
+class Builder;
+
+/**
+ * A declared register bank: q is usable immediately; connect() wires the
+ * D inputs once the next-state logic exists. Enable/reset were fixed at
+ * declaration time.
+ */
+class Reg {
+  public:
+    const Bus &q() const { return q_; }
+    Sig q(unsigned i) const { return q_[i]; }
+    unsigned width() const { return unsigned(q_.size()); }
+    /** Wire the D pins; must be called exactly once. */
+    void connect(const Bus &d);
+    bool connected() const { return connected_; }
+
+  private:
+    friend class Builder;
+    Builder *b_ = nullptr;
+    Bus q_;
+    bool connected_ = false;
+};
+
+class Builder {
+  public:
+    explicit Builder(Netlist &nl);
+
+    Netlist &netlist() { return *nl_; }
+
+    /// @name Module scoping
+    /// @{
+    void pushModule(const std::string &name);
+    void popModule();
+    ModuleId currentModule() const { return moduleStack_.back(); }
+    /// @}
+
+    /// @name Sources
+    /// @{
+    Sig zero();
+    Sig one();
+    Sig input(const std::string &name = "");
+    Bus busInput(unsigned width, const std::string &name = "");
+    Bus busConst(unsigned width, uint32_t value);
+    /// @}
+
+    /// @name Single-bit logic
+    /// @{
+    Sig buf(Sig a);
+    Sig inv(Sig a);
+    Sig and2(Sig a, Sig b);
+    Sig or2(Sig a, Sig b);
+    Sig nand2(Sig a, Sig b);
+    Sig nor2(Sig a, Sig b);
+    Sig xor2(Sig a, Sig b);
+    Sig xnor2(Sig a, Sig b);
+    Sig mux(Sig sel, Sig a0, Sig a1); ///< sel==0 -> a0, sel==1 -> a1
+    Sig aoi21(Sig a, Sig b, Sig c);   ///< !((a&b)|c)
+    Sig oai21(Sig a, Sig b, Sig c);   ///< !((a|b)&c)
+    /** Wide AND/OR reductions, built as balanced AND3/AND4 trees. */
+    Sig andN(const Bus &xs);
+    Sig orN(const Bus &xs);
+    /// @}
+
+    /// @name Bus logic
+    /// @{
+    Bus busNot(const Bus &a);
+    Bus busAnd(const Bus &a, const Bus &b);
+    Bus busOr(const Bus &a, const Bus &b);
+    Bus busXor(const Bus &a, const Bus &b);
+    /** AND every bit of @p a with scalar @p s. */
+    Bus busAndScalar(const Bus &a, Sig s);
+    Bus busMux(Sig sel, const Bus &a0, const Bus &a1);
+    /**
+     * N-way mux: @p sel is a binary index bus; @p choices must have
+     * exactly 2^width(sel) entries. Built as a mux tree.
+     */
+    Bus busMuxN(const Bus &sel, const std::vector<Bus> &choices);
+    /** One-hot mux: OR of (choice_i AND onehot_i); caller guarantees the
+     * select really is one-hot. */
+    Bus busMuxOneHot(const std::vector<Sig> &onehot,
+                     const std::vector<Bus> &choices);
+    /// @}
+
+    /// @name Late-bound wires
+    /// Cross-module combinational nets can be declared before their
+    /// driver exists (they elaborate to BUF cells, like the buffers a
+    /// synthesis tool inserts on long top-level nets). finalize()
+    /// rejects wires never driven.
+    /// @{
+    Sig wireDecl(const std::string &name = "");
+    void wireConnect(Sig wire, Sig driver);
+    Bus busWireDecl(unsigned width, const std::string &name = "");
+    void busWireConnect(const Bus &wires, const Bus &drivers);
+    /// @}
+
+    /// @name Registers
+    /// @{
+    /**
+     * Declare a register bank.
+     * @param en   optional enable (kNoGate for always-load)
+     * @param rstn optional active-low reset (kNoGate for none)
+     */
+    Reg regDecl(unsigned width, const std::string &name = "",
+                Sig en = kNoGate, Sig rstn = kNoGate);
+    /** One-step convenience: declared and connected at once. */
+    Bus reg(const Bus &d, const std::string &name = "",
+            Sig en = kNoGate, Sig rstn = kNoGate);
+    /// @}
+
+  private:
+    friend class Reg;
+
+    Sig emit(CellKind kind, std::initializer_list<Sig> fanins);
+
+    Netlist *nl_;
+    std::vector<ModuleId> moduleStack_;
+    Sig const0_ = kNoGate;
+    Sig const1_ = kNoGate;
+};
+
+/** RAII module scope. */
+class ModuleScope {
+  public:
+    ModuleScope(Builder &b, const std::string &name) : b_(&b)
+    {
+        b_->pushModule(name);
+    }
+    ~ModuleScope() { b_->popModule(); }
+    ModuleScope(const ModuleScope &) = delete;
+    ModuleScope &operator=(const ModuleScope &) = delete;
+
+  private:
+    Builder *b_;
+};
+
+/// @name Arithmetic / structural components (components.cc)
+/// @{
+
+struct AddResult {
+    Bus sum;
+    Sig carryOut;
+};
+
+/** Ripple-carry adder; widths of @p a and @p b must match. */
+AddResult adder(Builder &b, const Bus &a, const Bus &bb, Sig carryIn);
+
+/** a - b computed as a + ~b + 1; carryOut is the MSP430-style carry
+ *  (1 = no borrow). */
+AddResult subtractor(Builder &b, const Bus &a, const Bus &bb);
+
+/** a + constant. */
+Bus addConst(Builder &b, const Bus &a, uint32_t k);
+
+/** Bit-equality of two buses (XNOR reduce). */
+Sig equal(Builder &b, const Bus &a, const Bus &bb);
+/** Bus equals a compile-time constant. */
+Sig equalConst(Builder &b, const Bus &a, uint32_t k);
+
+/** Full binary decoder: 2^width(sel) one-hot outputs. */
+std::vector<Sig> decoder(Builder &b, const Bus &sel);
+
+/**
+ * Combinational array multiplier (AND partial products + ripple-carry
+ * reduction). Returns the 2N-bit product. This is deliberately the
+ * biggest, highest-power block in the design, mirroring openMSP430's
+ * hardware multiplier peripheral.
+ */
+Bus arrayMultiplier(Builder &b, const Bus &a, const Bus &bb);
+
+/// @}
+
+} // namespace hw
+} // namespace ulpeak
+
+#endif // ULPEAK_HW_BUILDER_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Structural arithmetic components built from library cells.
+ */
+
+#include <cassert>
+
+#include "hw/builder.hh"
+
+namespace ulpeak {
+namespace hw {
+
+namespace {
+
+/** One full-adder bit: 5 cells. */
+Sig
+fullAdder(Builder &b, Sig a, Sig x, Sig cin, Sig &cout)
+{
+    Sig p = b.xor2(a, x);
+    Sig s = b.xor2(p, cin);
+    Sig g1 = b.and2(a, x);
+    Sig g2 = b.and2(p, cin);
+    cout = b.or2(g1, g2);
+    return s;
+}
+
+} // namespace
+
+AddResult
+adder(Builder &b, const Bus &a, const Bus &bb, Sig carryIn)
+{
+    assert(a.size() == bb.size());
+    AddResult r;
+    r.sum.resize(a.size());
+    Sig carry = carryIn;
+    for (size_t i = 0; i < a.size(); ++i)
+        r.sum[i] = fullAdder(b, a[i], bb[i], carry, carry);
+    r.carryOut = carry;
+    return r;
+}
+
+AddResult
+subtractor(Builder &b, const Bus &a, const Bus &bb)
+{
+    return adder(b, a, b.busNot(bb), b.one());
+}
+
+Bus
+addConst(Builder &b, const Bus &a, uint32_t k)
+{
+    return adder(b, a, b.busConst(unsigned(a.size()), k), b.zero()).sum;
+}
+
+Sig
+equal(Builder &b, const Bus &a, const Bus &bb)
+{
+    assert(a.size() == bb.size());
+    Bus eqs(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        eqs[i] = b.xnor2(a[i], bb[i]);
+    return b.andN(eqs);
+}
+
+Sig
+equalConst(Builder &b, const Bus &a, uint32_t k)
+{
+    Bus terms(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        terms[i] = (k >> i) & 1 ? a[i] : b.inv(a[i]);
+    return b.andN(terms);
+}
+
+std::vector<Sig>
+decoder(Builder &b, const Bus &sel)
+{
+    size_t n = size_t(1) << sel.size();
+    std::vector<Sig> out(n);
+    for (size_t v = 0; v < n; ++v)
+        out[v] = equalConst(b, sel, uint32_t(v));
+    return out;
+}
+
+Bus
+arrayMultiplier(Builder &b, const Bus &a, const Bus &bb)
+{
+    const size_t n = a.size();
+    assert(bb.size() == n);
+
+    // Row 0 of partial products initializes the running sum.
+    Bus acc(2 * n, b.zero());
+    for (size_t i = 0; i < n; ++i)
+        acc[i] = b.and2(a[i], bb[0]);
+
+    // Each subsequent row adds (a & b[j]) << j into the accumulator with
+    // an n-bit ripple-carry adder whose carry extends into bit n + j.
+    for (size_t j = 1; j < n; ++j) {
+        Bus pp(n);
+        for (size_t i = 0; i < n; ++i)
+            pp[i] = b.and2(a[i], bb[j]);
+        Sig carry = b.zero();
+        for (size_t i = 0; i < n; ++i) {
+            acc[i + j] = fullAdder(b, acc[i + j], pp[i], carry, carry);
+        }
+        if (j + n < 2 * n)
+            acc[j + n] = carry;
+    }
+    return acc;
+}
+
+} // namespace hw
+} // namespace ulpeak

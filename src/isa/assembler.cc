@@ -1,0 +1,497 @@
+#include "isa/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace ulpeak {
+namespace isa {
+
+uint32_t
+Image::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        throw std::out_of_range("undefined symbol: " + name);
+    return it->second;
+}
+
+std::vector<std::pair<uint32_t, uint16_t>>
+Image::flatten() const
+{
+    std::vector<std::pair<uint32_t, uint16_t>> out;
+    for (const Segment &s : segments)
+        for (size_t i = 0; i < s.words.size(); ++i)
+            out.emplace_back(s.base + uint32_t(i) * 2, s.words[i]);
+    return out;
+}
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t a = s.find_first_not_of(" \t\r\n");
+    if (a == std::string::npos)
+        return "";
+    size_t b = s.find_last_not_of(" \t\r\n");
+    return s.substr(a, b - a + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+bool
+parseRegister(const std::string &tok, unsigned &reg)
+{
+    std::string t = lower(tok);
+    if (t == "pc") { reg = kPc; return true; }
+    if (t == "sp") { reg = kSp; return true; }
+    if (t == "sr") { reg = kSr; return true; }
+    if (t == "cg") { reg = kCg; return true; }
+    if (t.size() >= 2 && t[0] == 'r') {
+        char *end = nullptr;
+        long v = std::strtol(t.c_str() + 1, &end, 10);
+        if (end && *end == '\0' && v >= 0 && v <= 15) {
+            reg = unsigned(v);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Context shared across a single assembly pass. */
+struct Pass {
+    const std::map<std::string, uint32_t> *symbols;
+    bool permissive; ///< sizing pass: unresolved symbols become 0x1234
+    unsigned line = 0;
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw AsmError(line, msg);
+    }
+
+    int64_t
+    atom(const std::string &tok) const
+    {
+        std::string t = trim(tok);
+        if (t.empty())
+            fail("empty expression");
+        bool neg = false;
+        if (t[0] == '-') {
+            neg = true;
+            t = trim(t.substr(1));
+        }
+        int64_t v;
+        if (std::isdigit(static_cast<unsigned char>(t[0]))) {
+            v = std::strtoll(t.c_str(), nullptr, 0);
+        } else {
+            auto it = symbols->find(t);
+            if (it == symbols->end()) {
+                if (!permissive)
+                    fail("undefined symbol: " + t);
+                v = 0x1234; // forces non-CG encoding while sizing
+            } else {
+                v = it->second;
+            }
+        }
+        return neg ? -v : v;
+    }
+
+    /** expr := atom (('+'|'-') atom)*  -- evaluated left to right. */
+    int64_t
+    expr(const std::string &s) const
+    {
+        int64_t acc = 0;
+        size_t pos = 0;
+        char pending = '+';
+        std::string cur;
+        auto flush = [&]() {
+            if (trim(cur).empty())
+                fail("malformed expression: " + s);
+            int64_t v = atom(cur);
+            acc = pending == '+' ? acc + v : acc - v;
+            cur.clear();
+        };
+        // A leading '-' belongs to the first atom.
+        bool atAtomStart = true;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if ((c == '+' || c == '-') && !atAtomStart) {
+                flush();
+                pending = c;
+                atAtomStart = true;
+            } else {
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    atAtomStart = false;
+                cur.push_back(c);
+            }
+            ++pos;
+        }
+        flush();
+        return acc;
+    }
+
+    Operand
+    operand(const std::string &raw) const
+    {
+        std::string t = trim(raw);
+        if (t.empty())
+            fail("empty operand");
+        Operand o;
+        unsigned reg;
+
+        if (t[0] == '#') {
+            o.mode = Mode::Immediate;
+            o.imm = int32_t(expr(t.substr(1)));
+            return o;
+        }
+        if (t[0] == '&') {
+            o.mode = Mode::Absolute;
+            o.imm = int32_t(expr(t.substr(1)) & 0xffff);
+            return o;
+        }
+        if (t[0] == '@') {
+            std::string r = t.substr(1);
+            bool inc = !r.empty() && r.back() == '+';
+            if (inc)
+                r.pop_back();
+            if (!parseRegister(trim(r), reg))
+                fail("bad indirect register: " + t);
+            o.mode = inc ? Mode::IndirectInc : Mode::Indirect;
+            o.reg = uint8_t(reg);
+            return o;
+        }
+        size_t lp = t.find('(');
+        if (lp != std::string::npos && t.back() == ')') {
+            std::string idx = t.substr(0, lp);
+            std::string r = t.substr(lp + 1, t.size() - lp - 2);
+            if (!parseRegister(trim(r), reg))
+                fail("bad indexed register: " + t);
+            o.reg = uint8_t(reg);
+            o.imm = int32_t(expr(idx));
+            o.mode = reg == kPc ? Mode::Symbolic : Mode::Indexed;
+            return o;
+        }
+        if (parseRegister(t, reg)) {
+            o.mode = Mode::Reg;
+            o.reg = uint8_t(reg);
+            return o;
+        }
+        fail("cannot parse operand: " + t);
+    }
+};
+
+struct OpInfo {
+    Op op;
+    unsigned operands;
+};
+
+const std::map<std::string, OpInfo> &
+mnemonics()
+{
+    static const std::map<std::string, OpInfo> table = {
+        {"mov", {Op::Mov, 2}},   {"add", {Op::Add, 2}},
+        {"addc", {Op::Addc, 2}}, {"subc", {Op::Subc, 2}},
+        {"sub", {Op::Sub, 2}},   {"cmp", {Op::Cmp, 2}},
+        {"bit", {Op::Bit, 2}},   {"bic", {Op::Bic, 2}},
+        {"bis", {Op::Bis, 2}},   {"xor", {Op::Xor, 2}},
+        {"and", {Op::And, 2}},   {"rrc", {Op::Rrc, 1}},
+        {"swpb", {Op::Swpb, 1}}, {"rra", {Op::Rra, 1}},
+        {"sxt", {Op::Sxt, 1}},   {"push", {Op::Push, 1}},
+        {"call", {Op::Call, 1}}, {"reti", {Op::Reti, 0}},
+        {"jne", {Op::Jne, 1}},   {"jnz", {Op::Jne, 1}},
+        {"jeq", {Op::Jeq, 1}},   {"jz", {Op::Jeq, 1}},
+        {"jnc", {Op::Jnc, 1}},   {"jlo", {Op::Jnc, 1}},
+        {"jc", {Op::Jc, 1}},     {"jhs", {Op::Jc, 1}},
+        {"jn", {Op::Jn, 1}},     {"jge", {Op::Jge, 1}},
+        {"jl", {Op::Jl, 1}},     {"jmp", {Op::Jmp, 1}},
+    };
+    return table;
+}
+
+/** Expand emulated mnemonics to core instructions (textually). */
+std::string
+expandEmulated(const std::string &mn, const std::string &rest)
+{
+    std::string m = lower(mn);
+    if (m == "nop") return "mov r3, r3";
+    if (m == "ret") return "mov @sp+, pc";
+    if (m == "pop") return "mov @sp+, " + rest;
+    if (m == "br") return "mov " + rest + ", pc";
+    if (m == "clr") return "mov #0, " + rest;
+    if (m == "inc") return "add #1, " + rest;
+    if (m == "incd") return "add #2, " + rest;
+    if (m == "dec") return "sub #1, " + rest;
+    if (m == "decd") return "sub #2, " + rest;
+    if (m == "tst") return "cmp #0, " + rest;
+    if (m == "rla") return "add " + rest + ", " + rest;
+    if (m == "rlc") return "addc " + rest + ", " + rest;
+    if (m == "clrc") return "bic #1, sr";
+    if (m == "setc") return "bis #1, sr";
+    if (m == "clrz") return "bic #2, sr";
+    if (m == "setz") return "bis #2, sr";
+    if (m == "dint") return "bic #8, sr";
+    if (m == "eint") return "bis #8, sr";
+    return "";
+}
+
+/** Split operands at top-level commas (parentheses aware). */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string cur;
+    for (char c : s) {
+        if (c == '(')
+            ++depth;
+        if (c == ')')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!trim(cur).empty())
+        out.push_back(trim(cur));
+    return out;
+}
+
+struct Statement {
+    enum class Kind { Instr, Org, Word, Equ } kind;
+    unsigned line;
+    std::string mnemonic; ///< lower-case, post-expansion handled later
+    std::string rest;     ///< operand text
+    std::vector<std::string> labels;
+};
+
+Instr
+buildInstr(const Statement &st, const Pass &pass, uint32_t addr)
+{
+    std::string mn = lower(st.mnemonic);
+    std::string text = mn + " " + st.rest;
+    std::string expanded = expandEmulated(mn, st.rest);
+    if (!expanded.empty()) {
+        size_t sp = expanded.find(' ');
+        mn = expanded.substr(0, sp);
+        text = expanded;
+    }
+    auto it = mnemonics().find(mn);
+    if (it == mnemonics().end())
+        pass.fail("unknown mnemonic: " + st.mnemonic);
+    const OpInfo &info = it->second;
+
+    std::string restText;
+    size_t sp = text.find(' ');
+    if (sp != std::string::npos)
+        restText = trim(text.substr(sp + 1));
+    std::vector<std::string> ops = splitOperands(restText);
+    if (ops.size() != info.operands)
+        pass.fail("expected " + std::to_string(info.operands) +
+                  " operand(s) for " + mn);
+
+    Instr in;
+    in.op = info.op;
+    if (isJump(info.op)) {
+        int64_t target = pass.expr(ops[0]);
+        int64_t off = (target - int64_t(addr) - 2) / 2;
+        if ((target - int64_t(addr) - 2) % 2 != 0)
+            pass.fail("odd jump distance");
+        if (!pass.permissive && (off < -512 || off > 511))
+            pass.fail("jump target out of range");
+        in.jumpOffsetWords = int16_t(std::clamp<int64_t>(off, -512, 511));
+        return in;
+    }
+    if (info.operands >= 1)
+        in.src = pass.operand(ops[0]);
+    if (info.operands == 2)
+        in.dst = pass.operand(ops[1]);
+    // CALL's operand is encoded like a source operand; `call #f` is the
+    // common form.
+    return in;
+}
+
+} // namespace
+
+Instr
+parseInstrLine(const std::string &line,
+               const std::map<std::string, uint32_t> &symbols,
+               uint32_t pc_of_next_word)
+{
+    Pass pass{&symbols, false, 0};
+    Statement st;
+    std::string t = trim(line);
+    size_t sp = t.find_first_of(" \t");
+    st.mnemonic = sp == std::string::npos ? t : t.substr(0, sp);
+    st.rest = sp == std::string::npos ? "" : trim(t.substr(sp + 1));
+    st.line = 0;
+    return buildInstr(st, pass, pc_of_next_word - 2);
+}
+
+Image
+assemble(const std::string &source)
+{
+    // Tokenize into statements once.
+    std::vector<Statement> stmts;
+    {
+        std::istringstream is(source);
+        std::string lineText;
+        unsigned lineNo = 0;
+        std::vector<std::string> pendingLabels;
+        while (std::getline(is, lineText)) {
+            ++lineNo;
+            size_t semi = lineText.find(';');
+            if (semi != std::string::npos)
+                lineText = lineText.substr(0, semi);
+            std::string t = trim(lineText);
+            // Peel off any leading labels.
+            while (true) {
+                size_t colon = t.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string lbl = trim(t.substr(0, colon));
+                bool ident = !lbl.empty();
+                for (char c : lbl)
+                    if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                        c != '_')
+                        ident = false;
+                if (!ident)
+                    break;
+                pendingLabels.push_back(lbl);
+                t = trim(t.substr(colon + 1));
+            }
+            if (t.empty())
+                continue;
+
+            Statement st;
+            st.line = lineNo;
+            st.labels = pendingLabels;
+            pendingLabels.clear();
+            size_t sp = t.find_first_of(" \t");
+            std::string head =
+                sp == std::string::npos ? t : t.substr(0, sp);
+            st.rest = sp == std::string::npos ? "" : trim(t.substr(sp + 1));
+            std::string headLower = lower(head);
+            if (headLower == ".org") {
+                st.kind = Statement::Kind::Org;
+            } else if (headLower == ".word") {
+                st.kind = Statement::Kind::Word;
+            } else if (headLower == ".equ") {
+                st.kind = Statement::Kind::Equ;
+            } else if (headLower[0] == '.') {
+                throw AsmError(lineNo, "unknown directive: " + head);
+            } else {
+                st.kind = Statement::Kind::Instr;
+                st.mnemonic = head;
+            }
+            stmts.push_back(st);
+        }
+        if (!pendingLabels.empty()) {
+            Statement st;
+            st.line = lineNo;
+            st.labels = pendingLabels;
+            st.kind = Statement::Kind::Word;
+            st.rest = ""; // trailing label with no content
+            stmts.push_back(st);
+        }
+    }
+
+    // Relaxation loop: sizes depend on symbol values (constant
+    // generator vs extension word), symbol values depend on sizes.
+    // Iterate to a fixpoint; permissive resolution seeds unknown
+    // symbols with a non-CG value.
+    std::map<std::string, uint32_t> symbols;
+    Image image;
+    for (int iteration = 0; iteration < 8; ++iteration) {
+        Image img;
+        std::map<std::string, uint32_t> newSymbols;
+        uint32_t addr = 0;
+        bool segmentOpen = false;
+        auto emit = [&](uint16_t w) {
+            if (!segmentOpen) {
+                img.segments.push_back(Segment{addr, {}});
+                segmentOpen = true;
+            }
+            img.segments.back().words.push_back(w);
+            addr += 2;
+        };
+
+        Pass pass{&symbols, true, 0};
+        for (const Statement &st : stmts) {
+            pass.line = st.line;
+            for (const std::string &lbl : st.labels)
+                newSymbols[lbl] = addr;
+            switch (st.kind) {
+              case Statement::Kind::Org:
+                addr = uint32_t(pass.expr(st.rest)) & 0xfffe;
+                segmentOpen = false;
+                break;
+              case Statement::Kind::Equ: {
+                auto parts = splitOperands(st.rest);
+                if (parts.size() != 2)
+                    pass.fail(".equ needs name, value");
+                newSymbols[parts[0]] = uint32_t(pass.expr(parts[1]));
+                break;
+              }
+              case Statement::Kind::Word: {
+                for (auto &p : splitOperands(st.rest))
+                    emit(uint16_t(pass.expr(p) & 0xffff));
+                break;
+              }
+              case Statement::Kind::Instr: {
+                Instr in = buildInstr(st, pass, addr);
+                for (uint16_t w : encode(in))
+                    emit(w);
+                break;
+              }
+            }
+        }
+        img.symbols = newSymbols;
+        bool stable = (newSymbols == symbols);
+        symbols = std::move(newSymbols);
+        image = std::move(img);
+        if (stable)
+            break;
+    }
+
+    // Final strict pass to surface undefined symbols / range errors.
+    {
+        uint32_t addr = 0;
+        Pass pass{&symbols, false, 0};
+        for (const Statement &st : stmts) {
+            pass.line = st.line;
+            switch (st.kind) {
+              case Statement::Kind::Org:
+                addr = uint32_t(pass.expr(st.rest)) & 0xfffe;
+                break;
+              case Statement::Kind::Equ:
+                break;
+              case Statement::Kind::Word:
+                for (auto &p : splitOperands(st.rest)) {
+                    pass.expr(p);
+                    addr += 2;
+                }
+                break;
+              case Statement::Kind::Instr: {
+                Instr in = buildInstr(st, pass, addr);
+                addr += uint32_t(encode(in).size()) * 2;
+                break;
+              }
+            }
+        }
+    }
+    return image;
+}
+
+} // namespace isa
+} // namespace ulpeak

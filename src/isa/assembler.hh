@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Two-pass MSP430 assembler.
+ *
+ * The paper's benchmarks are compiled binaries; ours are assembled from
+ * MSP430 assembly source by this assembler, producing the ROM image the
+ * gate-level core and the ISS both execute. Supported syntax:
+ *
+ *   ; comment                      .org 0xf800
+ *   label:                        .word 1, 2, 0x1f
+ *       mov   #0x5a80, &0x0120    .equ  WDTCTL, 0x0120
+ *       mov   @r4+, r5
+ *       add   2(r4), r6
+ *       jnz   label
+ *
+ * Operands: #imm, Rn (r0-r15 / pc / sp / sr / cg), @Rn, @Rn+, x(Rn),
+ * &addr, and bare symbols for jump/call targets. `#sym` and `&sym` are
+ * resolved against labels and .equ definitions. Emulated mnemonics
+ * (Table: MSP430 family guide) are expanded exactly like TI's
+ * assembler: nop, ret, pop, br, clr, inc, incd, dec, decd, tst, clrc,
+ * setc, clrz, setz, rla, rlc, dint, eint.
+ */
+
+#ifndef ULPEAK_ISA_ASSEMBLER_HH
+#define ULPEAK_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.hh"
+
+namespace ulpeak {
+namespace isa {
+
+/** One contiguous chunk of assembled words. */
+struct Segment {
+    uint32_t base = 0;
+    std::vector<uint16_t> words;
+};
+
+/** Assembled program image. */
+struct Image {
+    std::vector<Segment> segments;
+    std::map<std::string, uint32_t> symbols;
+
+    /** Address of a symbol; throws if undefined. */
+    uint32_t symbol(const std::string &name) const;
+    /** Flattened (address, word) list. */
+    std::vector<std::pair<uint32_t, uint16_t>> flatten() const;
+};
+
+/** Error with line information. */
+struct AsmError : std::runtime_error {
+    AsmError(unsigned line, const std::string &msg)
+        : std::runtime_error("asm line " + std::to_string(line) + ": " +
+                             msg),
+          line(line)
+    {
+    }
+    unsigned line;
+};
+
+/** Assemble @p source; throws AsmError on malformed input. */
+Image assemble(const std::string &source);
+
+/**
+ * Parse a single already-tokenized instruction line (mnemonic +
+ * operands) against a symbol table; exposed for the optimizer, which
+ * rewrites instruction lists textually.
+ */
+Instr parseInstrLine(const std::string &line,
+                     const std::map<std::string, uint32_t> &symbols,
+                     uint32_t pc_of_next_word);
+
+} // namespace isa
+} // namespace ulpeak
+
+#endif // ULPEAK_ISA_ASSEMBLER_HH

@@ -1,0 +1,35 @@
+#include "isa/disassembler.hh"
+
+#include <sstream>
+
+namespace ulpeak {
+namespace isa {
+
+Decoded
+decodeAt(uint32_t addr, const FetchFn &fetch)
+{
+    uint16_t w0 = fetch(addr);
+    uint16_t w1 = fetch(addr + 2);
+    uint16_t w2 = fetch(addr + 4);
+    return decode(w0, w1, w2);
+}
+
+std::string
+disassemble(uint32_t addr, const FetchFn &fetch)
+{
+    Decoded d = decodeAt(addr, fetch);
+    if (!d.valid)
+        return "<invalid>";
+    if (isJump(d.instr.op)) {
+        uint32_t target =
+            (addr + 2 + uint32_t(int32_t(d.instr.jumpOffsetWords) * 2)) &
+            0xffff;
+        std::ostringstream os;
+        os << opName(d.instr.op) << " 0x" << std::hex << target;
+        return os.str();
+    }
+    return d.instr.toString();
+}
+
+} // namespace isa
+} // namespace ulpeak

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Disassembler used by the COI (cycle-of-interest) reports of
+ * Section 3.5: the peak analysis prints the instructions occupying the
+ * pipeline at a power peak.
+ */
+
+#ifndef ULPEAK_ISA_DISASSEMBLER_HH
+#define ULPEAK_ISA_DISASSEMBLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/encoding.hh"
+
+namespace ulpeak {
+namespace isa {
+
+/** Word-fetch callback: returns the ROM word at an address. */
+using FetchFn = std::function<uint16_t(uint32_t)>;
+
+/**
+ * Disassemble the instruction at @p addr. Jump targets are rendered as
+ * absolute addresses. Returns e.g. "mov @r4+, r5" or "jne 0xf83a".
+ */
+std::string disassemble(uint32_t addr, const FetchFn &fetch);
+
+/** Decode the full instruction at @p addr (fetching ext words). */
+Decoded decodeAt(uint32_t addr, const FetchFn &fetch);
+
+} // namespace isa
+} // namespace ulpeak
+
+#endif // ULPEAK_ISA_DISASSEMBLER_HH

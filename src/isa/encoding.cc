@@ -1,0 +1,530 @@
+#include "isa/encoding.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ulpeak {
+namespace isa {
+
+bool
+isFormatI(Op op)
+{
+    return op >= Op::Mov && op <= Op::And;
+}
+
+bool
+isFormatII(Op op)
+{
+    return op >= Op::Rrc && op <= Op::Reti;
+}
+
+bool
+isJump(Op op)
+{
+    return op >= Op::Jne && op <= Op::Jmp;
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Mov: return "mov";
+      case Op::Add: return "add";
+      case Op::Addc: return "addc";
+      case Op::Subc: return "subc";
+      case Op::Sub: return "sub";
+      case Op::Cmp: return "cmp";
+      case Op::Bit: return "bit";
+      case Op::Bic: return "bic";
+      case Op::Bis: return "bis";
+      case Op::Xor: return "xor";
+      case Op::And: return "and";
+      case Op::Rrc: return "rrc";
+      case Op::Swpb: return "swpb";
+      case Op::Rra: return "rra";
+      case Op::Sxt: return "sxt";
+      case Op::Push: return "push";
+      case Op::Call: return "call";
+      case Op::Reti: return "reti";
+      case Op::Jne: return "jne";
+      case Op::Jeq: return "jeq";
+      case Op::Jnc: return "jnc";
+      case Op::Jc: return "jc";
+      case Op::Jn: return "jn";
+      case Op::Jge: return "jge";
+      case Op::Jl: return "jl";
+      case Op::Jmp: return "jmp";
+      default: return "invalid";
+    }
+}
+
+bool
+Operand::needsExtWord() const
+{
+    switch (mode) {
+      case Mode::Indexed:
+      case Mode::Immediate:
+      case Mode::Absolute:
+      case Mode::Symbolic:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Operand::readsMemory() const
+{
+    switch (mode) {
+      case Mode::Indexed:
+      case Mode::Indirect:
+      case Mode::IndirectInc:
+      case Mode::Absolute:
+      case Mode::Symbolic:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Instr::toString() const
+{
+    auto fmtOperand = [](const Operand &o) {
+        std::ostringstream os;
+        auto hex = [](int32_t v) {
+            std::ostringstream h;
+            h << "0x" << std::hex << (uint32_t(v) & 0xffff);
+            return h.str();
+        };
+        switch (o.mode) {
+          case Mode::Reg:
+            os << "r" << int(o.reg);
+            break;
+          case Mode::Indexed:
+            os << hex(o.imm) << "(r" << int(o.reg) << ")";
+            break;
+          case Mode::Indirect:
+            os << "@r" << int(o.reg);
+            break;
+          case Mode::IndirectInc:
+            os << "@r" << int(o.reg) << "+";
+            break;
+          case Mode::Immediate:
+          case Mode::Const:
+            os << "#" << o.imm;
+            break;
+          case Mode::Absolute:
+            os << "&" << hex(o.imm);
+            break;
+          case Mode::Symbolic:
+            os << hex(o.imm) << "(pc)";
+            break;
+        }
+        return os.str();
+    };
+
+    std::ostringstream os;
+    os << opName(op);
+    if (isFormatI(op)) {
+        os << " " << fmtOperand(src) << ", " << fmtOperand(dst);
+    } else if (isFormatII(op) && op != Op::Reti) {
+        os << " " << fmtOperand(src);
+    } else if (isJump(op)) {
+        os << " " << (jumpOffsetWords >= 0 ? "+" : "")
+           << int(jumpOffsetWords) * 2 + 2;
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Decode an (As, reg) pair into a resolved source operand. */
+Operand
+decodeSrc(unsigned as, unsigned reg, uint16_t ext, bool &usedExt)
+{
+    Operand o;
+    o.reg = uint8_t(reg);
+    usedExt = false;
+    if (reg == kCg) {
+        o.mode = Mode::Const;
+        static const int32_t cg3[4] = {0, 1, 2, -1};
+        o.imm = cg3[as];
+        return o;
+    }
+    if (reg == kSr && as >= 2) {
+        o.mode = Mode::Const;
+        o.imm = as == 2 ? 4 : 8;
+        return o;
+    }
+    switch (as) {
+      case 0:
+        o.mode = Mode::Reg;
+        break;
+      case 1:
+        usedExt = true;
+        if (reg == kSr) {
+            o.mode = Mode::Absolute;
+            o.imm = ext;
+        } else if (reg == kPc) {
+            o.mode = Mode::Symbolic;
+            o.imm = int16_t(ext);
+        } else {
+            o.mode = Mode::Indexed;
+            o.imm = int16_t(ext);
+        }
+        break;
+      case 2:
+        o.mode = Mode::Indirect;
+        break;
+      case 3:
+        if (reg == kPc) {
+            o.mode = Mode::Immediate;
+            o.imm = ext;
+            usedExt = true;
+        } else {
+            o.mode = Mode::IndirectInc;
+        }
+        break;
+    }
+    return o;
+}
+
+/** Decode an (Ad, reg) pair into a destination operand. */
+Operand
+decodeDst(unsigned ad, unsigned reg, uint16_t ext, bool &usedExt)
+{
+    Operand o;
+    o.reg = uint8_t(reg);
+    usedExt = false;
+    if (ad == 0) {
+        o.mode = Mode::Reg;
+        return o;
+    }
+    usedExt = true;
+    if (reg == kSr) {
+        o.mode = Mode::Absolute;
+        o.imm = ext;
+    } else if (reg == kPc) {
+        o.mode = Mode::Symbolic;
+        o.imm = int16_t(ext);
+    } else {
+        o.mode = Mode::Indexed;
+        o.imm = int16_t(ext);
+    }
+    return o;
+}
+
+} // namespace
+
+Decoded
+decode(uint16_t w0, uint16_t w1, uint16_t w2)
+{
+    Decoded d;
+    unsigned top = (w0 >> 12) & 0xf;
+
+    if (top >= 0x4) {
+        // Format I. DADD (0xA) and byte mode are unsupported.
+        static const Op ops[12] = {Op::Mov, Op::Add, Op::Addc, Op::Subc,
+                                   Op::Sub, Op::Cmp, Op::Invalid,
+                                   Op::Bit, Op::Bic, Op::Bis, Op::Xor,
+                                   Op::And};
+        Op op = ops[top - 4];
+        bool byteMode = (w0 >> 6) & 1;
+        if (op == Op::Invalid || byteMode)
+            return d;
+        unsigned sreg = (w0 >> 8) & 0xf;
+        unsigned ad = (w0 >> 7) & 1;
+        unsigned as = (w0 >> 4) & 3;
+        unsigned dreg = w0 & 0xf;
+
+        bool srcExt = false, dstExt = false;
+        d.instr.op = op;
+        d.instr.src = decodeSrc(as, sreg, w1, srcExt);
+        d.instr.dst = decodeDst(ad, dreg, srcExt ? w2 : w1, dstExt);
+        d.words = 1 + srcExt + dstExt;
+        d.valid = true;
+        return d;
+    }
+
+    if ((w0 >> 13) == 1) {
+        // Format III: 001c ccoo oooo oooo
+        unsigned cond = (w0 >> 10) & 7;
+        static const Op ops[8] = {Op::Jne, Op::Jeq, Op::Jnc, Op::Jc,
+                                  Op::Jn, Op::Jge, Op::Jl, Op::Jmp};
+        d.instr.op = ops[cond];
+        int16_t off = int16_t(w0 & 0x3ff);
+        if (off & 0x200)
+            off |= int16_t(0xfc00); // sign extend 10 bits
+        d.instr.jumpOffsetWords = off;
+        d.words = 1;
+        d.valid = true;
+        return d;
+    }
+
+    if ((w0 >> 10) == 0x4) {
+        // Format II: 0001 00oo o b aa dddd
+        unsigned sub = (w0 >> 7) & 7;
+        static const Op ops[8] = {Op::Rrc, Op::Swpb, Op::Rra, Op::Sxt,
+                                  Op::Push, Op::Call, Op::Reti,
+                                  Op::Invalid};
+        Op op = ops[sub];
+        bool byteMode = (w0 >> 6) & 1;
+        if (op == Op::Invalid || byteMode)
+            return d;
+        d.instr.op = op;
+        if (op != Op::Reti) {
+            unsigned as = (w0 >> 4) & 3;
+            unsigned reg = w0 & 0xf;
+            bool srcExt = false;
+            d.instr.src = decodeSrc(as, reg, w1, srcExt);
+            d.words = 1 + srcExt;
+        }
+        d.valid = true;
+        return d;
+    }
+
+    return d;
+}
+
+namespace {
+
+/** Pick As/reg bits (and possibly an ext word) for a source operand. */
+void
+encodeSrc(const Operand &o, unsigned &as, unsigned &reg, bool &ext,
+          uint16_t &extWord)
+{
+    ext = false;
+    switch (o.mode) {
+      case Mode::Reg:
+        as = 0;
+        reg = o.reg;
+        break;
+      case Mode::Indexed:
+        as = 1;
+        reg = o.reg;
+        ext = true;
+        extWord = uint16_t(o.imm);
+        break;
+      case Mode::Symbolic:
+        as = 1;
+        reg = kPc;
+        ext = true;
+        extWord = uint16_t(o.imm);
+        break;
+      case Mode::Absolute:
+        as = 1;
+        reg = kSr;
+        ext = true;
+        extWord = uint16_t(o.imm);
+        break;
+      case Mode::Indirect:
+        as = 2;
+        reg = o.reg;
+        break;
+      case Mode::IndirectInc:
+        as = 3;
+        reg = o.reg;
+        break;
+      case Mode::Const:
+      case Mode::Immediate: {
+        // Constant generator for the blessed values, else @PC+.
+        int32_t v = o.imm;
+        int32_t v16 = int32_t(int16_t(uint16_t(v)));
+        if (v16 == 0) { as = 0; reg = kCg; }
+        else if (v16 == 1) { as = 1; reg = kCg; }
+        else if (v16 == 2) { as = 2; reg = kCg; }
+        else if (v16 == -1) { as = 3; reg = kCg; }
+        else if (v16 == 4) { as = 2; reg = kSr; }
+        else if (v16 == 8) { as = 3; reg = kSr; }
+        else {
+            as = 3;
+            reg = kPc;
+            ext = true;
+            extWord = uint16_t(v);
+        }
+        break;
+      }
+    }
+}
+
+void
+encodeDst(const Operand &o, unsigned &ad, unsigned &reg, bool &ext,
+          uint16_t &extWord)
+{
+    ext = false;
+    switch (o.mode) {
+      case Mode::Reg:
+        ad = 0;
+        reg = o.reg;
+        break;
+      case Mode::Indexed:
+        ad = 1;
+        reg = o.reg;
+        ext = true;
+        extWord = uint16_t(o.imm);
+        break;
+      case Mode::Symbolic:
+        ad = 1;
+        reg = kPc;
+        ext = true;
+        extWord = uint16_t(o.imm);
+        break;
+      case Mode::Absolute:
+        ad = 1;
+        reg = kSr;
+        ext = true;
+        extWord = uint16_t(o.imm);
+        break;
+      default:
+        throw std::invalid_argument(
+            "destination operand must be Reg/Indexed/Absolute/Symbolic");
+    }
+}
+
+} // namespace
+
+std::vector<uint16_t>
+encode(const Instr &instr)
+{
+    std::vector<uint16_t> words;
+
+    if (isFormatI(instr.op)) {
+        static const uint16_t opBits[] = {0x4, 0x5, 0x6, 0x7, 0x8, 0x9,
+                                          0xb, 0xc, 0xd, 0xe, 0xf};
+        unsigned as = 0, sreg = 0, ad = 0, dreg = 0;
+        bool srcExt = false, dstExt = false;
+        uint16_t srcWord = 0, dstWord = 0;
+        encodeSrc(instr.src, as, sreg, srcExt, srcWord);
+        encodeDst(instr.dst, ad, dreg, dstExt, dstWord);
+        uint16_t w0 = uint16_t(
+            (opBits[size_t(instr.op)] << 12) | (sreg << 8) | (ad << 7) |
+            (as << 4) | dreg);
+        words.push_back(w0);
+        if (srcExt)
+            words.push_back(srcWord);
+        if (dstExt)
+            words.push_back(dstWord);
+        return words;
+    }
+
+    if (isFormatII(instr.op)) {
+        unsigned sub = unsigned(instr.op) - unsigned(Op::Rrc);
+        uint16_t w0 = uint16_t(0x1000 | (sub << 7));
+        if (instr.op == Op::Reti) {
+            words.push_back(w0);
+            return words;
+        }
+        unsigned as = 0, reg = 0;
+        bool ext = false;
+        uint16_t extWord = 0;
+        encodeSrc(instr.src, as, reg, ext, extWord);
+        w0 |= uint16_t((as << 4) | reg);
+        words.push_back(w0);
+        if (ext)
+            words.push_back(extWord);
+        return words;
+    }
+
+    if (isJump(instr.op)) {
+        unsigned cond = unsigned(instr.op) - unsigned(Op::Jne);
+        int off = instr.jumpOffsetWords;
+        if (off < -512 || off > 511)
+            throw std::out_of_range("jump offset out of range");
+        words.push_back(
+            uint16_t(0x2000 | (cond << 10) | (uint16_t(off) & 0x3ff)));
+        return words;
+    }
+
+    throw std::invalid_argument("cannot encode invalid instruction");
+}
+
+MicroPlan
+planOf(const Instr &instr)
+{
+    MicroPlan p;
+    if (isJump(instr.op))
+        return p;
+
+    const Operand &s = instr.src;
+    p.srcExt = s.needsExtWord();
+    p.srcRd = s.readsMemory();
+
+    if (isFormatI(instr.op)) {
+        const Operand &d = instr.dst;
+        p.dstExt = d.needsExtWord();
+        bool dstMem = d.mode != Mode::Reg;
+        p.dstRd = dstMem && readsDst(instr.op);
+        p.dstWr = dstMem && writesDst(instr.op);
+        return p;
+    }
+
+    // Format II
+    switch (instr.op) {
+      case Op::Rrc:
+      case Op::Rra:
+      case Op::Swpb:
+      case Op::Sxt:
+        if (s.mode != Mode::Reg && s.mode != Mode::Const) {
+            p.dstWr = true; // read-modify-write back to the operand
+        }
+        break;
+      case Op::Push:
+        p.push = true;
+        break;
+      case Op::Call:
+        p.push = true;
+        p.call = true;
+        break;
+      default:
+        break;
+    }
+    return p;
+}
+
+bool
+writesDst(Op op)
+{
+    return isFormatI(op) && op != Op::Cmp && op != Op::Bit;
+}
+
+bool
+readsDst(Op op)
+{
+    return isFormatI(op) && op != Op::Mov;
+}
+
+bool
+setsFlags(Op op)
+{
+    switch (op) {
+      case Op::Mov:
+      case Op::Bic:
+      case Op::Bis:
+      case Op::Push:
+      case Op::Call:
+      case Op::Swpb:
+        return false;
+      default:
+        return !isJump(op) && op != Op::Invalid && op != Op::Reti;
+    }
+}
+
+bool
+jumpTaken(Op op, bool c, bool z, bool n, bool v)
+{
+    switch (op) {
+      case Op::Jne: return !z;
+      case Op::Jeq: return z;
+      case Op::Jnc: return !c;
+      case Op::Jc: return c;
+      case Op::Jn: return n;
+      case Op::Jge: return !(n ^ v);
+      case Op::Jl: return n ^ v;
+      case Op::Jmp: return true;
+      default: return false;
+    }
+}
+
+} // namespace isa
+} // namespace ulpeak

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * MSP430 instruction set: formats, encodings, micro-operation plans.
+ *
+ * We implement the word-sized MSP430 instruction set (formats I, II and
+ * III with the full addressing-mode matrix and the r2/r3 constant
+ * generator). Byte mode and DADD are out of scope (DESIGN.md). The same
+ * Decoded/MicroPlan structures drive four consumers:
+ *
+ *  - the assembler and disassembler,
+ *  - the golden instruction-set simulator (isa/iss.cc),
+ *  - the gate-level CPU's control FSM (src/msp), which realizes exactly
+ *    the micro-operation schedule MicroPlan describes, and
+ *  - the symbolic engine's PC-target resolution when an X reaches the
+ *    program counter (sym/symbolic_engine.cc).
+ */
+
+#ifndef ULPEAK_ISA_ENCODING_HH
+#define ULPEAK_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ulpeak {
+namespace isa {
+
+/** Architectural register numbers. */
+constexpr unsigned kPc = 0;
+constexpr unsigned kSp = 1;
+constexpr unsigned kSr = 2;
+constexpr unsigned kCg = 3;
+
+/** Status register flag bit positions. */
+constexpr unsigned kFlagC = 0;
+constexpr unsigned kFlagZ = 1;
+constexpr unsigned kFlagN = 2;
+constexpr unsigned kFlagGie = 3;
+constexpr unsigned kFlagV = 8;
+
+enum class Op : uint8_t {
+    // Format I (two-operand)
+    Mov, Add, Addc, Subc, Sub, Cmp, Bit, Bic, Bis, Xor, And,
+    // Format II (one-operand)
+    Rrc, Swpb, Rra, Sxt, Push, Call, Reti,
+    // Format III (jumps)
+    Jne, Jeq, Jnc, Jc, Jn, Jge, Jl, Jmp,
+    Invalid,
+};
+
+bool isFormatI(Op op);
+bool isFormatII(Op op);
+bool isJump(Op op);
+const char *opName(Op op);
+
+/**
+ * Resolved addressing mode of one operand. Const covers the r2/r3
+ * constant generator (values 0, 1, 2, 4, 8, -1 with no extension word).
+ */
+enum class Mode : uint8_t {
+    Reg,         ///< Rn
+    Indexed,     ///< x(Rn)
+    Indirect,    ///< @Rn
+    IndirectInc, ///< @Rn+
+    Immediate,   ///< #imm (via @PC+)
+    Absolute,    ///< &addr (via x(r2))
+    Symbolic,    ///< addr(PC) (via x(r0))
+    Const,       ///< constant generator
+};
+
+struct Operand {
+    Mode mode = Mode::Reg;
+    uint8_t reg = 0;
+    /** Index for Indexed/Symbolic, address for Absolute, value for
+     *  Immediate/Const. */
+    int32_t imm = 0;
+
+    bool needsExtWord() const;
+    /** Operands that perform a data-memory (or peripheral) read. */
+    bool readsMemory() const;
+};
+
+struct Instr {
+    Op op = Op::Invalid;
+    Operand src; ///< format I source / format II single operand
+    Operand dst; ///< format I destination
+    int16_t jumpOffsetWords = 0; ///< format III: target = PC+2+2*offset
+
+    std::string toString() const;
+};
+
+/** Decode result: the instruction plus its total length in words. */
+struct Decoded {
+    Instr instr;
+    unsigned words = 1;
+    bool valid = false;
+};
+
+/**
+ * Decode an instruction whose first word is @p w0; @p w1 / @p w2 are
+ * the following memory words (used only when extension words exist).
+ */
+Decoded decode(uint16_t w0, uint16_t w1, uint16_t w2);
+
+/**
+ * Encode to 1-3 words. Immediate operands with CG-expressible values
+ * (0, 1, 2, 4, 8, -1) are automatically encoded via the constant
+ * generator, matching how real MSP430 assemblers (and the paper's
+ * OPT2 example `add #2, r1`) behave.
+ */
+std::vector<uint16_t> encode(const Instr &instr);
+
+/**
+ * Micro-operation schedule of an instruction: which of the multi-cycle
+ * core's states it visits. Total cycle count = 1 (fetch) + the enabled
+ * flags + 1 (exec). This is the single source of truth for instruction
+ * timing in both the ISS and the gate-level FSM.
+ */
+struct MicroPlan {
+    bool srcExt = false; ///< fetch extension word for the source
+    bool srcRd = false;  ///< data-memory read of the source operand
+    bool dstExt = false; ///< fetch extension word for the destination
+    bool dstRd = false;  ///< data-memory read of the destination
+    bool dstWr = false;  ///< data-memory write of the result
+    bool push = false;   ///< PUSH-style write at SP-2 with SP update
+    /** CALL: the push-write state also loads PC with the target, so it
+     *  adds no cycle beyond @ref push. */
+    bool call = false;
+
+    unsigned
+    cycles() const
+    {
+        return 2u + srcExt + srcRd + dstExt + dstRd + dstWr + push;
+    }
+};
+
+MicroPlan planOf(const Instr &instr);
+
+/** Does @p op write its destination (CMP/BIT only set flags)? */
+bool writesDst(Op op);
+/** Does @p op read the destination operand (MOV does not)? */
+bool readsDst(Op op);
+/** Does @p op update the status flags? */
+bool setsFlags(Op op);
+
+/**
+ * Jump condition evaluation given SR flag bits; used by the ISS and by
+ * symbolic PC-target resolution.
+ */
+bool jumpTaken(Op op, bool c, bool z, bool n, bool v);
+
+} // namespace isa
+} // namespace ulpeak
+
+#endif // ULPEAK_ISA_ENCODING_HH

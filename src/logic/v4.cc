@@ -1,0 +1,83 @@
+#include "logic/v4.hh"
+
+namespace ulpeak {
+
+V4
+v4And(V4 a, V4 b)
+{
+    if (a == V4::Zero || b == V4::Zero)
+        return V4::Zero;
+    if (a == V4::One && b == V4::One)
+        return V4::One;
+    return V4::X;
+}
+
+V4
+v4Or(V4 a, V4 b)
+{
+    if (a == V4::One || b == V4::One)
+        return V4::One;
+    if (a == V4::Zero && b == V4::Zero)
+        return V4::Zero;
+    return V4::X;
+}
+
+V4
+v4Xor(V4 a, V4 b)
+{
+    if (a == V4::X || b == V4::X)
+        return V4::X;
+    return fromBool(a != b);
+}
+
+V4
+v4Not(V4 a)
+{
+    if (a == V4::X)
+        return V4::X;
+    return a == V4::One ? V4::Zero : V4::One;
+}
+
+V4
+v4Mux(V4 sel, V4 a, V4 b)
+{
+    if (sel == V4::Zero)
+        return a;
+    if (sel == V4::One)
+        return b;
+    if (a == b && isKnown(a))
+        return a;
+    return V4::X;
+}
+
+char
+v4Char(V4 v)
+{
+    switch (v) {
+      case V4::Zero: return '0';
+      case V4::One: return '1';
+      default: return 'x';
+    }
+}
+
+V4
+v4FromChar(char c)
+{
+    if (c == '0')
+        return V4::Zero;
+    if (c == '1')
+        return V4::One;
+    return V4::X;
+}
+
+std::string
+Word16::toString() const
+{
+    std::string s;
+    s.reserve(16);
+    for (int i = 15; i >= 0; --i)
+        s.push_back(v4Char(bit(unsigned(i))));
+    return s;
+}
+
+} // namespace ulpeak

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Four-valued (well, three-valued) logic used throughout ulpeak.
+ *
+ * The symbolic analysis of the paper propagates unknown logic values (Xs)
+ * through a gate-level netlist. We model the value domain {0, 1, X}.
+ * High-impedance (Z) is not needed: the netlists we build contain no
+ * tristate cells, and the paper's openMSP430 flow resolves buses in the
+ * mem_backbone with muxes, as do we.
+ */
+
+#ifndef ULPEAK_LOGIC_V4_HH
+#define ULPEAK_LOGIC_V4_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ulpeak {
+
+/** A single three-valued logic value. Values 0 and 1 are concrete. */
+enum class V4 : uint8_t {
+    Zero = 0,
+    One = 1,
+    X = 2,
+};
+
+/** @return true iff @p v is a concrete 0 or 1. */
+inline bool
+isKnown(V4 v)
+{
+    return v != V4::X;
+}
+
+/** Convert a bool to a concrete logic value. */
+inline V4
+fromBool(bool b)
+{
+    return b ? V4::One : V4::Zero;
+}
+
+/** Kleene AND: 0 dominates, X otherwise unless both 1. */
+V4 v4And(V4 a, V4 b);
+/** Kleene OR: 1 dominates, X otherwise unless both 0. */
+V4 v4Or(V4 a, V4 b);
+/** XOR: X if either operand is X. */
+V4 v4Xor(V4 a, V4 b);
+/** NOT: X maps to X. */
+V4 v4Not(V4 a);
+/**
+ * 2:1 multiplexer with X-pessimistic select. When the select is X the
+ * result is the common value of the two data inputs if they agree and are
+ * known, X otherwise. This matches standard gate-level simulation
+ * semantics for a mux composed of AND/OR gates except that the composed
+ * network is strictly more pessimistic (it yields X even when inputs
+ * agree); cells of kind MUX2 use this slightly tighter rule, which is
+ * sound because the real cell output cannot differ from both inputs.
+ */
+V4 v4Mux(V4 sel, V4 a, V4 b);
+
+/** Single-character representation: '0', '1' or 'x' (VCD style). */
+char v4Char(V4 v);
+
+/** Parse a '0'/'1'/'x'/'X' character; anything else yields X. */
+V4 v4FromChar(char c);
+
+/**
+ * A 16-bit word in three-valued logic, stored as a value/X-mask pair.
+ * Bit i is X when bit i of @ref xmask is set; otherwise bit i of
+ * @ref value holds the concrete bit. X bits of @ref value are kept at 0
+ * so that equal words compare equal bitwise.
+ */
+struct Word16 {
+    uint16_t value = 0;
+    uint16_t xmask = 0;
+
+    Word16() = default;
+    Word16(uint16_t v, uint16_t x) : value(uint16_t(v & ~x)), xmask(x) {}
+
+    /** Fully concrete word. */
+    static Word16
+    known(uint16_t v)
+    {
+        return Word16(v, 0);
+    }
+
+    /** Fully unknown word. */
+    static Word16
+    allX()
+    {
+        return Word16(0, 0xffff);
+    }
+
+    bool
+    isFullyKnown() const
+    {
+        return xmask == 0;
+    }
+
+    V4
+    bit(unsigned i) const
+    {
+        if (xmask & (1u << i))
+            return V4::X;
+        return fromBool(value & (1u << i));
+    }
+
+    void
+    setBit(unsigned i, V4 v)
+    {
+        uint16_t m = uint16_t(1u << i);
+        if (v == V4::X) {
+            xmask |= m;
+            value = uint16_t(value & ~m);
+        } else {
+            xmask = uint16_t(xmask & ~m);
+            if (v == V4::One)
+                value |= m;
+            else
+                value = uint16_t(value & ~m);
+        }
+    }
+
+    bool
+    operator==(const Word16 &o) const
+    {
+        return value == o.value && xmask == o.xmask;
+    }
+
+    /** Render as 16 characters, MSB first, e.g. "00000xxxx0101010". */
+    std::string toString() const;
+};
+
+} // namespace ulpeak
+
+#endif // ULPEAK_LOGIC_V4_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Top-level assembly of the ULP system: declares the cross-module
+ * wires, invokes the module builders, finalizes the netlist and
+ * implements the behavioral RAM/ROM macro hook plus halt detection.
+ */
+
+#include "msp/cpu.hh"
+
+#include <stdexcept>
+
+#include "msp/internal.hh"
+
+namespace ulpeak {
+namespace msp {
+
+System::System(const CellLibrary &lib)
+    : lib_(lib), nl_(lib_),
+      mem_(SystemMap::kRamBase, SystemMap::kRamSize, SystemMap::kRomBase)
+{
+    hw::Builder b(nl_);
+    CpuBuild c;
+    c.b = &b;
+    c.h = &h_;
+
+    // Primary inputs.
+    c.rstn = b.input("rstn");
+    c.irq = b.input("irq");
+    h_.rstn = c.rstn;
+    h_.irq = c.irq;
+    h_.portIn = b.busInput(16, "port_in");
+
+    // RAM/ROM macro read-data port, produced by the behavioral hook.
+    h_.memData = b.busInput(16, "mem_rdata");
+
+    // Cross-module wires (drivers connected by mem_backbone).
+    c.mab = b.busWireDecl(16, "mab");
+    c.mbEn = b.wireDecl("mb_en");
+    c.mbWr = b.wireDecl("mb_wr");
+    c.mdbOut = b.busWireDecl(16, "mdb_out");
+    c.mdbIn = b.busWireDecl(16, "mdb_in");
+    h_.mab = c.mab;
+    h_.mbEn = c.mbEn;
+    h_.mbWr = c.mbWr;
+    h_.mdbOut = c.mdbOut;
+
+    buildFrontend(b, c);
+    buildExecUnit(b, c);
+    buildMultiplier(b, c);
+    buildPeripherals(b, c);
+    buildMemBackbone(b, c);
+
+    // The RAM/ROM macro behaves as an asynchronous-read array: its
+    // read data depends combinationally on the address/enable nets
+    // (not on mb_wr/mdb_out -- writes commit at the clock edge, which
+    // keeps the macro free of combinational feedback).
+    BehavioralHook hook;
+    hook.name = "ram_rom_macro";
+    hook.depends = c.mab;
+    hook.depends.push_back(c.mbEn);
+    hook.outputs = h_.memData;
+    h_.memHookId = nl_.addHook(std::move(hook));
+
+    nl_.finalize();
+}
+
+void
+System::loadImage(const isa::Image &image)
+{
+    for (auto &[addr, word] : image.flatten()) {
+        if (mem_.inRom(addr))
+            mem_.loadRom(addr, {word});
+        else if (mem_.inRam(addr))
+            mem_.loadRam(addr, {word});
+        else
+            throw std::out_of_range("image word outside RAM/ROM");
+    }
+}
+
+void
+System::attach(Simulator &sim)
+{
+    sim.setHookFn(h_.memHookId,
+                  [this](Simulator &s) { memHook(s); });
+    sim.addEdgeFn([this](Simulator &s) { memEdge(s); });
+}
+
+void
+System::reset(Simulator &sim)
+{
+    halted_ = false;
+    xStoreFault_ = false;
+    for (unsigned i = 0; i < kResetCycles; ++i) {
+        sim.step([this](Simulator &s) {
+            s.setInput(h_.rstn, V4::Zero);
+            s.setInput(h_.irq, V4::Zero);
+            s.setInputBus(h_.portIn, Word16::allX());
+        });
+    }
+}
+
+void
+System::driveCycle(Simulator &sim, Word16 port_in)
+{
+    sim.setInput(h_.rstn, V4::One);
+    sim.setInput(h_.irq, V4::Zero);
+    sim.setInputBus(h_.portIn, port_in);
+}
+
+void
+System::memHook(Simulator &sim)
+{
+    V4 en = sim.value(h_.mbEn);
+    if (en == V4::Zero) {
+        sim.setInputBus(h_.memData, Word16::known(0));
+        return;
+    }
+    Word16 addr = sim.readBus(h_.mab);
+    if (en == V4::X || !addr.isFullyKnown()) {
+        sim.setInputBus(h_.memData, Word16::allX());
+        return;
+    }
+    uint32_t a = addr.value;
+    if (mem_.inRam(a) || mem_.inRom(a)) {
+        sim.setInputBus(h_.memData, mem_.read(a));
+        // Every presented RAM/ROM access (read or write cycle) is
+        // billed once here; the edge function only commits the data.
+        sim.addBehavioralEnergyJ(kMemAccessEnergyJ,
+                                 h_.modMemBackbone);
+    } else if (a < 0x0200) {
+        // Peripheral space: the backbone routes in-netlist data.
+        sim.setInputBus(h_.memData, Word16::known(0));
+    } else {
+        // Unmapped: pulled-up bus.
+        sim.setInputBus(h_.memData, Word16::known(0xffff));
+    }
+}
+
+void
+System::memEdge(Simulator &sim)
+{
+    // Values read here are the stable values of the cycle that just
+    // completed. While reset is asserted the core's control nets may
+    // still be X; external reset inhibits writes.
+    if (sim.value(h_.rstn) != V4::One)
+        return;
+    V4 wr = sim.value(h_.mbWr);
+    if (wr == V4::Zero)
+        return;
+    if (wr == V4::X) {
+        xStoreFault_ = true;
+        return;
+    }
+    Word16 addr = sim.readBus(h_.mab);
+    if (!addr.isFullyKnown()) {
+        xStoreFault_ = true;
+        return;
+    }
+    uint32_t a = addr.value;
+    Word16 data = sim.readBus(h_.mdbOut);
+    if (mem_.inRam(a)) {
+        mem_.write(a, data);
+    } else if (a == SystemMap::kDone) {
+        halted_ = true;
+    }
+    // ROM / peripheral / unmapped writes: peripherals latch from the
+    // netlist themselves; everything else is dropped.
+}
+
+Word16
+System::readPc(const Simulator &sim) const
+{
+    return sim.readBus(h_.pc);
+}
+
+Word16
+System::readReg(const Simulator &sim, unsigned r) const
+{
+    return sim.readBus(h_.regs[r]);
+}
+
+Word16
+System::readIr(const Simulator &sim) const
+{
+    return sim.readBus(h_.ir);
+}
+
+int
+System::fsmState(const Simulator &sim) const
+{
+    int found = -1;
+    for (unsigned s = 0; s < kNumStates; ++s) {
+        V4 v = sim.value(h_.state[s]);
+        if (v == V4::X)
+            return -1;
+        if (v == V4::One) {
+            if (found >= 0)
+                return -1;
+            found = int(s);
+        }
+    }
+    return found;
+}
+
+System::Snapshot
+System::snapshot() const
+{
+    return Snapshot{mem_.snapshot(), halted_, xStoreFault_};
+}
+
+void
+System::restore(const Snapshot &s)
+{
+    mem_.restore(s.mem);
+    halted_ = s.halted;
+    xStoreFault_ = s.xStoreFault;
+}
+
+} // namespace msp
+} // namespace ulpeak

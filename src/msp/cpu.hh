@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The ULP processor: an MSP430-ISA gate-level core plus peripherals,
+ * organized into the same microarchitectural modules the paper reports
+ * power for (Figure 3.6): frontend, exec_unit, mem_backbone,
+ * multiplier, sfr, watchdog, clk_module, dbg.
+ *
+ * The CPU is a multi-cycle implementation driven by a one-hot FSM whose
+ * schedule is exactly isa::MicroPlan: FETCH, SRCEXT, SRCRD, DSTEXT,
+ * DSTRD, EXEC, DSTWR, PUSHWR (+ RESETV and HALT). Program/data memory
+ * is a behavioral macro (sim::Memory) connected through a netlist hook,
+ * as RAM macros are in the paper's placed-and-routed design.
+ */
+
+#ifndef ULPEAK_MSP_CPU_HH
+#define ULPEAK_MSP_CPU_HH
+
+#include <memory>
+#include <string>
+
+#include "hw/builder.hh"
+#include "isa/assembler.hh"
+#include "isa/iss.hh"
+#include "netlist/netlist.hh"
+#include "sim/memory.hh"
+#include "sim/simulator.hh"
+
+namespace ulpeak {
+namespace msp {
+
+using SystemMap = isa::SystemMap;
+
+/** FSM state indices (one-hot bit positions). */
+enum FsmState : unsigned {
+    kStResetV = 0,
+    kStFetch,
+    kStSrcExt,
+    kStSrcRd,
+    kStDstExt,
+    kStDstRd,
+    kStExec,
+    kStDstWr,
+    kStPushWr,
+    kStHalt,
+    kNumStates,
+};
+
+const char *fsmStateName(unsigned s);
+
+/** Externally interesting nets of the built CPU. */
+struct CpuHandles {
+    // Primary inputs
+    hw::Sig rstn = kNoGate;   ///< active-low reset
+    hw::Sig irq = kNoGate;    ///< interrupt request pin (Ch. 6)
+    hw::Bus portIn;           ///< 16-bit input port (reads X under
+                              ///< symbolic analysis)
+    hw::Bus memData;          ///< RAM/ROM read data (hook-driven)
+
+    // Observation points
+    hw::Bus pc;               ///< regfile r0 flops
+    hw::Bus sr;               ///< regfile r2 flops
+    hw::Bus sp;               ///< regfile r1 flops
+    std::array<hw::Bus, 16> regs;
+    hw::Bus ir;               ///< instruction register flops
+    std::array<hw::Sig, kNumStates> state; ///< one-hot FSM nets
+
+    // Memory interface (outputs of mem_backbone)
+    hw::Bus mab;              ///< address bus
+    hw::Sig mbEn = kNoGate;   ///< access enable
+    hw::Sig mbWr = kNoGate;   ///< write enable
+    hw::Bus mdbOut;           ///< write data
+
+    uint32_t memHookId = 0;
+
+    // Module ids for per-module power reporting
+    ModuleId modFrontend = 0, modExec = 0, modMemBackbone = 0,
+             modMultiplier = 0, modSfr = 0, modWatchdog = 0,
+             modClk = 0, modDbg = 0;
+};
+
+/**
+ * A complete simulatable system: netlist + behavioral memory + halt
+ * tracking. One System pairs with one Simulator.
+ */
+class System {
+  public:
+    /** Build and finalize the netlist against @p lib. */
+    explicit System(const CellLibrary &lib);
+
+    const Netlist &netlist() const { return nl_; }
+    const CpuHandles &handles() const { return h_; }
+    Memory &memory() { return mem_; }
+    const Memory &memory() const { return mem_; }
+
+    void loadImage(const isa::Image &image);
+
+    /**
+     * Register the memory hook, edge function and halt watcher on
+     * @p sim. Must be called once per Simulator.
+     */
+    void attach(Simulator &sim);
+
+    /**
+     * Reset cycles driven before analysis begins (Algorithm 1 line 4:
+     * "propagate reset signal"). Long enough for the power-on
+     * X-transient to settle while the core is held in reset, so the
+     * recorded trace starts at the application, not at the boot
+     * glitch.
+     */
+    static constexpr unsigned kResetCycles = 6;
+
+    /** Drive the reset sequence; after this the core is in RESETV. */
+    void reset(Simulator &sim);
+
+    /**
+     * Per-cycle input driver: deasserts reset, holds irq at 0 (Ch. 6
+     * mechanism) and drives the input port with @p port_in.
+     */
+    void driveCycle(Simulator &sim, Word16 port_in);
+
+    bool halted() const { return halted_; }
+    void clearHalted() { halted_ = false; }
+
+    /** True when a store with unknown address/enable was attempted. */
+    bool xStoreFault() const { return xStoreFault_; }
+
+    /** Architectural views (for checks and the symbolic engine). */
+    Word16 readPc(const Simulator &sim) const;
+    Word16 readReg(const Simulator &sim, unsigned r) const;
+    Word16 readIr(const Simulator &sim) const;
+    /** Index of the active FSM state; -1 if not one-hot concrete. */
+    int fsmState(const Simulator &sim) const;
+
+    /** Per-access behavioral RAM/ROM energy [J] (read and write). */
+    static constexpr double kMemAccessEnergyJ = 1.6e-12;
+
+    /// @name Snapshot of behavioral state (symbolic forking)
+    /// @{
+    struct Snapshot {
+        Memory::Snapshot mem;
+        bool halted;
+        bool xStoreFault;
+    };
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+    /// @}
+
+  private:
+    void memHook(Simulator &sim);
+    void memEdge(Simulator &sim);
+
+    CellLibrary lib_;
+    Netlist nl_;
+    CpuHandles h_;
+    Memory mem_;
+    bool halted_ = false;
+    bool xStoreFault_ = false;
+};
+
+} // namespace msp
+} // namespace ulpeak
+
+#endif // ULPEAK_MSP_CPU_HH

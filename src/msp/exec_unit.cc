@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Execution unit: 16x16 register file with the PC/SP/SR special paths,
+ * operand latches (SRCV/EXTD/DSTV/SRCA), address adders, the ALU and
+ * the status-flag network.
+ */
+
+#include "isa/encoding.hh"
+#include "msp/internal.hh"
+
+namespace ulpeak {
+namespace msp {
+
+using hw::Builder;
+
+void
+buildExecUnit(Builder &b, CpuBuild &c)
+{
+    hw::ModuleScope scope(b, "exec_unit");
+    c.h->modExec = b.currentModule();
+
+    const DecodeSignals &d = c.dec;
+    const auto &st = c.st;
+
+    // ---- Register file ---------------------------------------------
+    // True enable flops (DFFE) with late-bound enables: a held
+    // register provably cannot toggle, which keeps idle X registers
+    // out of the activity sets (Section 3.1's definition would
+    // otherwise chase its own tail through a hold mux).
+    std::array<hw::Reg, 16> rf;
+    std::array<Sig, 16> rfEnWire;
+    for (unsigned r = 0; r < 16; ++r) {
+        rfEnWire[r] = b.wireDecl("r" + std::to_string(r) + "_we");
+        rf[r] = b.regDecl(16, "r" + std::to_string(r), rfEnWire[r]);
+        c.regQ[r] = rf[r].q();
+        c.h->regs[r] = rf[r].q();
+    }
+    c.h->pc = c.regQ[0];
+    c.h->sp = c.regQ[1];
+    c.h->sr = c.regQ[2];
+
+    std::vector<Sig> sregHot = hw::decoder(b, d.sreg);
+    std::vector<Sig> dregHot = hw::decoder(b, d.dreg);
+
+    std::vector<Bus> regBuses(c.regQ.begin(), c.regQ.end());
+    Bus srcRegVal = b.busMuxOneHot(sregHot, regBuses);
+    Bus dstRegVal = b.busMuxOneHot(dregHot, regBuses);
+
+    // ---- Operand latches -------------------------------------------
+    Sig srcvEn = b.or2(st[kStSrcExt], st[kStSrcRd]);
+    hw::Reg srcv = b.regDecl(16, "srcv", srcvEn, c.rstn);
+    srcv.connect(c.mdbIn);
+    c.srcvQ = srcv.q();
+
+    hw::Reg extd =
+        b.regDecl(16, "extd", st[kStDstExt], c.rstn);
+    extd.connect(c.mdbIn);
+    c.extdQ = extd.q();
+
+    hw::Reg dstv =
+        b.regDecl(16, "dstv", st[kStDstRd], c.rstn);
+    dstv.connect(c.mdbIn);
+    c.dstvQ = dstv.q();
+
+    // ---- Address arithmetic ----------------------------------------
+    Bus pcPlus2 = hw::addConst(b, c.regQ[0], 2);
+    c.spMinus2 = hw::addConst(b, c.regQ[1], 0xfffe);
+    Bus autoincVal = hw::addConst(b, srcRegVal, 2);
+
+    Sig srcHasIndex = b.or2(d.src.isIndexed, d.src.isAbsolute);
+    Bus srcBase = b.busAndScalar(srcRegVal, b.inv(d.src.isAbsolute));
+    Bus srcOff = b.busAndScalar(c.srcvQ, srcHasIndex);
+    c.srcAddr = hw::adder(b, srcBase, srcOff, b.zero()).sum;
+
+    hw::Reg srca =
+        b.regDecl(16, "srca", st[kStSrcRd], c.rstn);
+    srca.connect(c.srcAddr);
+    c.srcaQ = srca.q();
+
+    Bus dstBase = b.busAndScalar(dstRegVal, b.inv(d.dstIsAbsolute));
+    c.dstAddr = hw::adder(b, dstBase, c.extdQ, b.zero()).sum;
+
+    // Jump target: PC already points past the jump word at EXEC.
+    Bus offX2(16);
+    offX2[0] = b.zero();
+    for (unsigned i = 0; i < 10; ++i)
+        offX2[i + 1] = d.jumpOffset[i];
+    for (unsigned i = 11; i < 16; ++i)
+        offX2[i] = d.jumpOffset[9];
+    c.jumpTarget = hw::adder(b, c.regQ[0], offX2, b.zero()).sum;
+
+    // ---- Source operand value --------------------------------------
+    Bus immOrMem = b.busMux(d.src.isConst, c.srcvQ, d.cgValue);
+    c.srcVal = b.busMux(d.src.isReg, immOrMem, srcRegVal);
+
+    // ---- ALU ---------------------------------------------------------
+    Sig flagC = c.regQ[2][isa::kFlagC];
+    Sig flagZ = c.regQ[2][isa::kFlagZ];
+    Sig flagN = c.regQ[2][isa::kFlagN];
+    Sig flagV = c.regQ[2][isa::kFlagV];
+
+    auto opI = [&](isa::Op op) { return d.fmtIOp[size_t(op)]; };
+    Sig opMov = opI(isa::Op::Mov);
+    Sig opAdd = opI(isa::Op::Add);
+    Sig opAddc = opI(isa::Op::Addc);
+    Sig opSubc = opI(isa::Op::Subc);
+    Sig opSub = opI(isa::Op::Sub);
+    Sig opCmp = opI(isa::Op::Cmp);
+    Sig opBit = opI(isa::Op::Bit);
+    Sig opBic = opI(isa::Op::Bic);
+    Sig opBis = opI(isa::Op::Bis);
+    Sig opXor = opI(isa::Op::Xor);
+    Sig opAnd = opI(isa::Op::And);
+    Sig opRrc = d.fmtIIOp[0];
+    Sig opSwpb = d.fmtIIOp[1];
+    Sig opRra = d.fmtIIOp[2];
+    Sig opSxt = d.fmtIIOp[3];
+
+    Sig subFamily = b.orN({opSub, opSubc, opCmp});
+    Sig addFamily = b.orN({opAdd, opAddc, subFamily});
+
+    // Operand A: source, inverted for subtract-family (a = ~src).
+    Bus aluA(16);
+    for (unsigned i = 0; i < 16; ++i)
+        aluA[i] = b.xor2(c.srcVal[i], subFamily);
+    // Operand B: destination (register or latched memory value); the
+    // format-II shifts use the source operand itself.
+    Bus aluB = b.busMux(d.dstIsMem, dstRegVal, c.dstvQ);
+
+    Sig cin = b.or2(b.or2(opSub, opCmp),
+                    b.and2(b.or2(opAddc, opSubc), flagC));
+    hw::AddResult add = hw::adder(b, aluA, aluB, cin);
+
+    Bus andR = b.busAnd(c.srcVal, aluB);
+    Bus bicR(16), bisR(16), xorR(16);
+    for (unsigned i = 0; i < 16; ++i) {
+        bicR[i] = b.and2(b.inv(c.srcVal[i]), aluB[i]);
+        bisR[i] = b.or2(c.srcVal[i], aluB[i]);
+        xorR[i] = b.xor2(c.srcVal[i], aluB[i]);
+    }
+
+    // Shifter network (operand = srcVal).
+    Bus rraR(16), rrcR(16), swpbR(16), sxtR(16);
+    for (unsigned i = 0; i < 15; ++i) {
+        rraR[i] = c.srcVal[i + 1];
+        rrcR[i] = c.srcVal[i + 1];
+    }
+    rraR[15] = c.srcVal[15];
+    rrcR[15] = flagC;
+    for (unsigned i = 0; i < 8; ++i) {
+        swpbR[i] = c.srcVal[i + 8];
+        swpbR[i + 8] = c.srcVal[i];
+        sxtR[i] = c.srcVal[i];
+        sxtR[i + 8] = c.srcVal[7];
+    }
+
+    std::vector<Sig> resSel = {opMov, opAdd,  opAddc, opSubc, opSub,
+                               opCmp, opBit,  opBic,  opBis,  opXor,
+                               opAnd, opRrc,  opSwpb, opRra,  opSxt};
+    std::vector<Bus> resVal = {c.srcVal, add.sum, add.sum, add.sum,
+                               add.sum,  add.sum, andR,    bicR,
+                               bisR,     xorR,    andR,    rrcR,
+                               swpbR,    rraR,    sxtR};
+    c.aluResult = b.busMuxOneHot(resSel, resVal);
+
+    // Memory write data is latched at the EXEC edge: the flags EXEC
+    // writes into SR feed the ALU's carry-in, so recomputing the
+    // result during DSTWR would use post-update flags for ADDC/SUBC/
+    // RRC. (This is exactly why multi-cycle cores carry a result
+    // register.)
+    hw::Reg resv = b.regDecl(16, "resv", st[kStExec], c.rstn);
+    resv.connect(c.aluResult);
+    c.resvQ = resv.q();
+
+    // ---- Flags -------------------------------------------------------
+    Sig rNonZero = b.orN(c.aluResult);
+    Sig rZero = b.inv(rNonZero);
+    Sig rNeg = c.aluResult[15];
+    Sig vAdd = b.and2(b.xnor2(aluA[15], aluB[15]),
+                      b.xor2(aluA[15], add.sum[15]));
+    Sig shiftC = c.srcVal[0];
+    Sig rrShift = b.or2(opRra, opRrc);
+    Sig cNext = b.mux(addFamily,
+                      b.mux(rrShift, rNonZero, shiftC), add.carryOut);
+    Sig vXor = b.and2(c.srcVal[15], aluB[15]);
+    Sig vNext = b.mux(addFamily, b.and2(opXor, vXor), vAdd);
+
+    // ---- Jump condition ---------------------------------------------
+    // cond: 0 JNE, 1 JEQ, 2 JNC, 3 JC, 4 JN, 5 JGE, 6 JL, 7 JMP
+    Sig nxv = b.xor2(flagN, flagV);
+    std::vector<Bus> condChoices = {
+        Bus{b.inv(flagZ)}, Bus{flagZ},      Bus{b.inv(flagC)},
+        Bus{flagC},        Bus{flagN},      Bus{b.inv(nxv)},
+        Bus{nxv},          Bus{b.one()}};
+    c.jumpTaken = b.busMuxN(d.jumpCond, condChoices)[0];
+
+    // ---- Register file write paths ----------------------------------
+    Sig stFetchy = b.orN({st[kStFetch], st[kStSrcExt], st[kStDstExt]});
+    Sig execWr = st[kStExec];
+    Sig autoincNow = b.and2(st[kStSrcRd], d.src.isIndirectInc);
+    Sig jumpWr = b.andN({execWr, d.isJump, c.jumpTaken});
+    Sig callWr = b.and2(st[kStPushWr], d.isCall);
+
+    // SR next value when only flags update: splice C/Z/N/V into the
+    // current SR.
+    Bus srFlags = c.regQ[2];
+    Bus srNext = srFlags;
+    srNext[isa::kFlagC] = cNext;
+    srNext[isa::kFlagZ] = rZero;
+    srNext[isa::kFlagN] = rNeg;
+    srNext[isa::kFlagV] = vNext;
+
+    for (unsigned r = 0; r < 16; ++r) {
+        Sig aluWrThis =
+            b.and2(execWr, b.or2(b.and2(d.writesDstReg, dregHot[r]),
+                                 b.and2(d.fmtIIWritesReg, sregHot[r])));
+        Sig autoincThis = b.and2(autoincNow, sregHot[r]);
+
+        std::vector<Sig> sel;
+        std::vector<Bus> val;
+        sel.push_back(aluWrThis);
+        val.push_back(c.aluResult);
+        sel.push_back(autoincThis);
+        val.push_back(autoincVal);
+
+        if (r == isa::kPc) {
+            sel.push_back(st[kStResetV]);
+            val.push_back(c.mdbIn);
+            sel.push_back(stFetchy);
+            val.push_back(pcPlus2);
+            sel.push_back(jumpWr);
+            val.push_back(c.jumpTarget);
+            sel.push_back(callWr);
+            val.push_back(c.srcVal);
+        } else if (r == isa::kSp) {
+            sel.push_back(st[kStPushWr]);
+            val.push_back(c.spMinus2);
+        } else if (r == isa::kSr) {
+            // ALU flag update unless the instruction explicitly wrote
+            // SR (explicit write wins, as in the ISS).
+            Sig flagsWr = b.andN(
+                {execWr, d.setsFlags, b.inv(aluWrThis)});
+            sel.push_back(flagsWr);
+            val.push_back(srNext);
+        }
+
+        b.wireConnect(rfEnWire[r], b.orN(sel));
+        rf[r].connect(b.busMuxOneHot(sel, val));
+    }
+}
+
+} // namespace msp
+} // namespace ulpeak

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Frontend: instruction register, full MSP430 decode (formats I/II/III,
+ * addressing-mode matrix, constant generator) and the one-hot control
+ * FSM realizing the isa::MicroPlan schedule.
+ */
+
+#include "isa/encoding.hh"
+#include "msp/internal.hh"
+
+namespace ulpeak {
+namespace msp {
+
+using hw::Builder;
+
+namespace {
+
+/** Build a decode network over @p word. */
+DecodeSignals
+buildDecode(Builder &b, const Bus &word)
+{
+    DecodeSignals d;
+    d.word = word;
+    const Bus &w = word;
+
+    Sig w15 = w[15], w14 = w[14], w13 = w[13], w12 = w[12];
+    Sig byteMode = w[6];
+
+    d.isFmtI = b.or2(w15, w14);
+    Sig isFmtIII = b.and2(b.and2(b.inv(w15), b.inv(w14)), w13);
+    d.isJump = isFmtIII;
+    // bits 15..10 == 000100; in (10..15) bit order that is value 0x04.
+    Bus top6{w[10], w[11], w12, w13, w14, w15};
+    d.isFmtII = hw::equalConst(b, top6, 0x04);
+
+    // Format I opcode one-hot (top nibble 4..15, DADD=0xA invalid).
+    Bus top4{w12, w13, w14, w15};
+    static const unsigned fmtICodes[11] = {0x4, 0x5, 0x6, 0x7, 0x8,
+                                           0x9, 0xb, 0xc, 0xd, 0xe,
+                                           0xf};
+    for (unsigned i = 0; i < 11; ++i)
+        d.fmtIOp[i] = hw::equalConst(b, top4, fmtICodes[i]);
+    Sig isDadd = hw::equalConst(b, top4, 0xa);
+
+    // Format II sub-opcode one-hot (bits 9:7), RETI(6)/7 invalid here.
+    Bus sub{w[7], w[8], w[9]};
+    for (unsigned i = 0; i < 6; ++i)
+        d.fmtIIOp[i] = b.and2(d.isFmtII, hw::equalConst(b, sub, i));
+    Sig fmtIIValid = b.orN({d.fmtIIOp[0], d.fmtIIOp[1], d.fmtIIOp[2],
+                            d.fmtIIOp[3], d.fmtIIOp[4], d.fmtIIOp[5]});
+
+    d.valid = b.orN({b.and2(d.isFmtI,
+                            b.and2(b.inv(isDadd), b.inv(byteMode))),
+                     isFmtIII, b.and2(fmtIIValid, b.inv(byteMode))});
+
+    d.jumpCond = Bus{w[10], w[11], w12};
+    d.jumpOffset =
+        Bus{w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], w[8], w[9]};
+
+    // Register fields. Format II carries its operand register in the
+    // low nibble; format I sources come from bits 11:8.
+    Bus lowNibble{w[0], w[1], w[2], w[3]};
+    Bus srcNibble{w[8], w[9], w[10], w[11]};
+    d.sreg = b.busMux(d.isFmtII, srcNibble, lowNibble);
+    d.dreg = lowNibble;
+
+    // Addressing modes + constant generator.
+    Sig as0 = w[4], as1 = w[5];
+    Sig as00 = b.and2(b.inv(as1), b.inv(as0));
+    Sig as01 = b.and2(b.inv(as1), as0);
+    Sig as10 = b.and2(as1, b.inv(as0));
+    Sig as11 = b.and2(as1, as0);
+
+    Sig sIsR0 = hw::equalConst(b, d.sreg, 0);
+    Sig sIsR2 = hw::equalConst(b, d.sreg, 2);
+    Sig sIsR3 = hw::equalConst(b, d.sreg, 3);
+
+    SrcModeSignals &m = d.src;
+    m.isConst = b.or2(sIsR3, b.and2(sIsR2, as1));
+    m.isReg = b.and2(as00, b.inv(sIsR3));
+    m.isAbsolute = b.and2(as01, sIsR2);
+    // Indexed covers symbolic x(PC) too; r2 is absolute mode and r3 is
+    // the +1 constant in As=01.
+    m.isIndexed = b.and2(as01, b.and2(b.inv(sIsR2), b.inv(sIsR3)));
+    m.isIndirect = b.and2(as10, b.and2(b.inv(sIsR2), b.inv(sIsR3)));
+    m.isImmediate = b.and2(as11, sIsR0);
+    m.isIndirectInc =
+        b.and2(as11, b.andN({b.inv(sIsR0), b.inv(sIsR2), b.inv(sIsR3)}));
+
+    // Constant generator value:
+    //   r3: as=00 -> 0, 01 -> 1, 10 -> 2, 11 -> -1
+    //   r2: as=10 -> 4, 11 -> 8
+    Sig minus1 = b.and2(sIsR3, as11);
+    Sig plus1 = b.and2(sIsR3, as01);
+    Sig plus2 = b.and2(sIsR3, as10);
+    Sig plus4 = b.and2(sIsR2, as10);
+    Sig plus8 = b.and2(sIsR2, as11);
+    d.cgValue.assign(16, kNoGate);
+    d.cgValue[0] = b.or2(plus1, minus1);
+    d.cgValue[1] = b.or2(plus2, minus1);
+    d.cgValue[2] = b.or2(plus4, minus1);
+    d.cgValue[3] = b.or2(plus8, minus1);
+    for (unsigned i = 4; i < 16; ++i)
+        d.cgValue[i] = minus1;
+
+    // Micro-plan flags. The source phase applies to format I and the
+    // operand-bearing format II ops; jumps bypass it entirely.
+    Sig srcActive = b.or2(d.isFmtI, fmtIIValid);
+    d.needsSrcExt = b.and2(
+        srcActive,
+        b.orN({m.isIndexed, m.isAbsolute, m.isImmediate}));
+    d.needsSrcRd = b.and2(
+        srcActive, b.orN({m.isIndexed, m.isAbsolute, m.isIndirect,
+                          m.isIndirectInc}));
+
+    Sig ad = w[7];
+    Sig dIsR2 = hw::equalConst(b, d.dreg, 2);
+    d.dstIsMem = b.and2(d.isFmtI, ad);
+    d.dstIsReg = b.and2(d.isFmtI, b.inv(ad));
+    d.dstIsAbsolute = b.and2(d.dstIsMem, dIsR2);
+    d.needsDstExt = d.dstIsMem;
+
+    Sig opMov = d.fmtIOp[size_t(isa::Op::Mov)];
+    Sig opCmp = d.fmtIOp[size_t(isa::Op::Cmp)];
+    Sig opBit = d.fmtIOp[size_t(isa::Op::Bit)];
+    Sig opBic = d.fmtIOp[size_t(isa::Op::Bic)];
+    Sig opBis = d.fmtIOp[size_t(isa::Op::Bis)];
+    d.needsDstRd = b.and2(d.dstIsMem, b.inv(opMov));
+
+    Sig shiftOp =
+        b.orN({d.fmtIIOp[0], d.fmtIIOp[1], d.fmtIIOp[2], d.fmtIIOp[3]});
+    Sig fmtIWr = b.and2(d.dstIsMem, b.inv(b.or2(opCmp, opBit)));
+    d.needsDstWr = b.or2(fmtIWr, b.and2(shiftOp, d.needsSrcRd));
+
+    d.isPush = b.or2(d.fmtIIOp[4], d.fmtIIOp[5]);
+    d.isCall = d.fmtIIOp[5];
+
+    d.writesDstReg =
+        b.and2(d.dstIsReg, b.inv(b.or2(opCmp, opBit)));
+    d.fmtIIWritesReg = b.and2(shiftOp, m.isReg);
+
+    // Flag updates: format I except MOV/BIC/BIS; format II RRC/RRA/SXT.
+    Sig fmtIFlags = b.and2(
+        d.isFmtI, b.inv(b.orN({opMov, opBic, opBis})));
+    Sig fmtIIFlags =
+        b.orN({d.fmtIIOp[0], d.fmtIIOp[2], d.fmtIIOp[3]});
+    d.setsFlags = b.or2(fmtIFlags, fmtIIFlags);
+    return d;
+}
+
+} // namespace
+
+void
+buildFrontend(Builder &b, CpuBuild &c)
+{
+    hw::ModuleScope scope(b, "frontend");
+    c.h->modFrontend = b.currentModule();
+
+    // Instruction register: a DFFE loaded only while fetching, so a
+    // stale (or X) IR is provably idle between fetches.
+    Sig irEnWire = b.wireDecl("ir_we");
+    hw::Reg ir = b.regDecl(16, "ir", irEnWire, c.rstn);
+    c.irQ = ir.q();
+    c.h->ir = ir.q();
+
+    // Two decode instances: the datapath (and every post-FETCH state
+    // transition) decodes the committed IR; the FETCH-exit decision
+    // speculatively decodes the in-flight word on mdb_in so fetch
+    // costs a single cycle. Keeping the datapath decode off mdb_in
+    // also keeps the RAM macro's address pins free of combinational
+    // feedback through its own read data.
+    c.dec = buildDecode(b, c.irQ);
+    DecodeSignals dn = buildDecode(b, c.mdbIn);
+    const DecodeSignals &d = c.dec;
+
+    ir.connect(c.mdbIn);
+
+    // ---- One-hot FSM ----------------------------------------------
+    // State registers: DFFR cleared by reset; RESETV is stored
+    // inverted so reset forces it active.
+    std::array<hw::Reg, kNumStates> stRegs;
+    std::array<Sig, kNumStates> st{};
+    for (unsigned s = 0; s < kNumStates; ++s) {
+        stRegs[s] = b.regDecl(1, std::string("state_") + fsmStateName(s),
+                              kNoGate, c.rstn);
+        st[s] = s == kStResetV ? b.inv(stRegs[s].q(0)) : stRegs[s].q(0);
+    }
+    c.st = st;
+    c.h->state = st;
+
+    // FETCH-exit terms come from the speculative decode (dn); every
+    // other transition sees the instruction already in IR (d).
+    Sig afterFetch = b.and2(st[kStFetch], dn.valid);
+    Sig afterFetchOp = b.and2(afterFetch, b.inv(dn.isJump));
+
+    Sig fetchToSrcDone = b.and2(
+        afterFetchOp,
+        b.and2(b.inv(dn.needsSrcExt), b.inv(dn.needsSrcRd)));
+    Sig srcDoneFromFetch = fetchToSrcDone; // dn-qualified
+    Sig srcDoneLater = b.or2(
+        b.and2(st[kStSrcExt], b.inv(d.needsSrcRd)), st[kStSrcRd]);
+
+    Sig nextSrcExt = b.and2(afterFetchOp, dn.needsSrcExt);
+    Sig nextSrcRd =
+        b.or2(b.and2(afterFetchOp,
+                     b.and2(b.inv(dn.needsSrcExt), dn.needsSrcRd)),
+              b.and2(st[kStSrcExt], d.needsSrcRd));
+    Sig nextDstExt = b.or2(b.and2(srcDoneFromFetch, dn.needsDstExt),
+                           b.and2(srcDoneLater, d.needsDstExt));
+    Sig nextDstRd = b.orN(
+        {b.and2(srcDoneFromFetch,
+                b.and2(b.inv(dn.needsDstExt), dn.needsDstRd)),
+         b.and2(srcDoneLater,
+                b.and2(b.inv(d.needsDstExt), d.needsDstRd)),
+         b.and2(st[kStDstExt], d.needsDstRd)});
+    Sig nextExec = b.orN(
+        {b.and2(srcDoneFromFetch,
+                b.and2(b.inv(dn.needsDstExt), b.inv(dn.needsDstRd))),
+         b.and2(srcDoneLater,
+                b.and2(b.inv(d.needsDstExt), b.inv(d.needsDstRd))),
+         b.and2(st[kStDstExt], b.inv(d.needsDstRd)), st[kStDstRd],
+         b.and2(afterFetch, dn.isJump)});
+    Sig nextDstWr = b.and2(st[kStExec], d.needsDstWr);
+    Sig nextPushWr = b.and2(st[kStExec], d.isPush);
+    Sig nextHalt =
+        b.or2(st[kStHalt], b.and2(st[kStFetch], b.inv(dn.valid)));
+    Sig nextFetch = b.orN(
+        {st[kStResetV], st[kStDstWr], st[kStPushWr],
+         b.and2(st[kStExec],
+                b.and2(b.inv(d.needsDstWr), b.inv(d.isPush)))});
+
+    stRegs[kStResetV].connect({b.one()}); // q=1 after reset => inactive
+    stRegs[kStFetch].connect({nextFetch});
+    stRegs[kStSrcExt].connect({nextSrcExt});
+    stRegs[kStSrcRd].connect({nextSrcRd});
+    stRegs[kStDstExt].connect({nextDstExt});
+    stRegs[kStDstRd].connect({nextDstRd});
+    stRegs[kStExec].connect({nextExec});
+    stRegs[kStDstWr].connect({nextDstWr});
+    stRegs[kStPushWr].connect({nextPushWr});
+    stRegs[kStHalt].connect({nextHalt});
+
+    b.wireConnect(irEnWire, st[kStFetch]);
+}
+
+} // namespace msp
+} // namespace ulpeak

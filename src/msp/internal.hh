@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared construction state for the CPU's module builders. Internal to
+ * src/msp (an _impl-style header, not part of the public API).
+ *
+ * Build order (see System::System in cpu.cc):
+ *   1. frontend  -- FSM, IR, decode; declares registers, leaves
+ *                   mdb_in-dependent wiring for later via Reg::connect
+ *   2. exec_unit -- register file, ALU, flags, operand latches
+ *   3. multiplier, watchdog, sfr, dbg, clk_module peripherals
+ *   4. mem_backbone -- address muxing, read-data routing
+ *
+ * Cross-module signals live in this struct; each builder fills in what
+ * it owns. Feedback (e.g. decode needs mdb_in, mem_backbone needs the
+ * FSM state) is handled with declared registers and late connection.
+ */
+
+#ifndef ULPEAK_MSP_INTERNAL_HH
+#define ULPEAK_MSP_INTERNAL_HH
+
+#include "hw/builder.hh"
+#include "msp/cpu.hh"
+
+namespace ulpeak {
+namespace msp {
+
+using hw::Bus;
+using hw::Sig;
+
+/** One-hot decoded source addressing mode. */
+struct SrcModeSignals {
+    Sig isReg = kNoGate;
+    Sig isIndexed = kNoGate; ///< covers Indexed and Symbolic
+    Sig isIndirect = kNoGate;
+    Sig isIndirectInc = kNoGate;
+    Sig isImmediate = kNoGate;
+    Sig isAbsolute = kNoGate;
+    Sig isConst = kNoGate;
+};
+
+/** Decode outputs (all combinational from the current instr word). */
+struct DecodeSignals {
+    Bus word;       ///< the word being decoded (IR, or mdb_in in FETCH)
+    Bus sreg;       ///< 4-bit source register field
+    Bus dreg;       ///< 4-bit destination register field
+    Sig valid = kNoGate;
+
+    Sig isFmtI = kNoGate;
+    Sig isFmtII = kNoGate;
+    Sig isJump = kNoGate;
+
+    /** One-hot format-I op lines, indexed by isa::Op (Mov..And). */
+    std::array<Sig, 11> fmtIOp{};
+    /** One-hot format-II op lines: rrc, swpb, rra, sxt, push, call. */
+    std::array<Sig, 6> fmtIIOp{};
+    /** Jump condition select, 3 bits. */
+    Bus jumpCond;
+    Bus jumpOffset; ///< 10-bit raw offset field
+
+    SrcModeSignals src;
+    Sig dstIsReg = kNoGate;
+    Sig dstIsMem = kNoGate;      ///< Ad=1
+    Sig dstIsAbsolute = kNoGate; ///< Ad=1 with r2
+    Bus cgValue;                 ///< 16-bit constant-generator value
+
+    Sig needsSrcExt = kNoGate;
+    Sig needsSrcRd = kNoGate;
+    Sig needsDstExt = kNoGate;
+    Sig needsDstRd = kNoGate;
+    Sig needsDstWr = kNoGate;
+    Sig isPush = kNoGate; ///< push or call
+    Sig isCall = kNoGate;
+    Sig writesDstReg = kNoGate; ///< format-I reg destination write
+    Sig fmtIIWritesReg = kNoGate;
+    Sig setsFlags = kNoGate;
+};
+
+struct CpuBuild {
+    hw::Builder *b = nullptr;
+    CpuHandles *h = nullptr;
+
+    // frontend outputs
+    std::array<Sig, kNumStates> st{}; ///< one-hot state (current)
+    DecodeSignals dec;
+    Bus irQ;
+
+    // exec_unit outputs
+    std::array<Bus, 16> regQ;  ///< register file outputs
+    Bus srcVal;   ///< resolved source operand value (combinational)
+    Bus dstVal;   ///< resolved destination operand value
+    Bus aluResult;
+    Bus srcAddr;  ///< source memory address (SRCRD)
+    Bus dstAddr;  ///< destination memory address (DSTRD/DSTWR)
+    Bus spMinus2;
+    Bus jumpTarget;
+    Sig jumpTaken = kNoGate;
+    Bus srcvQ;    ///< SRCV latch output
+    Bus extdQ;    ///< EXTD latch output
+    Bus dstvQ;    ///< DSTV latch output
+    Bus srcaQ;    ///< SRCA latch (source address, for fmt-II writeback)
+    Bus resvQ;    ///< ALU result latched at the EXEC edge (DSTWR data;
+                  ///< the flags EXEC wrote must not re-enter the ALU)
+
+    // peripheral register outputs (consumed by mem_backbone)
+    Bus sfrIeQ, sfrIfgQ, poutQ, wdtReadData, mpyQ, op2Q, resloQ,
+        reshiQ, dbg0Q, dbg1Q;
+
+    // peripheral read data (each a 16-bit bus) + address-match signals
+    Bus periphRData;   ///< muxed peripheral read data (mem_backbone)
+    Bus mdbIn;         ///< final read-data bus seen by the core
+    Bus mdbOut;        ///< write-data bus
+
+    Sig mbWr = kNoGate;
+    Sig mbEn = kNoGate;
+    Bus mab;
+
+    Sig rstn = kNoGate;
+    Sig irq = kNoGate;
+};
+
+/// Module builders (one translation unit each).
+void buildFrontend(hw::Builder &b, CpuBuild &c);
+void buildExecUnit(hw::Builder &b, CpuBuild &c);
+void buildMultiplier(hw::Builder &b, CpuBuild &c);
+void buildPeripherals(hw::Builder &b, CpuBuild &c);
+void buildMemBackbone(hw::Builder &b, CpuBuild &c);
+
+} // namespace msp
+} // namespace ulpeak
+
+#endif // ULPEAK_MSP_INTERNAL_HH

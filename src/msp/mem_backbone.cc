@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Memory backbone: per-state address selection, write-data selection,
+ * and read-data routing between the RAM/ROM macro (behavioral hook)
+ * and the in-netlist peripheral registers -- the openMSP430
+ * mem_backbone equivalent.
+ */
+
+#include "msp/internal.hh"
+
+namespace ulpeak {
+namespace msp {
+
+using hw::Builder;
+
+void
+buildMemBackbone(Builder &b, CpuBuild &c)
+{
+    hw::ModuleScope scope(b, "mem_backbone");
+    c.h->modMemBackbone = b.currentModule();
+
+    const auto &st = c.st;
+    const DecodeSignals &d = c.dec;
+
+    // ---- Address bus -------------------------------------------------
+    Sig fetchy = b.orN({st[kStFetch], st[kStSrcExt], st[kStDstExt]});
+    Bus wrAddr = b.busMux(d.isFmtII, c.dstAddr, c.srcaQ);
+
+    std::vector<Sig> sel = {st[kStResetV], fetchy,       st[kStSrcRd],
+                            st[kStDstRd],  st[kStDstWr], st[kStPushWr]};
+    std::vector<Bus> addr = {b.busConst(16, SystemMap::kResetVector),
+                             c.regQ[0],
+                             c.srcAddr,
+                             c.dstAddr,
+                             wrAddr,
+                             c.spMinus2};
+    Bus mab = b.busMuxOneHot(sel, addr);
+
+    Sig mbEn = b.orN(sel);
+    Sig mbWr = b.or2(st[kStDstWr], st[kStPushWr]);
+
+    // ---- Write data ----------------------------------------------------
+    // DSTWR stores the EXEC-latched result; PUSHWR stores the operand
+    // (or the return address for CALL).
+    Bus pushData = b.busMux(d.isCall, c.srcVal, c.regQ[0]);
+    Bus mdbOut = b.busMux(st[kStPushWr], c.resvQ, pushData);
+
+    // Drive the top-level declared wires.
+    b.busWireConnect(c.mab, mab);
+    b.wireConnect(c.mbEn, mbEn);
+    b.wireConnect(c.mbWr, mbWr);
+    b.busWireConnect(c.mdbOut, mdbOut);
+
+    // ---- Peripheral read mux -------------------------------------------
+    Bus addrWord(8);
+    for (unsigned i = 0; i < 8; ++i)
+        addrWord[i] = c.mab[i + 1];
+    Sig isPeriph = b.inv(b.orN({c.mab[9], c.mab[10], c.mab[11],
+                                c.mab[12], c.mab[13], c.mab[14],
+                                c.mab[15]}));
+    auto rdSel = [&](uint32_t a) {
+        return hw::equalConst(b, addrWord, (a >> 1) & 0xff);
+    };
+
+    std::vector<Sig> psel = {
+        rdSel(SystemMap::kSfrIe),  rdSel(SystemMap::kSfrIfg),
+        rdSel(SystemMap::kPortIn), rdSel(SystemMap::kPortOut),
+        rdSel(SystemMap::kWdtCtl), rdSel(SystemMap::kMpy),
+        rdSel(SystemMap::kMpys),   rdSel(SystemMap::kOp2),
+        rdSel(SystemMap::kResLo),  rdSel(SystemMap::kResHi),
+        rdSel(SystemMap::kDbgCtl), rdSel(SystemMap::kDbgData)};
+    std::vector<Bus> pdata = {c.sfrIeQ, c.sfrIfgQ,    c.h->portIn,
+                              c.poutQ,  c.wdtReadData, c.mpyQ,
+                              c.mpyQ,   c.op2Q,        c.resloQ,
+                              c.reshiQ, c.dbg0Q,       c.dbg1Q};
+
+    // Gate the selects with the access enable so idle cycles keep the
+    // read network quiet.
+    for (Sig &s : psel)
+        s = b.and2(s, c.mbEn);
+    Bus muxed = b.busMuxOneHot(psel, pdata);
+    Sig anySel = b.orN(psel);
+    // Unmapped peripheral addresses read 0xffff (pulled-up bus), as in
+    // the ISS.
+    Bus periphData = b.busMux(anySel, b.busConst(16, 0xffff), muxed);
+    c.periphRData = periphData;
+
+    // ---- Final read-data routing ----------------------------------------
+    b.busWireConnect(c.mdbIn, b.busMux(isPeriph, c.h->memData,
+                                       periphData));
+}
+
+} // namespace msp
+} // namespace ulpeak

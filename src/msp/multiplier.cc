@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Memory-mapped 16x16 hardware multiplier peripheral.
+ *
+ * Modeled after openMSP430's multiplier: software MOVes the first
+ * operand to MPY (0x0130), the second to OP2 (0x0138) -- which triggers
+ * the multiplication -- and reads the 32-bit product from RESLO/RESHI
+ * (0x013a/0x013c). The combinational array multiplier is by far the
+ * largest and highest-power block of the design, which is exactly the
+ * property the paper's mult-heavy benchmarks and OPT3 exploit.
+ */
+
+#include "msp/internal.hh"
+
+namespace ulpeak {
+namespace msp {
+
+using hw::Builder;
+
+void
+buildMultiplier(Builder &b, CpuBuild &c)
+{
+    hw::ModuleScope scope(b, "multiplier");
+    c.h->modMultiplier = b.currentModule();
+
+    // Local bus decode (each peripheral snoops mab/mbWr itself).
+    Bus addrWord(8);
+    for (unsigned i = 0; i < 8; ++i)
+        addrWord[i] = c.mab[i + 1];
+    Sig isPeriph = b.inv(b.orN({c.mab[9], c.mab[10], c.mab[11],
+                                c.mab[12], c.mab[13], c.mab[14],
+                                c.mab[15]}));
+    auto wrSel = [&](uint32_t addr) {
+        return b.andN({c.mbWr, isPeriph,
+                       hw::equalConst(b, addrWord, (addr >> 1) & 0xff)});
+    };
+
+    Sig mpyWr = wrSel(SystemMap::kMpy);
+    Sig mpysWr = wrSel(SystemMap::kMpys);
+    Sig op2Wr = wrSel(SystemMap::kOp2);
+    Sig resloWr = wrSel(SystemMap::kResLo);
+    Sig reshiWr = wrSel(SystemMap::kResHi);
+
+    Sig op1Wr = b.or2(mpyWr, mpysWr);
+    hw::Reg mpy = b.regDecl(16, "mpy_op1", op1Wr, c.rstn);
+    mpy.connect(c.mdbOut);
+    c.mpyQ = mpy.q();
+
+    // Signed-mode flag: set by MPYS writes, cleared by MPY writes.
+    hw::Reg mode = b.regDecl(1, "mpy_signed", op1Wr, c.rstn);
+    mode.connect({mpysWr});
+    Sig isSigned = mode.q(0);
+
+    hw::Reg op2 = b.regDecl(16, "mpy_op2", op2Wr, c.rstn);
+    op2.connect(c.mdbOut);
+    c.op2Q = op2.q();
+
+    // The product settles combinationally; results latch one cycle
+    // after the OP2 write (earliest architectural read is >= 2 cycles
+    // later, so software never observes the latency).
+    Bus product = hw::arrayMultiplier(b, mpy.q(), op2.q());
+    Bus prodLo(product.begin(), product.begin() + 16);
+    Bus prodHiU(product.begin() + 16, product.end());
+
+    // Signed correction on the upper half: for two's-complement
+    // operands, p_signed = p_unsigned - (a15 ? b<<16 : 0)
+    //                               - (b15 ? a<<16 : 0).
+    Bus corrA = b.busAndScalar(op2.q(), mpy.q(15));
+    Bus corrB = b.busAndScalar(mpy.q(), op2.q(15));
+    Bus hi1 = hw::adder(b, prodHiU, b.busNot(corrA), b.one()).sum;
+    Bus hi2 = hw::adder(b, hi1, b.busNot(corrB), b.one()).sum;
+    Bus prodHi = b.busMux(isSigned, prodHiU, hi2);
+
+    Bus trigger = b.reg(Bus{op2Wr}, "mpy_trigger", kNoGate, c.rstn);
+    Sig latchNow = trigger[0];
+
+    hw::Reg reslo = b.regDecl(16, "mpy_reslo",
+                              b.or2(latchNow, resloWr), c.rstn);
+    reslo.connect(b.busMux(latchNow, c.mdbOut, prodLo));
+    c.resloQ = reslo.q();
+
+    hw::Reg reshi = b.regDecl(16, "mpy_reshi",
+                              b.or2(latchNow, reshiWr), c.rstn);
+    reshi.connect(b.busMux(latchNow, c.mdbOut, prodHi));
+    c.reshiQ = reshi.q();
+}
+
+} // namespace msp
+} // namespace ulpeak

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Small peripherals: watchdog (WDTCTL + free-running counter until
+ * held), SFR block (interrupt enable/flag registers, I/O port), debug
+ * unit (two host-accessible registers, idle during normal runs) and
+ * clk_module (reset synchronizer / clock gating stub). These mirror
+ * the modules of openMSP430 that appear in the paper's per-module
+ * power breakdown (Figure 3.6).
+ */
+
+#include "msp/internal.hh"
+
+namespace ulpeak {
+namespace msp {
+
+using hw::Builder;
+
+namespace {
+
+/** Local peripheral write-select decode against the declared buses. */
+struct BusDecode {
+    Bus addrWord;
+    Sig isPeriph;
+    Builder *b;
+    CpuBuild *c;
+
+    BusDecode(Builder &bb, CpuBuild &cc) : b(&bb), c(&cc)
+    {
+        addrWord.resize(8);
+        for (unsigned i = 0; i < 8; ++i)
+            addrWord[i] = cc.mab[i + 1];
+        isPeriph = bb.inv(bb.orN({cc.mab[9], cc.mab[10], cc.mab[11],
+                                  cc.mab[12], cc.mab[13], cc.mab[14],
+                                  cc.mab[15]}));
+    }
+
+    Sig
+    wr(uint32_t addr) const
+    {
+        return b->andN({c->mbWr, isPeriph,
+                        hw::equalConst(*b, addrWord,
+                                       (addr >> 1) & 0xff)});
+    }
+};
+
+} // namespace
+
+void
+buildPeripherals(Builder &b, CpuBuild &c)
+{
+    // ---- watchdog ---------------------------------------------------
+    {
+        hw::ModuleScope scope(b, "watchdog");
+        c.h->modWatchdog = b.currentModule();
+        BusDecode dec(b, c);
+
+        // WDTCTL low byte, guarded by the 0x5a password in the write
+        // data's high byte.
+        Bus hi(8);
+        for (unsigned i = 0; i < 8; ++i)
+            hi[i] = c.mdbOut[i + 8];
+        Sig password = hw::equalConst(b, hi, 0x5a);
+        Sig ctlWr = b.and2(dec.wr(SystemMap::kWdtCtl), password);
+        // POR-reset control/counter, like the real peripheral: the
+        // counter runs from a known zero, so its background activity
+        // is the realistic one-or-two bits per cycle rather than an
+        // all-X storm.
+        hw::Reg ctl = b.regDecl(8, "wdtctl", ctlWr, c.rstn);
+        Bus ctlD(8);
+        for (unsigned i = 0; i < 8; ++i)
+            ctlD[i] = c.mdbOut[i];
+        ctl.connect(ctlD);
+
+        // Free-running interval counter until WDTHOLD (bit 7) is set.
+        Sig hold = ctl.q(7);
+        hw::Reg counter =
+            b.regDecl(16, "wdt_counter", b.inv(hold), c.rstn);
+        counter.connect(hw::addConst(b, counter.q(), 1));
+
+        // Read-back: 0x69 in the high byte, control bits low.
+        c.wdtReadData.resize(16);
+        Bus hiConst = b.busConst(8, 0x69);
+        for (unsigned i = 0; i < 8; ++i) {
+            c.wdtReadData[i] = ctl.q(i);
+            c.wdtReadData[i + 8] = hiConst[i];
+        }
+    }
+
+    // ---- sfr (interrupt regs + I/O port) ----------------------------
+    {
+        hw::ModuleScope scope(b, "sfr");
+        c.h->modSfr = b.currentModule();
+        BusDecode dec(b, c);
+
+        hw::Reg ie = b.regDecl(16, "sfr_ie",
+                               dec.wr(SystemMap::kSfrIe), c.rstn);
+        ie.connect(c.mdbOut);
+        c.sfrIeQ = ie.q();
+
+        hw::Reg ifg = b.regDecl(16, "sfr_ifg",
+                                dec.wr(SystemMap::kSfrIfg), c.rstn);
+        ifg.connect(c.mdbOut);
+        c.sfrIfgQ = ifg.q();
+
+        hw::Reg pout = b.regDecl(16, "port_out",
+                                 dec.wr(SystemMap::kPortOut), c.rstn);
+        pout.connect(c.mdbOut);
+        c.poutQ = pout.q();
+
+        // Interrupt-request masking per Chapter 6: the IRQ pin is
+        // normally forced to 0 by the analysis harness; the masked
+        // request is exposed for the interrupt-analysis experiment but
+        // deliberately does not steer the PC.
+        Sig gie = c.regQ[2][isa::kFlagGie];
+        Sig masked = b.andN({c.irq, ie.q(0), gie});
+        Sig pending = b.buf(masked);
+        b.netlist().setName(pending, "irq_pending");
+    }
+
+    // ---- dbg ---------------------------------------------------------
+    {
+        hw::ModuleScope scope(b, "dbg");
+        c.h->modDbg = b.currentModule();
+        BusDecode dec(b, c);
+
+        hw::Reg d0 = b.regDecl(16, "dbg_ctl",
+                               dec.wr(SystemMap::kDbgCtl), c.rstn);
+        d0.connect(c.mdbOut);
+        c.dbg0Q = d0.q();
+
+        hw::Reg d1 = b.regDecl(16, "dbg_data",
+                               dec.wr(SystemMap::kDbgData), c.rstn);
+        d1.connect(c.mdbOut);
+        c.dbg1Q = d1.q();
+    }
+
+    // ---- clk_module ---------------------------------------------------
+    {
+        hw::ModuleScope scope(b, "clk_module");
+        c.h->modClk = b.currentModule();
+
+        // Two-stage reset synchronizer; downstream logic consumes the
+        // raw pin (cycle-based model), the synchronizer mirrors the
+        // structure of a real clock/reset module.
+        hw::Reg sync0 = b.regDecl(1, "rst_sync0", kNoGate, c.rstn);
+        sync0.connect({b.one()});
+        hw::Reg sync1 = b.regDecl(1, "rst_sync1", kNoGate, c.rstn);
+        sync1.connect({sync0.q(0)});
+        Sig resetDone = b.buf(sync1.q(0));
+        b.netlist().setName(resetDone, "reset_done");
+    }
+}
+
+} // namespace msp
+} // namespace ulpeak

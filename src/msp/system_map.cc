@@ -1,0 +1,25 @@
+#include "msp/cpu.hh"
+
+namespace ulpeak {
+namespace msp {
+
+const char *
+fsmStateName(unsigned s)
+{
+    switch (s) {
+      case kStResetV: return "RESETV";
+      case kStFetch: return "FETCH";
+      case kStSrcExt: return "SRCEXT";
+      case kStSrcRd: return "SRCRD";
+      case kStDstExt: return "DSTEXT";
+      case kStDstRd: return "DSTRD";
+      case kStExec: return "EXEC";
+      case kStDstWr: return "DSTWR";
+      case kStPushWr: return "PUSHWR";
+      case kStHalt: return "HALT";
+      default: return "?";
+    }
+}
+
+} // namespace msp
+} // namespace ulpeak

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Topological levelization of a netlist.
+ *
+ * The cycle-based simulator evaluates every combinational gate exactly
+ * once per cycle, in an order where each gate's fanins (and any
+ * behavioral hook feeding it) have already been evaluated. Sequential
+ * gate outputs and primary inputs are the sources of the order;
+ * combinational loops are construction errors and are reported with a
+ * witness gate.
+ */
+
+#include <queue>
+#include <stdexcept>
+
+#include "netlist/netlist.hh"
+
+namespace ulpeak {
+
+/** Helper with friend access that computes the evaluation order. */
+class Levelizer {
+  public:
+    static void
+    run(Netlist &nl)
+    {
+        const size_t n = nl.gates_.size();
+        const size_t h = nl.hooks_.size();
+
+        // Node ids: [0, n) are gates, [n, n + h) are hooks.
+        std::vector<uint32_t> indeg(n + h, 0);
+        std::vector<std::vector<uint32_t>> succ(n + h);
+
+        // Map each hook-output Input gate to its hook node.
+        std::vector<uint32_t> hookOf(n, UINT32_MAX);
+        for (size_t i = 0; i < h; ++i)
+            for (GateId g : nl.hooks_[i].outputs)
+                hookOf[g] = uint32_t(i);
+
+        nl.fanoutCount_.assign(n, 0);
+
+        auto addEdge = [&](uint32_t from, uint32_t to) {
+            succ[from].push_back(to);
+            ++indeg[to];
+        };
+
+        for (GateId g = 0; g < n; ++g) {
+            const Gate &gate = nl.gates_[g];
+            for (unsigned i = 0; i < gate.nin; ++i) {
+                GateId src = gate.in[i];
+                if (src == kNoGate)
+                    throw std::logic_error(
+                        "unconnected fanin at gate " + std::to_string(g));
+                ++nl.fanoutCount_[src];
+                // Sequential gates consume their fanins at the clock
+                // edge; they are not part of the combinational order.
+                if (isSequential(gate.kind))
+                    continue;
+                addEdge(src, g);
+            }
+            // A hook-driven input must wait for its hook.
+            if (hookOf[g] != UINT32_MAX)
+                addEdge(uint32_t(n + hookOf[g]), g);
+        }
+        for (size_t i = 0; i < h; ++i)
+            for (GateId dep : nl.hooks_[i].depends)
+                addEdge(dep, uint32_t(n + i));
+
+        // Kahn's algorithm. Sequential outputs, constants and plain
+        // primary inputs start ready; they are emitted in the order so
+        // the simulator has a complete per-cycle visit sequence.
+        std::queue<uint32_t> ready;
+        for (uint32_t v = 0; v < n + h; ++v)
+            if (indeg[v] == 0)
+                ready.push(v);
+
+        nl.order_.clear();
+        nl.order_.reserve(n + h);
+        size_t emitted = 0;
+        while (!ready.empty()) {
+            uint32_t v = ready.front();
+            ready.pop();
+            ++emitted;
+            EvalItem item;
+            if (v < n) {
+                item.type = EvalItem::Type::Gate;
+                item.index = v;
+            } else {
+                item.type = EvalItem::Type::Hook;
+                item.index = uint32_t(v - n);
+            }
+            nl.order_.push_back(item);
+            for (uint32_t s : succ[v])
+                if (--indeg[s] == 0)
+                    ready.push(s);
+        }
+
+        if (emitted != n + h) {
+            for (uint32_t v = 0; v < n; ++v) {
+                if (indeg[v] != 0) {
+                    throw std::logic_error(
+                        "combinational loop through gate " +
+                        std::to_string(v) + " (" +
+                        cellName(nl.gates_[v].kind) + ")");
+                }
+            }
+            throw std::logic_error("combinational loop through a hook");
+        }
+
+        nl.seqGates_.clear();
+        for (GateId g = 0; g < n; ++g)
+            if (isSequential(nl.gates_[g].kind))
+                nl.seqGates_.push_back(g);
+
+        // Pre-compute per-gate transition energies and static totals.
+        const CellLibrary &lib = *nl.lib_;
+        nl.riseE_.resize(n);
+        nl.fallE_.resize(n);
+        nl.totalLeakage_ = 0.0;
+        nl.clockEnergy_ = 0.0;
+        for (GateId g = 0; g < n; ++g) {
+            CellKind k = nl.gates_[g].kind;
+            unsigned fo = nl.fanoutCount_[g];
+            nl.riseE_[g] = lib.transitionEnergyJ(k, true, fo);
+            nl.fallE_[g] = lib.transitionEnergyJ(k, false, fo);
+            nl.totalLeakage_ += lib.params(k).leakageW;
+            nl.clockEnergy_ += lib.params(k).clkPinEnergyJ;
+        }
+    }
+};
+
+void
+Netlist::finalize()
+{
+    if (finalized_)
+        return;
+    Levelizer::run(*this);
+    finalized_ = true;
+}
+
+} // namespace ulpeak

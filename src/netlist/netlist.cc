@@ -1,0 +1,121 @@
+#include "netlist/netlist.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ulpeak {
+
+Netlist::Netlist(const CellLibrary &lib) : lib_(&lib)
+{
+    moduleNames_.push_back("top");
+    moduleParents_.push_back(kTopModule);
+}
+
+ModuleId
+Netlist::addModule(const std::string &name, ModuleId parent)
+{
+    assert(parent < moduleNames_.size());
+    moduleNames_.push_back(name);
+    moduleParents_.push_back(parent);
+    return ModuleId(moduleNames_.size() - 1);
+}
+
+GateId
+Netlist::addGate(CellKind kind, std::initializer_list<GateId> fanins,
+                 ModuleId module)
+{
+    return addGate(kind, std::vector<GateId>(fanins), module);
+}
+
+GateId
+Netlist::addGate(CellKind kind, const std::vector<GateId> &fanins,
+                 ModuleId module)
+{
+    if (finalized_)
+        throw std::logic_error("addGate after finalize");
+    if (fanins.size() != cellFaninCount(kind))
+        throw std::invalid_argument(
+            std::string("wrong fanin count for ") + cellName(kind));
+    Gate g;
+    g.kind = kind;
+    g.module = module;
+    g.nin = uint8_t(fanins.size());
+    for (size_t i = 0; i < fanins.size(); ++i) {
+        // kNoGate placeholders are allowed during construction (register
+        // feedback); finalize() rejects any left unconnected.
+        if (fanins[i] != kNoGate && fanins[i] >= gates_.size())
+            throw std::invalid_argument("fanin references unknown gate");
+        g.in[i] = fanins[i];
+    }
+    gates_.push_back(g);
+    return GateId(gates_.size() - 1);
+}
+
+void
+Netlist::setFanin(GateId g, unsigned pin, GateId src)
+{
+    if (finalized_)
+        throw std::logic_error("setFanin after finalize");
+    if (g >= gates_.size() || pin >= gates_[g].nin ||
+        src >= gates_.size()) {
+        throw std::invalid_argument("setFanin out of range");
+    }
+    gates_[g].in[pin] = src;
+}
+
+uint32_t
+Netlist::addHook(BehavioralHook hook)
+{
+    if (finalized_)
+        throw std::logic_error("addHook after finalize");
+    for (GateId g : hook.outputs) {
+        if (g >= gates_.size() || gates_[g].kind != CellKind::Input)
+            throw std::invalid_argument(
+                "hook outputs must be Input-kind gates");
+    }
+    hooks_.push_back(std::move(hook));
+    return uint32_t(hooks_.size() - 1);
+}
+
+void
+Netlist::setName(GateId g, const std::string &name)
+{
+    assert(g < gates_.size());
+    names_[name] = g;
+    reverseNames_[g] = name;
+}
+
+ModuleId
+Netlist::topLevelModuleOf(ModuleId m) const
+{
+    if (m == kTopModule)
+        return kTopModule;
+    while (moduleParents_[m] != kTopModule)
+        m = moduleParents_[m];
+    return m;
+}
+
+ModuleId
+Netlist::findModule(const std::string &name) const
+{
+    for (size_t i = 0; i < moduleNames_.size(); ++i)
+        if (moduleNames_[i] == name)
+            return ModuleId(i);
+    return kTopModule;
+}
+
+GateId
+Netlist::findGate(const std::string &name) const
+{
+    auto it = names_.find(name);
+    return it == names_.end() ? kNoGate : it->second;
+}
+
+std::string
+Netlist::gateName(GateId g) const
+{
+    auto it = reverseNames_.find(g);
+    return it == reverseNames_.end() ? std::string() : it->second;
+}
+
+} // namespace ulpeak

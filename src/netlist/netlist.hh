@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Gate-level netlist representation.
+ *
+ * A Netlist is a flat vector of gates (one output net per gate, so gate
+ * id == net id), each mapped to a standard cell kind from the
+ * CellLibrary and to a module in a hierarchy of named modules. The
+ * module hierarchy mirrors the microarchitectural units the paper
+ * reports power for (frontend, exec_unit, mem_backbone, multiplier, sfr,
+ * watchdog, clk_module, dbg).
+ *
+ * Behavioral blocks: RAM macros are not standard cells (neither in the
+ * paper's placed-and-routed openMSP430 nor here). A behavioral hook
+ * declares a set of Input-kind gates whose values are produced by a
+ * simulator callback that combinationally depends on a declared set of
+ * other gates (the address/enable pins). Levelization schedules the hook
+ * at the right point of the topological order.
+ */
+
+#ifndef ULPEAK_NETLIST_NETLIST_HH
+#define ULPEAK_NETLIST_NETLIST_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/cell_library.hh"
+
+namespace ulpeak {
+
+using GateId = uint32_t;
+using ModuleId = uint16_t;
+
+constexpr GateId kNoGate = std::numeric_limits<GateId>::max();
+constexpr ModuleId kTopModule = 0;
+
+/** One standard-cell instance. The gate's output is net @c id. */
+struct Gate {
+    CellKind kind = CellKind::Const0;
+    ModuleId module = kTopModule;
+    uint8_t nin = 0;
+    std::array<GateId, 4> in = {kNoGate, kNoGate, kNoGate, kNoGate};
+};
+
+/** An evaluation step produced by levelization. */
+struct EvalItem {
+    enum class Type : uint8_t { Gate, Hook };
+    Type type = Type::Gate;
+    uint32_t index = 0; ///< gate id, or hook id
+};
+
+/** Declaration of a behavioral block (e.g. a RAM macro). */
+struct BehavioralHook {
+    std::string name;
+    std::vector<GateId> depends; ///< gates read by the callback
+    std::vector<GateId> outputs; ///< Input-kind gates written by it
+};
+
+class Netlist {
+  public:
+    explicit Netlist(const CellLibrary &lib);
+
+    /// @name Construction
+    /// @{
+    ModuleId addModule(const std::string &name,
+                       ModuleId parent = kTopModule);
+    GateId addGate(CellKind kind, std::initializer_list<GateId> fanins,
+                   ModuleId module);
+    GateId addGate(CellKind kind, const std::vector<GateId> &fanins,
+                   ModuleId module);
+    /** Re-point fanin @p pin of @p g; only legal before finalize(). */
+    void setFanin(GateId g, unsigned pin, GateId src);
+    uint32_t addHook(BehavioralHook hook);
+    void setName(GateId g, const std::string &name);
+
+    /**
+     * Freeze the netlist: compute fanout counts, the topological
+     * evaluation order (combinational loops are fatal), per-gate
+     * transition energies, and the sequential-gate list.
+     */
+    void finalize();
+    /// @}
+
+    /// @name Inspection
+    /// @{
+    size_t numGates() const { return gates_.size(); }
+    const Gate &gate(GateId g) const { return gates_[g]; }
+    const CellLibrary &library() const { return *lib_; }
+    bool finalized() const { return finalized_; }
+
+    const std::vector<EvalItem> &evalOrder() const { return order_; }
+    const std::vector<GateId> &seqGates() const { return seqGates_; }
+    const std::vector<BehavioralHook> &hooks() const { return hooks_; }
+
+    uint32_t fanoutCount(GateId g) const { return fanoutCount_[g]; }
+    /** Energy of a 0->1 / 1->0 output transition of gate @p g [J]. */
+    double riseEnergyJ(GateId g) const { return riseE_[g]; }
+    double fallEnergyJ(GateId g) const { return fallE_[g]; }
+    double maxEnergyJ(GateId g) const
+    {
+        return riseE_[g] > fallE_[g] ? riseE_[g] : fallE_[g];
+    }
+    /** Total leakage of the netlist [W]. */
+    double totalLeakageW() const { return totalLeakage_; }
+    /** Per-cycle clock-tree/clock-pin energy (all flops) [J]. */
+    double clockEnergyPerCycleJ() const { return clockEnergy_; }
+
+    const std::string &moduleName(ModuleId m) const
+    {
+        return moduleNames_[m];
+    }
+    ModuleId moduleParent(ModuleId m) const { return moduleParents_[m]; }
+    size_t numModules() const { return moduleNames_.size(); }
+    /**
+     * The ancestor of @p m that is a direct child of the top module --
+     * the granularity at which the paper reports per-module power.
+     */
+    ModuleId topLevelModuleOf(ModuleId m) const;
+    /** Find a direct-or-deep module by name; kTopModule if absent. */
+    ModuleId findModule(const std::string &name) const;
+
+    GateId findGate(const std::string &name) const;
+    /** Name of @p g, or "" when unnamed. */
+    std::string gateName(GateId g) const;
+    const std::unordered_map<std::string, GateId> &namedGates() const
+    {
+        return names_;
+    }
+    /// @}
+
+  private:
+    friend class Levelizer;
+
+    const CellLibrary *lib_;
+    bool finalized_ = false;
+
+    std::vector<Gate> gates_;
+    std::vector<BehavioralHook> hooks_;
+    std::vector<std::string> moduleNames_;
+    std::vector<ModuleId> moduleParents_;
+    std::unordered_map<std::string, GateId> names_;
+    std::unordered_map<GateId, std::string> reverseNames_;
+
+    std::vector<EvalItem> order_;
+    std::vector<GateId> seqGates_;
+    std::vector<uint32_t> fanoutCount_;
+    std::vector<double> riseE_;
+    std::vector<double> fallE_;
+    double totalLeakage_ = 0.0;
+    double clockEnergy_ = 0.0;
+};
+
+/** Aggregate statistics used by tests, README tables and DOT export. */
+struct NetlistStats {
+    size_t totalGates = 0;
+    size_t seqGates = 0;
+    size_t combGates = 0;
+    double areaUm2 = 0.0;
+    double leakageW = 0.0;
+    std::vector<std::pair<std::string, size_t>> gatesPerTopModule;
+    std::vector<std::pair<std::string, size_t>> gatesPerKind;
+};
+
+NetlistStats computeStats(const Netlist &nl);
+
+/** Human-readable multi-line summary of @p stats. */
+std::string formatStats(const NetlistStats &stats);
+
+/**
+ * Graphviz DOT rendering of (a prefix of) the netlist, for inspecting
+ * small designs and documentation diagrams. Sequential cells are
+ * highlighted; edges into gates beyond @p max_gates are elided.
+ */
+std::string toDot(const Netlist &nl, size_t max_gates = 400);
+
+} // namespace ulpeak
+
+#endif // ULPEAK_NETLIST_NETLIST_HH

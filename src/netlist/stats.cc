@@ -1,0 +1,73 @@
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "netlist/netlist.hh"
+
+namespace ulpeak {
+
+NetlistStats
+computeStats(const Netlist &nl)
+{
+    NetlistStats s;
+    s.totalGates = nl.numGates();
+
+    std::map<std::string, size_t> perModule;
+    std::map<std::string, size_t> perKind;
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+        const Gate &gate = nl.gate(g);
+        if (isSequential(gate.kind))
+            ++s.seqGates;
+        s.areaUm2 += nl.library().params(gate.kind).areaUm2;
+        s.leakageW += nl.library().params(gate.kind).leakageW;
+        ModuleId top = nl.topLevelModuleOf(gate.module);
+        ++perModule[nl.moduleName(top)];
+        ++perKind[cellName(gate.kind)];
+    }
+    s.combGates = s.totalGates - s.seqGates;
+    s.gatesPerTopModule.assign(perModule.begin(), perModule.end());
+    s.gatesPerKind.assign(perKind.begin(), perKind.end());
+    std::sort(s.gatesPerTopModule.begin(), s.gatesPerTopModule.end(),
+              [](auto &a, auto &b) { return a.second > b.second; });
+    return s;
+}
+
+std::string
+formatStats(const NetlistStats &s)
+{
+    std::ostringstream os;
+    os << "gates: " << s.totalGates << " (" << s.seqGates
+       << " sequential, " << s.combGates << " combinational)\n";
+    os << "area: " << s.areaUm2 << " um^2, leakage: " << s.leakageW * 1e6
+       << " uW\n";
+    os << "per-module gate counts:\n";
+    for (auto &[name, count] : s.gatesPerTopModule)
+        os << "  " << name << ": " << count << "\n";
+    return os.str();
+}
+
+std::string
+toDot(const Netlist &nl, size_t max_gates)
+{
+    std::ostringstream os;
+    os << "digraph netlist {\n  rankdir=LR;\n  node [shape=box];\n";
+    size_t n = std::min(nl.numGates(), max_gates);
+    for (GateId g = 0; g < n; ++g) {
+        const Gate &gate = nl.gate(g);
+        std::string name = nl.gateName(g);
+        os << "  g" << g << " [label=\"" << cellName(gate.kind);
+        if (!name.empty())
+            os << "\\n" << name;
+        os << "\"";
+        if (isSequential(gate.kind))
+            os << " style=filled fillcolor=lightblue";
+        os << "];\n";
+        for (unsigned i = 0; i < gate.nin; ++i)
+            if (gate.in[i] < n)
+                os << "  g" << gate.in[i] << " -> g" << g << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace ulpeak

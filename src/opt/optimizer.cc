@@ -1,0 +1,89 @@
+#include "opt/optimizer.hh"
+
+namespace ulpeak {
+namespace opt {
+
+OptimizationReport
+evaluateOptimizations(msp::System &sys, const bench430::Benchmark &b,
+                      const TransformConfig &cfg_in,
+                      const peak::Options &opts)
+{
+    OptimizationReport rep;
+
+    peak::Report before = peak::analyze(sys, isa::assemble(b.source),
+                                        opts);
+    if (!before.ok) {
+        rep.error = "baseline analysis failed: " + before.error;
+        return rep;
+    }
+
+    // Section 5.1: "we can choose to apply only the optimizations
+    // that are guaranteed to reduce peak power" -- evaluate every
+    // combination of the enabled transforms and keep the one with the
+    // lowest X-based peak (ties go to fewer rewrites). The empty
+    // subset is a valid outcome: some applications have no
+    // peak-reducing rewrite.
+    std::string scratch =
+        cfg_in.scratchReg.empty() ? b.scratchReg : cfg_in.scratchReg;
+
+    peak::Report best = before;
+    TransformStats bestStats;
+    for (unsigned mask = 1; mask < 8; ++mask) {
+        TransformConfig cfg;
+        cfg.opt1 = cfg_in.opt1 && (mask & 1);
+        cfg.opt2 = cfg_in.opt2 && (mask & 2);
+        cfg.opt3 = cfg_in.opt3 && (mask & 4);
+        cfg.scratchReg = scratch;
+        if (!cfg.opt1 && !cfg.opt2 && !cfg.opt3)
+            continue;
+        TransformStats stats;
+        std::string optimized =
+            applyTransforms(b.source, cfg, &stats);
+        if (stats.total() == 0)
+            continue;
+        peak::Report r =
+            peak::analyze(sys, isa::assemble(optimized), opts);
+        if (!r.ok)
+            continue;
+        if (r.peakPowerW < best.peakPowerW) {
+            best = std::move(r);
+            bestStats = stats;
+        }
+    }
+
+    rep.transforms = bestStats;
+    rep.peakBeforeW = before.peakPowerW;
+    rep.peakAfterW = best.peakPowerW;
+    rep.peakReductionPct =
+        100.0 * (1.0 - best.peakPowerW / before.peakPowerW);
+
+    // Dynamic range: peak minus the worst-case average power (NPE x
+    // frequency), both input-independent quantities.
+    double avgBefore = before.npeJPerCycle * opts.freqHz;
+    double avgAfter = best.npeJPerCycle * opts.freqHz;
+    rep.dynRangeBeforeW = before.peakPowerW - avgBefore;
+    rep.dynRangeAfterW = best.peakPowerW - avgAfter;
+    if (rep.dynRangeBeforeW > 0.0)
+        rep.dynRangeReductionPct =
+            100.0 * (1.0 - rep.dynRangeAfterW / rep.dynRangeBeforeW);
+
+    rep.cyclesBefore = before.maxPathCycles;
+    rep.cyclesAfter = best.maxPathCycles;
+    rep.perfDegradationPct =
+        100.0 * (double(best.maxPathCycles) /
+                     double(before.maxPathCycles) -
+                 1.0);
+
+    rep.energyBeforeJ = before.peakEnergyJ;
+    rep.energyAfterJ = best.peakEnergyJ;
+    rep.energyOverheadPct =
+        100.0 * (best.peakEnergyJ / before.peakEnergyJ - 1.0);
+
+    rep.traceBeforeW = std::move(before.flatTraceW);
+    rep.traceAfterW = std::move(best.flatTraceW);
+    rep.ok = true;
+    return rep;
+}
+
+} // namespace opt
+} // namespace ulpeak

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Peak-power software optimizations (Sections 3.5 / 5.1).
+ *
+ * The COI analysis identifies the instructions and modules behind
+ * power peaks; these source-to-source transforms then rewrite the
+ * culprits:
+ *
+ *  - OPT1 (register-indexed loads): `mov x(rN), rM` splits into
+ *    address generation + register-indirect load, spreading one
+ *    cycle's activity over several;
+ *  - OPT2 (POP): `pop rM` (= mov @sp+, rM) splits into the data move
+ *    and the stack-pointer increment;
+ *  - OPT3 (multiplier overlap): a NOP is inserted between writing OP2
+ *    and reading RESLO/RESHI so the multiplier and the core do not
+ *    draw their peak in the same cycle.
+ */
+
+#ifndef ULPEAK_OPT_OPTIMIZER_HH
+#define ULPEAK_OPT_OPTIMIZER_HH
+
+#include <string>
+
+#include "bench430/benchmarks.hh"
+#include "peak/peak_analysis.hh"
+
+namespace ulpeak {
+namespace opt {
+
+struct TransformConfig {
+    bool opt1 = true;
+    bool opt2 = true;
+    bool opt3 = true;
+    /** Scratch register OPT1 may clobber ("" disables OPT1). */
+    std::string scratchReg;
+};
+
+struct TransformStats {
+    unsigned opt1Applied = 0;
+    unsigned opt2Applied = 0;
+    unsigned opt3Applied = 0;
+    unsigned total() const
+    {
+        return opt1Applied + opt2Applied + opt3Applied;
+    }
+};
+
+/** Rewrite assembly source; returns the transformed program. */
+std::string applyTransforms(const std::string &source,
+                            const TransformConfig &cfg,
+                            TransformStats *stats = nullptr);
+
+/** Before/after evaluation backing Figures 5.4 / 5.5 / 5.6. */
+struct OptimizationReport {
+    bool ok = false;
+    std::string error;
+    TransformStats transforms;
+
+    double peakBeforeW = 0.0;
+    double peakAfterW = 0.0;
+    double peakReductionPct = 0.0;
+
+    /** Peak power dynamic range = peak - worst-case average power. */
+    double dynRangeBeforeW = 0.0;
+    double dynRangeAfterW = 0.0;
+    double dynRangeReductionPct = 0.0;
+
+    uint64_t cyclesBefore = 0;
+    uint64_t cyclesAfter = 0;
+    double perfDegradationPct = 0.0;
+
+    double energyBeforeJ = 0.0;
+    double energyAfterJ = 0.0;
+    double energyOverheadPct = 0.0;
+
+    std::vector<float> traceBeforeW; ///< Figure 5.5
+    std::vector<float> traceAfterW;
+};
+
+/** Run the X-based analysis on a benchmark before and after the
+ *  transforms and compare. */
+OptimizationReport evaluateOptimizations(msp::System &sys,
+                                         const bench430::Benchmark &b,
+                                         const TransformConfig &cfg,
+                                         const peak::Options &opts);
+
+} // namespace opt
+} // namespace ulpeak
+
+#endif // ULPEAK_OPT_OPTIMIZER_HH

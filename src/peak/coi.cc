@@ -1,0 +1,100 @@
+#include "peak/coi.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "isa/disassembler.hh"
+#include "msp/cpu.hh"
+
+namespace ulpeak {
+namespace peak {
+
+std::string
+CoiReport::toString() const
+{
+    std::ostringstream os;
+    for (const CoiCycle &c : cois) {
+        os << "COI " << c.flatCycle << ": "
+           << c.powerW * 1e3 << " mW, " << c.fsmState << " of '"
+           << c.disasm << "' (0x" << std::hex << c.instrPc << std::dec
+           << ")\n";
+        for (auto &[mod, w] : c.modulePowerW)
+            os << "    " << mod << ": " << w * 1e3 << " mW\n";
+    }
+    return os.str();
+}
+
+CoiReport
+analyzeCoi(const Netlist &nl, const sym::SymbolicResult &sr,
+           const isa::Image &image, unsigned k,
+           uint64_t min_separation)
+{
+    CoiReport report;
+    auto refs = sr.tree.flattenRefs();
+    if (refs.empty())
+        return report;
+
+    // Rank cycles by power.
+    std::vector<uint64_t> order(refs.size());
+    for (uint64_t i = 0; i < refs.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+        const auto &ra = refs[a];
+        const auto &rb = refs[b];
+        return sr.tree.node(ra.nodeId).powerW[ra.offset] >
+               sr.tree.node(rb.nodeId).powerW[rb.offset];
+    });
+
+    auto flat = image.flatten();
+    auto fetch = [&](uint32_t a) -> uint16_t {
+        for (auto &[addr, w] : flat)
+            if (addr == a)
+                return w;
+        return 0xffff;
+    };
+
+    std::vector<uint64_t> chosen;
+    for (uint64_t idx : order) {
+        if (report.cois.size() >= k)
+            break;
+        bool tooClose = false;
+        for (uint64_t c : chosen)
+            if (uint64_t(std::llabs(int64_t(c) - int64_t(idx))) <
+                min_separation)
+                tooClose = true;
+        if (tooClose)
+            continue;
+        chosen.push_back(idx);
+
+        const auto &ref = refs[idx];
+        const sym::TreeNode &node = sr.tree.node(ref.nodeId);
+        CoiCycle coi;
+        coi.flatCycle = idx;
+        coi.powerW = node.powerW[ref.offset];
+        if (ref.offset < node.cycleInfo.size()) {
+            const sym::CycleInfo &info = node.cycleInfo[ref.offset];
+            coi.instrPc = info.instrPc;
+            coi.disasm = isa::disassemble(info.instrPc, fetch);
+            coi.fsmState = info.fsmState < msp::kNumStates
+                               ? msp::fsmStateName(info.fsmState)
+                               : "?";
+        }
+        if (ref.offset < node.modulePowerW.size()) {
+            const auto &mods = node.modulePowerW[ref.offset];
+            for (size_t m = 0; m < mods.size(); ++m) {
+                if (mods[m] <= 0.0)
+                    continue;
+                coi.modulePowerW.emplace_back(
+                    nl.moduleName(ModuleId(m)), double(mods[m]));
+            }
+            std::sort(coi.modulePowerW.begin(), coi.modulePowerW.end(),
+                      [](auto &a, auto &b) { return a.second > b.second; });
+        }
+        report.cois.push_back(std::move(coi));
+    }
+    return report;
+}
+
+} // namespace peak
+} // namespace ulpeak

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Cycle-of-interest (COI) analysis, Section 3.5 / Figure 3.6: locate
+ * the peak-power cycles, attribute them to the instructions in the
+ * pipeline and to the microarchitectural modules consuming the power,
+ * so software optimizations (Section 5.1) can target them.
+ */
+
+#ifndef ULPEAK_PEAK_COI_HH
+#define ULPEAK_PEAK_COI_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "sym/symbolic_engine.hh"
+
+namespace ulpeak {
+namespace peak {
+
+struct CoiCycle {
+    uint64_t flatCycle = 0;
+    double powerW = 0.0;
+    uint32_t instrPc = 0;       ///< instruction in execute/mem
+    std::string disasm;
+    std::string fsmState;
+    /** (module name, power W) sorted descending. */
+    std::vector<std::pair<std::string, double>> modulePowerW;
+};
+
+struct CoiReport {
+    std::vector<CoiCycle> cois;
+    std::string toString() const;
+};
+
+/**
+ * Extract the top-@p k distinct peak cycles from a symbolic result
+ * produced with Options::recordModuleTrace. Cycles closer than
+ * @p min_separation to an already-selected COI are skipped so the
+ * report covers distinct peaks, not one peak's neighborhood.
+ */
+CoiReport analyzeCoi(const Netlist &nl, const sym::SymbolicResult &sr,
+                     const isa::Image &image, unsigned k,
+                     uint64_t min_separation = 4);
+
+} // namespace peak
+} // namespace ulpeak
+
+#endif // ULPEAK_PEAK_COI_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Literal implementation of Algorithm 2's even/odd VCD construction.
+ *
+ * The paper records the flattened execution trace in a VCD, then
+ * derives two VCDs: one whose X assignments maximize transitions in
+ * every even cycle, one for every odd cycle. Power analysis over each
+ * file plus interleaving yields the per-cycle peak power trace. The
+ * engine computes the same per-cycle bound online; the test suite
+ * proves the two agree cycle-for-cycle (the constructions are
+ * equivalent because even pairs (c-1, c) are disjoint, so the local
+ * max-transition assignment is globally consistent within one file).
+ */
+
+#ifndef ULPEAK_PEAK_EVEN_ODD_HH
+#define ULPEAK_PEAK_EVEN_ODD_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "msp/cpu.hh"
+
+namespace ulpeak {
+namespace peak {
+
+/** A recorded per-cycle, per-gate value/activity trace. */
+struct GateTrace {
+    /** values[c][g] = value of gate g during cycle c. */
+    std::vector<std::vector<V4>> values;
+    /** active[c][g] != 0 iff gate g is active in cycle c
+     *  (Section 3.1's definition). */
+    std::vector<std::vector<uint8_t>> active;
+    /** Per-cycle switching bound computed online, for comparison. */
+    std::vector<double> onlineBoundJ;
+};
+
+/**
+ * Run @p image for @p cycles with all port inputs X (single-path
+ * prefix of the symbolic simulation) and record every gate's value.
+ */
+GateTrace recordGateTrace(msp::System &sys, const isa::Image &image,
+                          uint64_t cycles);
+
+/**
+ * Algorithm 2 lines 2-17: derive the VCD whose X assignments maximize
+ * transitions in cycles with parity @p even (true: even cycles).
+ * Signals are named g0..gN-1 in gate order.
+ */
+std::string buildMaxVcd(const Netlist &nl, const GateTrace &trace,
+                        bool even);
+
+/**
+ * Activity-based power analysis over a VCD (the PrimeTime role):
+ * per-cycle switching energy from the value changes. [J per cycle]
+ */
+std::vector<double> switchingEnergyFromVcd(const Netlist &nl,
+                                           const std::string &vcd_text);
+
+/** Algorithm 2 line 19: interleave even/odd traces. */
+std::vector<double> interleave(const std::vector<double> &even_trace,
+                               const std::vector<double> &odd_trace);
+
+} // namespace peak
+} // namespace ulpeak
+
+#endif // ULPEAK_PEAK_EVEN_ODD_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Public entry point for application-specific, input-independent peak
+ * power and energy analysis -- the tool the paper describes: given an
+ * application binary and the processor netlist, return guaranteed
+ * peak power and energy requirements valid for every input.
+ *
+ * Quickstart:
+ * @code
+ *   msp::System sys(CellLibrary::tsmc65Like());
+ *   isa::Image app = isa::assemble(source);
+ *   peak::Report r = peak::analyze(sys, app, peak::Options{});
+ *   // r.peakPowerW, r.peakEnergyJ, r.npeJPerCycle
+ * @endcode
+ */
+
+#ifndef ULPEAK_PEAK_PEAK_ANALYSIS_HH
+#define ULPEAK_PEAK_PEAK_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "sym/symbolic_engine.hh"
+
+namespace ulpeak {
+namespace peak {
+
+struct Options {
+    double freqHz = 100e6;
+    bool recordActiveSets = false;
+    bool recordModuleTrace = false;
+    unsigned inputDependentLoopBound = 0;
+    uint64_t maxTotalCycles = 3000000;
+};
+
+/** Application-specific input-independent requirements (the paper's
+ *  "X-based" numbers). */
+struct Report {
+    bool ok = false;
+    std::string error;
+
+    double peakPowerW = 0.0;    ///< Figure 5.1's X-based bars
+    double peakEnergyJ = 0.0;   ///< Section 3.3 bound
+    double npeJPerCycle = 0.0;  ///< Figure 5.2's X-based bars
+    uint64_t maxPathCycles = 0;
+
+    /** Flattened per-cycle peak power trace (Figure 3.3). */
+    std::vector<float> flatTraceW;
+
+    /** Gates that can ever toggle / gates active at the peak cycle
+     *  (Figures 1.5 and 3.4), when Options::recordActiveSets. */
+    std::vector<uint8_t> everActive;
+    std::vector<uint32_t> peakActive;
+
+    /** Exploration statistics. */
+    uint64_t totalCycles = 0;
+    uint32_t pathsExplored = 0;
+    uint32_t dedupMerges = 0;
+
+    /** Full result (execution tree etc.) for advanced consumers. */
+    sym::SymbolicResult sym;
+};
+
+/** Run the full analysis of Chapter 3 on @p image. */
+Report analyze(msp::System &sys, const isa::Image &image,
+               const Options &opts);
+
+/** Count active gates per top-level module (activity-map figures). */
+std::vector<std::pair<std::string, size_t>>
+activeGatesPerModule(const Netlist &nl,
+                     const std::vector<uint32_t> &gates);
+
+} // namespace peak
+} // namespace ulpeak
+
+#endif // ULPEAK_PEAK_PEAK_ANALYSIS_HH

@@ -1,0 +1,51 @@
+#include "peak/validation.hh"
+
+#include <algorithm>
+
+namespace ulpeak {
+namespace peak {
+
+ActivityValidation
+validateActivity(const std::vector<uint8_t> &x_based,
+                 const std::vector<uint8_t> &input_based)
+{
+    ActivityValidation v;
+    size_t n = std::min(x_based.size(), input_based.size());
+    for (size_t g = 0; g < n; ++g) {
+        bool x = x_based[g] != 0;
+        bool c = input_based[g] != 0;
+        if (x && c)
+            ++v.commonGates;
+        else if (x)
+            ++v.xOnlyGates;
+        else if (c)
+            ++v.inputOnlyGates;
+    }
+    v.isSuperset = v.inputOnlyGates == 0;
+    return v;
+}
+
+TraceValidation
+validateTraceBound(const std::vector<float> &x_trace,
+                   const std::vector<float> &c_trace,
+                   double tolerance_w)
+{
+    TraceValidation v;
+    size_t n = std::min(x_trace.size(), c_trace.size());
+    double slackSum = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+        double slack = double(x_trace[c]) - double(c_trace[c]);
+        slackSum += slack;
+        if (slack < -tolerance_w) {
+            ++v.violations;
+            v.maxViolationW = std::max(v.maxViolationW, -slack);
+        }
+    }
+    v.comparedCycles = n;
+    v.meanSlackW = n ? slackSum / double(n) : 0.0;
+    v.bounds = v.violations == 0;
+    return v;
+}
+
+} // namespace peak
+} // namespace ulpeak

@@ -1,0 +1,52 @@
+#include "peak/peak_analysis.hh"
+
+#include <map>
+
+namespace ulpeak {
+namespace peak {
+
+Report
+analyze(msp::System &sys, const isa::Image &image, const Options &opts)
+{
+    sym::SymbolicConfig cfg;
+    cfg.freqHz = opts.freqHz;
+    cfg.recordActiveSets = opts.recordActiveSets;
+    cfg.recordModuleTrace = opts.recordModuleTrace;
+    cfg.inputDependentLoopBound = opts.inputDependentLoopBound;
+    cfg.maxTotalCycles = opts.maxTotalCycles;
+
+    sym::SymbolicEngine engine(sys, cfg);
+    sym::SymbolicResult sr = engine.run(image);
+
+    Report r;
+    r.ok = sr.ok;
+    r.error = sr.error;
+    r.peakPowerW = sr.peakPowerW;
+    r.peakEnergyJ = sr.peakEnergyJ;
+    r.npeJPerCycle = sr.npeJPerCycle;
+    r.maxPathCycles = sr.maxPathCycles;
+    r.totalCycles = sr.totalCycles;
+    r.pathsExplored = sr.pathsExplored;
+    r.dedupMerges = sr.dedupMerges;
+    if (sr.ok)
+        r.flatTraceW = sr.tree.flatten();
+    r.everActive = sr.everActive;
+    r.peakActive = sr.peakActive;
+    r.sym = std::move(sr);
+    return r;
+}
+
+std::vector<std::pair<std::string, size_t>>
+activeGatesPerModule(const Netlist &nl,
+                     const std::vector<uint32_t> &gates)
+{
+    std::map<std::string, size_t> counts;
+    for (uint32_t g : gates) {
+        ModuleId top = nl.topLevelModuleOf(nl.gate(g).module);
+        ++counts[nl.moduleName(top)];
+    }
+    return {counts.begin(), counts.end()};
+}
+
+} // namespace peak
+} // namespace ulpeak

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Validation utilities of Section 3.4: the X-based analysis must (a)
+ * mark a superset of the gates any input-based run toggles
+ * (Figure 3.4) and (b) produce a per-cycle power trace that upper-
+ * bounds every input-based power trace (Figure 3.5).
+ */
+
+#ifndef ULPEAK_PEAK_VALIDATION_HH
+#define ULPEAK_PEAK_VALIDATION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ulpeak {
+namespace peak {
+
+struct ActivityValidation {
+    bool isSuperset = false;
+    size_t commonGates = 0;     ///< toggled in both analyses
+    size_t xOnlyGates = 0;      ///< potentially-toggled only (blue
+                                ///< triangles in Figure 3.4)
+    size_t inputOnlyGates = 0;  ///< would be a soundness bug
+};
+
+/** Compare the X-based potentially-toggled set against a concrete
+ *  run's toggled set. */
+ActivityValidation
+validateActivity(const std::vector<uint8_t> &x_based,
+                 const std::vector<uint8_t> &input_based);
+
+struct TraceValidation {
+    bool bounds = false;
+    uint64_t violations = 0;
+    uint64_t comparedCycles = 0;
+    double maxViolationW = 0.0;
+    /** Mean (x - concrete) over compared cycles: how tight the bound
+     *  is (Figure 3.5 shows the traces close together). */
+    double meanSlackW = 0.0;
+};
+
+/**
+ * Check that the X-based per-cycle trace upper-bounds the concrete
+ * trace, cycle-aligned (valid for matching execution paths; for
+ * forked programs compare along the concrete path's prefix).
+ */
+TraceValidation validateTraceBound(const std::vector<float> &x_trace,
+                                   const std::vector<float> &c_trace,
+                                   double tolerance_w = 1e-9);
+
+} // namespace peak
+} // namespace ulpeak
+
+#endif // ULPEAK_PEAK_VALIDATION_HH

@@ -1,0 +1,76 @@
+#include "power/analysis.hh"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace ulpeak {
+namespace power {
+
+ConcreteRunResult
+runConcrete(msp::System &sys, const isa::Image &image,
+            const PowerContext &ctx, const ConcreteRunOptions &opts,
+            const RamInit &ram_init)
+{
+    sys.memory().reset();
+    sys.loadImage(image);
+    for (auto &[addr, words] : ram_init)
+        sys.memory().loadRam(addr, words);
+    sys.clearHalted();
+
+    Simulator sim(sys.netlist());
+    sys.attach(sim);
+    sys.reset(sim);
+
+    ConcreteRunResult r;
+    size_t nmod = sys.netlist().numModules();
+    if (opts.recordModules)
+        r.traceModulesW.resize(nmod);
+    if (opts.recordActivity)
+        r.everActive.assign(sys.netlist().numGates(), 0);
+
+    while (!sys.halted() && sim.cycle() < opts.maxCycles) {
+        sim.step([&](Simulator &s) {
+            sys.driveCycle(s, Word16::known(opts.portIn));
+        });
+        double w = ctx.cycleBoundPowerW(sim);
+        r.stats.add(w);
+        if (opts.recordTrace)
+            r.traceW.push_back(float(w));
+        if (opts.recordModules) {
+            std::vector<double> mod = ctx.cycleModulePowerW(sim);
+            for (size_t m = 0; m < nmod; ++m)
+                r.traceModulesW[m].push_back(float(mod[m]));
+        }
+        if (opts.recordActivity)
+            for (GateId g : sim.activeGates())
+                r.everActive[g] = 1;
+    }
+    r.halted = sys.halted();
+    r.totalEnergyJ = r.stats.energyJ(ctx.tclkS());
+    return r;
+}
+
+void
+writePowerCsv(const std::string &path, const std::vector<float> &trace_w,
+              const std::vector<std::vector<float>> *modules,
+              const std::vector<std::string> *module_names)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("cannot open " + path);
+    os << "cycle,power_w";
+    if (modules && module_names)
+        for (const std::string &n : *module_names)
+            os << "," << n;
+    os << "\n";
+    for (size_t c = 0; c < trace_w.size(); ++c) {
+        os << c << "," << trace_w[c];
+        if (modules)
+            for (const auto &m : *modules)
+                os << "," << (c < m.size() ? m[c] : 0.0f);
+        os << "\n";
+    }
+}
+
+} // namespace power
+} // namespace ulpeak

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Activity-based power analysis runs: execute a binary concretely on
+ * the gate-level system and record the per-cycle power trace (the
+ * input-based profiling primitive of the paper) -- plus CSV output
+ * used by the figure-regeneration benches.
+ */
+
+#ifndef ULPEAK_POWER_ANALYSIS_HH
+#define ULPEAK_POWER_ANALYSIS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "msp/cpu.hh"
+#include "power/power_model.hh"
+
+namespace ulpeak {
+namespace power {
+
+/** Concrete words loaded into RAM before a run (the input set). */
+using RamInit = std::vector<std::pair<uint32_t, std::vector<uint16_t>>>;
+
+struct ConcreteRunOptions {
+    uint64_t maxCycles = 200000;
+    bool recordTrace = true;
+    bool recordModules = false;
+    /** Record the union of gates that toggled (Figure 3.4's
+     *  input-based sets, validated against the X-based superset). */
+    bool recordActivity = false;
+    uint16_t portIn = 0;
+};
+
+struct ConcreteRunResult {
+    bool halted = false;
+    TraceStats stats;
+    std::vector<float> traceW;
+    /** traceModulesW[m][c]: power of top module m in cycle c. */
+    std::vector<std::vector<float>> traceModulesW;
+    std::vector<uint8_t> everActive;
+    double totalEnergyJ = 0.0;
+
+    double npeJPerCycle() const
+    {
+        return stats.cycles ? totalEnergyJ / double(stats.cycles) : 0.0;
+    }
+};
+
+/**
+ * Run @p image on @p sys with concrete inputs and record power. The
+ * system's memory is reset and reloaded, so calls are independent.
+ */
+ConcreteRunResult runConcrete(msp::System &sys, const isa::Image &image,
+                              const PowerContext &ctx,
+                              const ConcreteRunOptions &opts,
+                              const RamInit &ram_init = {});
+
+/** Write "cycle,power_w" rows (plus optional per-module columns). */
+void writePowerCsv(const std::string &path,
+                   const std::vector<float> &trace_w,
+                   const std::vector<std::vector<float>> *modules = nullptr,
+                   const std::vector<std::string> *module_names = nullptr);
+
+} // namespace power
+} // namespace ulpeak
+
+#endif // ULPEAK_POWER_ANALYSIS_HH

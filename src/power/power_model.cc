@@ -1,0 +1,33 @@
+#include "power/power_model.hh"
+
+namespace ulpeak {
+namespace power {
+
+PowerContext::PowerContext(const Netlist &nl, double freq)
+    : nl_(&nl), freq_(freq)
+{
+    double tclk = 1.0 / freq_;
+    staticPerCycle_ =
+        nl.clockEnergyPerCycleJ() + nl.totalLeakageW() * tclk;
+
+    moduleStatic_.assign(nl.numModules(), 0.0);
+    const CellLibrary &lib = nl.library();
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+        const CellParams &p = lib.params(nl.gate(g).kind);
+        ModuleId top = nl.topLevelModuleOf(nl.gate(g).module);
+        moduleStatic_[top] += p.clkPinEnergyJ + p.leakageW * tclk;
+    }
+}
+
+std::vector<double>
+PowerContext::cycleModulePowerW(const Simulator &sim) const
+{
+    const std::vector<double> &sw = sim.moduleBoundEnergyJ();
+    std::vector<double> out(sw.size(), 0.0);
+    for (size_t m = 0; m < sw.size(); ++m)
+        out[m] = (sw[m] + moduleStatic_[m]) * freq_;
+    return out;
+}
+
+} // namespace power
+} // namespace ulpeak

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Power-analysis context: converts the simulator's per-cycle switching
+ * energies into power numbers at an operating point, adding the static
+ * per-cycle components (clock tree and leakage) -- the PrimeTime role
+ * in the paper's flow.
+ */
+
+#ifndef ULPEAK_POWER_POWER_MODEL_HH
+#define ULPEAK_POWER_POWER_MODEL_HH
+
+#include <vector>
+
+#include "netlist/netlist.hh"
+#include "sim/simulator.hh"
+
+namespace ulpeak {
+namespace power {
+
+class PowerContext {
+  public:
+    /**
+     * @param nl     finalized netlist
+     * @param freq   clock frequency [Hz] (paper: 100 MHz for the
+     *               openMSP430 evaluation, 8 MHz for the F1610
+     *               measurements)
+     */
+    PowerContext(const Netlist &nl, double freq);
+
+    double freqHz() const { return freq_; }
+    double tclkS() const { return 1.0 / freq_; }
+
+    /** Clock + leakage energy paid every cycle regardless of
+     *  activity [J]. */
+    double staticEnergyPerCycleJ() const { return staticPerCycle_; }
+
+    /** Power of one cycle given its switching energy [W]. */
+    double
+    cyclePowerW(double switching_j) const
+    {
+        return (switching_j + staticPerCycle_) * freq_;
+    }
+
+    /** Bound power of the cycle most recently stepped on @p sim. */
+    double
+    cycleBoundPowerW(const Simulator &sim) const
+    {
+        return cyclePowerW(sim.boundEnergyJ());
+    }
+    /** Concrete-transition power of the last cycle. */
+    double
+    cycleActualPowerW(const Simulator &sim) const
+    {
+        return cyclePowerW(sim.actualEnergyJ());
+    }
+
+    /**
+     * Per-top-level-module power split of the last cycle (bound
+     * assignment), including each module's share of clock and leakage.
+     * Indexed by ModuleId (only direct children of top are nonzero,
+     * plus index 0 for unattributed top-level gates).
+     */
+    std::vector<double> cycleModulePowerW(const Simulator &sim) const;
+
+    const Netlist &netlist() const { return *nl_; }
+    /** Static (clock+leak) per-cycle energy of one module [J]. */
+    double
+    moduleStaticEnergyJ(ModuleId m) const
+    {
+        return moduleStatic_[m];
+    }
+
+  private:
+    const Netlist *nl_;
+    double freq_;
+    double staticPerCycle_;
+    std::vector<double> moduleStatic_;
+};
+
+/** Running statistics over a power trace. */
+struct TraceStats {
+    double peakW = 0.0;
+    double sumW = 0.0;
+    uint64_t cycles = 0;
+    uint64_t peakCycle = 0;
+
+    void
+    add(double w)
+    {
+        if (w > peakW) {
+            peakW = w;
+            peakCycle = cycles;
+        }
+        sumW += w;
+        ++cycles;
+    }
+
+    double avgW() const { return cycles ? sumW / cycles : 0.0; }
+    /** Total energy at @p tclk seconds per cycle [J]. */
+    double energyJ(double tclk) const { return sumW * tclk; }
+};
+
+} // namespace power
+} // namespace ulpeak
+
+#endif // ULPEAK_POWER_POWER_MODEL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Statistical activity propagation -- the "design tool" rating.
+ *
+ * The paper's design-specification baseline performs power analysis
+ * "using the default input toggle rate used by our design tools"
+ * (Section 4.2), i.e. no simulation: every primary input and register
+ * output is assumed to toggle at a default rate with static
+ * probability 0.5, and activity is propagated through the
+ * combinational network. We implement the classic Najm-style
+ * estimator: exact signal probabilities per cell (inputs assumed
+ * independent) and transition densities via Boolean differences.
+ */
+
+#ifndef ULPEAK_POWER_STATISTICAL_HH
+#define ULPEAK_POWER_STATISTICAL_HH
+
+#include "netlist/netlist.hh"
+
+namespace ulpeak {
+namespace power {
+
+struct StatisticalResult {
+    double totalPowerW = 0.0;
+    double switchingPowerW = 0.0;
+    double clockPowerW = 0.0;
+    double leakagePowerW = 0.0;
+    /** Per-gate toggle density (transitions per cycle). */
+    std::vector<double> density;
+    /** Per-gate static probability of logic 1. */
+    std::vector<double> probOne;
+};
+
+/**
+ * Estimate average power with all sources toggling at
+ * @p default_toggle_rate transitions/cycle and P(1)=0.5.
+ *
+ * The returned figure is the design-tool power *rating* of the design
+ * at this operating point; the paper's design-spec peak-power
+ * requirement is exactly this number (and its peak-energy requirement
+ * is this number times the clock period, flat over the whole run).
+ */
+StatisticalResult statisticalPower(const Netlist &nl, double freq_hz,
+                                   double default_toggle_rate = 0.2);
+
+} // namespace power
+} // namespace ulpeak
+
+#endif // ULPEAK_POWER_STATISTICAL_HH

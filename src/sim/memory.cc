@@ -1,0 +1,105 @@
+#include "sim/memory.hh"
+
+#include <cassert>
+
+namespace ulpeak {
+
+Memory::Memory(uint32_t ram_base, uint32_t ram_size, uint32_t rom_base)
+    : ramBase_(ram_base), ramSize_(ram_size), romBase_(rom_base)
+{
+    assert(ram_base % 2 == 0 && ram_size % 2 == 0 && rom_base % 2 == 0);
+    ramVal_.assign(ram_size / 2, 0);
+    ramX_.assign(ram_size / 2, 0xffff);
+    rom_.assign((0x10000 - rom_base) / 2, 0xffff);
+}
+
+void
+Memory::reset()
+{
+    ramVal_.assign(ramVal_.size(), 0);
+    ramX_.assign(ramX_.size(), 0xffff);
+}
+
+void
+Memory::loadRom(uint32_t addr, const std::vector<uint16_t> &words)
+{
+    for (size_t i = 0; i < words.size(); ++i) {
+        uint32_t a = addr + uint32_t(i) * 2;
+        assert(inRom(a));
+        rom_[(a - romBase_) / 2] = words[i];
+    }
+}
+
+void
+Memory::loadRam(uint32_t addr, const std::vector<uint16_t> &words)
+{
+    for (size_t i = 0; i < words.size(); ++i) {
+        uint32_t a = addr + uint32_t(i) * 2;
+        assert(inRam(a));
+        ramVal_[(a - ramBase_) / 2] = words[i];
+        ramX_[(a - ramBase_) / 2] = 0;
+    }
+}
+
+Word16
+Memory::read(uint32_t addr) const
+{
+    addr &= 0xfffe;
+    if (inRam(addr)) {
+        size_t i = (addr - ramBase_) / 2;
+        return Word16(ramVal_[i], ramX_[i]);
+    }
+    if (inRom(addr))
+        return Word16::known(rom_[(addr - romBase_) / 2]);
+    return Word16::allX();
+}
+
+void
+Memory::write(uint32_t addr, Word16 w)
+{
+    addr &= 0xfffe;
+    if (!inRam(addr))
+        return;
+    size_t i = (addr - ramBase_) / 2;
+    ramVal_[i] = w.value;
+    ramX_[i] = w.xmask;
+}
+
+void
+Memory::poisonRam(uint32_t addr, uint32_t words)
+{
+    for (uint32_t i = 0; i < words; ++i) {
+        uint32_t a = (addr & 0xfffe) + i * 2;
+        assert(inRam(a));
+        ramVal_[(a - ramBase_) / 2] = 0;
+        ramX_[(a - ramBase_) / 2] = 0xffff;
+    }
+}
+
+void
+Memory::hashInto(uint64_t &h) const
+{
+    auto mix = [&h](uint16_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    for (size_t i = 0; i < ramVal_.size(); ++i) {
+        mix(ramVal_[i]);
+        mix(ramX_[i]);
+    }
+}
+
+Memory::Snapshot
+Memory::snapshot() const
+{
+    return Snapshot{ramVal_, ramX_};
+}
+
+void
+Memory::restore(const Snapshot &s)
+{
+    ramVal_ = s.ramVal;
+    ramX_ = s.ramX;
+}
+
+} // namespace ulpeak

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Behavioral three-valued memory.
+ *
+ * Program and data memory are RAM macros, not standard cells, both in
+ * the paper's placed-and-routed openMSP430 and here. The Memory class
+ * stores 16-bit words with a per-bit X mask. Algorithm 1 line 2
+ * ("initialize all memory cells ... to X") corresponds to reset():
+ * everything not loaded from the binary reads back X.
+ *
+ * The address space follows the MSP430 convention used by src/msp:
+ * peripherals live below 0x0200 (handled by the system, not by Memory),
+ * RAM at [ramBase, ramBase + ramSize), ROM (program + interrupt vectors)
+ * at [romBase, 0x10000). Word-aligned access only: the ULP core performs
+ * word operations (byte mode is out of scope, see DESIGN.md).
+ */
+
+#ifndef ULPEAK_SIM_MEMORY_HH
+#define ULPEAK_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/v4.hh"
+
+namespace ulpeak {
+
+class Memory {
+  public:
+    Memory(uint32_t ram_base, uint32_t ram_size, uint32_t rom_base);
+
+    /** Set all RAM bits to X; ROM keeps its loaded image. */
+    void reset();
+
+    /** Load a concrete image (e.g. the application binary) into ROM. */
+    void loadRom(uint32_t addr, const std::vector<uint16_t> &words);
+    /** Load concrete words into RAM (e.g. initialized data). */
+    void loadRam(uint32_t addr, const std::vector<uint16_t> &words);
+
+    /**
+     * Read the word containing @p addr (bit 0 ignored). Unmapped
+     * addresses read all-X, like floating bus lines.
+     */
+    Word16 read(uint32_t addr) const;
+
+    /** Write a word; ROM and unmapped writes are ignored. */
+    void write(uint32_t addr, Word16 w);
+
+    /** Store a fully-X word at a RAM address (marks an input buffer). */
+    void poisonRam(uint32_t addr, uint32_t words);
+
+    bool
+    inRam(uint32_t addr) const
+    {
+        return addr >= ramBase_ && addr < ramBase_ + ramSize_;
+    }
+    bool
+    inRom(uint32_t addr) const
+    {
+        return addr >= romBase_ && addr < 0x10000;
+    }
+
+    uint32_t ramBase() const { return ramBase_; }
+    uint32_t ramSize() const { return ramSize_; }
+    uint32_t romBase() const { return romBase_; }
+
+    /** Mix the RAM contents into @p h (FNV-1a) for state dedup. */
+    void hashInto(uint64_t &h) const;
+
+    /// @name Snapshot / restore for execution-tree forking
+    /// @{
+    struct Snapshot {
+        std::vector<uint16_t> ramVal;
+        std::vector<uint16_t> ramX;
+    };
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+    /// @}
+
+  private:
+    uint32_t ramBase_, ramSize_, romBase_;
+    std::vector<uint16_t> ramVal_, ramX_;
+    std::vector<uint16_t> rom_;
+};
+
+} // namespace ulpeak
+
+#endif // ULPEAK_SIM_MEMORY_HH

@@ -1,0 +1,266 @@
+#include "sim/simulator.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ulpeak {
+
+Simulator::Simulator(const Netlist &nl) : nl_(&nl)
+{
+    if (!nl.finalized())
+        throw std::logic_error("Simulator requires a finalized netlist");
+    size_t n = nl.numGates();
+    val_.assign(n, V4::X);
+    prev_.assign(n, V4::X);
+    active_.assign(n, 0);
+    activePrev_.assign(n, 0);
+    loadedPrevEdge_.assign(nl.seqGates().size(), 1);
+    seqIndexOf_.assign(n, UINT32_MAX);
+    for (size_t i = 0; i < nl.seqGates().size(); ++i)
+        seqIndexOf_[nl.seqGates()[i]] = uint32_t(i);
+    topModuleOf_.resize(n);
+    for (GateId g = 0; g < n; ++g)
+        topModuleOf_[g] = nl.topLevelModuleOf(nl.gate(g).module);
+    hookFns_.resize(nl.hooks().size());
+    moduleEnergy_.assign(nl.numModules(), 0.0);
+}
+
+void
+Simulator::setHookFn(uint32_t hook_id, HookFn fn)
+{
+    hookFns_.at(hook_id) = std::move(fn);
+}
+
+void
+Simulator::addEdgeFn(EdgeFn fn)
+{
+    edgeFns_.push_back(std::move(fn));
+}
+
+void
+Simulator::setInput(GateId g, V4 v)
+{
+    assert(nl_->gate(g).kind == CellKind::Input);
+    val_[g] = v;
+}
+
+void
+Simulator::setInputBus(const std::vector<GateId> &bus, Word16 w)
+{
+    for (size_t i = 0; i < bus.size(); ++i)
+        setInput(bus[i], w.bit(unsigned(i)));
+}
+
+void
+Simulator::forceBus(const std::vector<GateId> &bus, Word16 w)
+{
+    for (size_t i = 0; i < bus.size(); ++i)
+        val_[bus[i]] = w.bit(unsigned(i));
+}
+
+Word16
+Simulator::readBus(const std::vector<GateId> &bus) const
+{
+    Word16 w;
+    for (size_t i = 0; i < bus.size(); ++i)
+        w.setBit(unsigned(i), val_[bus[i]]);
+    return w;
+}
+
+void
+Simulator::addBehavioralEnergyJ(double j, ModuleId top_module)
+{
+    actualEnergy_ += j;
+    boundEnergy_ += j;
+    behavioralEnergy_ += j;
+    moduleEnergy_[top_module] += j;
+}
+
+void
+Simulator::updateSequential()
+{
+    const auto &seq = nl_->seqGates();
+    for (size_t i = 0; i < seq.size(); ++i) {
+        GateId g = seq[i];
+        const Gate &gate = nl_->gate(g);
+        V4 ins[3];
+        for (unsigned p = 0; p < gate.nin; ++p)
+            ins[p] = prev_[gate.in[p]];
+        V4 q = prev_[g];
+        bool held = false;
+        V4 newq = evalSeqCell(gate.kind, q, ins, held);
+        val_[g] = newq;
+
+        bool act;
+        bool x_involved = !isKnown(newq) || !isKnown(q);
+        if (held) {
+            act = false;
+        } else if (!x_involved) {
+            act = newq != q;
+        } else {
+            // An unknown output may have toggled at this edge unless we
+            // can prove the loaded value is the same unknown as before:
+            // the flop loaded at the previous edge too, its D pin was
+            // inactive then, and no control pin is X.
+            bool ctrl_x = false;
+            for (unsigned p = 1; p < gate.nin; ++p)
+                if (!isKnown(ins[p]))
+                    ctrl_x = true;
+            act = !loadedPrevEdge_[i] || ctrl_x ||
+                  activePrev_[gate.in[0]] ||
+                  (isKnown(newq) != isKnown(q));
+        }
+        active_[g] = act;
+        if (act)
+            activeList_.push_back(g);
+        loadedPrevEdge_[i] = held ? 0 : 1;
+    }
+}
+
+void
+Simulator::sweep()
+{
+    V4 ins[4];
+    for (const EvalItem &item : nl_->evalOrder()) {
+        if (item.type == EvalItem::Type::Hook) {
+            if (hookFns_[item.index])
+                hookFns_[item.index](*this);
+            continue;
+        }
+        GateId g = item.index;
+        const Gate &gate = nl_->gate(g);
+        switch (gate.kind) {
+          case CellKind::Const0:
+            val_[g] = V4::Zero;
+            active_[g] = 0;
+            continue;
+          case CellKind::Const1:
+            val_[g] = V4::One;
+            active_[g] = 0;
+            continue;
+          case CellKind::Input: {
+            // Value was set by the driver or a hook (or holds over from
+            // the previous cycle). An unknown input may toggle at any
+            // time, so X counts as active.
+            bool act = val_[g] != prev_[g] || val_[g] == V4::X;
+            active_[g] = act;
+            if (act)
+                activeList_.push_back(g);
+            continue;
+          }
+          default:
+            break;
+        }
+        if (isSequential(gate.kind))
+            continue; // handled in updateSequential()
+
+        bool fanin_active = false;
+        for (unsigned p = 0; p < gate.nin; ++p) {
+            GateId src = gate.in[p];
+            ins[p] = val_[src];
+            fanin_active |= active_[src] != 0;
+        }
+        V4 v = evalCell(gate.kind, ins);
+        val_[g] = v;
+        bool act = v != prev_[g] || (v == V4::X && fanin_active);
+        active_[g] = act;
+        if (act)
+            activeList_.push_back(g);
+    }
+}
+
+void
+Simulator::step(const std::function<void(Simulator &)> &driver)
+{
+    // Commit edge effects (memory writes) of the previous cycle.
+    if (cycle_ > 0)
+        for (auto &fn : edgeFns_)
+            fn(*this);
+
+    prev_ = val_;
+    activePrev_ = active_;
+    activeList_.clear();
+    actualEnergy_ = 0.0;
+    boundEnergy_ = 0.0;
+    behavioralEnergy_ = 0.0;
+    std::fill(moduleEnergy_.begin(), moduleEnergy_.end(), 0.0);
+
+    updateSequential();
+    if (driver)
+        driver(*this);
+    sweep();
+
+    // Per-cycle energy: concrete transitions (actual) and the
+    // Algorithm-2 per-cycle peak assignment (bound).
+    for (GateId g : activeList_) {
+        V4 p = prev_[g];
+        V4 c = val_[g];
+        double e;
+        if (isKnown(p) && isKnown(c)) {
+            if (p == c)
+                continue; // active-X propagation flag only, no toggle
+            e = (c == V4::One) ? nl_->riseEnergyJ(g)
+                               : nl_->fallEnergyJ(g);
+            actualEnergy_ += e;
+        } else if (isKnown(p)) {
+            // Assign the X to !p: the transition p -> !p happened.
+            e = (p == V4::Zero) ? nl_->riseEnergyJ(g)
+                                : nl_->fallEnergyJ(g);
+        } else if (isKnown(c)) {
+            // Assign the previous X to !c.
+            e = (c == V4::One) ? nl_->riseEnergyJ(g)
+                               : nl_->fallEnergyJ(g);
+        } else {
+            // Both unknown: the cell's maximum-power transition
+            // (Algorithm 2, maxTransition lookup).
+            e = nl_->maxEnergyJ(g);
+        }
+        boundEnergy_ += e;
+        moduleEnergy_[topModuleOf_[g]] += e;
+    }
+
+    ++cycle_;
+}
+
+Simulator::Snapshot
+Simulator::snapshot() const
+{
+    // Captured between steps: active_ holds the last stepped cycle's
+    // activity, which the next step() moves into activePrev_.
+    return Snapshot{val_, prev_, active_, loadedPrevEdge_, cycle_};
+}
+
+void
+Simulator::restore(const Snapshot &s)
+{
+    val_ = s.val;
+    prev_ = s.prev;
+    active_ = s.activeLast;
+    loadedPrevEdge_ = s.loadedPrevEdge;
+    cycle_ = s.cycle;
+    activeList_.clear();
+}
+
+V4
+Simulator::predictSeqValue(GateId g) const
+{
+    const Gate &gate = nl_->gate(g);
+    V4 ins[3];
+    for (unsigned p = 0; p < gate.nin; ++p)
+        ins[p] = val_[gate.in[p]];
+    bool held = false;
+    return evalSeqCell(gate.kind, val_[g], ins, held);
+}
+
+uint64_t
+Simulator::hashSeqState() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (GateId g : nl_->seqGates()) {
+        h ^= uint8_t(val_[g]);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace ulpeak

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Cycle-based three-valued gate-level simulator with activity tracking.
+ *
+ * Each step() evaluates one clock cycle: sequential outputs update from
+ * the previous cycle's stable values, the cycle driver sets primary
+ * inputs, behavioral hooks (RAM) run at their levelized position, and
+ * every combinational gate is evaluated once in topological order.
+ *
+ * Activity follows the paper's definition (Section 3.1): a gate is
+ * active in a cycle if its value changed, or if it is X and is driven by
+ * an active gate. Sequential gates additionally use provable-hold
+ * information (enable low) to rule out toggles of unknown values. Per
+ * cycle the simulator produces two energies:
+ *
+ *  - actualEnergy: energy of the concrete transitions that occurred
+ *    (meaningful for concrete, X-free runs -- this is ordinary
+ *    VCD-style power analysis);
+ *  - boundEnergy: the Algorithm-2 per-cycle peak assignment, where every
+ *    active gate involving X is assigned its maximum-power transition
+ *    consistent with the known values of cycles c-1 and c.
+ *
+ * For X-free runs the two coincide. boundEnergy is what Section 3.2's
+ * even/odd VCD construction computes per cycle; see
+ * peak/even_odd.cc for the literal file-based construction and the
+ * equivalence test in tests/test_peak_power.cc.
+ */
+
+#ifndef ULPEAK_SIM_SIMULATOR_HH
+#define ULPEAK_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace ulpeak {
+
+class Simulator;
+
+/** Callback evaluating a behavioral hook during the combinational
+ * sweep. It may read gate values and must set the hook's outputs. */
+using HookFn = std::function<void(Simulator &)>;
+/** Callback run at the clock edge (e.g. committing memory writes). */
+using EdgeFn = std::function<void(Simulator &)>;
+
+class Simulator {
+  public:
+    explicit Simulator(const Netlist &nl);
+
+    const Netlist &netlist() const { return *nl_; }
+
+    /// @name Hook registration
+    /// @{
+    void setHookFn(uint32_t hook_id, HookFn fn);
+    void addEdgeFn(EdgeFn fn);
+    /// @}
+
+    /// @name Driving inputs (legal during a hook or before step())
+    /// @{
+    void setInput(GateId g, V4 v);
+    void setInputBus(const std::vector<GateId> &bus, Word16 w);
+    /// @}
+
+    /**
+     * Overwrite a gate's current value directly. Used by the symbolic
+     * engine to constrain an X program counter to one concrete branch
+     * target (Algorithm 1, update_PC_next). Sound only for narrowing
+     * an X to one of its feasible values.
+     */
+    void forceValue(GateId g, V4 v) { val_[g] = v; }
+    void forceBus(const std::vector<GateId> &bus, Word16 w);
+
+    /// @name Reading values
+    /// @{
+    V4 value(GateId g) const { return val_[g]; }
+    V4 prevValue(GateId g) const { return prev_[g]; }
+    bool isActive(GateId g) const { return active_[g] != 0; }
+    Word16 readBus(const std::vector<GateId> &bus) const;
+    /** Gates active in the cycle most recently stepped. */
+    const std::vector<GateId> &activeGates() const { return activeList_; }
+    /// @}
+
+    /**
+     * Simulate one clock cycle. The driver (may be null) is called after
+     * sequential update, before the combinational sweep, to set primary
+     * inputs for this cycle.
+     */
+    void step(const std::function<void(Simulator &)> &driver = nullptr);
+
+    uint64_t cycle() const { return cycle_; }
+
+    /// @name Per-cycle energy (valid after step())
+    /// @{
+    double actualEnergyJ() const { return actualEnergy_; }
+    double boundEnergyJ() const { return boundEnergy_; }
+    /** Per top-level-module split of boundEnergyJ (index = ModuleId of a
+     *  direct child of top; index 0 = top itself). */
+    const std::vector<double> &moduleBoundEnergyJ() const
+    {
+        return moduleEnergy_;
+    }
+    /** Extra per-cycle energy contributed by behavioral blocks. */
+    void addBehavioralEnergyJ(double j, ModuleId top_module);
+    /** The behavioral-block share of this cycle's energy (included in
+     *  both actualEnergyJ and boundEnergyJ). */
+    double behavioralEnergyJ() const { return behavioralEnergy_; }
+    /// @}
+
+    /// @name Snapshot / restore (for symbolic forking)
+    /// @{
+    struct Snapshot {
+        std::vector<V4> val;
+        std::vector<V4> prev;
+        std::vector<uint8_t> activeLast;
+        std::vector<uint8_t> loadedPrevEdge;
+        uint64_t cycle;
+    };
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+    /// @}
+
+    /** FNV-1a hash over all sequential gate outputs. */
+    uint64_t hashSeqState() const;
+
+    /**
+     * Predict the value a sequential gate will take at the next clock
+     * edge, from the current cycle's stable values. The symbolic
+     * engine uses this on the PC flops to detect an imminent
+     * X-valued program counter one cycle before the fetch would
+     * consume it (Algorithm 1: "if e.PC_next == X").
+     */
+    V4 predictSeqValue(GateId g) const;
+
+  private:
+    void updateSequential();
+    void sweep();
+
+    const Netlist *nl_;
+    std::vector<V4> val_;
+    std::vector<V4> prev_;
+    std::vector<uint8_t> active_;
+    std::vector<uint8_t> activePrev_;
+    /** Per seq gate (indexed by position in seqGates()): last edge
+     * actually loaded (enable high). */
+    std::vector<uint8_t> loadedPrevEdge_;
+    std::vector<uint32_t> seqIndexOf_; ///< gate id -> seq index
+    std::vector<ModuleId> topModuleOf_;
+
+    std::vector<HookFn> hookFns_;
+    std::vector<EdgeFn> edgeFns_;
+
+    std::vector<GateId> activeList_;
+    double actualEnergy_ = 0.0;
+    double boundEnergy_ = 0.0;
+    double behavioralEnergy_ = 0.0;
+    std::vector<double> moduleEnergy_;
+    uint64_t cycle_ = 0;
+};
+
+} // namespace ulpeak
+
+#endif // ULPEAK_SIM_SIMULATOR_HH

@@ -1,0 +1,122 @@
+#include "sim/vcd.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ulpeak {
+
+std::string
+VcdWriter::idCode(size_t index)
+{
+    // Printable identifier codes '!'..'~', multi-character base-94.
+    std::string code;
+    do {
+        code.push_back(char('!' + index % 94));
+        index /= 94;
+    } while (index > 0);
+    return code;
+}
+
+VcdWriter::VcdWriter(std::ostream &os,
+                     const std::vector<std::string> &signals,
+                     const std::string &timescale)
+    : os_(&os), numSignals_(signals.size())
+{
+    codes_.reserve(signals.size());
+    last_.assign(signals.size(), V4::X);
+
+    *os_ << "$date ulpeak $end\n";
+    *os_ << "$version ulpeak VcdWriter $end\n";
+    *os_ << "$timescale " << timescale << " $end\n";
+    *os_ << "$scope module top $end\n";
+    for (size_t i = 0; i < signals.size(); ++i) {
+        codes_.push_back(idCode(i));
+        *os_ << "$var wire 1 " << codes_[i] << " " << signals[i]
+             << " $end\n";
+    }
+    *os_ << "$upscope $end\n";
+    *os_ << "$enddefinitions $end\n";
+}
+
+void
+VcdWriter::writeCycle(const std::vector<V4> &values)
+{
+    if (values.size() != numSignals_)
+        throw std::invalid_argument("VcdWriter: value count mismatch");
+    *os_ << '#' << cycles_ << '\n';
+    if (first_)
+        *os_ << "$dumpvars\n";
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (!first_ && values[i] == last_[i])
+            continue;
+        *os_ << v4Char(values[i]) << codes_[i] << '\n';
+        last_[i] = values[i];
+    }
+    if (first_) {
+        *os_ << "$end\n";
+        first_ = false;
+    }
+    ++cycles_;
+}
+
+int
+VcdData::signalIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < signals.size(); ++i)
+        if (signals[i] == name)
+            return int(i);
+    return -1;
+}
+
+VcdData
+readVcd(std::istream &is)
+{
+    VcdData data;
+    std::unordered_map<std::string, size_t> byCode;
+    std::vector<V4> current;
+    bool haveCycle = false;
+
+    std::string tok;
+    while (is >> tok) {
+        if (tok == "$var") {
+            std::string type, width, code, name, end;
+            is >> type >> width >> code >> name >> end;
+            // Signal names may contain a trailing index like sig[3];
+            // VcdWriter never emits spaces inside names.
+            while (end != "$end" && is >> end) {
+                name += "";
+            }
+            byCode[code] = data.signals.size();
+            data.signals.push_back(name);
+        } else if (tok[0] == '$') {
+            // Skip other declaration keywords up to $end (single-token
+            // keywords like $dumpvars have their own $end later, which
+            // is harmless to treat as a no-op token).
+            if (tok == "$end" || tok == "$dumpvars")
+                continue;
+            std::string skip;
+            while (is >> skip && skip != "$end") {
+            }
+        } else if (tok[0] == '#') {
+            if (haveCycle)
+                data.values.push_back(current);
+            if (current.empty())
+                current.assign(data.signals.size(), V4::X);
+            haveCycle = true;
+        } else if (tok[0] == '0' || tok[0] == '1' || tok[0] == 'x' ||
+                   tok[0] == 'X') {
+            std::string code = tok.substr(1);
+            auto it = byCode.find(code);
+            if (it == byCode.end())
+                throw std::runtime_error("VCD: unknown id code " + code);
+            current[it->second] = v4FromChar(tok[0]);
+        }
+    }
+    if (haveCycle)
+        data.values.push_back(current);
+    return data;
+}
+
+} // namespace ulpeak

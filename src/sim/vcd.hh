@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Value change dump (VCD) writer and reader.
+ *
+ * Section 3.2 of the paper records the flattened execution trace in VCD
+ * files and constructs two derived VCDs (even- and odd-cycle
+ * maximizing) that are fed to the power tool. We provide a real VCD
+ * writer/reader pair so that flow can be exercised literally
+ * (peak/even_odd.cc) and so traces can be inspected with standard
+ * waveform tools. Values are '0', '1' and 'x'.
+ */
+
+#ifndef ULPEAK_SIM_VCD_HH
+#define ULPEAK_SIM_VCD_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/v4.hh"
+
+namespace ulpeak {
+
+/** Streams one scalar signal per tracked gate to a VCD file. */
+class VcdWriter {
+  public:
+    /**
+     * @param os        output stream (kept by reference)
+     * @param signals   (name, initial id order) of tracked signals
+     * @param timescale e.g. "10ns" for a 100 MHz clock
+     */
+    VcdWriter(std::ostream &os, const std::vector<std::string> &signals,
+              const std::string &timescale = "10ns");
+
+    /** Emit a timestep; @p values must align with the signal list. */
+    void writeCycle(const std::vector<V4> &values);
+
+    uint64_t cyclesWritten() const { return cycles_; }
+
+  private:
+    static std::string idCode(size_t index);
+
+    std::ostream *os_;
+    size_t numSignals_;
+    std::vector<std::string> codes_;
+    std::vector<V4> last_;
+    uint64_t cycles_ = 0;
+    bool first_ = true;
+};
+
+/** In-memory representation of a parsed VCD. */
+struct VcdData {
+    std::vector<std::string> signals;
+    /** values[c][s] = value of signal s during cycle c. */
+    std::vector<std::vector<V4>> values;
+
+    /** Index of a signal by name; -1 if absent. */
+    int signalIndex(const std::string &name) const;
+};
+
+/** Parse a VCD produced by VcdWriter (scalar signals only). */
+VcdData readVcd(std::istream &is);
+
+} // namespace ulpeak
+
+#endif // ULPEAK_SIM_VCD_HH

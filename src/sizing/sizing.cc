@@ -1,0 +1,74 @@
+#include "sizing/sizing.hh"
+
+namespace ulpeak {
+namespace sizing {
+
+const std::vector<BatteryType> &
+batteryTypes()
+{
+    // Table 1.1.
+    static const std::vector<BatteryType> types = {
+        {"Li-ion", 460.0, 1.152},   {"Alkaline", 400.0, 0.331},
+        {"Carbon-zinc", 130.0, 1.080}, {"Ni-MH", 340.0, 0.504},
+        {"Ni-cad", 140.0, 0.828},   {"Lead-acid", 146.0, 0.360},
+    };
+    return types;
+}
+
+const std::vector<HarvesterType> &
+harvesterTypes()
+{
+    // Table 1.2.
+    static const std::vector<HarvesterType> types = {
+        {"Photovoltaic (sun)", 100e-3},
+        {"Photovoltaic (indoor)", 100e-6},
+        {"Thermoelectric", 60e-6},
+        {"Ambient airflow", 1e-3},
+    };
+    return types;
+}
+
+double
+harvesterAreaCm2(double peak_power_w, const HarvesterType &harvester)
+{
+    return peak_power_w / harvester.powerDensityWPerCm2;
+}
+
+double
+batteryVolumeL(double energy_j, const BatteryType &battery)
+{
+    return energy_j / (battery.energyDensityMJPerL * 1e6);
+}
+
+double
+batteryMassG(double energy_j, const BatteryType &battery)
+{
+    return energy_j / battery.specificEnergyJPerG;
+}
+
+double
+harvesterAreaReductionPct(double baseline_w, double xbased_w,
+                          double processor_fraction)
+{
+    if (baseline_w <= 0.0)
+        return 0.0;
+    double rel = 1.0 - xbased_w / baseline_w;
+    if (rel < 0.0)
+        rel = 0.0;
+    return processor_fraction * rel * 100.0;
+}
+
+double
+batteryVolumeReductionPct(double baseline_npe, double xbased_npe,
+                          double processor_fraction)
+{
+    if (baseline_npe <= 0.0)
+        return 0.0;
+    double rel = 1.0 - xbased_npe / baseline_npe;
+    if (rel < 0.0)
+        rel = 0.0;
+    return processor_fraction * rel * 100.0;
+}
+
+} // namespace sizing
+} // namespace ulpeak

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * System-sizing models for energy-harvesting / battery-powered ULP
+ * systems (Chapter 1, Figure 1.3; evaluation Tables 5.1 / 5.2).
+ *
+ * Type 1 systems are powered directly by a harvester sized by peak
+ * power; Type 2 charge a battery from a harvester sized by peak
+ * (average) energy; Type 3 are battery-only, where peak power sets
+ * the effective capacity and peak energy the required capacity.
+ */
+
+#ifndef ULPEAK_SIZING_SIZING_HH
+#define ULPEAK_SIZING_SIZING_HH
+
+#include <string>
+#include <vector>
+
+namespace ulpeak {
+namespace sizing {
+
+/// @name Data tables (Tables 1.1 and 1.2)
+/// @{
+struct BatteryType {
+    std::string name;
+    double specificEnergyJPerG; ///< J/g
+    double energyDensityMJPerL; ///< MJ/L
+};
+struct HarvesterType {
+    std::string name;
+    double powerDensityWPerCm2; ///< W/cm^2
+};
+
+const std::vector<BatteryType> &batteryTypes();
+const std::vector<HarvesterType> &harvesterTypes();
+/// @}
+
+/// @name Component sizing (Figure 1.3)
+/// @{
+/** Type 1: harvester area so peak load is covered. [cm^2] */
+double harvesterAreaCm2(double peak_power_w,
+                        const HarvesterType &harvester);
+/** Type 2/3: battery volume for a required total energy. [L] */
+double batteryVolumeL(double energy_j, const BatteryType &battery);
+/** Battery mass for a required total energy. [g] */
+double batteryMassG(double energy_j, const BatteryType &battery);
+/// @}
+
+/// @name Requirement-reduction accounting (Tables 5.1 / 5.2)
+/// @{
+
+/**
+ * Percentage reduction in harvester area when the processor's peak
+ * power requirement drops from @p baseline_w to @p xbased_w and the
+ * processor contributes @p processor_fraction of system peak power.
+ * Harvester area is proportional to system peak power, so:
+ *   reduction% = fraction * (1 - xbased/baseline) * 100.
+ */
+double harvesterAreaReductionPct(double baseline_w, double xbased_w,
+                                 double processor_fraction);
+
+/** Same accounting for battery volume vs the peak-energy (NPE)
+ *  requirement. */
+double batteryVolumeReductionPct(double baseline_npe, double xbased_npe,
+                                 double processor_fraction);
+/// @}
+
+} // namespace sizing
+} // namespace ulpeak
+
+#endif // ULPEAK_SIZING_SIZING_HH

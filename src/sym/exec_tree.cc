@@ -1,0 +1,125 @@
+#include "sym/exec_tree.hh"
+
+#include <stdexcept>
+
+namespace ulpeak {
+namespace sym {
+
+uint64_t
+ExecTree::totalCycles() const
+{
+    uint64_t total = 0;
+    for (const TreeNode &n : nodes_)
+        total += n.powerW.size();
+    return total;
+}
+
+std::vector<float>
+ExecTree::flatten() const
+{
+    std::vector<float> out;
+    for (const FlatRef &ref : flattenRefs())
+        out.push_back(nodes_[ref.nodeId].powerW[ref.offset]);
+    return out;
+}
+
+std::vector<ExecTree::FlatRef>
+ExecTree::flattenRefs() const
+{
+    std::vector<FlatRef> out;
+    if (nodes_.empty())
+        return out;
+    std::vector<uint32_t> stack{0};
+    std::vector<bool> visited(nodes_.size(), false);
+    while (!stack.empty()) {
+        uint32_t id = stack.back();
+        stack.pop_back();
+        if (visited[id])
+            continue;
+        visited[id] = true;
+        const TreeNode &n = nodes_[id];
+        for (uint32_t c = 0; c < n.powerW.size(); ++c)
+            out.push_back(FlatRef{id, c});
+        // Depth-first order: push children reversed.
+        for (auto it = n.edges.rbegin(); it != n.edges.rend(); ++it)
+            if (it->child != kNoNode && !visited[it->child])
+                stack.push_back(it->child);
+    }
+    return out;
+}
+
+namespace {
+
+struct EnergyMemo {
+    std::vector<int8_t> state; // 0 unvisited, 1 on-stack, 2 done
+    std::vector<PathEnergy> best;
+};
+
+PathEnergy
+visit(const ExecTree &tree, uint32_t id, double tclk,
+      unsigned loop_bound, EnergyMemo &memo)
+{
+    if (memo.state[id] == 2)
+        return memo.best[id];
+    if (memo.state[id] == 1) {
+        // Back-edge: an input-dependent loop survived dedup. Bound it
+        // explicitly (Section 3.3: "the maximum number of iterations
+        // may be determined by static analysis or user input").
+        if (loop_bound == 0)
+            throw std::runtime_error(
+                "unbounded input-dependent loop in execution tree; "
+                "provide inputDependentLoopBound");
+        return PathEnergy{0.0, 0};
+    }
+    memo.state[id] = 1;
+
+    const TreeNode &n = tree.node(id);
+    PathEnergy self;
+    for (float w : n.powerW)
+        self.energyJ += double(w) * tclk;
+    self.cycles = n.powerW.size();
+
+    PathEnergy bestChild;
+    bool sawBackEdge = false;
+    for (const TreeEdge &e : n.edges) {
+        if (e.child == kNoNode)
+            continue;
+        bool childOnStack =
+            memo.state[e.child] == 1;
+        PathEnergy pe = visit(tree, e.child, tclk, loop_bound, memo);
+        if (childOnStack)
+            sawBackEdge = true;
+        if (pe.energyJ > bestChild.energyJ)
+            bestChild = pe;
+    }
+    PathEnergy total{self.energyJ + bestChild.energyJ,
+                     self.cycles + bestChild.cycles};
+    if (sawBackEdge) {
+        // Conservative bound: the whole loop body repeats loop_bound
+        // times.
+        total.energyJ += self.energyJ * (loop_bound > 0
+                                             ? double(loop_bound - 1)
+                                             : 0.0);
+        total.cycles +=
+            self.cycles * (loop_bound > 0 ? loop_bound - 1 : 0);
+    }
+    memo.state[id] = 2;
+    memo.best[id] = total;
+    return total;
+}
+
+} // namespace
+
+PathEnergy
+ExecTree::maxPathEnergy(double tclk, unsigned loop_bound) const
+{
+    if (nodes_.empty())
+        return PathEnergy{};
+    EnergyMemo memo;
+    memo.state.assign(nodes_.size(), 0);
+    memo.best.assign(nodes_.size(), PathEnergy{});
+    return visit(*this, 0, tclk, loop_bound, memo);
+}
+
+} // namespace sym
+} // namespace ulpeak

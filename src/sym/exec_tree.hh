@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The symbolic execution tree of Algorithm 1.
+ *
+ * Each node is a fork-free run of cycles annotated with per-cycle
+ * bound power (and optionally per-module power and instruction
+ * attribution). Edges carry the constrained PC target; an edge may
+ * point at an already-simulated node when Algorithm 1's dedup check
+ * ("if a not-in T") merged the path (this is how input-dependent loops
+ * terminate). Peak energy (Section 3.3) is the max-energy
+ * root-to-leaf path; input-independent loops are unrolled naturally by
+ * simulation, merge cross-edges are handled by memoization, and true
+ * back-edges (unbounded input-dependent loops) require an explicit
+ * iteration bound, as in the paper.
+ */
+
+#ifndef ULPEAK_SYM_EXEC_TREE_HH
+#define ULPEAK_SYM_EXEC_TREE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ulpeak {
+namespace sym {
+
+constexpr uint32_t kNoNode = UINT32_MAX;
+
+struct TreeEdge {
+    uint32_t targetPc = 0;
+    uint32_t child = kNoNode;
+    bool merged = false; ///< points at a previously simulated node
+};
+
+/** Per-cycle attribution data (kept only when requested). */
+struct CycleInfo {
+    uint32_t instrPc = 0; ///< instruction occupying execute/mem
+    uint8_t fsmState = 0;
+};
+
+struct TreeNode {
+    uint32_t parent = kNoNode;
+    std::vector<float> powerW;
+    std::vector<TreeEdge> edges;
+    uint32_t branchPc = 0;   ///< address of the forking instruction
+    bool endsHalted = false;
+    /** Optional per-cycle per-top-module power (modulePowerW[c][m]). */
+    std::vector<std::vector<float>> modulePowerW;
+    std::vector<CycleInfo> cycleInfo;
+};
+
+struct PathEnergy {
+    double energyJ = 0.0;
+    uint64_t cycles = 0;
+};
+
+class ExecTree {
+  public:
+    uint32_t
+    newNode(uint32_t parent)
+    {
+        nodes_.emplace_back();
+        nodes_.back().parent = parent;
+        return uint32_t(nodes_.size() - 1);
+    }
+
+    TreeNode &node(uint32_t id) { return nodes_[id]; }
+    const TreeNode &node(uint32_t id) const { return nodes_[id]; }
+    size_t numNodes() const { return nodes_.size(); }
+
+    uint64_t totalCycles() const;
+
+    /**
+     * Concatenate all node traces in depth-first order -- the
+     * "flattened execution trace" Algorithm 2 consumes. Merged edges
+     * are not re-expanded (their target was already emitted).
+     */
+    std::vector<float> flatten() const;
+
+    /** Flatten with node/offset provenance for COI reporting. */
+    struct FlatRef {
+        uint32_t nodeId;
+        uint32_t offset;
+    };
+    std::vector<FlatRef> flattenRefs() const;
+
+    /**
+     * Maximum root-to-leaf path energy at @p tclk seconds/cycle
+     * (Section 3.3). Merge cross-edges are followed with memoization;
+     * a back-edge (cycle) multiplies the loop-body energy by
+     * @p loop_bound, and is an error when loop_bound == 0.
+     * @throws std::runtime_error for unbounded back-edges.
+     */
+    PathEnergy maxPathEnergy(double tclk,
+                             unsigned loop_bound = 0) const;
+
+  private:
+    std::vector<TreeNode> nodes_;
+};
+
+} // namespace sym
+} // namespace ulpeak
+
+#endif // ULPEAK_SYM_EXEC_TREE_HH

@@ -1,0 +1,229 @@
+#include "sym/symbolic_engine.hh"
+
+#include <unordered_map>
+
+#include "isa/disassembler.hh"
+#include "isa/encoding.hh"
+
+namespace ulpeak {
+namespace sym {
+
+namespace {
+
+/** One un-processed execution path (Algorithm 1's stack U entry). */
+struct Pending {
+    Simulator::Snapshot simSnap;
+    msp::System::Snapshot sysSnap;
+    uint32_t node;
+    uint32_t forcedPc;     ///< PC constraint applied on the next step
+    uint32_t lastKnownPc;  ///< last concrete PC value on this path
+    uint32_t curInstrAddr; ///< instruction in execute/mem (COI)
+    uint64_t pathCycles;
+};
+
+} // namespace
+
+SymbolicEngine::SymbolicEngine(msp::System &sys,
+                               const SymbolicConfig &cfg)
+    : sys_(&sys), cfg_(cfg)
+{
+}
+
+SymbolicResult
+SymbolicEngine::run(const isa::Image &image)
+{
+    SymbolicResult res;
+    msp::System &sys = *sys_;
+    const Netlist &nl = sys.netlist();
+    const msp::CpuHandles &h = sys.handles();
+    power::PowerContext ctx(nl, cfg_.freqHz);
+
+    // Algorithm 1 lines 2-5: everything X, load binary, reset.
+    sys.memory().reset();
+    sys.loadImage(image);
+    sys.clearHalted();
+    Simulator sim(nl);
+    sys.attach(sim);
+    sys.reset(sim);
+
+    if (cfg_.recordActiveSets)
+        res.everActive.assign(nl.numGates(), 0);
+
+    constexpr uint32_t kNoForcedPc = UINT32_MAX;
+    std::vector<Pending> stack;
+    std::unordered_map<uint64_t, uint32_t> visited;
+
+    uint32_t root = res.tree.newNode(kNoNode);
+    stack.push_back(Pending{sim.snapshot(), sys.snapshot(), root,
+                            kNoForcedPc, 0, 0, 0});
+
+    auto fail = [&](const std::string &msg) {
+        res.ok = false;
+        res.error = msg;
+        return res;
+    };
+
+    // Hash of (sequential state with PC forced) + memory + target.
+    auto stateKey = [&](uint32_t target_pc) {
+        uint64_t hash = sim.hashSeqState();
+        sys.memory().hashInto(hash);
+        hash ^= 0x9e3779b97f4a7c15ull * (uint64_t(target_pc) + 1);
+        return hash;
+    };
+
+    while (!stack.empty()) {
+        Pending p = std::move(stack.back());
+        stack.pop_back();
+        sim.restore(p.simSnap);
+        sys.restore(p.sysSnap);
+        ++res.pathsExplored;
+
+        uint32_t nodeId = p.node;
+        uint32_t forcedPc = p.forcedPc;
+        uint32_t lastPc = p.lastKnownPc;
+        uint32_t curInstr = p.curInstrAddr;
+        uint64_t pathCycles = p.pathCycles;
+
+        while (true) {
+            if (res.totalCycles >= cfg_.maxTotalCycles)
+                return fail("symbolic cycle budget exhausted");
+            if (pathCycles >= cfg_.maxPathCycles)
+                return fail("path exceeded maxPathCycles (missing "
+                            "halt or unbounded loop?)");
+
+            uint32_t applyPc = forcedPc;
+            forcedPc = kNoForcedPc;
+            sim.step([&](Simulator &s) {
+                sys.driveCycle(s, Word16::allX());
+                if (applyPc != kNoForcedPc) {
+                    // Algorithm 1's update_PC_next: constrain only the
+                    // PC flops, right after the edge, before fetch
+                    // logic evaluates.
+                    s.forceBus(h.pc, Word16::known(uint16_t(applyPc)));
+                }
+            });
+            ++res.totalCycles;
+            ++pathCycles;
+
+            Word16 pcNow = sys.readPc(sim);
+            if (pcNow.isFullyKnown())
+                lastPc = pcNow.value;
+            else
+                return fail("PC became X without fork interception");
+            int fsm = sys.fsmState(sim);
+            if (fsm == msp::kStFetch)
+                curInstr = lastPc; // the word under fetch
+
+            // ---- Per-cycle Algorithm 2 assignment ----
+            TreeNode &node = res.tree.node(nodeId);
+            double w = ctx.cycleBoundPowerW(sim);
+            node.powerW.push_back(float(w));
+            if (cfg_.recordModuleTrace) {
+                std::vector<double> mod = ctx.cycleModulePowerW(sim);
+                node.modulePowerW.emplace_back(mod.begin(), mod.end());
+                CycleInfo info;
+                info.instrPc = curInstr;
+                info.fsmState = uint8_t(fsm < 0 ? 255 : fsm);
+                node.cycleInfo.push_back(info);
+            }
+            if (cfg_.recordActiveSets) {
+                for (GateId g : sim.activeGates())
+                    res.everActive[g] = 1;
+            }
+            if (w > res.peakPowerW) {
+                res.peakPowerW = w;
+                res.peakNode = nodeId;
+                res.peakCycleInNode = uint32_t(node.powerW.size() - 1);
+                if (cfg_.recordActiveSets)
+                    res.peakActive.assign(sim.activeGates().begin(),
+                                          sim.activeGates().end());
+            }
+
+            if (sys.xStoreFault())
+                return fail("store with unknown address or enable "
+                            "(X-store); see DESIGN.md section 5");
+
+            if (sys.halted()) {
+                res.tree.node(nodeId).endsHalted = true;
+                break; // leaf: end of this execution path
+            }
+            if (fsm == msp::kStHalt)
+                return fail("core trapped (invalid instruction) at "
+                            "pc~0x" + std::to_string(lastPc));
+
+            // ---- Algorithm 1 line 17: will PC_next be X? ----
+            bool pcNextX = false;
+            for (GateId g : h.pc) {
+                if (sim.predictSeqValue(g) == V4::X) {
+                    pcNextX = true;
+                    break;
+                }
+            }
+            if (!pcNextX)
+                continue;
+
+            // Resolve feasible targets from the (concrete) IR.
+            Word16 ir = sys.readIr(sim);
+            if (!ir.isFullyKnown())
+                return fail("X program counter with unknown IR");
+            isa::Decoded dec = isa::decode(ir.value, 0, 0);
+            if (!dec.valid || !isa::isJump(dec.instr.op))
+                return fail(
+                    "unresolvable X program counter (op " +
+                    std::string(isa::opName(dec.instr.op)) +
+                    "): indirect jump through unknown data");
+
+            // At EXEC of a jump the PC holds the fall-through address.
+            uint32_t fallThrough = lastPc;
+            uint32_t taken =
+                (lastPc +
+                 uint32_t(int32_t(dec.instr.jumpOffsetWords) * 2)) &
+                0xffff;
+            TreeNode &forkNode = res.tree.node(nodeId);
+            forkNode.branchPc = (lastPc - 2) & 0xffff;
+
+            uint32_t targets[2] = {taken, fallThrough};
+            unsigned numTargets = taken == fallThrough ? 1 : 2;
+            for (unsigned t = 0; t < numTargets; ++t) {
+                uint64_t key = stateKey(targets[t]);
+                auto it = visited.find(key);
+                if (it != visited.end()) {
+                    // Algorithm 1 line 19: already simulated; merge.
+                    res.tree.node(nodeId).edges.push_back(
+                        TreeEdge{targets[t], it->second, true});
+                    ++res.dedupMerges;
+                    continue;
+                }
+                if (res.tree.numNodes() >= cfg_.maxNodes)
+                    return fail("execution tree node budget "
+                                "exhausted");
+                uint32_t child = res.tree.newNode(nodeId);
+                visited.emplace(key, child);
+                res.tree.node(nodeId).edges.push_back(
+                    TreeEdge{targets[t], child, false});
+                stack.push_back(Pending{sim.snapshot(), sys.snapshot(),
+                                        child, targets[t], lastPc,
+                                        curInstr, pathCycles});
+            }
+            break; // this path's continuation lives on the stack
+        }
+    }
+
+    // ---- Section 3.3: peak energy over the tree ----
+    try {
+        PathEnergy pe = res.tree.maxPathEnergy(
+            ctx.tclkS(), cfg_.inputDependentLoopBound);
+        res.peakEnergyJ = pe.energyJ;
+        res.maxPathCycles = pe.cycles;
+        res.npeJPerCycle =
+            pe.cycles ? pe.energyJ / double(pe.cycles) : 0.0;
+    } catch (const std::exception &e) {
+        return fail(e.what());
+    }
+
+    res.ok = true;
+    return res;
+}
+
+} // namespace sym
+} // namespace ulpeak

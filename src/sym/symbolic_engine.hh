@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The input-independent gate activity analysis of Algorithm 1 and the
+ * per-cycle peak assignment of Algorithm 2, combined into one engine.
+ *
+ * The engine symbolically simulates an application binary on the
+ * gate-level system: all peripheral port inputs are driven X each
+ * cycle (Algorithm 1 line 11), uninitialized memory and registers are
+ * X (line 2), and when the next program-counter value is unknown the
+ * execution forks into one path per feasible target (lines 17-24)
+ * with duplicate states pruned by hashing (line 19). Every simulated
+ * cycle is annotated with its maximum-power X assignment -- the
+ * online equivalent of the even/odd VCD construction; see
+ * peak/even_odd.hh for the literal file-based flow and the test that
+ * proves the equivalence.
+ */
+
+#ifndef ULPEAK_SYM_SYMBOLIC_ENGINE_HH
+#define ULPEAK_SYM_SYMBOLIC_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "msp/cpu.hh"
+#include "power/power_model.hh"
+#include "sym/exec_tree.hh"
+
+namespace ulpeak {
+namespace sym {
+
+struct SymbolicConfig {
+    double freqHz = 100e6;
+    uint64_t maxTotalCycles = 3000000;
+    uint64_t maxPathCycles = 100000;
+    uint32_t maxNodes = 300000;
+    /** Record the union + peak-cycle sets of active gates
+     *  (Figures 1.5 / 3.4). */
+    bool recordActiveSets = false;
+    /** Record per-cycle per-module power and instruction attribution
+     *  (Figure 3.6 COI analysis). */
+    bool recordModuleTrace = false;
+    /** Iteration bound applied to back-edges in the execution tree
+     *  (0 = reject unbounded input-dependent loops). */
+    unsigned inputDependentLoopBound = 0;
+};
+
+struct SymbolicResult {
+    bool ok = false;
+    std::string error;
+
+    ExecTree tree;
+
+    /// @name Peak power (Section 3.2)
+    /// @{
+    double peakPowerW = 0.0;
+    uint32_t peakNode = 0;
+    uint32_t peakCycleInNode = 0;
+    /// @}
+
+    /// @name Peak energy (Section 3.3)
+    /// @{
+    double peakEnergyJ = 0.0;
+    uint64_t maxPathCycles = 0;
+    /** Normalized peak energy [J/cycle] -- the NPE axis of the
+     *  paper's Figures 2.2b / 4.1b / 5.2. */
+    double npeJPerCycle = 0.0;
+    /// @}
+
+    /// @name Activity sets (when recordActiveSets)
+    /// @{
+    std::vector<uint8_t> everActive;  ///< per gate: 1 if ever active
+    std::vector<uint32_t> peakActive; ///< gates active at the peak
+    /// @}
+
+    /// @name Exploration statistics
+    /// @{
+    uint64_t totalCycles = 0;
+    uint32_t pathsExplored = 0;
+    uint32_t dedupMerges = 0;
+    /// @}
+};
+
+class SymbolicEngine {
+  public:
+    SymbolicEngine(msp::System &sys, const SymbolicConfig &cfg);
+
+    /** Run Algorithm 1 + per-cycle Algorithm 2 on @p image. */
+    SymbolicResult run(const isa::Image &image);
+
+  private:
+    msp::System *sys_;
+    SymbolicConfig cfg_;
+};
+
+} // namespace sym
+} // namespace ulpeak
+
+#endif // ULPEAK_SYM_SYMBOLIC_ENGINE_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Assembler tests: syntax, directives, labels, emulated mnemonics,
+ * relaxation (constant-generator sizing) and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+
+namespace ulpeak {
+namespace isa {
+namespace {
+
+uint16_t
+wordAt(const Image &img, uint32_t addr)
+{
+    for (auto &[a, w] : img.flatten())
+        if (a == addr)
+            return w;
+    ADD_FAILURE() << "no word at " << std::hex << addr;
+    return 0;
+}
+
+TEST(Assembler, MinimalProgram)
+{
+    Image img = assemble(R"(
+        .org 0xf800
+start:
+        mov #0x5a80, &0x0120   ; hold watchdog
+        mov #1, r5
+        mov r5, &0x01f0        ; DONE
+        .org 0xfffe
+        .word start
+    )");
+    EXPECT_EQ(img.symbol("start"), 0xf800u);
+    EXPECT_EQ(wordAt(img, 0xfffe), 0xf800);
+    // First instruction: mov #imm, &abs -> 3 words.
+    Decoded d = decode(wordAt(img, 0xf800), wordAt(img, 0xf802),
+                       wordAt(img, 0xf804));
+    ASSERT_TRUE(d.valid);
+    EXPECT_EQ(d.instr.op, Op::Mov);
+    EXPECT_EQ(d.instr.src.mode, Mode::Immediate);
+    EXPECT_EQ(d.instr.src.imm, 0x5a80);
+    EXPECT_EQ(d.instr.dst.mode, Mode::Absolute);
+    EXPECT_EQ(d.instr.dst.imm, 0x0120);
+}
+
+TEST(Assembler, JumpTargets)
+{
+    Image img = assemble(R"(
+        .org 0xf800
+loop:
+        dec r5
+        jnz loop
+        jmp done
+        .word 0xdead
+done:
+        mov #1, &0x01f0
+    )");
+    // dec r5 = sub #1, r5 (CG) -> 1 word at f800; jnz at f802.
+    Decoded d = decode(wordAt(img, 0xf802), 0, 0);
+    ASSERT_TRUE(d.valid);
+    EXPECT_EQ(d.instr.op, Op::Jne);
+    // target f800 = f802 + 2 + 2*off -> off = -2.
+    EXPECT_EQ(d.instr.jumpOffsetWords, -2);
+    d = decode(wordAt(img, 0xf804), 0, 0);
+    EXPECT_EQ(d.instr.op, Op::Jmp);
+    EXPECT_EQ(d.instr.jumpOffsetWords, 1); // skip the .word
+}
+
+TEST(Assembler, EquAndExpressions)
+{
+    Image img = assemble(R"(
+        .equ WDTCTL, 0x0120
+        .equ WDTPW_HOLD, 0x5a80
+        .org 0xf800
+        mov #WDTPW_HOLD, &WDTCTL
+        mov #WDTCTL+2, r4
+        .word WDTCTL-0x20, 3+4
+    )");
+    EXPECT_EQ(wordAt(img, 0xf802), 0x5a80);
+    EXPECT_EQ(wordAt(img, 0xf804), 0x0120);
+    Decoded d = decode(wordAt(img, 0xf806), wordAt(img, 0xf808), 0);
+    EXPECT_EQ(d.instr.src.imm, 0x0122);
+    EXPECT_EQ(wordAt(img, 0xf80a), 0x0100);
+    EXPECT_EQ(wordAt(img, 0xf80c), 7);
+}
+
+TEST(Assembler, EmulatedMnemonics)
+{
+    Image img = assemble(R"(
+        .org 0xf800
+        nop
+        pop r7
+        ret
+        clr r4
+        inc r4
+        tst r4
+        rla r4
+    )");
+    // nop = mov r3, r3
+    Decoded d = decode(wordAt(img, 0xf800), 0, 0);
+    EXPECT_EQ(d.instr.op, Op::Mov);
+    EXPECT_EQ(d.instr.src.mode, Mode::Const);
+    EXPECT_EQ(d.instr.src.imm, 0);
+    EXPECT_EQ(d.instr.dst.reg, 3);
+    // pop r7 = mov @sp+, r7
+    d = decode(wordAt(img, 0xf802), 0, 0);
+    EXPECT_EQ(d.instr.op, Op::Mov);
+    EXPECT_EQ(d.instr.src.mode, Mode::IndirectInc);
+    EXPECT_EQ(d.instr.src.reg, kSp);
+    EXPECT_EQ(d.instr.dst.reg, 7);
+    // ret = mov @sp+, pc
+    d = decode(wordAt(img, 0xf804), 0, 0);
+    EXPECT_EQ(d.instr.dst.reg, kPc);
+    // rla r4 = add r4, r4
+    d = decode(wordAt(img, 0xf80c), 0, 0);
+    EXPECT_EQ(d.instr.op, Op::Add);
+    EXPECT_EQ(d.instr.src.reg, 4);
+    EXPECT_EQ(d.instr.dst.reg, 4);
+}
+
+TEST(Assembler, AddressingModeSyntax)
+{
+    Image img = assemble(R"(
+        .org 0xf800
+        mov @r4, r5
+        mov @r4+, r5
+        mov 6(r4), r5
+        mov r5, 8(r4)
+        add -2(r4), r6
+    )");
+    Decoded d = decode(wordAt(img, 0xf800), 0, 0);
+    EXPECT_EQ(d.instr.src.mode, Mode::Indirect);
+    d = decode(wordAt(img, 0xf802), 0, 0);
+    EXPECT_EQ(d.instr.src.mode, Mode::IndirectInc);
+    d = decode(wordAt(img, 0xf804), wordAt(img, 0xf806), 0);
+    EXPECT_EQ(d.instr.src.mode, Mode::Indexed);
+    EXPECT_EQ(d.instr.src.imm, 6);
+    d = decode(wordAt(img, 0xf808), wordAt(img, 0xf80a), 0);
+    EXPECT_EQ(d.instr.dst.mode, Mode::Indexed);
+    EXPECT_EQ(d.instr.dst.imm, 8);
+    d = decode(wordAt(img, 0xf80c), wordAt(img, 0xf80e), 0);
+    EXPECT_EQ(int16_t(d.instr.src.imm), -2);
+}
+
+TEST(Assembler, ForwardEquRelaxes)
+{
+    // TWO is defined after use and is CG-expressible; relaxation must
+    // converge to the 1-word encoding.
+    Image img = assemble(R"(
+        .org 0xf800
+        add #TWO, r4
+        jmp target
+target:
+        .equ TWO, 2
+    )");
+    Decoded d = decode(wordAt(img, 0xf800), 0, 0);
+    EXPECT_EQ(d.instr.src.mode, Mode::Const);
+    EXPECT_EQ(d.instr.src.imm, 2);
+    // jmp lands at f802; target is f804.
+    d = decode(wordAt(img, 0xf802), 0, 0);
+    EXPECT_EQ(d.instr.jumpOffsetWords, 0);
+    EXPECT_EQ(img.symbol("target"), 0xf804u);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble(".org 0xf800\n bogus r1, r2\n"), AsmError);
+    EXPECT_THROW(assemble(".org 0xf800\n mov r1\n"), AsmError);
+    EXPECT_THROW(assemble(".org 0xf800\n jmp nowhere\n"), AsmError);
+    EXPECT_THROW(assemble(".orgn 0xf800\n"), AsmError);
+    try {
+        assemble(".org 0xf800\n\n mov r1\n");
+        FAIL();
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line, 3u);
+    }
+}
+
+TEST(Assembler, DisassemblerRoundTrip)
+{
+    Image img = assemble(R"(
+        .org 0xf800
+        mov &0x013a, r15
+        pop r2
+        add #2, r1
+        jne 0xf800
+    )");
+    auto flat = img.flatten();
+    auto fetch = [&](uint32_t a) -> uint16_t {
+        for (auto &[addr, w] : flat)
+            if (addr == a)
+                return w;
+        return 0xffff;
+    };
+    EXPECT_EQ(disassemble(0xf800, fetch), "mov &0x13a, r15");
+    EXPECT_EQ(disassemble(0xf804, fetch), "mov @r1+, r2");
+    EXPECT_EQ(disassemble(0xf806, fetch), "add #2, r1");
+    EXPECT_EQ(disassemble(0xf808, fetch), "jne 0xf800");
+}
+
+} // namespace
+} // namespace isa
+} // namespace ulpeak

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the three conventional baselines (Section 4.2): the
+ * design-tool rating, input-based profiling with guardband, and the
+ * GA stressmark.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/baselines.hh"
+#include "bench430/benchmarks.hh"
+#include "tests/cpu_test_util.hh"
+
+namespace ulpeak {
+namespace {
+
+TEST(DesignTool, RatingAboveApplicationFloor)
+{
+    msp::System &sys = test::sharedSystem();
+    auto dt = baseline::designToolRating(sys.netlist(), 100e6);
+    power::PowerContext ctx(sys.netlist(), 100e6);
+    EXPECT_GT(dt.peakPowerW, ctx.cyclePowerW(0.0))
+        << "rating must exceed the static floor";
+    EXPECT_DOUBLE_EQ(dt.npeJPerCycle, dt.peakPowerW / 100e6)
+        << "design-spec energy is flat at rated power";
+}
+
+TEST(Profiling, GuardbandAndExtremes)
+{
+    msp::System &sys = test::sharedSystem();
+    const auto &b = bench430::benchmarkByName("tHold");
+    auto prof = baseline::profile(sys, b.assembleImage(),
+                                  b.makeInputs(5, 77), 100e6);
+    EXPECT_EQ(prof.peaksW.size(), 5u);
+    EXPECT_LE(prof.minPeakPowerW, prof.peakPowerW);
+    EXPECT_NEAR(prof.gbPeakPowerW,
+                prof.peakPowerW * baseline::kGuardband, 1e-12);
+    EXPECT_NEAR(prof.gbNpeJPerCycle,
+                prof.npeJPerCycle * baseline::kGuardband, 1e-24);
+    for (double p : prof.peaksW) {
+        EXPECT_GE(p, prof.minPeakPowerW);
+        EXPECT_LE(p, prof.peakPowerW);
+    }
+}
+
+TEST(Profiling, RequiresInputs)
+{
+    msp::System &sys = test::sharedSystem();
+    const auto &b = bench430::benchmarkByName("tHold");
+    EXPECT_THROW(
+        baseline::profile(sys, b.assembleImage(), {}, 100e6),
+        std::invalid_argument);
+}
+
+TEST(Stressmark, ProducesRunnableHighPowerProgram)
+{
+    msp::System &sys = test::sharedSystem();
+    baseline::StressmarkConfig cfg;
+    cfg.population = 6;
+    cfg.generations = 3;
+    cfg.evalCycles = 300;
+    cfg.seed = 5;
+    auto r = baseline::generateStressmark(sys, 100e6, cfg);
+
+    power::PowerContext ctx(sys.netlist(), 100e6);
+    EXPECT_GT(r.peakPowerW, ctx.cyclePowerW(0.0) * 1.2)
+        << "a stressmark must beat idle power comfortably";
+    EXPECT_GT(r.peakPowerW, r.avgPowerW);
+    EXPECT_NEAR(r.gbPeakPowerW, r.peakPowerW * baseline::kGuardband,
+                1e-12);
+    EXPECT_EQ(r.generationBestW.size(), cfg.generations);
+    // Elitism: per-generation best never regresses.
+    for (size_t g = 1; g < r.generationBestW.size(); ++g)
+        EXPECT_GE(r.generationBestW[g] + 1e-12,
+                  r.generationBestW[g - 1]);
+    // The winning genome is real assembly.
+    EXPECT_NO_THROW(isa::assemble(r.bestSource));
+}
+
+TEST(Stressmark, AveragePowerObjective)
+{
+    msp::System &sys = test::sharedSystem();
+    baseline::StressmarkConfig cfg;
+    cfg.population = 6;
+    cfg.generations = 2;
+    cfg.evalCycles = 300;
+    cfg.objective = baseline::StressObjective::AveragePower;
+    auto r = baseline::generateStressmark(sys, 100e6, cfg);
+    EXPECT_GT(r.avgPowerW, 0.0);
+    EXPECT_NEAR(r.npeJPerCycle, r.avgPowerW / 100e6, 1e-20);
+}
+
+TEST(Stressmark, DeterministicForSeed)
+{
+    msp::System &sys = test::sharedSystem();
+    baseline::StressmarkConfig cfg;
+    cfg.population = 4;
+    cfg.generations = 2;
+    cfg.evalCycles = 200;
+    auto a = baseline::generateStressmark(sys, 100e6, cfg);
+    auto b = baseline::generateStressmark(sys, 100e6, cfg);
+    EXPECT_DOUBLE_EQ(a.peakPowerW, b.peakPowerW);
+    EXPECT_EQ(a.bestSource, b.bestSource);
+}
+
+} // namespace
+} // namespace ulpeak

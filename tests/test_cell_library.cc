@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the synthetic standard-cell library: functional
+ * evaluation (including X semantics), sequential cell behaviour and
+ * the power-model lookups used by Algorithm 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cell/cell_library.hh"
+
+namespace ulpeak {
+namespace {
+
+V4 Z = V4::Zero, O = V4::One, X = V4::X;
+
+TEST(CellEval, BasicGates)
+{
+    V4 in2[2] = {O, Z};
+    EXPECT_EQ(evalCell(CellKind::Nand2, in2), O);
+    in2[1] = O;
+    EXPECT_EQ(evalCell(CellKind::Nand2, in2), Z);
+    EXPECT_EQ(evalCell(CellKind::And2, in2), O);
+    EXPECT_EQ(evalCell(CellKind::Xor2, in2), Z);
+    EXPECT_EQ(evalCell(CellKind::Xnor2, in2), O);
+}
+
+TEST(CellEval, XPropagation)
+{
+    V4 in2[2] = {Z, X};
+    // Controlling values block X.
+    EXPECT_EQ(evalCell(CellKind::And2, in2), Z);
+    EXPECT_EQ(evalCell(CellKind::Nand2, in2), O);
+    in2[0] = O;
+    EXPECT_EQ(evalCell(CellKind::Or2, in2), O);
+    EXPECT_EQ(evalCell(CellKind::Nor2, in2), Z);
+    // Non-controlling values propagate X.
+    EXPECT_EQ(evalCell(CellKind::And2, in2), X);
+    EXPECT_EQ(evalCell(CellKind::Xor2, in2), X);
+}
+
+TEST(CellEval, ComplexCells)
+{
+    // AOI21: !((a & b) | c)
+    V4 in3[3] = {O, O, Z};
+    EXPECT_EQ(evalCell(CellKind::Aoi21, in3), Z);
+    in3[0] = Z;
+    EXPECT_EQ(evalCell(CellKind::Aoi21, in3), O);
+    in3[2] = O;
+    EXPECT_EQ(evalCell(CellKind::Aoi21, in3), Z);
+    // OAI22: !((a | b) & (c | d))
+    V4 in4[4] = {Z, Z, O, O};
+    EXPECT_EQ(evalCell(CellKind::Oai22, in4), O);
+    in4[0] = O;
+    EXPECT_EQ(evalCell(CellKind::Oai22, in4), Z);
+}
+
+TEST(CellEval, Mux2SelectsByThirdPin)
+{
+    V4 in3[3] = {Z, O, Z};
+    EXPECT_EQ(evalCell(CellKind::Mux2, in3), Z);
+    in3[2] = O;
+    EXPECT_EQ(evalCell(CellKind::Mux2, in3), O);
+}
+
+TEST(SeqCell, DffLoads)
+{
+    bool held = false;
+    V4 in[1] = {O};
+    EXPECT_EQ(evalSeqCell(CellKind::Dff, Z, in, held), O);
+    EXPECT_FALSE(held);
+}
+
+TEST(SeqCell, DffeHoldIsProvable)
+{
+    bool held = false;
+    V4 in[2] = {O, Z}; // d=1, en=0
+    EXPECT_EQ(evalSeqCell(CellKind::Dffe, X, in, held), X);
+    EXPECT_TRUE(held) << "enable low must prove the hold";
+    in[1] = O;
+    EXPECT_EQ(evalSeqCell(CellKind::Dffe, Z, in, held), O);
+    EXPECT_FALSE(held);
+}
+
+TEST(SeqCell, DffeXEnable)
+{
+    bool held = false;
+    // en=X with q==d known: value certain either way.
+    V4 in[2] = {O, X};
+    EXPECT_EQ(evalSeqCell(CellKind::Dffe, O, in, held), O);
+    // en=X with q!=d: unknown.
+    EXPECT_EQ(evalSeqCell(CellKind::Dffe, Z, in, held), X);
+}
+
+TEST(SeqCell, DffrReset)
+{
+    bool held = false;
+    V4 in[2] = {O, Z}; // d=1, rstn=0
+    EXPECT_EQ(evalSeqCell(CellKind::Dffr, X, in, held), Z);
+    in[1] = O;
+    EXPECT_EQ(evalSeqCell(CellKind::Dffr, Z, in, held), O);
+    // X reset: 0 only if the loaded value is also 0.
+    in[1] = X;
+    in[0] = Z;
+    EXPECT_EQ(evalSeqCell(CellKind::Dffr, Z, in, held), Z);
+    in[0] = O;
+    EXPECT_EQ(evalSeqCell(CellKind::Dffr, Z, in, held), X);
+}
+
+TEST(Library, RiseCostsMoreThanFall)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    for (CellKind k : {CellKind::Inv, CellKind::Nand2, CellKind::Xor2,
+                       CellKind::Dff}) {
+        EXPECT_GT(lib.transitionEnergyJ(k, true, 2),
+                  lib.transitionEnergyJ(k, false, 2))
+            << cellName(k);
+    }
+}
+
+TEST(Library, FanoutIncreasesRiseEnergy)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    EXPECT_GT(lib.transitionEnergyJ(CellKind::Nand2, true, 8),
+              lib.transitionEnergyJ(CellKind::Nand2, true, 1));
+    // Falling edges do not charge the load.
+    EXPECT_DOUBLE_EQ(lib.transitionEnergyJ(CellKind::Nand2, false, 8),
+                     lib.transitionEnergyJ(CellKind::Nand2, false, 1));
+}
+
+TEST(Library, MaxTransitionMatchesAlgorithm2Lookup)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    EXPECT_DOUBLE_EQ(lib.maxTransitionEnergyJ(CellKind::Xor2, 3),
+                     lib.transitionEnergyJ(CellKind::Xor2, true, 3));
+    // maxTransition(g,1)=0 then maxTransition(g,2)=1: a rising edge.
+    EXPECT_EQ(lib.maxTransitionValue(CellKind::Xor2, 1), V4::Zero);
+    EXPECT_EQ(lib.maxTransitionValue(CellKind::Xor2, 2), V4::One);
+}
+
+TEST(Library, F1610ProfileIsHigherEnergy)
+{
+    CellLibrary a = CellLibrary::tsmc65Like();
+    CellLibrary b = CellLibrary::f1610Like();
+    EXPECT_GT(b.transitionEnergyJ(CellKind::Nand2, true, 2),
+              a.transitionEnergyJ(CellKind::Nand2, true, 2));
+    EXPECT_GT(b.vdd(), a.vdd());
+}
+
+TEST(Library, FaninCounts)
+{
+    EXPECT_EQ(cellFaninCount(CellKind::Inv), 1u);
+    EXPECT_EQ(cellFaninCount(CellKind::Mux2), 3u);
+    EXPECT_EQ(cellFaninCount(CellKind::Aoi22), 4u);
+    EXPECT_EQ(cellFaninCount(CellKind::Dffre), 3u);
+    EXPECT_EQ(cellFaninCount(CellKind::Input), 0u);
+}
+
+TEST(Library, SequentialClassification)
+{
+    EXPECT_TRUE(isSequential(CellKind::Dff));
+    EXPECT_TRUE(isSequential(CellKind::Dffre));
+    EXPECT_FALSE(isSequential(CellKind::Mux2));
+    EXPECT_FALSE(isSequential(CellKind::Input));
+}
+
+} // namespace
+} // namespace ulpeak

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Chapter 6 generality mechanisms and additional property sweeps:
+ *
+ *  - the interrupt-pin treatment (IRQ forced low during analysis; an
+ *    X IRQ must not corrupt the program counter because the pending
+ *    signal deliberately does not steer it);
+ *  - multi-programmed requirement = union/max over applications;
+ *  - a parameterized ALU sweep cross-checking the gate-level core
+ *    against the ISS per opcode over many operand pairs;
+ *  - DOT export for netlist inspection.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "peak/peak_analysis.hh"
+#include "tests/cpu_test_util.hh"
+
+namespace ulpeak {
+namespace {
+
+TEST(Generality, XInterruptPinDoesNotDisturbExecution)
+{
+    // Chapter 6: "the effect of an asynchronous interrupt can be
+    // characterized by forcing the interrupt pin to always read an X
+    // ... we can force the PC update logic to ignore the interrupt
+    // handling logic's output." In this core the masked irq_pending
+    // net is observable but never steers the PC, so an X IRQ changes
+    // nothing architecturally.
+    msp::System &sys = test::sharedSystem();
+    isa::Image img = isa::assemble(test::wrapProgram(R"(
+        mov #11, r4
+        add #31, r4
+    )"));
+    sys.memory().reset();
+    sys.loadImage(img);
+    sys.clearHalted();
+    Simulator sim(sys.netlist());
+    sys.attach(sim);
+    sys.reset(sim);
+    GateId pending = sys.netlist().findGate("irq_pending");
+    ASSERT_NE(pending, kNoGate);
+    bool sawPendingX = false;
+    while (!sys.halted() && sim.cycle() < 2000) {
+        sim.step([&](Simulator &s) {
+            sys.driveCycle(s, Word16::known(0));
+            s.setInput(sys.handles().irq, V4::X); // X interrupt pin
+        });
+        sawPendingX |= sim.value(pending) == V4::X;
+        Word16 pc = sys.readPc(sim);
+        ASSERT_TRUE(pc.isFullyKnown()) << "X irq must not reach PC";
+    }
+    ASSERT_TRUE(sys.halted());
+    EXPECT_EQ(sys.readReg(sim, 4).value, 42);
+    // GIE is clear, so the masked request stays 0 or X-free of
+    // consequence; the observability hook itself exists.
+    (void)sawPendingX;
+}
+
+TEST(Generality, MultiProgrammedRequirementIsMaxOverApps)
+{
+    // Chapter 6: in a multi-programmed setting the processor's
+    // requirement is the union of the applications' -- for peak power
+    // the max. Verify the API supports this composition.
+    msp::System &sys = test::sharedSystem();
+    peak::Options opts;
+    peak::Report a = peak::analyze(
+        sys, isa::assemble(test::wrapProgram("        mov #1, r4\n")),
+        opts);
+    peak::Report b = peak::analyze(
+        sys, isa::assemble(test::wrapProgram(R"(
+        mov &0x0020, r4
+        mov r4, &0x0130
+        mov r4, &0x0138
+        mov &0x013a, r5
+    )")),
+        opts);
+    ASSERT_TRUE(a.ok && b.ok);
+    double combined = std::max(a.peakPowerW, b.peakPowerW);
+    EXPECT_DOUBLE_EQ(combined, b.peakPowerW)
+        << "the multiplier app dominates";
+}
+
+TEST(Netlist, DotExport)
+{
+    msp::System &sys = test::sharedSystem();
+    std::string dot = toDot(sys.netlist(), 100);
+    EXPECT_NE(dot.find("digraph netlist"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("lightblue"), std::string::npos)
+        << "sequential cells highlighted";
+}
+
+/** Per-opcode randomized sweep: gate core vs ISS on ALU results and
+ *  flags, 8 operand pairs per opcode. */
+class AluSweep : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(AluSweep, MatchesIssOverOperands)
+{
+    const char *op = GetParam();
+    std::mt19937 rng(std::hash<std::string>{}(op));
+    msp::System &sys = test::sharedSystem();
+    for (int trial = 0; trial < 8; ++trial) {
+        uint16_t a = uint16_t(rng());
+        uint16_t d = uint16_t(rng());
+        std::string body = "        mov #0, sr\n        mov #" +
+                           std::to_string(a) + ", r4\n        mov #" +
+                           std::to_string(d) + ", r5\n        " + op +
+                           " r4, r5\n        mov sr, r6\n";
+        std::string src = test::wrapProgram(body);
+        isa::Image img = isa::assemble(src);
+
+        isa::Iss iss;
+        iss.loadImage(img);
+        iss.reset();
+        ASSERT_TRUE(iss.run(1000));
+
+        test::GateRun run = test::runGate(sys, img, 0);
+        ASSERT_TRUE(run.halted);
+        EXPECT_EQ(run.regs[5], iss.reg(5))
+            << op << " " << a << "," << d;
+        EXPECT_EQ(run.regs[6], iss.reg(6))
+            << op << " flags " << a << "," << d;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Opcodes, AluSweep,
+                         ::testing::Values("mov", "add", "addc", "sub",
+                                           "subc", "cmp", "bit", "bic",
+                                           "bis", "xor", "and"));
+
+} // namespace
+} // namespace ulpeak

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Encoding/decoding tests for the MSP430 ISA layer, including the
+ * constant generator, the addressing-mode matrix and the MicroPlan
+ * cycle schedule. Round-trip properties are checked with a
+ * parameterized sweep over all format-I opcodes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+
+namespace ulpeak {
+namespace isa {
+namespace {
+
+Instr
+makeFmtI(Op op, Operand src, Operand dst)
+{
+    Instr in;
+    in.op = op;
+    in.src = src;
+    in.dst = dst;
+    return in;
+}
+
+Operand
+regOp(unsigned r)
+{
+    Operand o;
+    o.mode = Mode::Reg;
+    o.reg = uint8_t(r);
+    return o;
+}
+
+Operand
+immOp(int32_t v)
+{
+    Operand o;
+    o.mode = Mode::Immediate;
+    o.imm = v;
+    return o;
+}
+
+Operand
+absOp(uint32_t a)
+{
+    Operand o;
+    o.mode = Mode::Absolute;
+    o.imm = int32_t(a);
+    return o;
+}
+
+Operand
+idxOp(unsigned r, int32_t off)
+{
+    Operand o;
+    o.mode = Mode::Indexed;
+    o.reg = uint8_t(r);
+    o.imm = off;
+    return o;
+}
+
+TEST(Encoding, MovRegReg)
+{
+    auto words = encode(makeFmtI(Op::Mov, regOp(4), regOp(5)));
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], 0x4405); // mov r4, r5
+
+    Decoded d = decode(words[0], 0, 0);
+    ASSERT_TRUE(d.valid);
+    EXPECT_EQ(d.instr.op, Op::Mov);
+    EXPECT_EQ(d.instr.src.mode, Mode::Reg);
+    EXPECT_EQ(d.instr.src.reg, 4);
+    EXPECT_EQ(d.instr.dst.reg, 5);
+}
+
+TEST(Encoding, ConstantGeneratorValues)
+{
+    // #0/#1/#2/#4/#8/#-1 must encode without an extension word.
+    for (int32_t v : {0, 1, 2, 4, 8, -1}) {
+        auto words = encode(makeFmtI(Op::Mov, immOp(v), regOp(9)));
+        EXPECT_EQ(words.size(), 1u) << "CG value " << v;
+        Decoded d = decode(words[0], 0, 0);
+        ASSERT_TRUE(d.valid);
+        EXPECT_EQ(d.instr.src.mode, Mode::Const);
+        EXPECT_EQ(int16_t(d.instr.src.imm), int16_t(v));
+    }
+    // Anything else needs @PC+.
+    auto words = encode(makeFmtI(Op::Mov, immOp(5), regOp(9)));
+    EXPECT_EQ(words.size(), 2u);
+    Decoded d = decode(words[0], words[1], 0);
+    EXPECT_EQ(d.instr.src.mode, Mode::Immediate);
+    EXPECT_EQ(d.instr.src.imm, 5);
+}
+
+TEST(Encoding, PaperOpt2AddTwoSp)
+{
+    // The paper's OPT2 rewrites POP into MOV @SP+,dst + ADD #2,SP; the
+    // ADD must use the constant generator (single word).
+    auto words = encode(makeFmtI(Op::Add, immOp(2), regOp(kSp)));
+    ASSERT_EQ(words.size(), 1u);
+    Decoded d = decode(words[0], 0, 0);
+    EXPECT_EQ(d.instr.op, Op::Add);
+    EXPECT_EQ(d.instr.src.mode, Mode::Const);
+    EXPECT_EQ(d.instr.src.imm, 2);
+    EXPECT_EQ(d.instr.dst.reg, kSp);
+}
+
+TEST(Encoding, AbsoluteUsesR2)
+{
+    auto words =
+        encode(makeFmtI(Op::Mov, absOp(0x013a), regOp(15)));
+    ASSERT_EQ(words.size(), 2u);
+    EXPECT_EQ(words[1], 0x013a);
+    Decoded d = decode(words[0], words[1], 0);
+    EXPECT_EQ(d.instr.src.mode, Mode::Absolute);
+    EXPECT_EQ(d.instr.src.imm, 0x013a);
+}
+
+TEST(Encoding, IndexedBothSides)
+{
+    auto words = encode(
+        makeFmtI(Op::Add, idxOp(4, 6), idxOp(5, -2)));
+    ASSERT_EQ(words.size(), 3u);
+    Decoded d = decode(words[0], words[1], words[2]);
+    ASSERT_TRUE(d.valid);
+    EXPECT_EQ(d.words, 3u);
+    EXPECT_EQ(d.instr.src.mode, Mode::Indexed);
+    EXPECT_EQ(d.instr.src.imm, 6);
+    EXPECT_EQ(d.instr.dst.mode, Mode::Indexed);
+    EXPECT_EQ(int16_t(d.instr.dst.imm), -2);
+}
+
+TEST(Encoding, JumpOffsets)
+{
+    Instr j;
+    j.op = Op::Jne;
+    j.jumpOffsetWords = -3;
+    auto words = encode(j);
+    ASSERT_EQ(words.size(), 1u);
+    Decoded d = decode(words[0], 0, 0);
+    EXPECT_EQ(d.instr.op, Op::Jne);
+    EXPECT_EQ(d.instr.jumpOffsetWords, -3);
+
+    j.jumpOffsetWords = 511;
+    EXPECT_NO_THROW(encode(j));
+    j.jumpOffsetWords = 512;
+    EXPECT_THROW(encode(j), std::out_of_range);
+}
+
+TEST(Encoding, FormatII)
+{
+    Instr p;
+    p.op = Op::Push;
+    p.src = regOp(10);
+    auto words = encode(p);
+    ASSERT_EQ(words.size(), 1u);
+    Decoded d = decode(words[0], 0, 0);
+    EXPECT_EQ(d.instr.op, Op::Push);
+    EXPECT_EQ(d.instr.src.reg, 10);
+
+    Instr call;
+    call.op = Op::Call;
+    call.src = immOp(0xf866);
+    words = encode(call);
+    ASSERT_EQ(words.size(), 2u);
+    d = decode(words[0], words[1], 0);
+    EXPECT_EQ(d.instr.op, Op::Call);
+    EXPECT_EQ(d.instr.src.mode, Mode::Immediate);
+    EXPECT_EQ(d.instr.src.imm, 0xf866);
+}
+
+TEST(Encoding, ByteModeAndDaddRejected)
+{
+    // mov.b r4, r5 (B/W bit set)
+    Decoded d = decode(0x4445, 0, 0);
+    EXPECT_FALSE(d.valid);
+    // dadd r4, r5
+    d = decode(0xa405, 0, 0);
+    EXPECT_FALSE(d.valid);
+    // reti
+    d = decode(0x1300, 0, 0);
+    EXPECT_TRUE(d.valid);
+    EXPECT_EQ(d.instr.op, Op::Reti);
+}
+
+TEST(MicroPlan, CycleCounts)
+{
+    // reg->reg: fetch + exec.
+    EXPECT_EQ(planOf(makeFmtI(Op::Add, regOp(4), regOp(5))).cycles(),
+              2u);
+    // #imm -> reg: + srcExt.
+    EXPECT_EQ(planOf(makeFmtI(Op::Mov, immOp(100), regOp(5))).cycles(),
+              3u);
+    // CG #imm -> reg: no ext.
+    Instr cg = makeFmtI(Op::Mov, immOp(100), regOp(5));
+    cg.src.mode = Mode::Const;
+    EXPECT_EQ(planOf(cg).cycles(), 2u);
+    // &abs -> reg: srcExt + srcRd.
+    EXPECT_EQ(planOf(makeFmtI(Op::Mov, absOp(0x200), regOp(5))).cycles(),
+              4u);
+    // add x(r4), x(r5): srcExt+srcRd+dstExt+dstRd+dstWr.
+    EXPECT_EQ(
+        planOf(makeFmtI(Op::Add, idxOp(4, 2), idxOp(5, 4))).cycles(),
+        7u);
+    // mov r4, x(r5): dstExt + dstWr, no dstRd for MOV.
+    EXPECT_EQ(
+        planOf(makeFmtI(Op::Mov, regOp(4), idxOp(5, 4))).cycles(), 4u);
+    // cmp r4, x(r5): reads dst but never writes it.
+    MicroPlan cmp = planOf(makeFmtI(Op::Cmp, regOp(4), idxOp(5, 4)));
+    EXPECT_TRUE(cmp.dstRd);
+    EXPECT_FALSE(cmp.dstWr);
+    // push r4: fetch + exec + pushwr.
+    Instr push;
+    push.op = Op::Push;
+    push.src = regOp(4);
+    EXPECT_EQ(planOf(push).cycles(), 3u);
+    // jumps: 2 cycles.
+    Instr j;
+    j.op = Op::Jmp;
+    EXPECT_EQ(planOf(j).cycles(), 2u);
+}
+
+TEST(JumpConditions, Table)
+{
+    // (c, z, n, v)
+    EXPECT_TRUE(jumpTaken(Op::Jne, false, false, false, false));
+    EXPECT_FALSE(jumpTaken(Op::Jne, false, true, false, false));
+    EXPECT_TRUE(jumpTaken(Op::Jeq, false, true, false, false));
+    EXPECT_TRUE(jumpTaken(Op::Jc, true, false, false, false));
+    EXPECT_TRUE(jumpTaken(Op::Jnc, false, false, false, false));
+    EXPECT_TRUE(jumpTaken(Op::Jn, false, false, true, false));
+    EXPECT_TRUE(jumpTaken(Op::Jge, false, false, true, true));
+    EXPECT_FALSE(jumpTaken(Op::Jge, false, false, true, false));
+    EXPECT_TRUE(jumpTaken(Op::Jl, false, false, false, true));
+    EXPECT_TRUE(jumpTaken(Op::Jmp, false, false, false, false));
+}
+
+class FmtIRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmtIRoundTrip, EncodeDecode)
+{
+    Op op = Op(GetParam());
+    for (auto src : {regOp(7), immOp(0x1234), absOp(0x210),
+                     idxOp(9, 4)}) {
+        Operand ind;
+        ind.mode = Mode::IndirectInc;
+        ind.reg = 6;
+        for (auto s : {src, ind}) {
+            for (auto dst : {regOp(12), absOp(0x0212), idxOp(8, 2)}) {
+                Instr in = makeFmtI(op, s, dst);
+                auto words = encode(in);
+                uint16_t w1 = words.size() > 1 ? words[1] : 0;
+                uint16_t w2 = words.size() > 2 ? words[2] : 0;
+                Decoded d = decode(words[0], w1, w2);
+                ASSERT_TRUE(d.valid);
+                EXPECT_EQ(d.words, words.size());
+                EXPECT_EQ(d.instr.op, op);
+                EXPECT_EQ(d.instr.src.mode, s.mode);
+                EXPECT_EQ(d.instr.dst.mode, dst.mode);
+                EXPECT_EQ(uint16_t(d.instr.src.imm),
+                          uint16_t(s.imm));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFmtIOps, FmtIRoundTrip,
+                         ::testing::Range(int(Op::Mov),
+                                          int(Op::And) + 1));
+
+} // namespace
+} // namespace isa
+} // namespace ulpeak

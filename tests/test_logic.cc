@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the three-valued logic primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "logic/v4.hh"
+
+namespace ulpeak {
+namespace {
+
+TEST(V4, AndTruthTable)
+{
+    EXPECT_EQ(v4And(V4::Zero, V4::Zero), V4::Zero);
+    EXPECT_EQ(v4And(V4::Zero, V4::One), V4::Zero);
+    EXPECT_EQ(v4And(V4::One, V4::One), V4::One);
+    EXPECT_EQ(v4And(V4::Zero, V4::X), V4::Zero);
+    EXPECT_EQ(v4And(V4::X, V4::Zero), V4::Zero);
+    EXPECT_EQ(v4And(V4::One, V4::X), V4::X);
+    EXPECT_EQ(v4And(V4::X, V4::X), V4::X);
+}
+
+TEST(V4, OrTruthTable)
+{
+    EXPECT_EQ(v4Or(V4::Zero, V4::Zero), V4::Zero);
+    EXPECT_EQ(v4Or(V4::One, V4::Zero), V4::One);
+    EXPECT_EQ(v4Or(V4::One, V4::X), V4::One);
+    EXPECT_EQ(v4Or(V4::X, V4::One), V4::One);
+    EXPECT_EQ(v4Or(V4::Zero, V4::X), V4::X);
+    EXPECT_EQ(v4Or(V4::X, V4::X), V4::X);
+}
+
+TEST(V4, XorAndNot)
+{
+    EXPECT_EQ(v4Xor(V4::Zero, V4::One), V4::One);
+    EXPECT_EQ(v4Xor(V4::One, V4::One), V4::Zero);
+    EXPECT_EQ(v4Xor(V4::X, V4::One), V4::X);
+    EXPECT_EQ(v4Xor(V4::Zero, V4::X), V4::X);
+    EXPECT_EQ(v4Not(V4::Zero), V4::One);
+    EXPECT_EQ(v4Not(V4::One), V4::Zero);
+    EXPECT_EQ(v4Not(V4::X), V4::X);
+}
+
+TEST(V4, MuxSelectsExactly)
+{
+    EXPECT_EQ(v4Mux(V4::Zero, V4::X, V4::One), V4::X);
+    EXPECT_EQ(v4Mux(V4::One, V4::X, V4::One), V4::One);
+    // X select: known-equal inputs resolve, anything else is X.
+    EXPECT_EQ(v4Mux(V4::X, V4::One, V4::One), V4::One);
+    EXPECT_EQ(v4Mux(V4::X, V4::Zero, V4::One), V4::X);
+    EXPECT_EQ(v4Mux(V4::X, V4::X, V4::X), V4::X);
+}
+
+TEST(V4, CharRoundTrip)
+{
+    EXPECT_EQ(v4Char(V4::Zero), '0');
+    EXPECT_EQ(v4Char(V4::One), '1');
+    EXPECT_EQ(v4Char(V4::X), 'x');
+    EXPECT_EQ(v4FromChar('0'), V4::Zero);
+    EXPECT_EQ(v4FromChar('1'), V4::One);
+    EXPECT_EQ(v4FromChar('x'), V4::X);
+    EXPECT_EQ(v4FromChar('X'), V4::X);
+}
+
+TEST(Word16, BitAccess)
+{
+    Word16 w = Word16::known(0xa5c3);
+    EXPECT_TRUE(w.isFullyKnown());
+    EXPECT_EQ(w.bit(0), V4::One);
+    EXPECT_EQ(w.bit(1), V4::One);
+    EXPECT_EQ(w.bit(2), V4::Zero);
+    EXPECT_EQ(w.bit(15), V4::One);
+
+    w.setBit(3, V4::X);
+    EXPECT_FALSE(w.isFullyKnown());
+    EXPECT_EQ(w.bit(3), V4::X);
+    w.setBit(3, V4::One);
+    EXPECT_EQ(w.bit(3), V4::One);
+    EXPECT_TRUE(w.isFullyKnown());
+}
+
+TEST(Word16, XBitsMaskValue)
+{
+    // X bits must read back as zero in `value` so equal words compare
+    // equal bitwise.
+    Word16 a(0xffff, 0x00ff);
+    EXPECT_EQ(a.value, 0xff00);
+    Word16 b(0xff00, 0x00ff);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Word16, AllXAndToString)
+{
+    Word16 x = Word16::allX();
+    EXPECT_FALSE(x.isFullyKnown());
+    EXPECT_EQ(x.toString(), std::string(16, 'x'));
+    Word16 k = Word16::known(0x8001);
+    EXPECT_EQ(k.toString(), "1000000000000001");
+}
+
+} // namespace
+} // namespace ulpeak

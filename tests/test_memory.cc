@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the behavioral three-valued memory (Algorithm 1
+ * line 2 semantics: everything not loaded from the binary reads X).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+
+namespace ulpeak {
+namespace {
+
+class MemoryTest : public ::testing::Test {
+  protected:
+    MemoryTest() : mem(0x0200, 0x0800, 0xf000) {}
+    Memory mem;
+};
+
+TEST_F(MemoryTest, UninitializedRamReadsX)
+{
+    Word16 w = mem.read(0x0300);
+    EXPECT_FALSE(w.isFullyKnown());
+    EXPECT_EQ(w.xmask, 0xffff);
+}
+
+TEST_F(MemoryTest, WriteReadRoundTrip)
+{
+    mem.write(0x0300, Word16::known(0xbeef));
+    EXPECT_EQ(mem.read(0x0300).value, 0xbeef);
+    EXPECT_TRUE(mem.read(0x0300).isFullyKnown());
+    // Partial-X words survive verbatim.
+    Word16 partial(0x1200, 0x00ff);
+    mem.write(0x0302, partial);
+    EXPECT_TRUE(mem.read(0x0302) == partial);
+}
+
+TEST_F(MemoryTest, WordAlignment)
+{
+    mem.write(0x0300, Word16::known(0x1111));
+    EXPECT_EQ(mem.read(0x0301).value, 0x1111)
+        << "bit 0 of the address is ignored";
+}
+
+TEST_F(MemoryTest, RomLoadsAndRejectsWrites)
+{
+    mem.loadRom(0xf000, {0xaaaa, 0xbbbb});
+    EXPECT_EQ(mem.read(0xf000).value, 0xaaaa);
+    EXPECT_EQ(mem.read(0xf002).value, 0xbbbb);
+    mem.write(0xf000, Word16::known(0x1234));
+    EXPECT_EQ(mem.read(0xf000).value, 0xaaaa) << "ROM is read-only";
+    // Unloaded ROM reads as erased flash.
+    EXPECT_EQ(mem.read(0xf004).value, 0xffff);
+}
+
+TEST_F(MemoryTest, ResetClearsRamKeepsRom)
+{
+    mem.loadRom(0xf000, {0x1234});
+    mem.write(0x0300, Word16::known(7));
+    mem.loadRam(0x0400, {42});
+    mem.reset();
+    EXPECT_FALSE(mem.read(0x0300).isFullyKnown());
+    EXPECT_FALSE(mem.read(0x0400).isFullyKnown());
+    EXPECT_EQ(mem.read(0xf000).value, 0x1234);
+}
+
+TEST_F(MemoryTest, PoisonMarksInputRegions)
+{
+    mem.loadRam(0x0380, {1, 2, 3});
+    mem.poisonRam(0x0380, 2);
+    EXPECT_FALSE(mem.read(0x0380).isFullyKnown());
+    EXPECT_FALSE(mem.read(0x0382).isFullyKnown());
+    EXPECT_EQ(mem.read(0x0384).value, 3);
+}
+
+TEST_F(MemoryTest, SnapshotRestore)
+{
+    mem.write(0x0300, Word16::known(0x1111));
+    Memory::Snapshot snap = mem.snapshot();
+    uint64_t h0 = 0xcbf29ce484222325ull;
+    mem.hashInto(h0);
+    mem.write(0x0300, Word16::known(0x2222));
+    uint64_t h1 = 0xcbf29ce484222325ull;
+    mem.hashInto(h1);
+    EXPECT_NE(h0, h1);
+    mem.restore(snap);
+    uint64_t h2 = 0xcbf29ce484222325ull;
+    mem.hashInto(h2);
+    EXPECT_EQ(h0, h2);
+    EXPECT_EQ(mem.read(0x0300).value, 0x1111);
+}
+
+TEST_F(MemoryTest, RegionPredicates)
+{
+    EXPECT_TRUE(mem.inRam(0x0200));
+    EXPECT_TRUE(mem.inRam(0x09fe));
+    EXPECT_FALSE(mem.inRam(0x0a00));
+    EXPECT_FALSE(mem.inRam(0x01ff));
+    EXPECT_TRUE(mem.inRom(0xf000));
+    EXPECT_TRUE(mem.inRom(0xfffe));
+    EXPECT_FALSE(mem.inRom(0xefff));
+    // Unmapped space reads all-X (floating bus under analysis).
+    EXPECT_FALSE(mem.read(0x2000).isFullyKnown());
+}
+
+} // namespace
+} // namespace ulpeak

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the netlist graph, levelization and stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hh"
+
+namespace ulpeak {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+  protected:
+    NetlistTest() : lib(CellLibrary::tsmc65Like()), nl(lib) {}
+    CellLibrary lib;
+    Netlist nl;
+};
+
+TEST_F(NetlistTest, AddGatesAndModules)
+{
+    ModuleId m = nl.addModule("alu");
+    GateId a = nl.addGate(CellKind::Input, {}, m);
+    GateId b = nl.addGate(CellKind::Input, {}, m);
+    GateId c = nl.addGate(CellKind::And2, {a, b}, m);
+    EXPECT_EQ(nl.numGates(), 3u);
+    EXPECT_EQ(nl.gate(c).kind, CellKind::And2);
+    EXPECT_EQ(nl.gate(c).in[0], a);
+    EXPECT_EQ(nl.moduleName(m), "alu");
+}
+
+TEST_F(NetlistTest, WrongFaninCountRejected)
+{
+    ModuleId m = nl.addModule("m");
+    GateId a = nl.addGate(CellKind::Input, {}, m);
+    EXPECT_THROW(nl.addGate(CellKind::And2, {a}, m),
+                 std::invalid_argument);
+    EXPECT_THROW(nl.addGate(CellKind::Inv, {a, a}, m),
+                 std::invalid_argument);
+}
+
+TEST_F(NetlistTest, LevelizeOrdersFanins)
+{
+    ModuleId m = nl.addModule("m");
+    GateId a = nl.addGate(CellKind::Input, {}, m);
+    GateId b = nl.addGate(CellKind::Inv, {a}, m);
+    GateId c = nl.addGate(CellKind::And2, {a, b}, m);
+    GateId d = nl.addGate(CellKind::Inv, {c}, m);
+    nl.finalize();
+
+    std::vector<int> pos(nl.numGates(), -1);
+    int i = 0;
+    for (const EvalItem &item : nl.evalOrder())
+        if (item.type == EvalItem::Type::Gate)
+            pos[item.index] = i++;
+    EXPECT_LT(pos[a], pos[b]);
+    EXPECT_LT(pos[b], pos[c]);
+    EXPECT_LT(pos[c], pos[d]);
+}
+
+TEST_F(NetlistTest, CombinationalLoopDetected)
+{
+    ModuleId m = nl.addModule("m");
+    GateId a = nl.addGate(CellKind::Inv, {kNoGate}, m);
+    GateId b = nl.addGate(CellKind::Inv, {a}, m);
+    nl.setFanin(a, 0, b);
+    EXPECT_THROW(nl.finalize(), std::logic_error);
+}
+
+TEST_F(NetlistTest, SequentialBreaksLoops)
+{
+    ModuleId m = nl.addModule("m");
+    GateId ff = nl.addGate(CellKind::Dff, {kNoGate}, m);
+    GateId inv = nl.addGate(CellKind::Inv, {ff}, m);
+    nl.setFanin(ff, 0, inv); // classic toggle flop
+    EXPECT_NO_THROW(nl.finalize());
+    EXPECT_EQ(nl.seqGates().size(), 1u);
+    EXPECT_EQ(nl.seqGates()[0], ff);
+}
+
+TEST_F(NetlistTest, UnconnectedFaninFatal)
+{
+    ModuleId m = nl.addModule("m");
+    nl.addGate(CellKind::Inv, {kNoGate}, m);
+    EXPECT_THROW(nl.finalize(), std::logic_error);
+}
+
+TEST_F(NetlistTest, FanoutCountsAndEnergies)
+{
+    ModuleId m = nl.addModule("m");
+    GateId a = nl.addGate(CellKind::Input, {}, m);
+    GateId g1 = nl.addGate(CellKind::Inv, {a}, m);
+    GateId g2 = nl.addGate(CellKind::Inv, {a}, m);
+    GateId g3 = nl.addGate(CellKind::And2, {g1, g2}, m);
+    (void)g3;
+    nl.finalize();
+    EXPECT_EQ(nl.fanoutCount(a), 2u);
+    EXPECT_EQ(nl.fanoutCount(g1), 1u);
+    EXPECT_EQ(nl.fanoutCount(g3), 0u);
+    EXPECT_GT(nl.riseEnergyJ(a), 0.0);
+    EXPECT_GT(nl.maxEnergyJ(g3), 0.0);
+    EXPECT_GT(nl.totalLeakageW(), 0.0);
+}
+
+TEST_F(NetlistTest, HookSchedulingBetweenDependsAndOutputs)
+{
+    ModuleId m = nl.addModule("m");
+    GateId addr = nl.addGate(CellKind::Input, {}, m);
+    GateId addrInv = nl.addGate(CellKind::Inv, {addr}, m);
+    GateId data = nl.addGate(CellKind::Input, {}, m);
+    GateId user = nl.addGate(CellKind::Inv, {data}, m);
+
+    BehavioralHook hook;
+    hook.name = "mem";
+    hook.depends = {addrInv};
+    hook.outputs = {data};
+    nl.addHook(hook);
+    nl.finalize();
+
+    int posAddrInv = -1, posHook = -1, posData = -1, posUser = -1;
+    int i = 0;
+    for (const EvalItem &item : nl.evalOrder()) {
+        if (item.type == EvalItem::Type::Hook)
+            posHook = i;
+        else if (item.index == addrInv)
+            posAddrInv = i;
+        else if (item.index == data)
+            posData = i;
+        else if (item.index == user)
+            posUser = i;
+        ++i;
+    }
+    EXPECT_LT(posAddrInv, posHook);
+    EXPECT_LT(posHook, posData);
+    EXPECT_LT(posData, posUser);
+}
+
+TEST_F(NetlistTest, TopLevelModuleResolution)
+{
+    ModuleId cpu = nl.addModule("cpu");
+    ModuleId alu = nl.addModule("alu", cpu);
+    ModuleId adder = nl.addModule("adder", alu);
+    EXPECT_EQ(nl.topLevelModuleOf(adder), cpu);
+    EXPECT_EQ(nl.topLevelModuleOf(alu), cpu);
+    EXPECT_EQ(nl.topLevelModuleOf(cpu), cpu);
+    EXPECT_EQ(nl.findModule("adder"), adder);
+}
+
+TEST_F(NetlistTest, NamesRoundTrip)
+{
+    ModuleId m = nl.addModule("m");
+    GateId a = nl.addGate(CellKind::Input, {}, m);
+    nl.setName(a, "port_a");
+    EXPECT_EQ(nl.findGate("port_a"), a);
+    EXPECT_EQ(nl.gateName(a), "port_a");
+    EXPECT_EQ(nl.findGate("nope"), kNoGate);
+}
+
+TEST_F(NetlistTest, StatsCountModulesAndKinds)
+{
+    ModuleId m1 = nl.addModule("alu");
+    ModuleId m2 = nl.addModule("regs");
+    GateId a = nl.addGate(CellKind::Input, {}, m1);
+    nl.addGate(CellKind::Inv, {a}, m1);
+    nl.addGate(CellKind::Dff, {a}, m2);
+    nl.finalize();
+    NetlistStats s = computeStats(nl);
+    EXPECT_EQ(s.totalGates, 3u);
+    EXPECT_EQ(s.seqGates, 1u);
+    EXPECT_EQ(s.combGates, 2u);
+    EXPECT_GT(s.areaUm2, 0.0);
+    std::string text = formatStats(s);
+    EXPECT_NE(text.find("alu"), std::string::npos);
+}
+
+} // namespace
+} // namespace ulpeak

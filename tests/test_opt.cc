@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests of the OPT1-3 source rewrites and the peak-guided optimizer
+ * (Sections 3.5 / 5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/iss.hh"
+#include "opt/optimizer.hh"
+#include "tests/cpu_test_util.hh"
+
+namespace ulpeak {
+namespace {
+
+TEST(Transforms, Opt2SplitsPop)
+{
+    opt::TransformConfig cfg;
+    cfg.opt1 = cfg.opt3 = false;
+    opt::TransformStats stats;
+    std::string out = opt::applyTransforms("        pop r7\n", cfg,
+                                           &stats);
+    EXPECT_EQ(stats.opt2Applied, 1u);
+    EXPECT_NE(out.find("mov @sp, r7"), std::string::npos);
+    EXPECT_NE(out.find("add #2, sp"), std::string::npos);
+}
+
+TEST(Transforms, Opt2SplitsAutoincrementLoads)
+{
+    opt::TransformConfig cfg;
+    cfg.opt1 = cfg.opt3 = false;
+    opt::TransformStats stats;
+    std::string out =
+        opt::applyTransforms("        mov @r4+, r8\n", cfg, &stats);
+    EXPECT_EQ(stats.opt2Applied, 1u);
+    EXPECT_NE(out.find("mov @r4, r8"), std::string::npos);
+    EXPECT_NE(out.find("add #2, r4"), std::string::npos);
+    // Same-register form must not be split (mov @r4+, r4).
+    stats = {};
+    out = opt::applyTransforms("        mov @r4+, r4\n", cfg, &stats);
+    EXPECT_EQ(stats.opt2Applied, 0u);
+}
+
+TEST(Transforms, Opt1SplitsIndexedLoads)
+{
+    opt::TransformConfig cfg;
+    cfg.opt2 = cfg.opt3 = false;
+    cfg.scratchReg = "r7";
+    opt::TransformStats stats;
+    std::string out = opt::applyTransforms(
+        "        mov 6(r4), r5\n", cfg, &stats);
+    EXPECT_EQ(stats.opt1Applied, 1u);
+    EXPECT_NE(out.find("mov r4, r7"), std::string::npos);
+    EXPECT_NE(out.find("add #6, r7"), std::string::npos);
+    EXPECT_NE(out.find("mov @r7, r5"), std::string::npos);
+
+    // No scratch register -> no rewrite.
+    cfg.scratchReg = "";
+    stats = {};
+    opt::applyTransforms("        mov 6(r4), r5\n", cfg, &stats);
+    EXPECT_EQ(stats.opt1Applied, 0u);
+    // Offset 0 is already register-indirect-equivalent: skip.
+    cfg.scratchReg = "r7";
+    stats = {};
+    opt::applyTransforms("        mov 0(r4), r5\n", cfg, &stats);
+    EXPECT_EQ(stats.opt1Applied, 0u);
+}
+
+TEST(Transforms, Opt3NopsAfterMultiplierWrite)
+{
+    opt::TransformConfig cfg;
+    cfg.opt1 = cfg.opt2 = false;
+    opt::TransformStats stats;
+    std::string out = opt::applyTransforms(
+        "        mov r4, &0x0138\n        mov &0x013a, r5\n", cfg,
+        &stats);
+    EXPECT_EQ(stats.opt3Applied, 1u);
+    size_t op2 = out.find("&0x0138");
+    size_t nop = out.find("nop");
+    size_t read = out.find("&0x013a");
+    EXPECT_LT(op2, nop);
+    EXPECT_LT(nop, read);
+    // Already padded: no duplicate NOP.
+    stats = {};
+    opt::applyTransforms(
+        "        mov r4, &0x0138\n        nop\n", cfg, &stats);
+    EXPECT_EQ(stats.opt3Applied, 0u);
+}
+
+TEST(Transforms, PreservesFunctionality)
+{
+    // A program with all three rewrite targets: the transformed code
+    // must compute the same results on the ISS.
+    std::string source = test::wrapProgram(R"(
+        mov #0x0300, r4
+        mov #21, 0(r4)
+        mov #2, 2(r4)
+        push #7
+        pop r8
+        mov 2(r4), r9       ; OPT1 site
+        mov @r4+, r10       ; OPT2 site
+        mov r9, &0x0130
+        mov r10, &0x0138    ; OPT3 site
+        mov &0x013a, r11
+        add r8, r11
+    )");
+    opt::TransformConfig cfg;
+    cfg.scratchReg = "r14";
+    opt::TransformStats stats;
+    std::string optimized = opt::applyTransforms(source, cfg, &stats);
+    EXPECT_GE(stats.total(), 3u);
+
+    auto run = [](const std::string &src) {
+        isa::Iss iss;
+        iss.loadImage(isa::assemble(src));
+        iss.reset();
+        EXPECT_TRUE(iss.run(5000));
+        return iss;
+    };
+    isa::Iss a = run(source);
+    isa::Iss b = run(optimized);
+    for (unsigned r : {4u, 8u, 9u, 10u, 11u})
+        EXPECT_EQ(a.reg(r), b.reg(r)) << "r" << r;
+    EXPECT_EQ(b.reg(11), uint16_t(2 * 21 + 7));
+}
+
+TEST(Optimizer, NeverIncreasesPeak)
+{
+    msp::System &sys = test::sharedSystem();
+    opt::TransformConfig cfg;
+    peak::Options opts;
+    for (const char *name : {"mult", "tHold", "binSearch"}) {
+        auto rep = opt::evaluateOptimizations(
+            sys, bench430::benchmarkByName(name), cfg, opts);
+        ASSERT_TRUE(rep.ok) << name << ": " << rep.error;
+        EXPECT_LE(rep.peakAfterW, rep.peakBeforeW) << name;
+        EXPECT_GE(rep.peakReductionPct, -1e-9) << name;
+        if (rep.transforms.total() == 0) {
+            // Empty subset chosen: everything must be unchanged.
+            EXPECT_DOUBLE_EQ(rep.peakAfterW, rep.peakBeforeW);
+            EXPECT_EQ(rep.cyclesAfter, rep.cyclesBefore);
+        }
+    }
+}
+
+TEST(Optimizer, OptimizedBenchmarkStillCorrect)
+{
+    // Apply all transforms to tHold and verify the kernel still
+    // counts correctly on the ISS.
+    const auto &b = bench430::benchmarkByName("tHold");
+    opt::TransformConfig cfg;
+    cfg.scratchReg = b.scratchReg;
+    std::string optimized = opt::applyTransforms(b.source, cfg);
+    isa::Iss iss;
+    iss.loadImage(isa::assemble(optimized));
+    std::vector<uint16_t> samples = {0x500, 0x100, 0x400, 0x3ff,
+                                     0x700, 0,     0x7ff, 0x3fe};
+    for (size_t i = 0; i < samples.size(); ++i)
+        iss.writeMem(bench430::kInputAddr + uint32_t(i) * 2,
+                     samples[i]);
+    iss.reset();
+    ASSERT_TRUE(iss.run(100000)) << iss.haltReason();
+    EXPECT_EQ(iss.readMem(bench430::kOutputAddr), 4);
+}
+
+} // namespace
+} // namespace ulpeak

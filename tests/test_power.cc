@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the power-analysis layer: PowerContext accounting,
+ * TraceStats, the statistical (design-tool) estimator's properties,
+ * and concrete gate-level runs.
+ */
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "power/analysis.hh"
+#include "power/statistical.hh"
+#include "tests/cpu_test_util.hh"
+
+namespace ulpeak {
+namespace {
+
+TEST(PowerContext, StaticFloor)
+{
+    msp::System &sys = test::sharedSystem();
+    power::PowerContext ctx(sys.netlist(), 100e6);
+    // Clock + leakage floor: calibrated near the paper's ~1.3 mW.
+    double floor = ctx.cyclePowerW(0.0);
+    EXPECT_GT(floor, 1.0e-3);
+    EXPECT_LT(floor, 1.6e-3);
+    // Power scales with frequency (leakage does not).
+    power::PowerContext slow(sys.netlist(), 50e6);
+    EXPECT_LT(slow.cyclePowerW(0.0), floor);
+    EXPECT_GT(slow.cyclePowerW(0.0), floor / 2.0);
+}
+
+TEST(PowerContext, ModuleStaticSplitsSumToTotal)
+{
+    msp::System &sys = test::sharedSystem();
+    const Netlist &nl = sys.netlist();
+    power::PowerContext ctx(nl, 100e6);
+    double sum = 0.0;
+    for (size_t m = 0; m < nl.numModules(); ++m)
+        sum += ctx.moduleStaticEnergyJ(ModuleId(m));
+    EXPECT_NEAR(sum, ctx.staticEnergyPerCycleJ(),
+                ctx.staticEnergyPerCycleJ() * 1e-9);
+}
+
+TEST(TraceStats, PeakAndAverage)
+{
+    power::TraceStats s;
+    s.add(1.0);
+    s.add(3.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.peakW, 3.0);
+    EXPECT_EQ(s.peakCycle, 1u);
+    EXPECT_DOUBLE_EQ(s.avgW(), 2.0);
+    EXPECT_DOUBLE_EQ(s.energyJ(1e-8), 6.0 * 1e-8);
+}
+
+TEST(Statistical, ToggleRateMonotonic)
+{
+    msp::System &sys = test::sharedSystem();
+    auto lo = power::statisticalPower(sys.netlist(), 100e6, 0.1);
+    auto mid = power::statisticalPower(sys.netlist(), 100e6, 0.3);
+    auto hi = power::statisticalPower(sys.netlist(), 100e6, 0.6);
+    EXPECT_LT(lo.totalPowerW, mid.totalPowerW);
+    EXPECT_LT(mid.totalPowerW, hi.totalPowerW);
+    // Static parts are rate-independent.
+    EXPECT_DOUBLE_EQ(lo.clockPowerW, hi.clockPowerW);
+    EXPECT_DOUBLE_EQ(lo.leakagePowerW, hi.leakagePowerW);
+}
+
+TEST(Statistical, ProbabilitiesAreProbabilities)
+{
+    msp::System &sys = test::sharedSystem();
+    auto r = power::statisticalPower(sys.netlist(), 100e6, 0.2);
+    for (size_t g = 0; g < r.probOne.size(); ++g) {
+        ASSERT_GE(r.probOne[g], 0.0);
+        ASSERT_LE(r.probOne[g], 1.0);
+        ASSERT_GE(r.density[g], 0.0);
+        ASSERT_LE(r.density[g], 1.0);
+    }
+}
+
+TEST(Statistical, ZeroActivityIsStaticOnly)
+{
+    msp::System &sys = test::sharedSystem();
+    auto r = power::statisticalPower(sys.netlist(), 100e6, 0.0);
+    EXPECT_DOUBLE_EQ(r.switchingPowerW, 0.0);
+    EXPECT_NEAR(r.totalPowerW, r.clockPowerW + r.leakagePowerW, 1e-12);
+}
+
+TEST(ConcreteRun, HaltsAndRecords)
+{
+    msp::System &sys = test::sharedSystem();
+    isa::Image img = isa::assemble(test::wrapProgram(R"(
+        mov #5, r4
+cr_loop:
+        dec r4
+        jnz cr_loop
+    )"));
+    power::PowerContext ctx(sys.netlist(), 100e6);
+    power::ConcreteRunOptions opts;
+    opts.recordModules = true;
+    auto run = power::runConcrete(sys, img, ctx, opts);
+    EXPECT_TRUE(run.halted);
+    EXPECT_GT(run.stats.cycles, 10u);
+    EXPECT_EQ(run.traceW.size(), run.stats.cycles);
+    EXPECT_GT(run.stats.peakW, ctx.cyclePowerW(0.0));
+    EXPECT_GT(run.totalEnergyJ, 0.0);
+    // Per-module traces align with the scalar trace.
+    ASSERT_FALSE(run.traceModulesW.empty());
+    for (const auto &m : run.traceModulesW)
+        EXPECT_EQ(m.size(), run.traceW.size());
+}
+
+TEST(ConcreteRun, DeterministicForSameInputs)
+{
+    msp::System &sys = test::sharedSystem();
+    isa::Image img = isa::assemble(test::wrapProgram(R"(
+        mov &0x0020, r4
+        add r4, r4
+    )"));
+    power::PowerContext ctx(sys.netlist(), 100e6);
+    power::ConcreteRunOptions opts;
+    opts.portIn = 0x1234;
+    auto a = power::runConcrete(sys, img, ctx, opts);
+    auto b = power::runConcrete(sys, img, ctx, opts);
+    ASSERT_EQ(a.traceW.size(), b.traceW.size());
+    for (size_t i = 0; i < a.traceW.size(); ++i)
+        ASSERT_EQ(a.traceW[i], b.traceW[i]);
+}
+
+TEST(ConcreteRun, CsvWriter)
+{
+    std::string path = ::testing::TempDir() + "ulpeak_trace.csv";
+    power::writePowerCsv(path, {1.0f, 2.0f});
+    std::ifstream is(path);
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line, "cycle,power_w");
+    std::getline(is, line);
+    EXPECT_EQ(line.substr(0, 2), "0,");
+}
+
+} // namespace
+} // namespace ulpeak

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests of the cycle-based simulator: value propagation, X handling,
+ * the paper's activity definition (Section 3.1), per-cycle energies
+ * and snapshot/restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/builder.hh"
+#include "sim/simulator.hh"
+
+namespace ulpeak {
+namespace {
+
+using hw::Builder;
+using hw::Bus;
+
+TEST(Simulator, CombPropagation)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    hw::Sig a = b.input("a");
+    hw::Sig c = b.input("c");
+    hw::Sig o = b.and2(b.inv(a), c);
+    nl.finalize();
+
+    Simulator sim(nl);
+    sim.step([&](Simulator &s) {
+        s.setInput(a, V4::Zero);
+        s.setInput(c, V4::One);
+    });
+    EXPECT_EQ(sim.value(o), V4::One);
+    sim.step([&](Simulator &s) {
+        s.setInput(a, V4::One);
+        s.setInput(c, V4::One);
+    });
+    EXPECT_EQ(sim.value(o), V4::Zero);
+}
+
+TEST(Simulator, SequentialDelaysOneCycle)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    hw::Sig a = b.input("a");
+    Bus q = b.reg(Bus{a}, "q");
+    nl.finalize();
+
+    Simulator sim(nl);
+    sim.step([&](Simulator &s) { s.setInput(a, V4::One); });
+    sim.step([&](Simulator &s) { s.setInput(a, V4::Zero); });
+    EXPECT_EQ(sim.value(q[0]), V4::One) << "captured previous cycle";
+    sim.step([&](Simulator &s) { s.setInput(a, V4::Zero); });
+    EXPECT_EQ(sim.value(q[0]), V4::Zero);
+}
+
+TEST(Simulator, ActivityChangedGateIsActive)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    hw::Sig a = b.input("a");
+    hw::Sig o = b.inv(a);
+    nl.finalize();
+
+    Simulator sim(nl);
+    sim.step([&](Simulator &s) { s.setInput(a, V4::Zero); });
+    sim.step([&](Simulator &s) { s.setInput(a, V4::One); });
+    EXPECT_TRUE(sim.isActive(o));
+    EXPECT_GT(sim.actualEnergyJ(), 0.0);
+    sim.step([&](Simulator &s) { s.setInput(a, V4::One); });
+    EXPECT_FALSE(sim.isActive(o));
+    EXPECT_DOUBLE_EQ(sim.actualEnergyJ(), 0.0);
+}
+
+TEST(Simulator, StableXIsInactive)
+{
+    // Paper 3.1: a gate is active if it toggles OR is X and driven by
+    // an active gate. A gate whose X fanins are stable must be idle.
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    hw::Sig x = b.input("x");
+    hw::Sig gate1 = b.inv(x);
+    hw::Sig toggler = b.input("t");
+    hw::Sig mixed = b.and2(gate1, toggler);
+    nl.finalize();
+
+    Simulator sim(nl);
+    auto drive = [&](V4 t) {
+        return [&, t](Simulator &s) {
+            s.setInput(x, V4::X);
+            s.setInput(toggler, t);
+        };
+    };
+    sim.step(drive(V4::One));
+    sim.step(drive(V4::One));
+    sim.step(drive(V4::One));
+    // x held X: the primary input itself stays conservative-active,
+    // but gate1 (X, no changing fanin... except the input rule) --
+    // inputs count as potentially toggling, so check the deeper gate
+    // under a concrete blocker instead:
+    sim.step(drive(V4::Zero));
+    sim.step(drive(V4::Zero));
+    EXPECT_EQ(sim.value(mixed), V4::Zero);
+    EXPECT_FALSE(sim.isActive(mixed)) << "0-blocked gate is idle";
+}
+
+TEST(Simulator, BoundEnergyCoversXToggles)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    hw::Sig a = b.input("a");
+    hw::Sig o = b.inv(a);
+    (void)o;
+    nl.finalize();
+
+    Simulator sim(nl);
+    sim.step([&](Simulator &s) { s.setInput(a, V4::Zero); });
+    sim.step([&](Simulator &s) { s.setInput(a, V4::X); });
+    // X assignment assumes the max-power consistent transition.
+    EXPECT_GT(sim.boundEnergyJ(), 0.0);
+    EXPECT_DOUBLE_EQ(sim.actualEnergyJ(), 0.0)
+        << "no concrete toggle happened";
+}
+
+TEST(Simulator, BoundEqualsActualWhenConcrete)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    Bus a = b.busInput(8, "a");
+    Bus n = b.busNot(a);
+    Bus q = b.reg(n, "q");
+    (void)q;
+    nl.finalize();
+
+    Simulator sim(nl);
+    uint32_t pattern = 0x5a;
+    for (int i = 0; i < 8; ++i) {
+        sim.step([&](Simulator &s) {
+            for (unsigned j = 0; j < 8; ++j)
+                s.setInput(a[j], fromBool((pattern >> j) & 1));
+        });
+        // The first cycles resolve the power-on X state (registers
+        // start unknown, Algorithm 1 line 2); once concrete, the
+        // bound must equal the actual energy exactly.
+        if (i >= 2)
+            EXPECT_DOUBLE_EQ(sim.actualEnergyJ(), sim.boundEnergyJ());
+        pattern = (pattern * 37 + 11) & 0xff;
+    }
+}
+
+TEST(Simulator, ModuleEnergySplit)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    hw::Sig a = b.input("a");
+    b.pushModule("m1");
+    hw::Sig o1 = b.inv(a);
+    b.popModule();
+    b.pushModule("m2");
+    hw::Sig o2 = b.inv(a);
+    hw::Sig o3 = b.inv(o2);
+    b.popModule();
+    (void)o1;
+    (void)o3;
+    ModuleId m1 = nl.findModule("m1");
+    ModuleId m2 = nl.findModule("m2");
+    nl.finalize();
+
+    Simulator sim(nl);
+    sim.step([&](Simulator &s) { s.setInput(a, V4::Zero); });
+    sim.step([&](Simulator &s) { s.setInput(a, V4::One); });
+    const auto &split = sim.moduleBoundEnergyJ();
+    EXPECT_GT(split[m1], 0.0);
+    EXPECT_GT(split[m2], split[m1]) << "m2 has two toggling gates";
+    double total = 0.0;
+    for (double e : split)
+        total += e;
+    EXPECT_NEAR(total, sim.boundEnergyJ(), 1e-21);
+}
+
+TEST(Simulator, SnapshotRestoreRoundTrip)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    hw::Sig a = b.input("a");
+    Bus cnt = b.busWireDecl(4, "cnt");
+    Bus q = b.reg(hw::addConst(b, cnt, 1), "q");
+    b.busWireConnect(cnt, q);
+    (void)a;
+    nl.finalize();
+
+    Simulator sim(nl);
+    auto drv = [&](Simulator &s) { s.setInput(a, V4::Zero); };
+    // Counter starts X; force it by snapshot surgery: run a few
+    // cycles, grab the state, keep running, then restore and check
+    // deterministic continuation.
+    for (int i = 0; i < 3; ++i)
+        sim.step(drv);
+    Simulator::Snapshot snap = sim.snapshot();
+    uint64_t h0 = sim.hashSeqState();
+    sim.step(drv);
+    sim.step(drv);
+    EXPECT_NE(sim.cycle(), snap.cycle);
+    sim.restore(snap);
+    EXPECT_EQ(sim.cycle(), snap.cycle);
+    EXPECT_EQ(sim.hashSeqState(), h0);
+}
+
+TEST(Simulator, HashDiffersForDifferentState)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    hw::Sig a = b.input("a");
+    Bus q = b.reg(Bus{a, a}, "q");
+    (void)q;
+    nl.finalize();
+
+    Simulator sim(nl);
+    sim.step([&](Simulator &s) { s.setInput(a, V4::Zero); });
+    sim.step([&](Simulator &s) { s.setInput(a, V4::Zero); });
+    uint64_t h0 = sim.hashSeqState();
+    sim.step([&](Simulator &s) { s.setInput(a, V4::One); });
+    sim.step([&](Simulator &s) { s.setInput(a, V4::One); });
+    EXPECT_NE(sim.hashSeqState(), h0);
+}
+
+} // namespace
+} // namespace ulpeak

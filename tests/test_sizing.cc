@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the system-sizing models (Chapter 1 / Tables 5.1-5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sizing/sizing.hh"
+
+namespace ulpeak {
+namespace sizing {
+namespace {
+
+TEST(SizingData, PaperTables)
+{
+    // Table 1.1 spot checks.
+    ASSERT_EQ(batteryTypes().size(), 6u);
+    EXPECT_EQ(batteryTypes()[0].name, "Li-ion");
+    EXPECT_DOUBLE_EQ(batteryTypes()[0].specificEnergyJPerG, 460.0);
+    EXPECT_DOUBLE_EQ(batteryTypes()[0].energyDensityMJPerL, 1.152);
+    // Table 1.2 spot checks.
+    ASSERT_EQ(harvesterTypes().size(), 4u);
+    EXPECT_DOUBLE_EQ(harvesterTypes()[0].powerDensityWPerCm2, 0.1);
+    EXPECT_DOUBLE_EQ(harvesterTypes()[2].powerDensityWPerCm2, 60e-6);
+}
+
+TEST(Sizing, HarvesterAreaProportionalToPeakPower)
+{
+    const HarvesterType &indoor = harvesterTypes()[1]; // 100 uW/cm^2
+    EXPECT_NEAR(harvesterAreaCm2(2.0e-3, indoor), 20.0, 1e-9);
+    EXPECT_NEAR(harvesterAreaCm2(1.0e-3, indoor), 10.0, 1e-9);
+}
+
+TEST(Sizing, BatterySizing)
+{
+    const BatteryType &liion = batteryTypes()[0];
+    // 1152 J fits in 1 mL of Li-ion.
+    EXPECT_NEAR(batteryVolumeL(1152.0, liion), 1e-3, 1e-12);
+    EXPECT_NEAR(batteryMassG(460.0, liion), 1.0, 1e-12);
+}
+
+TEST(Sizing, ReductionFormulaMatchesPaperStructure)
+{
+    // Table 5.1 structure: reduction scales linearly with the
+    // processor's contribution fraction.
+    double full = harvesterAreaReductionPct(2.0, 1.7, 1.0); // 15%
+    EXPECT_NEAR(full, 15.0, 1e-9);
+    EXPECT_NEAR(harvesterAreaReductionPct(2.0, 1.7, 0.5), full / 2,
+                1e-9);
+    EXPECT_NEAR(harvesterAreaReductionPct(2.0, 1.7, 0.1), full / 10,
+                1e-9);
+    // Identical requirement -> no savings; degenerate baselines safe.
+    EXPECT_DOUBLE_EQ(harvesterAreaReductionPct(2.0, 2.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(harvesterAreaReductionPct(0.0, 1.0, 1.0), 0.0);
+    // A looser "requirement" never reports negative savings.
+    EXPECT_DOUBLE_EQ(harvesterAreaReductionPct(1.0, 2.0, 1.0), 0.0);
+    // Battery-volume accounting mirrors the harvester one.
+    EXPECT_NEAR(batteryVolumeReductionPct(20e-12, 10e-12, 0.75), 37.5,
+                1e-9);
+}
+
+} // namespace
+} // namespace sizing
+} // namespace ulpeak

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests of the symbolic engine (Algorithm 1): path exploration,
+ * forking on X program counters, state dedup for input-dependent
+ * loops, the execution tree, and failure modes (X stores, indirect
+ * jumps through unknowns, unbounded loops).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sym/symbolic_engine.hh"
+#include "tests/cpu_test_util.hh"
+
+namespace ulpeak {
+namespace {
+
+sym::SymbolicResult
+runSym(const std::string &body, sym::SymbolicConfig cfg = {})
+{
+    msp::System &sys = test::sharedSystem();
+    sym::SymbolicEngine engine(sys, cfg);
+    return engine.run(isa::assemble(test::wrapProgram(body)));
+}
+
+TEST(Symbolic, StraightLineIsOnePath)
+{
+    auto r = runSym(R"(
+        mov #5, r4
+        add #3, r4
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.pathsExplored, 1u);
+    EXPECT_EQ(r.dedupMerges, 0u);
+    EXPECT_GT(r.peakPowerW, 0.0);
+    EXPECT_GT(r.peakEnergyJ, 0.0);
+}
+
+TEST(Symbolic, ConcreteBranchDoesNotFork)
+{
+    auto r = runSym(R"(
+        mov #3, r4
+sl_loop:
+        dec r4
+        jnz sl_loop
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.pathsExplored, 1u) << "concrete loops never fork";
+}
+
+TEST(Symbolic, XBranchForksBothWays)
+{
+    auto r = runSym(R"(
+        mov &0x0020, r4     ; X from the port
+        tst r4
+        jz was_zero
+        mov #1, r5
+        jmp join
+was_zero:
+        mov #2, r5
+join:
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    // Root + two branch paths.
+    EXPECT_EQ(r.pathsExplored, 3u);
+    EXPECT_GE(r.tree.numNodes(), 3u);
+}
+
+TEST(Symbolic, InputDependentLoopDedups)
+{
+    // A counting loop whose exit depends on X data, but whose state
+    // converges (the counter is the only difference and it is X):
+    // Algorithm 1 line 19 terminates it.
+    sym::SymbolicConfig cfg;
+    cfg.inputDependentLoopBound = 8; // for the surviving back-edge
+    auto r = runSym(R"(
+        mov &0x0020, r4
+xl_loop:
+        rra r4              ; X stays X
+        tst r4
+        jnz xl_back
+        jmp xl_done
+xl_back:
+        jmp xl_loop
+xl_done:
+    )",
+                    cfg);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.dedupMerges, 0u) << "loop states must merge";
+}
+
+TEST(Symbolic, PeakEnergyTakesWorseBranch)
+{
+    // One branch multiplies (expensive), the other is a nop; the
+    // peak-energy path must include the multiplier branch.
+    auto expensive = runSym(R"(
+        mov &0x0020, r4
+        tst r4
+        jz cheap
+        mov r4, &0x0130
+        mov r4, &0x0138
+        mov &0x013a, r5
+        mov r4, &0x0130
+        mov r4, &0x0138
+        mov &0x013a, r6
+cheap:
+    )");
+    ASSERT_TRUE(expensive.ok) << expensive.error;
+    auto cheapOnly = runSym(R"(
+        mov &0x0020, r4
+        tst r4
+        jz cheap2
+        nop
+cheap2:
+    )");
+    ASSERT_TRUE(cheapOnly.ok);
+    EXPECT_GT(expensive.peakEnergyJ, cheapOnly.peakEnergyJ);
+    EXPECT_GT(expensive.maxPathCycles, cheapOnly.maxPathCycles);
+}
+
+TEST(Symbolic, XStoreFaults)
+{
+    // Store through an X pointer: rejected (DESIGN.md section 5).
+    auto r = runSym(R"(
+        mov &0x0020, r4
+        and #0x07fe, r4
+        add #0x0200, r4     ; somewhere in RAM, but unknown
+        mov #1, 0(r4)
+    )");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("X-store"), std::string::npos) << r.error;
+}
+
+TEST(Symbolic, IndirectJumpThroughXRejected)
+{
+    auto r = runSym(R"(
+        mov &0x0020, r4
+        and #0x000e, r4
+        add #0xf800, r4
+        mov r4, pc          ; computed branch through X
+    )");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("unresolvable"), std::string::npos)
+        << r.error;
+}
+
+TEST(Symbolic, UnboundedInputLoopNeedsBound)
+{
+    // Busy-wait on an input bit: the state repeats exactly, producing
+    // a true back-edge. Without a bound the energy computation must
+    // refuse; with one it must succeed (Section 3.3).
+    const char *body = R"(
+        mov #0, sr
+bw_wait:
+        mov &0x0020, r4
+        and #1, r4
+        jnz bw_wait
+    )";
+    auto r = runSym(body);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("loop"), std::string::npos) << r.error;
+
+    sym::SymbolicConfig cfg;
+    cfg.inputDependentLoopBound = 10;
+    auto bounded = runSym(body, cfg);
+    ASSERT_TRUE(bounded.ok) << bounded.error;
+    EXPECT_GT(bounded.dedupMerges, 0u);
+    // Peak power is still well-defined either way.
+    EXPECT_GT(bounded.peakPowerW, 0.0);
+}
+
+TEST(Symbolic, ActiveSetsRecorded)
+{
+    sym::SymbolicConfig cfg;
+    cfg.recordActiveSets = true;
+    auto r = runSym(R"(
+        mov #0x1234, r4
+        mov r4, &0x0130
+        mov #0x5678, &0x0138
+        mov &0x013a, r5
+    )",
+                    cfg);
+    ASSERT_TRUE(r.ok) << r.error;
+    size_t ever = 0;
+    for (uint8_t a : r.everActive)
+        ever += a;
+    EXPECT_GT(ever, 1000u);
+    EXPECT_FALSE(r.peakActive.empty());
+    EXPECT_LE(r.peakActive.size(), ever);
+}
+
+TEST(Symbolic, ModuleTraceRecorded)
+{
+    sym::SymbolicConfig cfg;
+    cfg.recordModuleTrace = true;
+    auto r = runSym("        mov #5, r4\n", cfg);
+    ASSERT_TRUE(r.ok) << r.error;
+    const sym::TreeNode &root = r.tree.node(0);
+    ASSERT_EQ(root.modulePowerW.size(), root.powerW.size());
+    ASSERT_EQ(root.cycleInfo.size(), root.powerW.size());
+}
+
+TEST(Symbolic, TreeFlattenCoversAllNodes)
+{
+    auto r = runSym(R"(
+        mov &0x0020, r4
+        tst r4
+        jz fz
+        nop
+fz:
+        nop
+    )");
+    ASSERT_TRUE(r.ok);
+    auto flat = r.tree.flatten();
+    EXPECT_EQ(flat.size(), r.tree.totalCycles());
+}
+
+TEST(Symbolic, CycleBudgetEnforced)
+{
+    sym::SymbolicConfig cfg;
+    cfg.maxTotalCycles = 50;
+    auto r = runSym(R"(
+        mov #10000, r4
+cb_loop:
+        dec r4
+        jnz cb_loop
+    )",
+                    cfg);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+} // namespace
+} // namespace ulpeak

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * VCD writer/reader round-trip tests.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/vcd.hh"
+
+namespace ulpeak {
+namespace {
+
+TEST(Vcd, RoundTripValues)
+{
+    std::ostringstream os;
+    VcdWriter w(os, {"a", "b", "c"});
+    w.writeCycle({V4::Zero, V4::One, V4::X});
+    w.writeCycle({V4::Zero, V4::Zero, V4::X});
+    w.writeCycle({V4::One, V4::Zero, V4::One});
+    EXPECT_EQ(w.cyclesWritten(), 3u);
+
+    std::istringstream is(os.str());
+    VcdData d = readVcd(is);
+    ASSERT_EQ(d.signals.size(), 3u);
+    ASSERT_EQ(d.values.size(), 3u);
+    EXPECT_EQ(d.values[0][0], V4::Zero);
+    EXPECT_EQ(d.values[0][1], V4::One);
+    EXPECT_EQ(d.values[0][2], V4::X);
+    EXPECT_EQ(d.values[1][1], V4::Zero);
+    EXPECT_EQ(d.values[1][2], V4::X);
+    EXPECT_EQ(d.values[2][0], V4::One);
+    EXPECT_EQ(d.values[2][2], V4::One);
+}
+
+TEST(Vcd, OnlyChangesEmitted)
+{
+    std::ostringstream os;
+    VcdWriter w(os, {"s"});
+    w.writeCycle({V4::One});
+    w.writeCycle({V4::One});
+    w.writeCycle({V4::One});
+    std::string text = os.str();
+    // One initial dump, no further change records.
+    size_t count = 0;
+    for (size_t pos = 0; (pos = text.find("1!", pos)) != std::string::npos;
+         ++pos)
+        ++count;
+    EXPECT_EQ(count, 1u);
+}
+
+TEST(Vcd, SignalIndexLookup)
+{
+    std::ostringstream os;
+    VcdWriter w(os, {"alpha", "beta"});
+    w.writeCycle({V4::Zero, V4::One});
+    std::istringstream is(os.str());
+    VcdData d = readVcd(is);
+    EXPECT_EQ(d.signalIndex("beta"), 1);
+    EXPECT_EQ(d.signalIndex("gamma"), -1);
+}
+
+TEST(Vcd, ManySignalsUseMultiCharCodes)
+{
+    std::vector<std::string> names;
+    for (int i = 0; i < 200; ++i)
+        names.push_back("s" + std::to_string(i));
+    std::ostringstream os;
+    VcdWriter w(os, names);
+    std::vector<V4> vals(200, V4::Zero);
+    vals[150] = V4::One;
+    w.writeCycle(vals);
+    vals[199] = V4::X;
+    w.writeCycle(vals);
+
+    std::istringstream is(os.str());
+    VcdData d = readVcd(is);
+    ASSERT_EQ(d.signals.size(), 200u);
+    EXPECT_EQ(d.values[0][150], V4::One);
+    EXPECT_EQ(d.values[1][199], V4::X);
+    EXPECT_EQ(d.values[1][0], V4::Zero);
+}
+
+TEST(Vcd, MismatchedWidthThrows)
+{
+    std::ostringstream os;
+    VcdWriter w(os, {"a"});
+    EXPECT_THROW(w.writeCycle({V4::Zero, V4::One}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace ulpeak

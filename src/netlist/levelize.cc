@@ -10,6 +10,7 @@
  * witness gate.
  */
 
+#include <algorithm>
 #include <queue>
 #include <stdexcept>
 
@@ -125,6 +126,144 @@ class Levelizer {
             nl.totalLeakage_ += lib.params(k).leakageW;
             nl.clockEnergy_ += lib.params(k).clkPinEnergyJ;
         }
+
+        flatten(nl, hookOf);
+    }
+
+  private:
+    /**
+     * Build the structure-of-arrays kernel view: contiguous kind/nin
+     * arrays, CSR fanins, the CSR fanout adjacency restricted to
+     * combinational consumers, and the level-bucketed schedule.
+     */
+    static void
+    flatten(Netlist &nl, const std::vector<uint32_t> &hookOf)
+    {
+        const uint32_t n = uint32_t(nl.gates_.size());
+        const uint32_t h = uint32_t(nl.hooks_.size());
+        FlatNetlist &f = nl.flat_;
+        f.numGates = n;
+        f.numHooks = h;
+
+        f.kind.resize(n);
+        f.nin.resize(n);
+        f.maxE.resize(n);
+        f.faninOffset.assign(n + 1, 0);
+        for (GateId g = 0; g < n; ++g) {
+            const Gate &gate = nl.gates_[g];
+            f.kind[g] = gate.kind;
+            f.nin[g] = gate.nin;
+            f.maxE[g] = std::max(nl.riseE_[g], nl.fallE_[g]);
+            f.faninOffset[g + 1] = f.faninOffset[g] + gate.nin;
+        }
+        f.fanin.resize(f.faninOffset[n]);
+        for (GateId g = 0; g < n; ++g) {
+            const Gate &gate = nl.gates_[g];
+            for (unsigned p = 0; p < gate.nin; ++p)
+                f.fanin[f.faninOffset[g] + p] = gate.in[p];
+        }
+
+        // Fanout CSR into combinational consumers (two-pass fill).
+        f.fanoutOffset.assign(n + 1, 0);
+        for (GateId g = 0; g < n; ++g) {
+            const Gate &gate = nl.gates_[g];
+            if (isSequential(gate.kind))
+                continue;
+            for (unsigned p = 0; p < gate.nin; ++p)
+                ++f.fanoutOffset[gate.in[p] + 1];
+        }
+        for (GateId g = 0; g < n; ++g)
+            f.fanoutOffset[g + 1] += f.fanoutOffset[g];
+        f.fanout.resize(f.fanoutOffset[n]);
+        std::vector<uint32_t> fill(f.fanoutOffset.begin(),
+                                   f.fanoutOffset.end() - 1);
+        for (GateId g = 0; g < n; ++g) {
+            const Gate &gate = nl.gates_[g];
+            if (isSequential(gate.kind))
+                continue;
+            for (unsigned p = 0; p < gate.nin; ++p)
+                f.fanout[fill[gate.in[p]]++] = g;
+        }
+
+        // CSR of sequential consumers (by seq index, two-pass fill).
+        std::vector<uint32_t> seqIndexOf(n, UINT32_MAX);
+        for (size_t i = 0; i < nl.seqGates_.size(); ++i)
+            seqIndexOf[nl.seqGates_[i]] = uint32_t(i);
+        f.seqFanoutOffset.assign(n + 1, 0);
+        for (GateId g : nl.seqGates_) {
+            const Gate &gate = nl.gates_[g];
+            for (unsigned p = 0; p < gate.nin; ++p)
+                ++f.seqFanoutOffset[gate.in[p] + 1];
+        }
+        for (GateId g = 0; g < n; ++g)
+            f.seqFanoutOffset[g + 1] += f.seqFanoutOffset[g];
+        f.seqFanout.resize(f.seqFanoutOffset[n]);
+        std::vector<uint32_t> sfill(f.seqFanoutOffset.begin(),
+                                    f.seqFanoutOffset.end() - 1);
+        for (GateId g : nl.seqGates_) {
+            const Gate &gate = nl.gates_[g];
+            for (unsigned p = 0; p < gate.nin; ++p)
+                f.seqFanout[sfill[gate.in[p]]++] = seqIndexOf[g];
+        }
+
+        // Levels, walked in the already-computed topological order so
+        // every fanin/dependency level is final when consumed.
+        f.levelOfNode.assign(n + h, 0);
+        for (const EvalItem &item : nl.order_) {
+            if (item.type == EvalItem::Type::Hook) {
+                uint32_t node = n + item.index;
+                uint32_t lvl = 0;
+                for (GateId dep : nl.hooks_[item.index].depends)
+                    lvl = std::max(lvl, f.levelOfNode[dep] + 1);
+                f.levelOfNode[node] = lvl;
+                continue;
+            }
+            GateId g = item.index;
+            const Gate &gate = nl.gates_[g];
+            if (isSequential(gate.kind)) {
+                // Sequential outputs are level-0 sources of the
+                // combinational phase; the gate itself is unscheduled.
+                f.levelOfNode[g] = 0;
+                continue;
+            }
+            uint32_t lvl = 0;
+            if (hookOf[g] != UINT32_MAX)
+                lvl = f.levelOfNode[n + hookOf[g]] + 1;
+            for (unsigned p = 0; p < gate.nin; ++p)
+                lvl = std::max(lvl, f.levelOfNode[gate.in[p]] + 1);
+            f.levelOfNode[g] = lvl;
+        }
+
+        // Bucket the schedulable nodes by level, ascending node id
+        // within a level (counting sort keeps it stable).
+        uint32_t numLevels = 0;
+        for (uint32_t node = 0; node < n + h; ++node)
+            if (node >= n || !isSequential(nl.gates_[node].kind))
+                numLevels =
+                    std::max(numLevels, f.levelOfNode[node] + 1);
+        f.numLevels = numLevels;
+        f.levelOffset.assign(numLevels + 1, 0);
+        for (uint32_t node = 0; node < n + h; ++node) {
+            if (node < n && isSequential(nl.gates_[node].kind))
+                continue;
+            ++f.levelOffset[f.levelOfNode[node] + 1];
+        }
+        for (uint32_t l = 0; l < numLevels; ++l)
+            f.levelOffset[l + 1] += f.levelOffset[l];
+        f.schedule.resize(f.levelOffset[numLevels]);
+        f.posOfNode.assign(n + h, kNoLevel);
+        std::vector<uint32_t> lfill(f.levelOffset.begin(),
+                                    f.levelOffset.end() - 1);
+        for (uint32_t node = 0; node < n + h; ++node) {
+            if (node < n && isSequential(nl.gates_[node].kind))
+                continue;
+            uint32_t pos = lfill[f.levelOfNode[node]]++;
+            f.schedule[pos] = node;
+            f.posOfNode[node] = pos;
+        }
+        for (GateId g = 0; g < n; ++g)
+            if (isSequential(nl.gates_[g].kind))
+                f.levelOfNode[g] = kNoLevel;
     }
 };
 

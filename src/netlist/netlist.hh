@@ -59,6 +59,76 @@ struct BehavioralHook {
     std::vector<GateId> outputs; ///< Input-kind gates written by it
 };
 
+constexpr uint32_t kNoLevel = std::numeric_limits<uint32_t>::max();
+
+/**
+ * Structure-of-arrays view of a finalized netlist -- the data the
+ * simulation kernel actually iterates. Built once by finalize().
+ *
+ * Nodes: ids [0, numGates) are gates; [numGates, numGates + numHooks)
+ * are behavioral hooks. The combinational schedule covers every node
+ * except sequential gates (those update at the clock edge, outside the
+ * combinational phase): constants, primary inputs, hook-driven inputs,
+ * hooks, and combinational gates.
+ *
+ * Levels: sources (constants, non-hook inputs; sequential outputs are
+ * treated as level-0 sources) are level 0; a hook is one level above
+ * its deepest dependency; a hook-driven input one level above its
+ * hook; a combinational gate one level above its deepest fanin. Within
+ * a level no node depends on another, so any within-level order is a
+ * valid topological order; @ref schedule stores levels contiguously,
+ * ascending node id within each level. The full-sweep kernel walks
+ * @ref schedule front to back; the event-driven kernel drains dirty
+ * nodes level by level in arbitrary within-level order (the simulator
+ * canonicalizes its activity list afterwards).
+ */
+struct FlatNetlist {
+    uint32_t numGates = 0;
+    uint32_t numHooks = 0;
+    uint32_t numLevels = 0;
+
+    /// @name Per-gate SoA mirrors of the Gate fields
+    /// @{
+    std::vector<CellKind> kind;
+    std::vector<uint8_t> nin;
+    std::vector<uint32_t> faninOffset; ///< [numGates + 1] into fanin
+    std::vector<GateId> fanin;         ///< CSR fanin lists
+    /// @}
+
+    /**
+     * CSR fanout adjacency: for each gate, the *combinational* gates it
+     * feeds (sequential consumers sample at the edge and hooks always
+     * run, so neither appears). May contain duplicates when a gate
+     * feeds several pins of one consumer; the kernel's dirty marks
+     * dedup.
+     */
+    std::vector<uint32_t> fanoutOffset; ///< [numGates + 1] into fanout
+    std::vector<GateId> fanout;
+
+    /**
+     * CSR adjacency of *sequential* consumers: for each gate, the
+     * positions (indices into Netlist::seqGates()) of the flops that
+     * read it on any pin. The event-driven kernel uses this to wake
+     * only flops whose edge inputs may have changed.
+     */
+    std::vector<uint32_t> seqFanoutOffset; ///< [numGates + 1]
+    std::vector<uint32_t> seqFanout;       ///< seq indices
+
+    /// @name Level-bucketed combinational schedule
+    /// @{
+    std::vector<uint32_t> levelOffset; ///< [numLevels + 1] into schedule
+    std::vector<uint32_t> schedule;    ///< node ids, by level
+    std::vector<uint32_t> levelOfNode; ///< [nodes]; kNoLevel for seq
+    std::vector<uint32_t> posOfNode;   ///< index into schedule; kNoLevel
+                                       ///< for seq
+    /// @}
+
+    /** max(riseE, fallE) per gate [J] (Algorithm 2's maxTransition). */
+    std::vector<double> maxE;
+
+    uint32_t numNodes() const { return numGates + numHooks; }
+};
+
 class Netlist {
   public:
     explicit Netlist(const CellLibrary &lib);
@@ -94,6 +164,8 @@ class Netlist {
     const std::vector<EvalItem> &evalOrder() const { return order_; }
     const std::vector<GateId> &seqGates() const { return seqGates_; }
     const std::vector<BehavioralHook> &hooks() const { return hooks_; }
+    /** Flat SoA kernel view; valid after finalize(). */
+    const FlatNetlist &flat() const { return flat_; }
 
     uint32_t fanoutCount(GateId g) const { return fanoutCount_[g]; }
     /** Energy of a 0->1 / 1->0 output transition of gate @p g [J]. */
@@ -145,6 +217,7 @@ class Netlist {
     std::unordered_map<GateId, std::string> reverseNames_;
 
     std::vector<EvalItem> order_;
+    FlatNetlist flat_;
     std::vector<GateId> seqGates_;
     std::vector<uint32_t> fanoutCount_;
     std::vector<double> riseE_;

@@ -9,12 +9,12 @@ namespace peak {
 
 GateTrace
 recordGateTrace(msp::System &sys, const isa::Image &image,
-                uint64_t cycles)
+                uint64_t cycles, EvalMode mode)
 {
     sys.memory().reset();
     sys.loadImage(image);
     sys.clearHalted();
-    Simulator sim(sys.netlist());
+    Simulator sim(sys.netlist(), mode);
     sys.attach(sim);
     sys.reset(sim);
 

@@ -38,9 +38,12 @@ struct GateTrace {
 /**
  * Run @p image for @p cycles with all port inputs X (single-path
  * prefix of the symbolic simulation) and record every gate's value.
+ * @p mode selects the simulation kernel; the recorded trace is
+ * identical either way.
  */
 GateTrace recordGateTrace(msp::System &sys, const isa::Image &image,
-                          uint64_t cycles);
+                          uint64_t cycles,
+                          EvalMode mode = EvalMode::EventDriven);
 
 /**
  * Algorithm 2 lines 2-17: derive the VCD whose X assignments maximize

@@ -31,6 +31,11 @@ struct Options {
     bool recordModuleTrace = false;
     unsigned inputDependentLoopBound = 0;
     uint64_t maxTotalCycles = 3000000;
+    /** Simulation kernel; both modes produce bit-identical reports
+     *  (enforced by tests/test_benchmarks.cc across bench430). */
+    EvalMode evalMode = EvalMode::EventDriven;
+    /** Parallel execution-tree exploration workers (<= 1: serial). */
+    unsigned numThreads = 1;
 };
 
 /** Application-specific input-independent requirements (the paper's

@@ -14,6 +14,8 @@ analyze(msp::System &sys, const isa::Image &image, const Options &opts)
     cfg.recordModuleTrace = opts.recordModuleTrace;
     cfg.inputDependentLoopBound = opts.inputDependentLoopBound;
     cfg.maxTotalCycles = opts.maxTotalCycles;
+    cfg.evalMode = opts.evalMode;
+    cfg.numThreads = opts.numThreads;
 
     sym::SymbolicEngine engine(sys, cfg);
     sym::SymbolicResult sr = engine.run(image);

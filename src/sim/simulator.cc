@@ -1,19 +1,24 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 namespace ulpeak {
 
-Simulator::Simulator(const Netlist &nl) : nl_(&nl)
+Simulator::Simulator(const Netlist &nl, EvalMode mode)
+    : nl_(&nl), flat_(&nl.flat()), mode_(mode)
 {
     if (!nl.finalized())
         throw std::logic_error("Simulator requires a finalized netlist");
     size_t n = nl.numGates();
     val_.assign(n, V4::X);
     prev_.assign(n, V4::X);
-    active_.assign(n, 0);
-    activePrev_.assign(n, 0);
+    // Padded to a multiple of 8 so the canonical active-list rebuild
+    // can scan the flags a word at a time; pad bytes stay 0.
+    active_.assign((n + 7) & ~size_t(7), 0);
+    activePrev_.assign(active_.size(), 0);
     loadedPrevEdge_.assign(nl.seqGates().size(), 1);
     seqIndexOf_.assign(n, UINT32_MAX);
     for (size_t i = 0; i < nl.seqGates().size(); ++i)
@@ -21,6 +26,15 @@ Simulator::Simulator(const Netlist &nl) : nl_(&nl)
     topModuleOf_.resize(n);
     for (GateId g = 0; g < n; ++g)
         topModuleOf_[g] = nl.topLevelModuleOf(nl.gate(g).module);
+    for (GateId g = 0; g < n; ++g)
+        if (flat_->kind[g] == CellKind::Input)
+            inputGates_.push_back(g);
+    dirty_.assign(flat_->numNodes(), 0);
+    buckets_.resize(flat_->numLevels);
+    activeList_.reserve(n / 4 + 64);
+    seqMark_[0].assign(nl.seqGates().size(), 0);
+    seqMark_[1].assign(nl.seqGates().size(), 0);
+    markAllSeq();
     hookFns_.resize(nl.hooks().size());
     moduleEnergy_.assign(nl.numModules(), 0.0);
 }
@@ -38,9 +52,101 @@ Simulator::addEdgeFn(EdgeFn fn)
 }
 
 void
+Simulator::enqueueNode(uint32_t node)
+{
+    if (dirty_[node])
+        return;
+    dirty_[node] = 1;
+    buckets_[flat_->levelOfNode[node]].push_back(node);
+}
+
+void
+Simulator::enqueueSeqNext(uint32_t seq_index)
+{
+    if (seqMark_[0][seq_index])
+        return;
+    seqMark_[0][seq_index] = 1;
+    seqQ_[0].push_back(seq_index);
+}
+
+void
+Simulator::enqueueSeqBoth(uint32_t seq_index)
+{
+    enqueueSeqNext(seq_index);
+    if (seqMark_[1][seq_index])
+        return;
+    seqMark_[1][seq_index] = 1;
+    seqQ_[1].push_back(seq_index);
+}
+
+void
+Simulator::markSeqConsumers(GateId g)
+{
+    uint32_t begin = flat_->seqFanoutOffset[g];
+    uint32_t end = flat_->seqFanoutOffset[g + 1];
+    for (uint32_t i = begin; i < end; ++i)
+        enqueueSeqBoth(flat_->seqFanout[i]);
+}
+
+void
+Simulator::markAllSeq()
+{
+    for (int w = 0; w < 2; ++w) {
+        seqQ_[w].clear();
+        std::fill(seqMark_[w].begin(), seqMark_[w].end(), 1);
+        seqQ_[w].resize(seqMark_[w].size());
+        for (uint32_t i = 0; i < seqQ_[w].size(); ++i)
+            seqQ_[w][i] = i;
+    }
+}
+
+void
+Simulator::markFanoutsDirty(GateId g, bool value_changed)
+{
+    // A consumer must re-evaluate when a fanin's value changed. When
+    // the fanin is merely X-active (value held), only X-valued
+    // consumers can be affected: a known-valued consumer of unchanged
+    // fanins recomputes the same known value and stays inactive
+    // (Section 3.1's X rule applies to X outputs only).
+    uint32_t begin = flat_->fanoutOffset[g];
+    uint32_t end = flat_->fanoutOffset[g + 1];
+    if (value_changed) {
+        for (uint32_t i = begin; i < end; ++i)
+            enqueueNode(flat_->fanout[i]);
+    } else {
+        for (uint32_t i = begin; i < end; ++i) {
+            GateId t = flat_->fanout[i];
+            if (val_[t] == V4::X)
+                enqueueNode(t);
+        }
+    }
+}
+
+void
+Simulator::clearEventQueues()
+{
+    for (auto &b : buckets_) {
+        for (uint32_t node : b)
+            dirty_[node] = 0;
+        b.clear();
+    }
+}
+
+void
 Simulator::setInput(GateId g, V4 v)
 {
     assert(nl_->gate(g).kind == CellKind::Input);
+    if (mode_ == EvalMode::EventDriven) {
+        // A changed value must wake consumers immediately: when the
+        // call happens between steps (legal per the API), the next
+        // prologue copies val_ into prev_, so the input itself
+        // evaluates as unchanged and would never propagate the edit.
+        if (val_[g] != v) {
+            markFanoutsDirty(g, /*value_changed=*/true);
+            markSeqConsumers(g);
+        }
+        enqueueNode(g);
+    }
     val_[g] = v;
 }
 
@@ -52,10 +158,33 @@ Simulator::setInputBus(const std::vector<GateId> &bus, Word16 w)
 }
 
 void
+Simulator::forceValue(GateId g, V4 v)
+{
+    // Forcing a scheduled combinational gate cannot work in either
+    // kernel (the full sweep would recompute it from its fanins,
+    // discarding the force): only sequential outputs and Input-kind
+    // gates hold forced values.
+    assert(seqIndexOf_[g] != UINT32_MAX ||
+           flat_->kind[g] == CellKind::Input);
+    if (mode_ == EvalMode::EventDriven && val_[g] != v) {
+        markFanoutsDirty(g, /*value_changed=*/true);
+        markSeqConsumers(g);
+        // A forced flop's own next-edge evaluation reads the forced
+        // q; a forced input must re-derive its activity flag like a
+        // driver-set one.
+        if (seqIndexOf_[g] != UINT32_MAX)
+            enqueueSeqNext(seqIndexOf_[g]);
+        else
+            enqueueNode(g);
+    }
+    val_[g] = v;
+}
+
+void
 Simulator::forceBus(const std::vector<GateId> &bus, Word16 w)
 {
     for (size_t i = 0; i < bus.size(); ++i)
-        val_[bus[i]] = w.bit(unsigned(i));
+        forceValue(bus[i], w.bit(unsigned(i)));
 }
 
 Word16
@@ -76,122 +205,208 @@ Simulator::addBehavioralEnergyJ(double j, ModuleId top_module)
     moduleEnergy_[top_module] += j;
 }
 
+template <bool kEvent>
+void
+Simulator::evalSeqGate(size_t i)
+{
+    const FlatNetlist &f = *flat_;
+    GateId g = nl_->seqGates()[i];
+    uint32_t off = f.faninOffset[g];
+    unsigned nin = f.nin[g];
+    V4 ins[3];
+    for (unsigned p = 0; p < nin; ++p)
+        ins[p] = prev_[f.fanin[off + p]];
+    V4 q = prev_[g];
+    bool held = false;
+    V4 newq = evalSeqCell(f.kind[g], q, ins, held);
+    val_[g] = newq;
+
+    bool act;
+    bool x_involved = !isKnown(newq) || !isKnown(q);
+    if (held) {
+        act = false;
+    } else if (!x_involved) {
+        act = newq != q;
+    } else {
+        // An unknown output may have toggled at this edge unless we
+        // can prove the loaded value is the same unknown as before:
+        // the flop loaded at the previous edge too, its D pin was
+        // inactive then, and no control pin is X.
+        bool ctrl_x = false;
+        for (unsigned p = 1; p < nin; ++p)
+            if (!isKnown(ins[p]))
+                ctrl_x = true;
+        act = !loadedPrevEdge_[i] || ctrl_x ||
+              activePrev_[f.fanin[off]] ||
+              (isKnown(newq) != isKnown(q));
+    }
+    active_[g] = act;
+    if (act)
+        activeList_.push_back(g);
+    uint8_t loaded = held ? 0 : 1;
+    if (kEvent && (act || loaded != loadedPrevEdge_[i])) {
+        // Changed state (q or load history) feeds this flop's own
+        // next-edge evaluation.
+        enqueueSeqNext(uint32_t(i));
+    }
+    loadedPrevEdge_[i] = loaded;
+}
+
 void
 Simulator::updateSequential()
 {
-    const auto &seq = nl_->seqGates();
-    for (size_t i = 0; i < seq.size(); ++i) {
-        GateId g = seq[i];
-        const Gate &gate = nl_->gate(g);
-        V4 ins[3];
-        for (unsigned p = 0; p < gate.nin; ++p)
-            ins[p] = prev_[gate.in[p]];
-        V4 q = prev_[g];
-        bool held = false;
-        V4 newq = evalSeqCell(gate.kind, q, ins, held);
-        val_[g] = newq;
-
-        bool act;
-        bool x_involved = !isKnown(newq) || !isKnown(q);
-        if (held) {
-            act = false;
-        } else if (!x_involved) {
-            act = newq != q;
-        } else {
-            // An unknown output may have toggled at this edge unless we
-            // can prove the loaded value is the same unknown as before:
-            // the flop loaded at the previous edge too, its D pin was
-            // inactive then, and no control pin is X.
-            bool ctrl_x = false;
-            for (unsigned p = 1; p < gate.nin; ++p)
-                if (!isKnown(ins[p]))
-                    ctrl_x = true;
-            act = !loadedPrevEdge_[i] || ctrl_x ||
-                  activePrev_[gate.in[0]] ||
-                  (isKnown(newq) != isKnown(q));
-        }
-        active_[g] = act;
-        if (act)
-            activeList_.push_back(g);
-        loadedPrevEdge_[i] = held ? 0 : 1;
+    if (mode_ == EvalMode::FullSweep) {
+        for (size_t i = 0; i < nl_->seqGates().size(); ++i)
+            evalSeqGate<false>(i);
+        return;
     }
+    // Rotate the wake windows: drain what was marked for this edge,
+    // promote the echo window; marks generated during the drain (and
+    // during the upcoming combinational phase) land on the next edge.
+    seqDrain_.swap(seqQ_[0]);
+    seqQ_[0].swap(seqQ_[1]);
+    seqMark_[0].swap(seqMark_[1]);
+    for (uint32_t i : seqDrain_) {
+        seqMark_[1][i] = 0; // the drained window's bitmap (post-swap)
+        evalSeqGate<true>(i);
+    }
+    seqDrain_.clear();
 }
 
+template <bool kEvent>
 void
-Simulator::sweep()
+Simulator::evalNode(uint32_t node)
 {
-    V4 ins[4];
-    for (const EvalItem &item : nl_->evalOrder()) {
-        if (item.type == EvalItem::Type::Hook) {
-            if (hookFns_[item.index])
-                hookFns_[item.index](*this);
-            continue;
-        }
-        GateId g = item.index;
-        const Gate &gate = nl_->gate(g);
-        switch (gate.kind) {
-          case CellKind::Const0:
-            val_[g] = V4::Zero;
-            active_[g] = 0;
-            continue;
-          case CellKind::Const1:
-            val_[g] = V4::One;
-            active_[g] = 0;
-            continue;
-          case CellKind::Input: {
-            // Value was set by the driver or a hook (or holds over from
-            // the previous cycle). An unknown input may toggle at any
-            // time, so X counts as active.
-            bool act = val_[g] != prev_[g] || val_[g] == V4::X;
-            active_[g] = act;
-            if (act)
-                activeList_.push_back(g);
-            continue;
-          }
-          default:
-            break;
-        }
-        if (isSequential(gate.kind))
-            continue; // handled in updateSequential()
-
-        bool fanin_active = false;
-        for (unsigned p = 0; p < gate.nin; ++p) {
-            GateId src = gate.in[p];
-            ins[p] = val_[src];
-            fanin_active |= active_[src] != 0;
-        }
-        V4 v = evalCell(gate.kind, ins);
-        val_[g] = v;
-        bool act = v != prev_[g] || (v == V4::X && fanin_active);
-        active_[g] = act;
-        if (act)
-            activeList_.push_back(g);
-    }
-}
-
-void
-Simulator::step(const std::function<void(Simulator &)> &driver)
-{
-    // Commit edge effects (memory writes) of the previous cycle.
-    if (cycle_ > 0)
-        for (auto &fn : edgeFns_)
+    const FlatNetlist &f = *flat_;
+    if (node >= f.numGates) {
+        // Behavioral hook at its levelized position.
+        HookFn &fn = hookFns_[node - f.numGates];
+        if (fn)
             fn(*this);
+        return;
+    }
+    GateId g = node;
+    switch (f.kind[g]) {
+      case CellKind::Const0:
+        val_[g] = V4::Zero;
+        active_[g] = 0;
+        return;
+      case CellKind::Const1:
+        val_[g] = V4::One;
+        active_[g] = 0;
+        return;
+      case CellKind::Input: {
+        // Value was set by the driver or a hook (or holds over from
+        // the previous cycle). An unknown input may toggle at any
+        // time, so X counts as active.
+        bool act = val_[g] != prev_[g] || val_[g] == V4::X;
+        active_[g] = act;
+        if (act && kEvent) {
+            markFanoutsDirty(g, val_[g] != prev_[g]);
+            markSeqConsumers(g);
+        }
+        return;
+      }
+      default:
+        break;
+    }
 
-    prev_ = val_;
-    activePrev_ = active_;
+    V4 ins[4];
+    bool fanin_active = false;
+    uint32_t off = f.faninOffset[g];
+    unsigned nin = f.nin[g];
+    for (unsigned p = 0; p < nin; ++p) {
+        GateId src = f.fanin[off + p];
+        ins[p] = val_[src];
+        fanin_active |= active_[src] != 0;
+    }
+    V4 v = evalCell(f.kind[g], ins);
+    val_[g] = v;
+    bool act = v != prev_[g] || (v == V4::X && fanin_active);
+    active_[g] = act;
+    if (act && kEvent) {
+        markFanoutsDirty(g, v != prev_[g]);
+        markSeqConsumers(g);
+    }
+}
+
+void
+Simulator::sweepFull()
+{
+    for (uint32_t node : flat_->schedule)
+        evalNode<false>(node);
+}
+
+void
+Simulator::sweepEvent()
+{
+    const FlatNetlist &f = *flat_;
+    // Hooks run every cycle: behavioral state (RAM contents) can
+    // change between cycles without a netlist-visible event, and hooks
+    // bill per-access energy, so skipping them would diverge from the
+    // full sweep.
+    for (uint32_t hid = 0; hid < f.numHooks; ++hid)
+        enqueueNode(f.numGates + hid);
+    // Unknown inputs count as active every cycle (Section 3.1) even
+    // when untouched; driver-touched inputs were enqueued by
+    // setInput().
+    for (GateId g : inputGates_)
+        if (val_[g] == V4::X)
+            enqueueNode(g);
+    // Active sequential outputs wake their fanout cones (an inactive
+    // sequential gate provably kept its value) and their sequential
+    // consumers. activeList_ holds exactly the active sequential
+    // gates at this point.
+    for (GateId g : activeList_) {
+        markFanoutsDirty(g, val_[g] != prev_[g]);
+        markSeqConsumers(g);
+    }
+
+    // Drain by ascending level; within a level no node depends on
+    // another, so insertion order is fine -- the activity list is
+    // canonicalized (sorted) before the energy accumulation.
+    for (uint32_t l = 0; l < f.numLevels; ++l) {
+        std::vector<uint32_t> &b = buckets_[l];
+        for (size_t i = 0; i < b.size(); ++i) {
+            uint32_t node = b[i];
+            dirty_[node] = 0;
+            evalNode<true>(node);
+        }
+        b.clear();
+    }
+}
+
+void
+Simulator::rebuildActiveList()
+{
+    // Canonicalize the activity list: the evaluation order of the
+    // event-driven kernel differs from the full sweep's within a
+    // level, and floating-point sums are order-sensitive. Rebuilding
+    // the list in ascending gate-id order from the flag bitmap (a
+    // word at a time; the tail is zero-padded) makes per-cycle
+    // energies and the activeGates() view bit-identical across
+    // kernels, cheaper than sorting the list.
     activeList_.clear();
-    actualEnergy_ = 0.0;
-    boundEnergy_ = 0.0;
-    behavioralEnergy_ = 0.0;
-    std::fill(moduleEnergy_.begin(), moduleEnergy_.end(), 0.0);
+    const uint8_t *flags = active_.data();
+    for (size_t base = 0; base < active_.size(); base += 8) {
+        uint64_t w;
+        std::memcpy(&w, flags + base, 8);
+        while (w) {
+            unsigned byte = unsigned(__builtin_ctzll(w)) >> 3;
+            activeList_.push_back(GateId(base + byte));
+            w &= ~(uint64_t(0xff) << (byte * 8));
+        }
+    }
+}
 
-    updateSequential();
-    if (driver)
-        driver(*this);
-    sweep();
+void
+Simulator::accumulateEnergy()
+{
+    rebuildActiveList();
 
     // Per-cycle energy: concrete transitions (actual) and the
     // Algorithm-2 per-cycle peak assignment (bound).
+    const FlatNetlist &f = *flat_;
     for (GateId g : activeList_) {
         V4 p = prev_[g];
         V4 c = val_[g];
@@ -213,12 +428,55 @@ Simulator::step(const std::function<void(Simulator &)> &driver)
         } else {
             // Both unknown: the cell's maximum-power transition
             // (Algorithm 2, maxTransition lookup).
-            e = nl_->maxEnergyJ(g);
+            e = f.maxE[g];
         }
         boundEnergy_ += e;
         moduleEnergy_[topModuleOf_[g]] += e;
     }
+}
 
+void
+Simulator::step(const std::function<void(Simulator &)> &driver)
+{
+    // Commit edge effects (memory writes) of the previous cycle.
+    if (cycle_ > 0)
+        for (auto &fn : edgeFns_)
+            fn(*this);
+
+    activePrev_ = active_;
+    if (mode_ == EvalMode::EventDriven) {
+        // Skipped gates must read as inactive: clear the flags of last
+        // cycle's active set (the only set flags) instead of sweeping
+        // the whole array.
+        for (GateId g : activeList_)
+            active_[g] = 0;
+    }
+    prev_ = val_;
+    activeList_.clear();
+    actualEnergy_ = 0.0;
+    boundEnergy_ = 0.0;
+    behavioralEnergy_ = 0.0;
+    std::fill(moduleEnergy_.begin(), moduleEnergy_.end(), 0.0);
+
+    updateSequential();
+    if (driver)
+        driver(*this);
+    if (mode_ == EvalMode::FullSweep) {
+        sweepFull();
+    } else if (cycle_ == 0) {
+        // The first cycle resolves the power-on state (constants leave
+        // X, everything is potentially stale): evaluate everything
+        // once, then start event-driven from a consistent state. The
+        // oblivious sweep records no wake marks, so re-arm every flop
+        // for the next two edges.
+        sweepFull();
+        clearEventQueues();
+        markAllSeq();
+    } else {
+        sweepEvent();
+    }
+
+    accumulateEnergy();
     ++cycle_;
 }
 
@@ -227,29 +485,39 @@ Simulator::snapshot() const
 {
     // Captured between steps: active_ holds the last stepped cycle's
     // activity, which the next step() moves into activePrev_.
-    return Snapshot{val_, prev_, active_, loadedPrevEdge_, cycle_};
+    return Snapshot{val_, active_, loadedPrevEdge_, cycle_};
 }
 
 void
 Simulator::restore(const Snapshot &s)
 {
+    // prev_ is deliberately left alone: the next step() rebuilds it
+    // from val_ before any read.
     val_ = s.val;
-    prev_ = s.prev;
     active_ = s.activeLast;
     loadedPrevEdge_ = s.loadedPrevEdge;
     cycle_ = s.cycle;
-    activeList_.clear();
+    // Rebuild the active list so the next step's flag-clearing pass
+    // (event mode) sees every set flag; consumers observing
+    // activeGates() after a restore get the restored cycle's set.
+    rebuildActiveList();
+    // The restored state carries no wake marks: re-arm every flop.
+    // (Stale combinational queue entries are harmless -- evaluating a
+    // clean gate reproduces its full-sweep value and activity.)
+    if (mode_ == EvalMode::EventDriven)
+        markAllSeq();
 }
 
 V4
 Simulator::predictSeqValue(GateId g) const
 {
-    const Gate &gate = nl_->gate(g);
+    const FlatNetlist &f = *flat_;
+    uint32_t off = f.faninOffset[g];
     V4 ins[3];
-    for (unsigned p = 0; p < gate.nin; ++p)
-        ins[p] = val_[gate.in[p]];
+    for (unsigned p = 0; p < f.nin[g]; ++p)
+        ins[p] = val_[f.fanin[off + p]];
     bool held = false;
-    return evalSeqCell(gate.kind, val_[g], ins, held);
+    return evalSeqCell(f.kind[g], val_[g], ins, held);
 }
 
 uint64_t
@@ -260,6 +528,25 @@ Simulator::hashSeqState() const
         h ^= uint8_t(val_[g]);
         h *= 0x100000001b3ull;
     }
+    return h;
+}
+
+uint64_t
+Simulator::hashFullState() const
+{
+    // FNV-1a over everything snapshot() captures (except the cycle
+    // counter): two simulators with equal full-state hashes produce
+    // identical continuations under identical drivers.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](const uint8_t *p, size_t len) {
+        for (size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(reinterpret_cast<const uint8_t *>(val_.data()), val_.size());
+    mix(active_.data(), active_.size());
+    mix(loadedPrevEdge_.data(), loadedPrevEdge_.size());
     return h;
 }
 

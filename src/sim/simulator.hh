@@ -1,11 +1,34 @@
 /**
  * @file
- * Cycle-based three-valued gate-level simulator with activity tracking.
+ * Cycle-based three-valued gate-level simulator with activity tracking
+ * and two interchangeable evaluation kernels.
  *
  * Each step() evaluates one clock cycle: sequential outputs update from
  * the previous cycle's stable values, the cycle driver sets primary
  * inputs, behavioral hooks (RAM) run at their levelized position, and
- * every combinational gate is evaluated once in topological order.
+ * combinational gates are evaluated over the netlist's flat
+ * structure-of-arrays view (Netlist::flat()). Two kernels implement
+ * the combinational phase:
+ *
+ *  - EvalMode::FullSweep evaluates every scheduled node once per
+ *    cycle, walking the level-bucketed schedule front to back -- the
+ *    straightforward oblivious kernel, kept as the reference;
+ *  - EvalMode::EventDriven (the default) evaluates only gates whose
+ *    fanins changed value or activity this cycle: per-level dirty
+ *    worklists are seeded by changed/active sequential outputs,
+ *    driver-touched and unknown primary inputs, and behavioral-hook
+ *    outputs, then drained level by level in schedule order. Hooks
+ *    always run (behavioral state such as RAM contents can change
+ *    between cycles without any netlist-visible event, and hooks bill
+ *    per-access energy). Skipped gates are exactly the gates a full
+ *    sweep would have re-evaluated to an identical (value, activity)
+ *    pair; within a level no gate depends on another, so evaluation
+ *    order differences cannot change values. The per-cycle activity
+ *    list is canonicalized (sorted by gate id) in both modes before
+ *    the order-sensitive floating-point energy accumulation, so both
+ *    kernels produce bit-identical values, activity lists, and
+ *    energies every cycle -- the test suite locksteps the two kernels
+ *    across the bench430 programs to enforce this.
  *
  * Activity follows the paper's definition (Section 3.1): a gate is
  * active in a cycle if its value changed, or if it is X and is driven by
@@ -24,6 +47,12 @@
  * even/odd VCD construction computes per cycle; see
  * peak/even_odd.cc for the literal file-based construction and the
  * equivalence test in tests/test_peak_power.cc.
+ *
+ * snapshot()/restore() capture and reinstate the complete simulation
+ * state between steps, giving the symbolic engine O(state-copy) forks
+ * instead of path re-execution; snapshots are interchangeable between
+ * Simulators built over structurally identical netlists (the parallel
+ * symbolic workers rely on this).
  */
 
 #ifndef ULPEAK_SIM_SIMULATOR_HH
@@ -38,6 +67,12 @@ namespace ulpeak {
 
 class Simulator;
 
+/** Combinational-phase kernel selection. */
+enum class EvalMode : uint8_t {
+    FullSweep,   ///< oblivious: every scheduled node, every cycle
+    EventDriven, ///< dirty worklists: only gates with changed fanins
+};
+
 /** Callback evaluating a behavioral hook during the combinational
  * sweep. It may read gate values and must set the hook's outputs. */
 using HookFn = std::function<void(Simulator &)>;
@@ -46,9 +81,11 @@ using EdgeFn = std::function<void(Simulator &)>;
 
 class Simulator {
   public:
-    explicit Simulator(const Netlist &nl);
+    explicit Simulator(const Netlist &nl,
+                       EvalMode mode = EvalMode::EventDriven);
 
     const Netlist &netlist() const { return *nl_; }
+    EvalMode evalMode() const { return mode_; }
 
     /// @name Hook registration
     /// @{
@@ -66,15 +103,15 @@ class Simulator {
      * Overwrite a gate's current value directly. Used by the symbolic
      * engine to constrain an X program counter to one concrete branch
      * target (Algorithm 1, update_PC_next). Sound only for narrowing
-     * an X to one of its feasible values.
+     * an X to one of its feasible values. The event-driven kernel
+     * re-evaluates the forced gate's fanout cone.
      */
-    void forceValue(GateId g, V4 v) { val_[g] = v; }
+    void forceValue(GateId g, V4 v);
     void forceBus(const std::vector<GateId> &bus, Word16 w);
 
     /// @name Reading values
     /// @{
     V4 value(GateId g) const { return val_[g]; }
-    V4 prevValue(GateId g) const { return prev_[g]; }
     bool isActive(GateId g) const { return active_[g] != 0; }
     Word16 readBus(const std::vector<GateId> &bus) const;
     /** Gates active in the cycle most recently stepped. */
@@ -109,9 +146,15 @@ class Simulator {
 
     /// @name Snapshot / restore (for symbolic forking)
     /// @{
+    /** Complete inter-step state. Previous-cycle values are absent on
+     * purpose: step() overwrites them from the current values before
+     * anything reads them, so they are dead across a restore.
+     * Contract: capture the snapshot *before* applying between-step
+     * edits (setInput/forceValue) -- the wake marks such edits create
+     * live only in the originating simulator, so a snapshot taken
+     * after an edit restores the new value without its propagation. */
     struct Snapshot {
         std::vector<V4> val;
-        std::vector<V4> prev;
         std::vector<uint8_t> activeLast;
         std::vector<uint8_t> loadedPrevEdge;
         uint64_t cycle;
@@ -122,6 +165,12 @@ class Simulator {
 
     /** FNV-1a hash over all sequential gate outputs. */
     uint64_t hashSeqState() const;
+    /** FNV-1a hash over the complete snapshot state (values,
+     *  activity, load history). Equal hashes mean identical
+     *  continuations; the symbolic engine's dedup keys use this so a
+     *  merge target's trace never depends on which racing path
+     *  claimed it. */
+    uint64_t hashFullState() const;
 
     /**
      * Predict the value a sequential gate will take at the next clock
@@ -134,9 +183,26 @@ class Simulator {
 
   private:
     void updateSequential();
-    void sweep();
+    template <bool kEvent> void evalSeqGate(size_t i);
+    template <bool kEvent> void evalNode(uint32_t node);
+    void sweepFull();
+    void sweepEvent();
+    void enqueueNode(uint32_t node);
+    void markFanoutsDirty(GateId g, bool value_changed);
+    void clearEventQueues();
+    void rebuildActiveList();
+    void accumulateEnergy();
+    /// @name Sequential wake marking (event mode)
+    /// @{
+    void enqueueSeqNext(uint32_t seq_index);
+    void enqueueSeqBoth(uint32_t seq_index);
+    void markSeqConsumers(GateId g);
+    void markAllSeq();
+    /// @}
 
     const Netlist *nl_;
+    const FlatNetlist *flat_;
+    EvalMode mode_;
     std::vector<V4> val_;
     std::vector<V4> prev_;
     std::vector<uint8_t> active_;
@@ -146,6 +212,24 @@ class Simulator {
     std::vector<uint8_t> loadedPrevEdge_;
     std::vector<uint32_t> seqIndexOf_; ///< gate id -> seq index
     std::vector<ModuleId> topModuleOf_;
+    std::vector<GateId> inputGates_; ///< all Input-kind gates
+
+    /// @name Event-driven worklist state (transient within a step)
+    /// @{
+    std::vector<uint8_t> dirty_; ///< per node: enqueued, not processed
+    std::vector<std::vector<uint32_t>> buckets_; ///< node ids per level
+    /**
+     * Flop wake-up windows. A flop's edge-c inputs are all cycle-(c-1)
+     * quantities (fanin values, D-pin activity, own state), so any
+     * gate activity in cycle c marks its sequential consumers for the
+     * next two edges: the first sees the rise, the second the fall of
+     * the activity term. Index 0 = next edge, 1 = the edge after;
+     * rotated at each edge. Entries are seq indices.
+     */
+    std::vector<uint32_t> seqQ_[2];
+    std::vector<uint8_t> seqMark_[2];
+    std::vector<uint32_t> seqDrain_; ///< scratch: edge being processed
+    /// @}
 
     std::vector<HookFn> hookFns_;
     std::vector<EdgeFn> edgeFns_;

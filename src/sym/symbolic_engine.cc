@@ -1,5 +1,11 @@
 #include "sym/symbolic_engine.hh"
 
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
 #include "isa/disassembler.hh"
@@ -10,86 +16,230 @@ namespace sym {
 
 namespace {
 
-/** One un-processed execution path (Algorithm 1's stack U entry). */
+constexpr uint32_t kNoForcedPc = UINT32_MAX;
+
+/** Structural identity of a netlist (kinds + CSR fanins): snapshots
+ * transfer between Systems only when this matches. */
+uint64_t
+netlistStructureHash(const Netlist &nl)
+{
+    const FlatNetlist &f = nl.flat();
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t x) {
+        h ^= x;
+        h *= 0x100000001b3ull;
+    };
+    for (CellKind k : f.kind)
+        mix(uint64_t(k));
+    for (GateId g : f.fanin)
+        mix(g);
+    return h;
+}
+
+/** One un-processed execution path (Algorithm 1's stack U entry).
+ * Snapshots are shared between sibling entries (immutable). */
 struct Pending {
-    Simulator::Snapshot simSnap;
-    msp::System::Snapshot sysSnap;
+    std::shared_ptr<const Simulator::Snapshot> simSnap;
+    std::shared_ptr<const msp::System::Snapshot> sysSnap;
     uint32_t node;
+    uint64_t nodeKey;      ///< dedup key that created the node (0: root)
     uint32_t forcedPc;     ///< PC constraint applied on the next step
     uint32_t lastKnownPc;  ///< last concrete PC value on this path
     uint32_t curInstrAddr; ///< instruction in execute/mem (COI)
     uint64_t pathCycles;
 };
 
-} // namespace
-
-SymbolicEngine::SymbolicEngine(msp::System &sys,
-                               const SymbolicConfig &cfg)
-    : sys_(&sys), cfg_(cfg)
-{
-}
-
-SymbolicResult
-SymbolicEngine::run(const isa::Image &image)
-{
-    SymbolicResult res;
-    msp::System &sys = *sys_;
-    const Netlist &nl = sys.netlist();
-    const msp::CpuHandles &h = sys.handles();
-    power::PowerContext ctx(nl, cfg_.freqHz);
-
-    // Algorithm 1 lines 2-5: everything X, load binary, reset.
-    sys.memory().reset();
-    sys.loadImage(image);
-    sys.clearHalted();
-    Simulator sim(nl);
-    sys.attach(sim);
-    sys.reset(sim);
-
-    if (cfg_.recordActiveSets)
-        res.everActive.assign(nl.numGates(), 0);
-
-    constexpr uint32_t kNoForcedPc = UINT32_MAX;
-    std::vector<Pending> stack;
+/** State shared by all exploration workers, guarded by @c mu except
+ * for the lock-free fast-path flags. */
+struct SharedState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Pending> stack; ///< LIFO work stack (Algorithm 1's U)
     std::unordered_map<uint64_t, uint32_t> visited;
+    ExecTree *tree = nullptr;
+    uint32_t pathsExplored = 0;
+    uint32_t dedupMerges = 0;
+    unsigned working = 0; ///< workers currently simulating a path
+    std::string error;
 
-    uint32_t root = res.tree.newNode(kNoNode);
-    stack.push_back(Pending{sim.snapshot(), sys.snapshot(), root,
-                            kNoForcedPc, 0, 0, 0});
+    std::atomic<uint64_t> totalCycles{0};
+    std::atomic<bool> failed{false};
 
-    auto fail = [&](const std::string &msg) {
-        res.ok = false;
-        res.error = msg;
-        return res;
-    };
+    /** Record a failure; caller must already hold @c mu. */
+    void
+    failLocked(const std::string &msg)
+    {
+        if (!failed.exchange(true))
+            error = msg;
+        cv.notify_all();
+    }
 
-    // Hash of (sequential state with PC forced) + memory + target.
-    auto stateKey = [&](uint32_t target_pc) {
-        uint64_t hash = sim.hashSeqState();
-        sys.memory().hashInto(hash);
-        hash ^= 0x9e3779b97f4a7c15ull * (uint64_t(target_pc) + 1);
-        return hash;
-    };
+    void
+    fail(const std::string &msg)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        failLocked(msg);
+    }
+};
 
-    while (!stack.empty()) {
-        Pending p = std::move(stack.back());
-        stack.pop_back();
-        sim.restore(p.simSnap);
-        sys.restore(p.sysSnap);
-        ++res.pathsExplored;
+/**
+ * One exploration worker: a simulator (plus, for workers beyond the
+ * first, a private System clone) that pops pending paths, simulates
+ * them to the next fork or leaf, and commits traces to the shared
+ * tree. Peak candidates and activity sets are tracked locally and
+ * merged after the pool drains.
+ */
+class Worker {
+  public:
+    Worker(msp::System &base, const SymbolicConfig &cfg,
+           const isa::Image &image, bool owns_clone)
+        : cfg_(cfg)
+    {
+        if (owns_clone) {
+            owned_ = std::make_unique<msp::System>(
+                base.netlist().library());
+            sys_ = owned_.get();
+            if (netlistStructureHash(sys_->netlist()) !=
+                netlistStructureHash(base.netlist()))
+                throw std::logic_error(
+                    "nondeterministic netlist elaboration: worker "
+                    "clone differs structurally from the base "
+                    "system");
+        } else {
+            sys_ = &base;
+        }
+        sys_->memory().reset();
+        sys_->loadImage(image);
+        sys_->clearHalted();
+        sim_ = std::make_unique<Simulator>(sys_->netlist(),
+                                           cfg.evalMode);
+        sys_->attach(*sim_);
+        ctx_ = std::make_unique<power::PowerContext>(sys_->netlist(),
+                                                     cfg_.freqHz);
+        if (cfg_.recordActiveSets)
+            everActive_.assign(sys_->netlist().numGates(), 0);
+    }
+
+    msp::System &sys() { return *sys_; }
+    Simulator &sim() { return *sim_; }
+
+    /** Pop-simulate-commit until the stack drains or a worker fails. */
+    void
+    explore(SharedState &sh)
+    {
+        std::unique_lock<std::mutex> lock(sh.mu);
+        while (true) {
+            if (sh.failed.load())
+                break;
+            if (!sh.stack.empty()) {
+                Pending p = std::move(sh.stack.back());
+                sh.stack.pop_back();
+                ++sh.pathsExplored;
+                ++sh.working;
+                lock.unlock();
+                // Exceptions must not escape a worker thread (that
+                // would terminate the process); convert them into the
+                // engine's normal failure reporting.
+                try {
+                    runPath(sh, std::move(p));
+                } catch (const std::exception &e) {
+                    sh.fail(std::string("worker exception: ") +
+                            e.what());
+                }
+                lock.lock();
+                --sh.working;
+                if (sh.stack.empty() && sh.working == 0)
+                    sh.cv.notify_all();
+            } else if (sh.working == 0) {
+                break;
+            } else {
+                sh.cv.wait(lock);
+            }
+        }
+        sh.cv.notify_all();
+    }
+
+    /// @name Locally-merged results
+    /// @{
+    double peakPowerW = 0.0;
+    uint32_t peakNode = 0;
+    uint32_t peakCycleInNode = 0;
+    /** Canonical identity of the peak candidate for tie-breaking:
+     * (node dedup key, cycle index). Node keys are
+     * partition-independent, unlike node ids, so exact power ties
+     * resolve to the same logical cycle under any scheduling. */
+    uint64_t peakNodeKey = 0;
+    std::vector<uint32_t> peakActive;
+    std::vector<uint8_t> everActive_;
+
+    /** Strict-weak "better candidate" order used both within a worker
+     * and for the final cross-worker merge. */
+    bool
+    betterCandidate(double w, uint64_t node_key, uint32_t cycle) const
+    {
+        if (w != peakPowerW)
+            return w > peakPowerW;
+        if (peakPowerW == 0.0)
+            return false; // no candidate yet is only beaten by w > 0
+        if (node_key != peakNodeKey)
+            return node_key < peakNodeKey;
+        return cycle < peakCycleInNode;
+    }
+    /// @}
+
+  private:
+    // Dedup keys are full-simulator-state + memory + fork-target
+    // hashes (built inline at the fork): hashing the complete state,
+    // not just the architectural state, guarantees that when two
+    // racing paths map to one key their continuations are identical
+    // -- so the merged node's trace, and every number derived from
+    // it, is independent of which path claimed the key.
+    void
+    runPath(SharedState &sh, Pending p)
+    {
+        msp::System &sys = *sys_;
+        Simulator &sim = *sim_;
+        const msp::CpuHandles &h = sys.handles();
+        power::PowerContext &ctx = *ctx_;
+
+        sim.restore(*p.simSnap);
+        sys.restore(*p.sysSnap);
 
         uint32_t nodeId = p.node;
+        uint64_t nodeKey = p.nodeKey;
         uint32_t forcedPc = p.forcedPc;
         uint32_t lastPc = p.lastKnownPc;
         uint32_t curInstr = p.curInstrAddr;
         uint64_t pathCycles = p.pathCycles;
 
+        // Per-cycle data is buffered locally and committed to the
+        // shared tree at the fork/leaf boundary.
+        std::vector<float> powerW;
+        std::vector<std::vector<float>> modulePowerW;
+        std::vector<CycleInfo> cycleInfo;
+
+        auto commitNode = [&](bool ends_halted) {
+            std::lock_guard<std::mutex> lock(sh.mu);
+            TreeNode &node = sh.tree->node(nodeId);
+            node.powerW = std::move(powerW);
+            node.modulePowerW = std::move(modulePowerW);
+            node.cycleInfo = std::move(cycleInfo);
+            node.endsHalted = ends_halted;
+        };
+
         while (true) {
-            if (res.totalCycles >= cfg_.maxTotalCycles)
-                return fail("symbolic cycle budget exhausted");
-            if (pathCycles >= cfg_.maxPathCycles)
-                return fail("path exceeded maxPathCycles (missing "
-                            "halt or unbounded loop?)");
+            if (sh.failed.load())
+                return;
+            if (sh.totalCycles.load(std::memory_order_relaxed) >=
+                cfg_.maxTotalCycles) {
+                sh.fail("symbolic cycle budget exhausted");
+                return;
+            }
+            if (pathCycles >= cfg_.maxPathCycles) {
+                sh.fail("path exceeded maxPathCycles (missing "
+                        "halt or unbounded loop?)");
+                return;
+            }
 
             uint32_t applyPc = forcedPc;
             forcedPc = kNoForcedPc;
@@ -102,54 +252,61 @@ SymbolicEngine::run(const isa::Image &image)
                     s.forceBus(h.pc, Word16::known(uint16_t(applyPc)));
                 }
             });
-            ++res.totalCycles;
+            sh.totalCycles.fetch_add(1, std::memory_order_relaxed);
             ++pathCycles;
 
             Word16 pcNow = sys.readPc(sim);
-            if (pcNow.isFullyKnown())
+            if (pcNow.isFullyKnown()) {
                 lastPc = pcNow.value;
-            else
-                return fail("PC became X without fork interception");
+            } else {
+                sh.fail("PC became X without fork interception");
+                return;
+            }
             int fsm = sys.fsmState(sim);
             if (fsm == msp::kStFetch)
                 curInstr = lastPc; // the word under fetch
 
             // ---- Per-cycle Algorithm 2 assignment ----
-            TreeNode &node = res.tree.node(nodeId);
             double w = ctx.cycleBoundPowerW(sim);
-            node.powerW.push_back(float(w));
+            powerW.push_back(float(w));
             if (cfg_.recordModuleTrace) {
                 std::vector<double> mod = ctx.cycleModulePowerW(sim);
-                node.modulePowerW.emplace_back(mod.begin(), mod.end());
+                modulePowerW.emplace_back(mod.begin(), mod.end());
                 CycleInfo info;
                 info.instrPc = curInstr;
                 info.fsmState = uint8_t(fsm < 0 ? 255 : fsm);
-                node.cycleInfo.push_back(info);
+                cycleInfo.push_back(info);
             }
             if (cfg_.recordActiveSets) {
                 for (GateId g : sim.activeGates())
-                    res.everActive[g] = 1;
+                    everActive_[g] = 1;
             }
-            if (w > res.peakPowerW) {
-                res.peakPowerW = w;
-                res.peakNode = nodeId;
-                res.peakCycleInNode = uint32_t(node.powerW.size() - 1);
+            uint32_t cyc = uint32_t(powerW.size() - 1);
+            if (betterCandidate(w, nodeKey, cyc)) {
+                peakPowerW = w;
+                peakNode = nodeId;
+                peakCycleInNode = cyc;
+                peakNodeKey = nodeKey;
                 if (cfg_.recordActiveSets)
-                    res.peakActive.assign(sim.activeGates().begin(),
-                                          sim.activeGates().end());
+                    peakActive.assign(sim.activeGates().begin(),
+                                      sim.activeGates().end());
             }
 
-            if (sys.xStoreFault())
-                return fail("store with unknown address or enable "
-                            "(X-store); see DESIGN.md section 5");
+            if (sys.xStoreFault()) {
+                sh.fail("store with unknown address or enable "
+                        "(X-store); see DESIGN.md section 5");
+                return;
+            }
 
             if (sys.halted()) {
-                res.tree.node(nodeId).endsHalted = true;
-                break; // leaf: end of this execution path
+                commitNode(true); // leaf: end of this execution path
+                return;
             }
-            if (fsm == msp::kStHalt)
-                return fail("core trapped (invalid instruction) at "
-                            "pc~0x" + std::to_string(lastPc));
+            if (fsm == msp::kStHalt) {
+                sh.fail("core trapped (invalid instruction) at "
+                        "pc~0x" + std::to_string(lastPc));
+                return;
+            }
 
             // ---- Algorithm 1 line 17: will PC_next be X? ----
             bool pcNextX = false;
@@ -164,14 +321,17 @@ SymbolicEngine::run(const isa::Image &image)
 
             // Resolve feasible targets from the (concrete) IR.
             Word16 ir = sys.readIr(sim);
-            if (!ir.isFullyKnown())
-                return fail("X program counter with unknown IR");
+            if (!ir.isFullyKnown()) {
+                sh.fail("X program counter with unknown IR");
+                return;
+            }
             isa::Decoded dec = isa::decode(ir.value, 0, 0);
-            if (!dec.valid || !isa::isJump(dec.instr.op))
-                return fail(
-                    "unresolvable X program counter (op " +
-                    std::string(isa::opName(dec.instr.op)) +
-                    "): indirect jump through unknown data");
+            if (!dec.valid || !isa::isJump(dec.instr.op)) {
+                sh.fail("unresolvable X program counter (op " +
+                        std::string(isa::opName(dec.instr.op)) +
+                        "): indirect jump through unknown data");
+                return;
+            }
 
             // At EXEC of a jump the PC holds the fall-through address.
             uint32_t fallThrough = lastPc;
@@ -179,37 +339,158 @@ SymbolicEngine::run(const isa::Image &image)
                 (lastPc +
                  uint32_t(int32_t(dec.instr.jumpOffsetWords) * 2)) &
                 0xffff;
-            TreeNode &forkNode = res.tree.node(nodeId);
-            forkNode.branchPc = (lastPc - 2) & 0xffff;
-
             uint32_t targets[2] = {taken, fallThrough};
             unsigned numTargets = taken == fallThrough ? 1 : 2;
+
+            // Hash keys and capture the fork state before taking the
+            // global lock: both read only worker-local state, and
+            // they are the heavy part of a fork. The state is hashed
+            // once (the target only enters via the final mix) and the
+            // snapshots are shared by both child Pendings.
+            uint64_t base = sim.hashFullState();
+            sys.memory().hashInto(base);
+            uint64_t keys[2];
+            for (unsigned t = 0; t < numTargets; ++t)
+                keys[t] = base ^ 0x9e3779b97f4a7c15ull *
+                                     (uint64_t(targets[t]) + 1);
+            auto simSnap =
+                std::make_shared<const Simulator::Snapshot>(
+                    sim.snapshot());
+            auto sysSnap =
+                std::make_shared<const msp::System::Snapshot>(
+                    sys.snapshot());
+
+            std::lock_guard<std::mutex> lock(sh.mu);
+            TreeNode &forkNode = sh.tree->node(nodeId);
+            forkNode.branchPc = (lastPc - 2) & 0xffff;
+            forkNode.powerW = std::move(powerW);
+            forkNode.modulePowerW = std::move(modulePowerW);
+            forkNode.cycleInfo = std::move(cycleInfo);
             for (unsigned t = 0; t < numTargets; ++t) {
-                uint64_t key = stateKey(targets[t]);
-                auto it = visited.find(key);
-                if (it != visited.end()) {
+                uint64_t key = keys[t];
+                auto it = sh.visited.find(key);
+                if (it != sh.visited.end()) {
                     // Algorithm 1 line 19: already simulated; merge.
-                    res.tree.node(nodeId).edges.push_back(
+                    sh.tree->node(nodeId).edges.push_back(
                         TreeEdge{targets[t], it->second, true});
-                    ++res.dedupMerges;
+                    ++sh.dedupMerges;
                     continue;
                 }
-                if (res.tree.numNodes() >= cfg_.maxNodes)
-                    return fail("execution tree node budget "
-                                "exhausted");
-                uint32_t child = res.tree.newNode(nodeId);
-                visited.emplace(key, child);
-                res.tree.node(nodeId).edges.push_back(
+                if (sh.tree->numNodes() >= cfg_.maxNodes) {
+                    sh.failLocked(
+                        "execution tree node budget exhausted");
+                    return;
+                }
+                uint32_t child = sh.tree->newNode(nodeId);
+                sh.visited.emplace(key, child);
+                sh.tree->node(nodeId).edges.push_back(
                     TreeEdge{targets[t], child, false});
-                stack.push_back(Pending{sim.snapshot(), sys.snapshot(),
-                                        child, targets[t], lastPc,
-                                        curInstr, pathCycles});
+                sh.stack.push_back(Pending{simSnap, sysSnap, child,
+                                           keys[t], targets[t],
+                                           lastPc, curInstr,
+                                           pathCycles});
             }
-            break; // this path's continuation lives on the stack
+            sh.cv.notify_all();
+            return; // continuations live on the shared stack
         }
     }
 
+    SymbolicConfig cfg_;
+    std::unique_ptr<msp::System> owned_;
+    msp::System *sys_ = nullptr;
+    std::unique_ptr<Simulator> sim_;
+    std::unique_ptr<power::PowerContext> ctx_;
+};
+
+} // namespace
+
+SymbolicEngine::SymbolicEngine(msp::System &sys,
+                               const SymbolicConfig &cfg)
+    : sys_(&sys), cfg_(cfg)
+{
+}
+
+SymbolicResult
+SymbolicEngine::run(const isa::Image &image)
+{
+    SymbolicResult res;
+    const Netlist &nl = sys_->netlist();
+
+    unsigned numWorkers = cfg_.numThreads > 1 ? cfg_.numThreads : 1;
+
+    // Algorithm 1 lines 2-5: everything X, load binary, reset. Worker
+    // 0 wraps the caller's System; extra workers elaborate clones.
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.reserve(numWorkers);
+    try {
+        for (unsigned i = 0; i < numWorkers; ++i)
+            workers.push_back(std::make_unique<Worker>(
+                *sys_, cfg_, image, /*owns_clone=*/i > 0));
+    } catch (const std::exception &e) {
+        res.ok = false;
+        res.error = std::string("worker setup failed: ") + e.what();
+        return res;
+    }
+    sys_->reset(workers[0]->sim());
+
+    SharedState sh;
+    sh.tree = &res.tree;
+
+    uint32_t root = res.tree.newNode(kNoNode);
+    sh.stack.push_back(
+        Pending{std::make_shared<const Simulator::Snapshot>(
+                    workers[0]->sim().snapshot()),
+                std::make_shared<const msp::System::Snapshot>(
+                    sys_->snapshot()),
+                root, 0, kNoForcedPc, 0, 0, 0});
+
+    if (numWorkers == 1) {
+        workers[0]->explore(sh);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(numWorkers);
+        for (auto &w : workers)
+            pool.emplace_back([&sh, &w] { w->explore(sh); });
+        for (auto &t : pool)
+            t.join();
+    }
+
+    res.totalCycles = sh.totalCycles.load();
+    res.pathsExplored = sh.pathsExplored;
+    res.dedupMerges = sh.dedupMerges;
+
+    if (sh.failed.load()) {
+        res.ok = false;
+        res.error = sh.error;
+        return res;
+    }
+
+    // Deterministic merge: candidates are ordered by (power, then
+    // canonical node key / cycle on exact ties), so the winning cycle
+    // -- including its recorded active set -- is the same logical
+    // cycle under any work partition or thread scheduling.
+    if (cfg_.recordActiveSets)
+        res.everActive.assign(nl.numGates(), 0);
+    const Worker *best = nullptr;
+    for (auto &w : workers) {
+        if (w->peakPowerW > 0.0 &&
+            (!best || best->betterCandidate(w->peakPowerW,
+                                            w->peakNodeKey,
+                                            w->peakCycleInNode)))
+            best = w.get();
+        if (cfg_.recordActiveSets)
+            for (size_t g = 0; g < w->everActive_.size(); ++g)
+                res.everActive[g] |= w->everActive_[g];
+    }
+    if (best) {
+        res.peakPowerW = best->peakPowerW;
+        res.peakNode = best->peakNode;
+        res.peakCycleInNode = best->peakCycleInNode;
+        res.peakActive = best->peakActive;
+    }
+
     // ---- Section 3.3: peak energy over the tree ----
+    power::PowerContext ctx(nl, cfg_.freqHz);
     try {
         PathEnergy pe = res.tree.maxPathEnergy(
             ctx.tclkS(), cfg_.inputDependentLoopBound);
@@ -218,7 +499,9 @@ SymbolicEngine::run(const isa::Image &image)
         res.npeJPerCycle =
             pe.cycles ? pe.energyJ / double(pe.cycles) : 0.0;
     } catch (const std::exception &e) {
-        return fail(e.what());
+        res.ok = false;
+        res.error = e.what();
+        return res;
     }
 
     res.ok = true;

@@ -13,6 +13,17 @@
  * online equivalent of the even/odd VCD construction; see
  * peak/even_odd.hh for the literal file-based flow and the test that
  * proves the equivalence.
+ *
+ * Forks are O(state-copy): the engine snapshots simulator + system
+ * state at each branch and restores instead of re-executing the
+ * prefix. With SymbolicConfig::numThreads > 1 independent
+ * execution-tree branches are explored by a worker pool over a shared
+ * work stack; the visited-state dedup map and the tree are
+ * mutex-guarded, per-cycle traces are buffered worker-locally and
+ * committed at fork/leaf boundaries, and peak results merge
+ * deterministically (the explored state set, every node's trace, and
+ * therefore peak power, peak energy and NPE are independent of thread
+ * scheduling; only tree node numbering varies).
  */
 
 #ifndef ULPEAK_SYM_SYMBOLIC_ENGINE_HH
@@ -34,6 +45,17 @@ struct SymbolicConfig {
     uint64_t maxTotalCycles = 3000000;
     uint64_t maxPathCycles = 100000;
     uint32_t maxNodes = 300000;
+    /** Combinational kernel used by the exploration simulators. */
+    EvalMode evalMode = EvalMode::EventDriven;
+    /**
+     * Worker threads exploring independent execution-tree branches
+     * (<= 1: sequential exploration on the calling thread). Each extra
+     * worker elaborates its own System clone; snapshots transfer
+     * between clones because netlist construction is deterministic.
+     * Peak power/energy/NPE results are scheduling-independent; node
+     * numbering inside the tree is not.
+     */
+    unsigned numThreads = 1;
     /** Record the union + peak-cycle sets of active gates
      *  (Figures 1.5 / 3.4). */
     bool recordActiveSets = false;

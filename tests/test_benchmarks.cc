@@ -327,5 +327,91 @@ TEST_P(BenchmarkProperty, XBoundDominatesConcreteRuns)
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkProperty,
                          ::testing::Range(0, 14));
 
+/** Full-sweep-mode System shared across the equivalence tests (the
+ * event-mode one is test::sharedSystem()). */
+msp::System &
+fullSweepSystem()
+{
+    static msp::System system(CellLibrary::tsmc65Like());
+    return system;
+}
+
+class KernelEquivalence : public ::testing::TestWithParam<int> {};
+
+/**
+ * Acceptance property of the flat-kernel refactor: the event-driven
+ * kernel reproduces the full sweep bit for bit -- peak power, peak
+ * energy and NPE on every bench430 program...
+ */
+TEST_P(KernelEquivalence, AnalyzeReportsBitIdentical)
+{
+    const Benchmark &b =
+        bench430::allBenchmarks()[size_t(GetParam())];
+    isa::Image img = b.assembleImage();
+    msp::System &sys = test::sharedSystem();
+
+    peak::Options ev;
+    ev.evalMode = EvalMode::EventDriven;
+    peak::Options fs;
+    fs.evalMode = EvalMode::FullSweep;
+    peak::Report re = peak::analyze(sys, img, ev);
+    peak::Report rf = peak::analyze(sys, img, fs);
+    ASSERT_TRUE(re.ok) << b.name << ": " << re.error;
+    ASSERT_TRUE(rf.ok) << b.name << ": " << rf.error;
+    EXPECT_EQ(re.peakPowerW, rf.peakPowerW) << b.name;
+    EXPECT_EQ(re.peakEnergyJ, rf.peakEnergyJ) << b.name;
+    EXPECT_EQ(re.npeJPerCycle, rf.npeJPerCycle) << b.name;
+    EXPECT_EQ(re.maxPathCycles, rf.maxPathCycles) << b.name;
+    EXPECT_EQ(re.totalCycles, rf.totalCycles) << b.name;
+    EXPECT_EQ(re.pathsExplored, rf.pathsExplored) << b.name;
+    EXPECT_EQ(re.dedupMerges, rf.dedupMerges) << b.name;
+    EXPECT_EQ(re.flatTraceW, rf.flatTraceW) << b.name;
+}
+
+/**
+ * ...and, cycle for cycle, identical actual energy, bound energy and
+ * activity sets along the symbolic (all-X input) path prefix.
+ */
+TEST_P(KernelEquivalence, PerCycleLockstepIdentical)
+{
+    const Benchmark &b =
+        bench430::allBenchmarks()[size_t(GetParam())];
+    isa::Image img = b.assembleImage();
+    msp::System &sysEv = test::sharedSystem();
+    msp::System &sysFs = fullSweepSystem();
+    ASSERT_EQ(sysEv.netlist().numGates(), sysFs.netlist().numGates());
+
+    for (msp::System *s : {&sysEv, &sysFs}) {
+        s->memory().reset();
+        s->loadImage(img);
+        s->clearHalted();
+    }
+    Simulator ev(sysEv.netlist(), EvalMode::EventDriven);
+    Simulator fs(sysFs.netlist(), EvalMode::FullSweep);
+    sysEv.attach(ev);
+    sysFs.attach(fs);
+    sysEv.reset(ev);
+    sysFs.reset(fs);
+
+    for (int c = 0; c < 250 && !sysEv.halted(); ++c) {
+        ev.step([&](Simulator &s) {
+            sysEv.driveCycle(s, Word16::allX());
+        });
+        fs.step([&](Simulator &s) {
+            sysFs.driveCycle(s, Word16::allX());
+        });
+        ASSERT_EQ(ev.actualEnergyJ(), fs.actualEnergyJ())
+            << b.name << " cycle " << c;
+        ASSERT_EQ(ev.boundEnergyJ(), fs.boundEnergyJ())
+            << b.name << " cycle " << c;
+        ASSERT_EQ(ev.activeGates(), fs.activeGates())
+            << b.name << " cycle " << c;
+        ASSERT_EQ(sysEv.halted(), sysFs.halted()) << b.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, KernelEquivalence,
+                         ::testing::Range(0, 14));
+
 } // namespace
 } // namespace ulpeak

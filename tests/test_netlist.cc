@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "netlist/netlist.hh"
 
 namespace ulpeak {
@@ -56,6 +58,88 @@ TEST_F(NetlistTest, LevelizeOrdersFanins)
     EXPECT_LT(pos[a], pos[b]);
     EXPECT_LT(pos[b], pos[c]);
     EXPECT_LT(pos[c], pos[d]);
+}
+
+TEST_F(NetlistTest, FlatViewMirrorsGates)
+{
+    ModuleId m = nl.addModule("m");
+    GateId a = nl.addGate(CellKind::Input, {}, m);
+    GateId b = nl.addGate(CellKind::Inv, {a}, m);
+    GateId c = nl.addGate(CellKind::And2, {a, b}, m);
+    GateId q = nl.addGate(CellKind::Dff, {c}, m);
+    GateId d = nl.addGate(CellKind::Xor2, {q, b}, m);
+    nl.finalize();
+
+    const FlatNetlist &f = nl.flat();
+    ASSERT_EQ(f.numGates, nl.numGates());
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+        const Gate &gate = nl.gate(g);
+        EXPECT_EQ(f.kind[g], gate.kind);
+        EXPECT_EQ(f.nin[g], gate.nin);
+        ASSERT_EQ(f.faninOffset[g + 1] - f.faninOffset[g], gate.nin);
+        for (unsigned p = 0; p < gate.nin; ++p)
+            EXPECT_EQ(f.fanin[f.faninOffset[g] + p], gate.in[p]);
+        EXPECT_EQ(f.maxE[g],
+                  std::max(nl.riseEnergyJ(g), nl.fallEnergyJ(g)));
+    }
+
+    // Fanout CSR: exactly the combinational consumers. The Dff q
+    // consumes c at the edge, so c's fanout list is empty; q feeds d.
+    auto fanoutsOf = [&](GateId g) {
+        return std::vector<GateId>(f.fanout.begin() + f.fanoutOffset[g],
+                                   f.fanout.begin() +
+                                       f.fanoutOffset[g + 1]);
+    };
+    EXPECT_EQ(fanoutsOf(a), (std::vector<GateId>{b, c}));
+    EXPECT_EQ(fanoutsOf(b), (std::vector<GateId>{c, d}));
+    EXPECT_EQ(fanoutsOf(c), std::vector<GateId>{});
+    EXPECT_EQ(fanoutsOf(q), std::vector<GateId>{d});
+    (void)d;
+}
+
+TEST_F(NetlistTest, FlatScheduleIsLevelizedTopologicalOrder)
+{
+    ModuleId m = nl.addModule("m");
+    GateId a = nl.addGate(CellKind::Input, {}, m);
+    GateId b = nl.addGate(CellKind::Inv, {a}, m);
+    GateId c = nl.addGate(CellKind::And2, {a, b}, m);
+    GateId q = nl.addGate(CellKind::Dff, {c}, m);
+    GateId hookOut = nl.addGate(CellKind::Input, {}, m);
+    nl.addHook(BehavioralHook{"h", {c}, {hookOut}});
+    GateId d = nl.addGate(CellKind::Xor2, {hookOut, q}, m);
+    nl.finalize();
+
+    const FlatNetlist &f = nl.flat();
+    uint32_t n = f.numGates;
+    ASSERT_EQ(f.numHooks, 1u);
+
+    // Every non-sequential node is scheduled exactly once, level
+    // buckets are contiguous, and posOfNode inverts the schedule.
+    std::vector<unsigned> seen(f.numNodes(), 0);
+    for (uint32_t l = 0; l < f.numLevels; ++l) {
+        for (uint32_t i = f.levelOffset[l]; i < f.levelOffset[l + 1];
+             ++i) {
+            uint32_t node = f.schedule[i];
+            ++seen[node];
+            EXPECT_EQ(f.levelOfNode[node], l);
+            EXPECT_EQ(f.posOfNode[node], i);
+        }
+    }
+    for (uint32_t node = 0; node < f.numNodes(); ++node) {
+        bool seq = node < n && isSequential(nl.gate(node).kind);
+        EXPECT_EQ(seen[node], seq ? 0u : 1u) << "node " << node;
+        if (seq)
+            EXPECT_EQ(f.levelOfNode[node], kNoLevel);
+    }
+
+    // Dependencies strictly precede consumers: combinational fanins,
+    // hook dependencies, and hook outputs all sit at lower levels.
+    EXPECT_LT(f.levelOfNode[a], f.levelOfNode[b]);
+    EXPECT_LT(f.levelOfNode[b], f.levelOfNode[c]);
+    uint32_t hookNode = n + 0;
+    EXPECT_LT(f.levelOfNode[c], f.levelOfNode[hookNode]);
+    EXPECT_LT(f.levelOfNode[hookNode], f.levelOfNode[hookOut]);
+    EXPECT_LT(f.levelOfNode[hookOut], f.levelOfNode[d]);
 }
 
 TEST_F(NetlistTest, CombinationalLoopDetected)

@@ -9,6 +9,7 @@
 
 #include "hw/builder.hh"
 #include "sim/simulator.hh"
+#include "tests/cpu_test_util.hh"
 
 namespace ulpeak {
 namespace {
@@ -212,6 +213,209 @@ TEST(Simulator, SnapshotRestoreRoundTrip)
     sim.restore(snap);
     EXPECT_EQ(sim.cycle(), snap.cycle);
     EXPECT_EQ(sim.hashSeqState(), h0);
+}
+
+// Step both kernels with the same driver and require bit-identical
+// per-cycle observables.
+void
+expectLockstepCycle(Simulator &ev, Simulator &fs, const char *what,
+                    uint64_t c)
+{
+    ASSERT_EQ(ev.actualEnergyJ(), fs.actualEnergyJ())
+        << what << " cycle " << c;
+    ASSERT_EQ(ev.boundEnergyJ(), fs.boundEnergyJ())
+        << what << " cycle " << c;
+    ASSERT_EQ(ev.behavioralEnergyJ(), fs.behavioralEnergyJ())
+        << what << " cycle " << c;
+    ASSERT_EQ(ev.activeGates(), fs.activeGates())
+        << what << " cycle " << c;
+    ASSERT_EQ(ev.moduleBoundEnergyJ(), fs.moduleBoundEnergyJ())
+        << what << " cycle " << c;
+    ASSERT_EQ(ev.hashSeqState(), fs.hashSeqState())
+        << what << " cycle " << c;
+}
+
+TEST(SimulatorKernel, EventDrivenMatchesFullSweepSmallNetlist)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    Bus a = b.busInput(4, "a");
+    hw::Sig x = b.input("x");
+    Bus n = b.busNot(a);
+    Bus q = b.reg(n, "q");
+    hw::Sig mixed = b.and2(b.inv(x), q[0]);
+    hw::Sig deep = b.xor2(mixed, b.or2(q[1], q[2]));
+    (void)deep;
+    nl.finalize();
+
+    Simulator ev(nl, EvalMode::EventDriven);
+    Simulator fs(nl, EvalMode::FullSweep);
+    uint32_t pattern = 0x9;
+    for (int i = 0; i < 40; ++i) {
+        auto drv = [&](Simulator &s) {
+            for (unsigned j = 0; j < 4; ++j)
+                s.setInput(a[j], fromBool((pattern >> j) & 1));
+            // Exercise X phases and stable phases.
+            s.setInput(x, (i % 7 < 3) ? V4::X : V4::Zero);
+        };
+        ev.step(drv);
+        fs.step(drv);
+        expectLockstepCycle(ev, fs, "small", uint64_t(i));
+        for (GateId g = 0; g < nl.numGates(); ++g) {
+            ASSERT_EQ(ev.value(g), fs.value(g)) << "gate " << g;
+            ASSERT_EQ(ev.isActive(g), fs.isActive(g)) << "gate " << g;
+        }
+        if (i % 3 == 0)
+            pattern = (pattern * 37 + 11) & 0xf;
+    }
+}
+
+TEST(SimulatorKernel, EventDrivenMatchesFullSweepCpuXRun)
+{
+    // Symbolic-style single-path prefix on the full CPU: port all-X,
+    // uninitialized memory -- the X-heavy regime of Algorithm 1.
+    msp::System &sys = test::sharedSystem();
+    isa::Image img = isa::assemble(test::wrapProgram(R"(
+        mov &0x0020, r4
+        mov r4, &0x0130
+        mov &0x0020, r5
+        xor r4, r5
+        mov r5, &0x0500
+    )"));
+
+    msp::System sysFs(CellLibrary::tsmc65Like());
+    ASSERT_EQ(sys.netlist().numGates(), sysFs.netlist().numGates())
+        << "System elaboration must be deterministic";
+
+    for (msp::System *s : {&sys, &sysFs}) {
+        s->memory().reset();
+        s->loadImage(img);
+        s->clearHalted();
+    }
+    Simulator ev(sys.netlist(), EvalMode::EventDriven);
+    Simulator fs(sysFs.netlist(), EvalMode::FullSweep);
+    sys.attach(ev);
+    sysFs.attach(fs);
+    sys.reset(ev);
+    sysFs.reset(fs);
+    ASSERT_EQ(ev.cycle(), fs.cycle());
+
+    for (int c = 0; c < 220; ++c) {
+        ev.step([&](Simulator &s) {
+            sys.driveCycle(s, Word16::allX());
+        });
+        fs.step([&](Simulator &s) {
+            sysFs.driveCycle(s, Word16::allX());
+        });
+        expectLockstepCycle(ev, fs, "cpu-x", ev.cycle());
+    }
+}
+
+TEST(SimulatorKernel, SetInputBetweenStepsPropagates)
+{
+    // setInput is legal between steps (not just inside a driver);
+    // both kernels must see the edit: the prologue copies val_ into
+    // prev_, so the input itself reads as unchanged, but consumers
+    // still re-evaluate against their stale outputs.
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    Builder b(nl);
+    hw::Sig in = b.input("in");
+    hw::Sig n = b.inv(in);
+    Bus q = b.reg(Bus{in}, "q");
+    nl.finalize();
+
+    for (EvalMode mode : {EvalMode::EventDriven, EvalMode::FullSweep}) {
+        Simulator sim(nl, mode);
+        sim.step([&](Simulator &s) { s.setInput(in, V4::Zero); });
+        sim.step();
+        EXPECT_EQ(sim.value(n), V4::One);
+
+        sim.setInput(in, V4::One); // between steps, no driver
+        sim.step();
+        EXPECT_EQ(sim.value(n), V4::Zero) << "comb consumer stale";
+        EXPECT_TRUE(sim.isActive(n));
+        EXPECT_GT(sim.actualEnergyJ(), 0.0);
+        sim.step();
+        EXPECT_EQ(sim.value(q[0]), V4::One) << "flop consumer stale";
+    }
+}
+
+TEST(SimulatorKernel, SnapshotForkDivergesIndependently)
+{
+    // Fork a mid-program state, diverge the two continuations through
+    // different port inputs, and verify (a) the divergence is real,
+    // (b) replaying a continuation after the other ran reproduces it
+    // exactly, (c) a fresh run matches the forked continuation.
+    msp::System &sys = test::sharedSystem();
+    isa::Image img = isa::assemble(test::wrapProgram(R"(
+        mov #8, r6
+fk_loop:
+        mov &0x0020, r4     ; sample the port
+        add r4, r5
+        dec r6
+        jnz fk_loop
+        mov r5, &0x0500
+    )"));
+
+    auto drive = [&](uint16_t port) {
+        return [&sys, port](Simulator &s) {
+            sys.driveCycle(s, Word16::known(port));
+        };
+    };
+    auto freshTo = [&](unsigned cycles, uint16_t port) {
+        sys.memory().reset();
+        sys.loadImage(img);
+        sys.clearHalted();
+        auto sim = std::make_unique<Simulator>(sys.netlist());
+        sys.attach(*sim);
+        sys.reset(*sim);
+        for (unsigned i = 0; i < cycles; ++i)
+            sim->step(drive(port));
+        return sim;
+    };
+
+    constexpr unsigned kForkAt = 50, kTail = 80;
+    auto sim = freshTo(kForkAt, 0x00ff);
+    Simulator::Snapshot simSnap = sim->snapshot();
+    msp::System::Snapshot sysSnap = sys.snapshot();
+
+    auto runTail = [&](uint16_t port) {
+        std::vector<double> bound;
+        for (unsigned i = 0; i < kTail; ++i) {
+            sim->step(drive(port));
+            bound.push_back(sim->boundEnergyJ());
+        }
+        return bound;
+    };
+
+    std::vector<double> tailA = runTail(0x00ff);
+    uint64_t hashA = sim->hashSeqState();
+
+    sim->restore(simSnap);
+    sys.restore(sysSnap);
+    std::vector<double> tailB = runTail(0xff00);
+    uint64_t hashB = sim->hashSeqState();
+    EXPECT_NE(hashA, hashB) << "different ports must diverge";
+    EXPECT_NE(tailA, tailB);
+
+    // Replay A after B ran: bit-identical (B left no residue).
+    sim->restore(simSnap);
+    sys.restore(sysSnap);
+    std::vector<double> tailA2 = runTail(0x00ff);
+    EXPECT_EQ(tailA, tailA2);
+    EXPECT_EQ(sim->hashSeqState(), hashA);
+
+    // A fresh, snapshot-free run reaches the same states/energies.
+    auto fresh = freshTo(kForkAt, 0x00ff);
+    std::vector<double> freshTail;
+    for (unsigned i = 0; i < kTail; ++i) {
+        fresh->step(drive(0x00ff));
+        freshTail.push_back(fresh->boundEnergyJ());
+    }
+    EXPECT_EQ(tailA, freshTail);
+    EXPECT_EQ(fresh->hashSeqState(), hashA);
 }
 
 TEST(Simulator, HashDiffersForDifferentState)

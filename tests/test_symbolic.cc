@@ -214,6 +214,79 @@ fz:
     EXPECT_EQ(flat.size(), r.tree.totalCycles());
 }
 
+// The two simulation kernels and the parallel explorer must agree on
+// every number the engine reports; compare against the serial
+// full-sweep reference on a program with forks and dedup merges.
+void
+expectSameResult(const sym::SymbolicResult &a,
+                 const sym::SymbolicResult &b)
+{
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(a.peakPowerW, b.peakPowerW);
+    EXPECT_EQ(a.peakEnergyJ, b.peakEnergyJ);
+    EXPECT_EQ(a.npeJPerCycle, b.npeJPerCycle);
+    EXPECT_EQ(a.maxPathCycles, b.maxPathCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.pathsExplored, b.pathsExplored);
+    EXPECT_EQ(a.dedupMerges, b.dedupMerges);
+    EXPECT_EQ(a.tree.numNodes(), b.tree.numNodes());
+    // The flattened trace is invariant under tree-node renumbering.
+    EXPECT_EQ(a.tree.flatten(), b.tree.flatten());
+}
+
+const char *kBranchyBody = R"(
+        mov &0x0020, r4
+br_loop:
+        rra r4
+        tst r4
+        jnz br_back
+        jmp br_done
+br_back:
+        tst r5
+        jz br_loop
+        jmp br_loop
+br_done:
+        mov r4, &0x0500
+)";
+
+TEST(Symbolic, FullSweepKernelMatchesEventDriven)
+{
+    sym::SymbolicConfig ev;
+    ev.inputDependentLoopBound = 8;
+    sym::SymbolicConfig fs = ev;
+    fs.evalMode = EvalMode::FullSweep;
+    expectSameResult(runSym(kBranchyBody, ev),
+                     runSym(kBranchyBody, fs));
+}
+
+TEST(Symbolic, ParallelExplorationMatchesSerial)
+{
+    sym::SymbolicConfig serial;
+    serial.inputDependentLoopBound = 8;
+    sym::SymbolicConfig par = serial;
+    par.numThreads = 3;
+    auto a = runSym(kBranchyBody, serial);
+    auto b = runSym(kBranchyBody, par);
+    expectSameResult(a, b);
+    // And again: parallel exploration is reproducible run to run.
+    expectSameResult(b, runSym(kBranchyBody, par));
+}
+
+TEST(Symbolic, ParallelActiveSetsMatchSerial)
+{
+    sym::SymbolicConfig serial;
+    serial.inputDependentLoopBound = 8;
+    serial.recordActiveSets = true;
+    sym::SymbolicConfig par = serial;
+    par.numThreads = 2;
+    auto a = runSym(kBranchyBody, serial);
+    auto b = runSym(kBranchyBody, par);
+    expectSameResult(a, b);
+    EXPECT_EQ(a.everActive, b.everActive);
+    EXPECT_EQ(a.peakActive, b.peakActive);
+}
+
 TEST(Symbolic, CycleBudgetEnforced)
 {
     sym::SymbolicConfig cfg;

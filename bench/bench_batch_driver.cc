@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Microbenchmark of the batch driver (peak::analyzeBatch): whole-suite
+ * wall time over all 14 bench430 programs, serial vs program-level
+ * parallel vs warm-cache, asserting first that every configuration
+ * produces identical suite results (the determinism the driver
+ * promises). Prints one row per configuration and drops
+ * machine-readable results in bench_out/BENCH_batch_driver.json (the
+ * checked-in BENCH_batch_driver.json at the repository root is a
+ * copy). The warm-cache row is the acceptance number: a re-run of an
+ * unchanged suite must be >= 10x faster than the cold run.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "bench/bench_util.hh"
+#include "cli/driver.hh"
+#include "peak/batch.hh"
+
+int
+main()
+{
+    using namespace ulpeak;
+    bench_util::printHeader(
+        "batch driver: suite wall time, serial vs parallel vs cache");
+
+    std::vector<peak::BatchProgram> suite =
+        cli::resolvePrograms({"all"});
+
+    const std::string cacheDir = "bench_out/ulpeak-cache-bench";
+    std::filesystem::remove_all(cacheDir);
+
+    // At least 2 jobs so the worker pool is exercised even on a
+    // single-core machine (where it cannot win wall time, but must
+    // still produce identical results).
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned par = hw < 2 ? 2 : (hw < 8 ? hw : 8);
+
+    struct Config {
+        const char *name;
+        unsigned jobs;
+        bool cache;
+    };
+    const Config configs[] = {
+        {"serial-cold", 1, false},
+        {"parallel-cold", par, false},
+        {"parallel-fillcache", par, true},
+        {"parallel-warm", par, true},
+    };
+
+    std::string baselineJson;
+    double coldSec = 0.0, warmSec = 0.0, parallelSec = 0.0;
+    std::printf("%-20s %5s %6s %10s %9s\n", "config", "jobs", "cache",
+                "wall [s]", "speedup");
+    std::string json = "{\n  \"bench\": \"batch_driver\",\n"
+                       "  \"programs\": " +
+                       std::to_string(suite.size()) +
+                       ",\n  \"configs\": [\n";
+    bool first = true;
+    for (const Config &c : configs) {
+        peak::BatchOptions opts;
+        opts.jobs = c.jobs;
+        opts.cacheDir = c.cache ? cacheDir : "";
+        peak::BatchReport rep = peak::analyzeBatch(
+            CellLibrary::tsmc65Like(), suite, opts);
+        if (!rep.ok) {
+            std::fprintf(stderr, "FATAL: suite failed under %s\n",
+                         c.name);
+            return 1;
+        }
+        // Every configuration must report the same suite, bit for
+        // bit, before any timing is trusted.
+        std::string j = cli::toJson(rep, opts,
+                                    /*include_timings=*/false);
+        if (baselineJson.empty())
+            baselineJson = j;
+        else if (j != baselineJson) {
+            std::fprintf(stderr,
+                         "FATAL: %s changed the suite results\n",
+                         c.name);
+            return 1;
+        }
+
+        if (std::string(c.name) == "serial-cold")
+            coldSec = rep.wallSeconds;
+        if (std::string(c.name) == "parallel-cold")
+            parallelSec = rep.wallSeconds;
+        if (std::string(c.name) == "parallel-warm")
+            warmSec = rep.wallSeconds;
+        double speedup =
+            coldSec > 0 ? coldSec / rep.wallSeconds : 0.0;
+        std::printf("%-20s %5u %6s %10.3f %8.1fx\n", c.name, c.jobs,
+                    c.cache ? "yes" : "no", rep.wallSeconds, speedup);
+        if (!first)
+            json += ",\n";
+        first = false;
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "    {\"name\": \"%s\", \"jobs\": %u, "
+                      "\"cache\": %s, \"wall_seconds\": %.4f, "
+                      "\"speedup_vs_serial_cold\": %.1f}",
+                      c.name, c.jobs, c.cache ? "true" : "false",
+                      rep.wallSeconds, speedup);
+        json += row;
+    }
+    double warmSpeedup = warmSec > 0 ? coldSec / warmSec : 0.0;
+    double parSpeedup = parallelSec > 0 ? coldSec / parallelSec : 0.0;
+    json += ",\n    {\"name\": \"summary\", "
+            "\"warm_speedup_vs_cold\": " +
+            std::to_string(warmSpeedup) +
+            ", \"parallel_speedup_vs_serial\": " +
+            std::to_string(parSpeedup) + "}\n  ]\n}\n";
+
+    std::filesystem::remove_all(cacheDir);
+    std::ofstream out(bench_util::outDir() +
+                      "BENCH_batch_driver.json");
+    out << json;
+    std::printf("warm-cache speedup vs cold: %.0fx (acceptance: >= "
+                "10x)\n",
+                warmSpeedup);
+    std::printf("wrote %sBENCH_batch_driver.json\n",
+                bench_util::outDir().c_str());
+    return warmSpeedup >= 10.0 ? 0 : 1;
+}

@@ -8,7 +8,11 @@
  * works) and the processor netlist (built by msp::System); the output
  * is a peak power / peak energy requirement valid for *all* inputs.
  *
- *   $ ./examples/quickstart
+ * This file is the compiled version of README.md's "Library
+ * quickstart" section; keep the two in sync. For whole suites, see
+ * the `ulpeak` CLI (README.md) and peak/batch.hh.
+ *
+ *   $ ./build/quickstart
  */
 
 #include <cstdio>
@@ -73,6 +77,11 @@ end:    jmp end
     //    with per-cycle worst-case X assignment (Algorithm 2).
     peak::Options opts;
     opts.freqHz = 100e6;
+    // Kernel and thread count never change the numbers (bit-identical
+    // kernels, scheduling-independent exploration) -- these are the
+    // defaults, spelled out:
+    opts.evalMode = EvalMode::EventDriven;
+    opts.numThreads = 1;
     peak::Report r = peak::analyze(sys, app, opts);
     if (!r.ok) {
         std::printf("analysis failed: %s\n", r.error.c_str());

@@ -115,5 +115,17 @@ benchmarkByName(const std::string &name)
     throw std::out_of_range("unknown benchmark: " + name);
 }
 
+const std::vector<std::string> &
+allBenchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const Benchmark &b : allBenchmarks())
+            v.push_back(b.name);
+        return v;
+    }();
+    return names;
+}
+
 } // namespace bench430
 } // namespace ulpeak

@@ -1,0 +1,489 @@
+#include "cli/driver.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bench430/benchmarks.hh"
+
+namespace ulpeak {
+namespace cli {
+namespace {
+
+std::string
+fmtDouble(double d)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+csvQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+bool
+looksLikePath(const std::string &spec)
+{
+    if (spec.find('/') != std::string::npos)
+        return true;
+    auto ends = [&](const char *suf) {
+        size_t n = std::strlen(suf);
+        return spec.size() > n &&
+               spec.compare(spec.size() - n, n, suf) == 0;
+    };
+    return ends(".s") || ends(".asm");
+}
+
+std::string
+pathStem(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = base.find_last_of('.');
+    return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+bool
+parseUnsigned(const std::string &s, uint64_t &out)
+{
+    // Digits only: strtoull would silently wrap "-1" to a huge value.
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+std::string
+usage()
+{
+    return
+        "ulpeak -- guaranteed peak power/energy requirements of "
+        "application suites\n"
+        "\n"
+        "usage: ulpeak [--programs SPEC[,SPEC...]] [SPEC...] [options]\n"
+        "\n"
+        "program specs (mixable):\n"
+        "  all               every bench430 program (14 benchmarks)\n"
+        "  NAME              a bench430 program by name (mult, FFT, ...)\n"
+        "  PATH.s|PATH.asm   an MSP430 assembly file from disk\n"
+        "\n"
+        "options:\n"
+        "  --jobs N          program-level workers         (default 1)\n"
+        "  --threads N       symbolic workers per analysis (default 1)\n"
+        "  --freq HZ         operating frequency [Hz]  (default 1e8)\n"
+        "  --eval-mode M     simulation kernel: event|full "
+        "(default event)\n"
+        "  --loop-bound N    input-dependent loop bound    (default 0)\n"
+        "  --max-cycles N    total symbolic cycle budget "
+        "(default 3000000)\n"
+        "  --json FILE       write the suite report as JSON\n"
+        "  --csv FILE        write per-program rows as CSV\n"
+        "  --cache-dir DIR   result cache (default .ulpeak-cache)\n"
+        "  --no-cache        disable the result cache\n"
+        "  --fail-fast       stop claiming programs after a failure\n"
+        "  --quiet           suppress the stdout table\n"
+        "  --help            this text\n";
+}
+
+bool
+parseArgs(int argc, const char *const *argv, CliOptions &out,
+          std::string &err)
+{
+    auto splitSpecs = [&](const std::string &arg) {
+        std::stringstream ss(arg);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            if (!item.empty())
+                out.programSpecs.push_back(item);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                err = std::string(flag) + " requires a value";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            out.help = true;
+        } else if (a == "--programs") {
+            const char *v = value("--programs");
+            if (!v)
+                return false;
+            splitSpecs(v);
+        } else if (a == "--jobs" || a == "--threads" ||
+                   a == "--loop-bound" || a == "--max-cycles") {
+            const char *v = value(a.c_str());
+            if (!v)
+                return false;
+            uint64_t n = 0;
+            if (!parseUnsigned(v, n)) {
+                err = a + ": not a number: " + v;
+                return false;
+            }
+            if (a == "--jobs")
+                out.jobs = unsigned(n);
+            else if (a == "--threads")
+                out.threads = unsigned(n);
+            else if (a == "--loop-bound")
+                out.loopBound = unsigned(n);
+            else
+                out.maxTotalCycles = n;
+        } else if (a == "--freq") {
+            const char *v = value("--freq");
+            if (!v)
+                return false;
+            char *end = nullptr;
+            out.freqHz = std::strtod(v, &end);
+            if (!end || *end != '\0' || out.freqHz <= 0) {
+                err = std::string("--freq: bad frequency: ") + v;
+                return false;
+            }
+        } else if (a == "--eval-mode") {
+            const char *v = value("--eval-mode");
+            if (!v)
+                return false;
+            if (std::string(v) == "event")
+                out.evalMode = EvalMode::EventDriven;
+            else if (std::string(v) == "full")
+                out.evalMode = EvalMode::FullSweep;
+            else {
+                err = std::string("--eval-mode: expected event|full, "
+                                  "got ") +
+                      v;
+                return false;
+            }
+        } else if (a == "--json") {
+            const char *v = value("--json");
+            if (!v)
+                return false;
+            out.jsonPath = v;
+        } else if (a == "--csv") {
+            const char *v = value("--csv");
+            if (!v)
+                return false;
+            out.csvPath = v;
+        } else if (a == "--cache-dir") {
+            const char *v = value("--cache-dir");
+            if (!v)
+                return false;
+            out.cacheDir = v;
+        } else if (a == "--no-cache") {
+            out.noCache = true;
+        } else if (a == "--fail-fast") {
+            out.failFast = true;
+        } else if (a == "--quiet") {
+            out.quiet = true;
+        } else if (!a.empty() && a[0] == '-') {
+            err = "unknown option: " + a;
+            return false;
+        } else {
+            splitSpecs(a);
+        }
+    }
+    if (!out.help && out.programSpecs.empty()) {
+        err = "no programs given (try --programs all)";
+        return false;
+    }
+    return true;
+}
+
+std::vector<peak::BatchProgram>
+resolvePrograms(const std::vector<std::string> &specs)
+{
+    std::vector<peak::BatchProgram> out;
+    for (const std::string &spec : specs) {
+        if (spec == "all") {
+            for (const auto &b : bench430::allBenchmarks())
+                out.push_back({b.name, b.assembleImage()});
+        } else if (looksLikePath(spec)) {
+            std::ifstream in(spec);
+            if (!in)
+                throw std::runtime_error("cannot read assembly file: " +
+                                         spec);
+            std::stringstream ss;
+            ss << in.rdbuf();
+            try {
+                out.push_back({pathStem(spec),
+                               isa::assemble(ss.str())});
+            } catch (const std::exception &e) {
+                throw std::runtime_error(spec + ": " + e.what());
+            }
+        } else {
+            try {
+                const bench430::Benchmark &b =
+                    bench430::benchmarkByName(spec);
+                out.push_back({b.name, b.assembleImage()});
+            } catch (const std::out_of_range &) {
+                std::string names;
+                for (const std::string &n :
+                     bench430::allBenchmarkNames())
+                    names += (names.empty() ? "" : ", ") + n;
+                throw std::runtime_error(
+                    "unknown program '" + spec +
+                    "' (known: all, " + names +
+                    ", or a .s/.asm path)");
+            }
+        }
+    }
+    return out;
+}
+
+peak::BatchOptions
+toBatchOptions(const CliOptions &cli)
+{
+    peak::BatchOptions b;
+    b.analysis.freqHz = cli.freqHz;
+    b.analysis.evalMode = cli.evalMode;
+    b.analysis.numThreads = cli.threads;
+    b.analysis.inputDependentLoopBound = cli.loopBound;
+    b.analysis.maxTotalCycles = cli.maxTotalCycles;
+    b.jobs = cli.jobs;
+    b.cacheDir = cli.noCache ? "" : cli.cacheDir;
+    b.failFast = cli.failFast;
+    return b;
+}
+
+std::string
+toJson(const peak::BatchReport &rep, const peak::BatchOptions &opts,
+       bool include_timings)
+{
+    std::ostringstream o;
+    o << "{\n";
+    o << "  \"tool\": \"ulpeak\",\n  \"format_version\": 1,\n";
+    o << "  \"options\": {\n"
+      << "    \"freq_hz\": " << fmtDouble(opts.analysis.freqHz)
+      << ",\n"
+      << "    \"eval_mode\": \""
+      << (opts.analysis.evalMode == EvalMode::EventDriven ? "event"
+                                                          : "full")
+      << "\",\n"
+      << "    \"loop_bound\": " << opts.analysis.inputDependentLoopBound
+      << ",\n"
+      << "    \"max_total_cycles\": " << opts.analysis.maxTotalCycles
+      << "\n  },\n";
+    if (include_timings) {
+        o << "  \"run\": {\n"
+          << "    \"jobs\": " << opts.jobs << ",\n"
+          << "    \"threads\": " << opts.analysis.numThreads << ",\n"
+          << "    \"cache\": "
+          << (opts.cacheDir.empty() ? "false" : "true") << ",\n"
+          << "    \"cache_hits\": " << rep.cacheHits << ",\n"
+          << "    \"cache_misses\": " << rep.cacheMisses << ",\n"
+          << "    \"wall_seconds\": " << fmtDouble(rep.wallSeconds)
+          << "\n  },\n";
+    }
+    o << "  \"programs\": [\n";
+    for (size_t i = 0; i < rep.programs.size(); ++i) {
+        const peak::ProgramResult &r = rep.programs[i];
+        o << "    {\"name\": \"" << jsonEscape(r.name) << "\", "
+          << "\"ok\": " << (r.ok ? "true" : "false");
+        if (!r.ok)
+            o << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        o << ", \"peak_power_w\": " << fmtDouble(r.peakPowerW)
+          << ", \"peak_energy_j\": " << fmtDouble(r.peakEnergyJ)
+          << ", \"npe_j_per_cycle\": " << fmtDouble(r.npeJPerCycle)
+          << ", \"max_path_cycles\": " << r.maxPathCycles
+          << ", \"total_cycles\": " << r.totalCycles
+          << ", \"paths_explored\": " << r.pathsExplored
+          << ", \"dedup_merges\": " << r.dedupMerges;
+        if (include_timings)
+            o << ", \"cached\": " << (r.cached ? "true" : "false")
+              << ", \"wall_seconds\": " << fmtDouble(r.wallSeconds);
+        o << "}" << (i + 1 < rep.programs.size() ? "," : "") << "\n";
+    }
+    o << "  ],\n";
+    o << "  \"suite\": {\n"
+      << "    \"programs\": " << rep.programs.size() << ",\n"
+      << "    \"ok\": " << (rep.ok ? "true" : "false") << ",\n"
+      << "    \"max_peak_power_w\": " << fmtDouble(rep.maxPeakPowerW)
+      << ",\n"
+      << "    \"max_peak_power_program\": \""
+      << jsonEscape(rep.maxPeakPowerProgram) << "\",\n"
+      << "    \"max_peak_energy_j\": " << fmtDouble(rep.maxPeakEnergyJ)
+      << ",\n"
+      << "    \"max_peak_energy_program\": \""
+      << jsonEscape(rep.maxPeakEnergyProgram) << "\",\n"
+      << "    \"max_npe_j_per_cycle\": "
+      << fmtDouble(rep.maxNpeJPerCycle) << ",\n"
+      << "    \"max_npe_program\": \"" << jsonEscape(rep.maxNpeProgram)
+      << "\"\n  },\n";
+    o << "  \"sizing\": {\n"
+      << "    \"peak_power_w\": " << fmtDouble(rep.supply.peakPowerW)
+      << ",\n"
+      << "    \"peak_energy_j\": " << fmtDouble(rep.supply.peakEnergyJ)
+      << ",\n    \"harvesters\": [\n";
+    for (size_t i = 0; i < rep.supply.harvesters.size(); ++i) {
+        const auto &h = rep.supply.harvesters[i];
+        o << "      {\"name\": \"" << jsonEscape(h.name)
+          << "\", \"area_cm2\": " << fmtDouble(h.areaCm2) << "}"
+          << (i + 1 < rep.supply.harvesters.size() ? "," : "") << "\n";
+    }
+    o << "    ],\n    \"batteries\": [\n";
+    for (size_t i = 0; i < rep.supply.batteries.size(); ++i) {
+        const auto &b = rep.supply.batteries[i];
+        o << "      {\"name\": \"" << jsonEscape(b.name)
+          << "\", \"volume_l\": " << fmtDouble(b.volumeL)
+          << ", \"mass_g\": " << fmtDouble(b.massG) << "}"
+          << (i + 1 < rep.supply.batteries.size() ? "," : "") << "\n";
+    }
+    o << "    ]\n  }\n}\n";
+    return o.str();
+}
+
+std::string
+toCsv(const peak::BatchReport &rep)
+{
+    std::ostringstream o;
+    o << "name,ok,cached,peak_power_w,peak_energy_j,npe_j_per_cycle,"
+         "max_path_cycles,total_cycles,paths_explored,dedup_merges,"
+         "wall_seconds,error\n";
+    for (const peak::ProgramResult &r : rep.programs) {
+        o << csvQuote(r.name) << ',' << (r.ok ? 1 : 0) << ','
+          << (r.cached ? 1 : 0) << ',' << fmtDouble(r.peakPowerW)
+          << ',' << fmtDouble(r.peakEnergyJ) << ','
+          << fmtDouble(r.npeJPerCycle) << ',' << r.maxPathCycles << ','
+          << r.totalCycles << ',' << r.pathsExplored << ','
+          << r.dedupMerges << ',' << fmtDouble(r.wallSeconds) << ','
+          << csvQuote(r.error) << "\n";
+    }
+    return o.str();
+}
+
+int
+runCli(int argc, const char *const *argv)
+{
+    CliOptions cli;
+    std::string err;
+    if (!parseArgs(argc, argv, cli, err)) {
+        std::fprintf(stderr, "ulpeak: %s\n\n%s", err.c_str(),
+                     usage().c_str());
+        return 2;
+    }
+    if (cli.help) {
+        std::fputs(usage().c_str(), stdout);
+        return 0;
+    }
+
+    std::vector<peak::BatchProgram> suite;
+    try {
+        suite = resolvePrograms(cli.programSpecs);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ulpeak: %s\n", e.what());
+        return 2;
+    }
+
+    peak::BatchOptions opts = toBatchOptions(cli);
+    peak::BatchReport rep =
+        peak::analyzeBatch(CellLibrary::tsmc65Like(), suite, opts);
+
+    if (!cli.quiet) {
+        std::printf("%-12s %3s %6s %12s %14s %13s %7s %9s %8s\n",
+                    "program", "ok", "cached", "peak [mW]",
+                    "NPE [pJ/cyc]", "energy [nJ]", "paths", "cycles",
+                    "wall [s]");
+        for (const peak::ProgramResult &r : rep.programs) {
+            if (r.ok)
+                std::printf(
+                    "%-12s %3s %6s %12.3f %14.2f %13.3f %7u %9" PRIu64
+                    " %8.2f\n",
+                    r.name.c_str(), "yes", r.cached ? "yes" : "no",
+                    r.peakPowerW * 1e3, r.npeJPerCycle * 1e12,
+                    r.peakEnergyJ * 1e9, r.pathsExplored,
+                    r.totalCycles, r.wallSeconds);
+            else
+                std::printf("%-12s %3s  FAILED: %s\n", r.name.c_str(),
+                            "no", r.error.c_str());
+        }
+        std::printf("\nsuite: %zu programs, %s (%.2f s, %u cache "
+                    "hits / %u misses)\n",
+                    rep.programs.size(),
+                    rep.ok ? "all ok" : "FAILURES", rep.wallSeconds,
+                    rep.cacheHits, rep.cacheMisses);
+        if (!rep.maxPeakPowerProgram.empty()) {
+            std::printf("suite peak power : %.3f mW (%s) -- the "
+                        "supply-sizing number\n",
+                        rep.maxPeakPowerW * 1e3,
+                        rep.maxPeakPowerProgram.c_str());
+            std::printf("suite peak energy: %.3f nJ (%s)\n",
+                        rep.maxPeakEnergyJ * 1e9,
+                        rep.maxPeakEnergyProgram.c_str());
+            std::printf("suite max NPE    : %.2f pJ/cycle (%s)\n",
+                        rep.maxNpeJPerCycle * 1e12,
+                        rep.maxNpeProgram.c_str());
+            for (const auto &h : rep.supply.harvesters)
+                std::printf("  harvester %-22s %12.4f cm^2\n",
+                            h.name.c_str(), h.areaCm2);
+        }
+    }
+
+    if (!cli.jsonPath.empty()) {
+        std::ofstream out(cli.jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "ulpeak: cannot write %s\n",
+                         cli.jsonPath.c_str());
+            return 1;
+        }
+        out << toJson(rep, opts, /*include_timings=*/true);
+    }
+    if (!cli.csvPath.empty()) {
+        std::ofstream out(cli.csvPath);
+        if (!out) {
+            std::fprintf(stderr, "ulpeak: cannot write %s\n",
+                         cli.csvPath.c_str());
+            return 1;
+        }
+        out << toCsv(rep);
+    }
+    return rep.ok ? 0 : 1;
+}
+
+} // namespace cli
+} // namespace ulpeak

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The `ulpeak` command-line driver: batch peak-power/energy analysis
+ * of application suites from the shell, built on peak::analyzeBatch.
+ *
+ * Programs are resolved from three spellings, freely mixed:
+ *  - `all` -- every program of the bench430 registry
+ *    (bench430::allBenchmarkNames());
+ *  - a registry name (`mult`, `FFT`, ...), comma-separated lists
+ *    allowed;
+ *  - a path to an MSP430 assembly file (anything containing a '/' or
+ *    ending in .s/.asm), assembled with isa::assemble.
+ *
+ * Output: a human-readable table on stdout plus machine-readable
+ * JSON (--json) and CSV (--csv) suite reports. The JSON carries
+ * per-program requirements, suite aggregates (the supply-sizing
+ * maxima) and the sizing::sizeSuiteSupply component table. Timing and
+ * cache-provenance fields are isolated so that reports from runs with
+ * different worker counts or cache states are comparable: serializing
+ * with @p include_timings = false must produce byte-identical JSON
+ * for any (jobs, numThreads, cache) combination
+ * (tests/test_batch.cc pins this).
+ *
+ * Usage summary: see usage(), or run `ulpeak --help`.
+ */
+
+#ifndef ULPEAK_CLI_DRIVER_HH
+#define ULPEAK_CLI_DRIVER_HH
+
+#include <string>
+#include <vector>
+
+#include "peak/batch.hh"
+
+namespace ulpeak {
+namespace cli {
+
+/** Parsed command line of the `ulpeak` tool. */
+struct CliOptions {
+    std::vector<std::string> programSpecs; ///< names / "all" / paths
+    unsigned jobs = 1;          ///< program-level workers (--jobs)
+    unsigned threads = 1;       ///< per-analysis workers (--threads)
+    double freqHz = 100e6;      ///< operating frequency (--freq)
+    EvalMode evalMode = EvalMode::EventDriven; ///< --eval-mode
+    unsigned loopBound = 0;     ///< --loop-bound
+    uint64_t maxTotalCycles = 3000000; ///< --max-cycles
+    std::string jsonPath;       ///< --json FILE ("" = no JSON output)
+    std::string csvPath;        ///< --csv FILE ("" = no CSV output)
+    std::string cacheDir = ".ulpeak-cache"; ///< --cache-dir
+    bool noCache = false;       ///< --no-cache
+    bool failFast = false;      ///< --fail-fast
+    bool quiet = false;         ///< --quiet: suppress the table
+    bool help = false;          ///< --help
+};
+
+/** The --help text. */
+std::string usage();
+
+/** Parse @p argv into @p out; on bad usage returns false and sets
+ *  @p err (no exit/abort so tests can drive it). */
+bool parseArgs(int argc, const char *const *argv, CliOptions &out,
+               std::string &err);
+
+/** Resolve program specs into assembled suite entries; throws
+ *  std::runtime_error on unknown names, unreadable files or assembly
+ *  errors (message names the offending spec). */
+std::vector<peak::BatchProgram>
+resolvePrograms(const std::vector<std::string> &specs);
+
+/** Map a parsed command line onto batch-analysis options. */
+peak::BatchOptions toBatchOptions(const CliOptions &cli);
+
+/** Serialize a suite report as JSON. With @p include_timings = false
+ *  all wall-time and cache-provenance fields are omitted, making the
+ *  output deterministic across worker counts and cache states. */
+std::string toJson(const peak::BatchReport &rep,
+                   const peak::BatchOptions &opts,
+                   bool include_timings = true);
+
+/** One-row-per-program CSV (header included). */
+std::string toCsv(const peak::BatchReport &rep);
+
+/** The complete driver behind tools/ulpeak_main.cc: parse, resolve,
+ *  analyze, emit. Returns the process exit code (0 = whole suite
+ *  analyzed successfully, 1 = any failure, 2 = usage error). */
+int runCli(int argc, const char *const *argv);
+
+} // namespace cli
+} // namespace ulpeak
+
+#endif // ULPEAK_CLI_DRIVER_HH

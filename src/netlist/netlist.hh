@@ -164,7 +164,17 @@ class Netlist {
     const std::vector<EvalItem> &evalOrder() const { return order_; }
     const std::vector<GateId> &seqGates() const { return seqGates_; }
     const std::vector<BehavioralHook> &hooks() const { return hooks_; }
-    /** Flat SoA kernel view; valid after finalize(). */
+    /**
+     * The flat structure-of-arrays kernel view (see FlatNetlist for
+     * the layout). Built exactly once by finalize() and immutable
+     * afterwards: the returned reference stays valid and unchanged
+     * for the lifetime of the Netlist, so any number of Simulators
+     * (including the parallel symbolic workers and the batch
+     * driver's per-worker systems) may iterate it concurrently
+     * without synchronization. Calling this before finalize()
+     * returns the empty view (numGates == 0); construction-phase
+     * code should use gate()/evalOrder() instead.
+     */
     const FlatNetlist &flat() const { return flat_; }
 
     uint32_t fanoutCount(GateId g) const { return fanoutCount_[g]; }

@@ -1,0 +1,355 @@
+#include "peak/batch.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "msp/cpu.hh"
+
+namespace ulpeak {
+namespace peak {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// @name FNV-1a hashing over heterogeneous fields
+/// @{
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void
+hashBytes(uint64_t &h, const void *data, size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void
+hashU64(uint64_t &h, uint64_t v)
+{
+    hashBytes(h, &v, sizeof v);
+}
+
+void
+hashDouble(uint64_t &h, double d)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    hashU64(h, bits);
+}
+
+void
+hashString(uint64_t &h, const std::string &s)
+{
+    hashU64(h, s.size());
+    hashBytes(h, s.data(), s.size());
+}
+/// @}
+
+/// @name Disk cache: one small text file per key
+/// @{
+constexpr const char *kCacheMagic = "ulpeak-cache-v1";
+
+std::string
+doubleBits(double d)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, bits);
+    return buf;
+}
+
+double
+bitsDouble(const std::string &s, bool &ok)
+{
+    uint64_t bits = 0;
+    if (std::sscanf(s.c_str(), "%" SCNx64, &bits) != 1) {
+        ok = false;
+        return 0.0;
+    }
+    double d;
+    std::memcpy(&d, &bits, sizeof d);
+    return d;
+}
+
+fs::path
+cachePath(const std::string &dir, uint64_t key)
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "%016" PRIx64 ".txt", key);
+    return fs::path(dir) / name;
+}
+
+/** Load a cached result into @p r; false on miss or a malformed /
+ *  truncated entry (treated as a miss and overwritten). */
+bool
+loadCached(const fs::path &path, ProgramResult &r)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string magic;
+    if (!std::getline(in, magic) || magic != kCacheMagic)
+        return false;
+    bool ok = true;
+    auto parseU64 = [&ok](const std::string &s) -> uint64_t {
+        char *end = nullptr;
+        uint64_t v = std::strtoull(s.c_str(), &end, 10);
+        if (s.empty() || !end || *end != '\0')
+            ok = false;
+        return v;
+    };
+    unsigned seen = 0; // bitmask: each field must appear exactly once
+    auto mark = [&](unsigned bit) {
+        if (seen & (1u << bit))
+            ok = false;
+        seen |= 1u << bit;
+    };
+    std::string k, v;
+    while (in >> k >> v) {
+        if (k == "peak_power_w_bits") {
+            r.peakPowerW = bitsDouble(v, ok);
+            mark(0);
+        } else if (k == "peak_energy_j_bits") {
+            r.peakEnergyJ = bitsDouble(v, ok);
+            mark(1);
+        } else if (k == "npe_j_per_cycle_bits") {
+            r.npeJPerCycle = bitsDouble(v, ok);
+            mark(2);
+        } else if (k == "max_path_cycles") {
+            r.maxPathCycles = parseU64(v);
+            mark(3);
+        } else if (k == "total_cycles") {
+            r.totalCycles = parseU64(v);
+            mark(4);
+        } else if (k == "paths_explored") {
+            r.pathsExplored = uint32_t(parseU64(v));
+            mark(5);
+        } else if (k == "dedup_merges") {
+            r.dedupMerges = uint32_t(parseU64(v));
+            mark(6);
+        }
+        // Unknown keys are ignored (forward compatibility).
+    }
+    if (!ok || seen != 0x7f)
+        return false;
+    r.ok = true;
+    return true;
+}
+
+/** Atomically persist a successful result (tmp + rename). */
+void
+storeCached(const fs::path &path, const ProgramResult &r)
+{
+    std::ostringstream tmpname;
+    tmpname << path.filename().string() << ".tmp."
+            << std::hash<std::thread::id>{}(
+                   std::this_thread::get_id());
+    fs::path tmp = path.parent_path() / tmpname.str();
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return; // cache is best-effort; analysis result stands
+        out << kCacheMagic << "\n"
+            << "peak_power_w_bits " << doubleBits(r.peakPowerW) << "\n"
+            << "peak_energy_j_bits " << doubleBits(r.peakEnergyJ)
+            << "\n"
+            << "npe_j_per_cycle_bits " << doubleBits(r.npeJPerCycle)
+            << "\n"
+            << "max_path_cycles " << r.maxPathCycles << "\n"
+            << "total_cycles " << r.totalCycles << "\n"
+            << "paths_explored " << r.pathsExplored << "\n"
+            << "dedup_merges " << r.dedupMerges << "\n";
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+/// @}
+
+void
+copyScalars(ProgramResult &r, const Report &full)
+{
+    r.ok = full.ok;
+    r.error = full.error;
+    r.peakPowerW = full.peakPowerW;
+    r.peakEnergyJ = full.peakEnergyJ;
+    r.npeJPerCycle = full.npeJPerCycle;
+    r.maxPathCycles = full.maxPathCycles;
+    r.totalCycles = full.totalCycles;
+    r.pathsExplored = full.pathsExplored;
+    r.dedupMerges = full.dedupMerges;
+}
+
+} // namespace
+
+uint64_t
+cacheKey(const CellLibrary &lib, const isa::Image &image,
+         const Options &opts)
+{
+    uint64_t h = kFnvOffset;
+    hashString(h, kCacheMagic);
+    // The library participates by *content*, not just name: editing a
+    // calibration constant must invalidate every cached entry.
+    hashString(h, lib.name());
+    hashDouble(h, lib.vdd());
+    hashDouble(h, lib.wireCapPerFanoutF());
+    for (size_t k = 0; k < kNumCellKinds; ++k) {
+        const CellParams &p = lib.params(CellKind(k));
+        hashDouble(h, p.inputCapF);
+        hashDouble(h, p.riseEnergyJ);
+        hashDouble(h, p.fallEnergyJ);
+        hashDouble(h, p.leakageW);
+        hashDouble(h, p.areaUm2);
+        hashDouble(h, p.clkPinEnergyJ);
+    }
+    // Result-affecting options only; numThreads and evalMode are
+    // excluded on purpose (scheduling-independent exploration,
+    // bit-identical kernels), as are the record* trace flags (the
+    // cache stores scalars only).
+    hashDouble(h, opts.freqHz);
+    hashU64(h, opts.maxTotalCycles);
+    hashU64(h, opts.inputDependentLoopBound);
+    // Image contents: flattened (address, word) pairs.
+    auto words = image.flatten();
+    hashU64(h, words.size());
+    for (const auto &[addr, word] : words) {
+        hashU64(h, addr);
+        hashU64(h, word);
+    }
+    return h;
+}
+
+BatchReport
+analyzeBatch(const CellLibrary &lib,
+             const std::vector<BatchProgram> &programs,
+             const BatchOptions &opts)
+{
+    Clock::time_point suite0 = Clock::now();
+
+    BatchReport rep;
+    rep.programs.resize(programs.size());
+    for (size_t i = 0; i < programs.size(); ++i)
+        rep.programs[i].name = programs[i].name;
+
+    const bool useCache = !opts.cacheDir.empty();
+    if (useCache)
+        fs::create_directories(opts.cacheDir);
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::atomic<unsigned> hits{0}, misses{0};
+
+    auto workerFn = [&]() {
+        // Each worker elaborates at most one private System, lazily:
+        // a fully-warm suite never pays for netlist construction.
+        std::unique_ptr<msp::System> sys;
+        for (;;) {
+            if (opts.failFast && abort.load())
+                break;
+            size_t i = next.fetch_add(1);
+            if (i >= programs.size())
+                break;
+            ProgramResult &r = rep.programs[i];
+            Clock::time_point t0 = Clock::now();
+
+            fs::path entry;
+            if (useCache) {
+                entry = cachePath(
+                    opts.cacheDir,
+                    cacheKey(lib, programs[i].image, opts.analysis));
+                if (loadCached(entry, r)) {
+                    r.cached = true;
+                    ++hits;
+                    r.wallSeconds = secondsSince(t0);
+                    continue;
+                }
+                ++misses;
+            }
+
+            try {
+                if (!sys)
+                    sys = std::make_unique<msp::System>(lib);
+                Report full =
+                    analyze(*sys, programs[i].image, opts.analysis);
+                copyScalars(r, full);
+            } catch (const std::exception &e) {
+                r.ok = false;
+                r.error = e.what();
+            }
+            if (r.ok && useCache)
+                storeCached(entry, r);
+            if (!r.ok && opts.failFast)
+                abort.store(true);
+            r.wallSeconds = secondsSince(t0);
+        }
+    };
+
+    unsigned jobs = opts.jobs < 1 ? 1 : opts.jobs;
+    if (jobs > programs.size())
+        jobs = unsigned(programs.size() ? programs.size() : 1);
+    if (jobs <= 1) {
+        workerFn();
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t + 1 < jobs; ++t)
+            pool.emplace_back(workerFn);
+        workerFn();
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    rep.cacheHits = hits.load();
+    rep.cacheMisses = misses.load();
+
+    rep.ok = !programs.empty();
+    bool anyOk = false;
+    for (ProgramResult &r : rep.programs) {
+        if (!r.ok) {
+            rep.ok = false;
+            if (r.error.empty())
+                r.error = "skipped (fail-fast after earlier failure)";
+            continue;
+        }
+        anyOk = true;
+        if (r.peakPowerW > rep.maxPeakPowerW) {
+            rep.maxPeakPowerW = r.peakPowerW;
+            rep.maxPeakPowerProgram = r.name;
+        }
+        if (r.peakEnergyJ > rep.maxPeakEnergyJ) {
+            rep.maxPeakEnergyJ = r.peakEnergyJ;
+            rep.maxPeakEnergyProgram = r.name;
+        }
+        if (r.npeJPerCycle > rep.maxNpeJPerCycle) {
+            rep.maxNpeJPerCycle = r.npeJPerCycle;
+            rep.maxNpeProgram = r.name;
+        }
+    }
+    if (anyOk)
+        rep.supply = sizing::sizeSuiteSupply(rep.maxPeakPowerW,
+                                             rep.maxPeakEnergyJ);
+    rep.wallSeconds = secondsSince(suite0);
+    return rep;
+}
+
+} // namespace peak
+} // namespace ulpeak

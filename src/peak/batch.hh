@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Batch multi-program peak analysis: the suite-level counterpart of
+ * peak::analyze. A deployment flow rarely asks "what does *this*
+ * application require?" in isolation -- it sizes one supply for a
+ * whole suite of applications, so the interesting number is the
+ * maximum guaranteed peak power / peak energy across the suite.
+ * analyzeBatch() runs peak::analyze over every program of a suite,
+ * sharded across a program-level worker pool, and aggregates the
+ * per-program requirements into that supply-sizing number (routed
+ * through sizing::sizeSuiteSupply).
+ *
+ * Two levels of parallelism compose: BatchOptions::jobs shards whole
+ * programs across workers (each worker owns a private msp::System
+ * elaborated from the same CellLibrary), while
+ * Options::numThreads parallelizes the execution-tree exploration
+ * *inside* one analysis. Both are scheduling-independent, so every
+ * (jobs, numThreads) combination produces bit-identical per-program
+ * numbers -- tests/test_batch.cc locksteps jobs=1 against jobs=N.
+ *
+ * Results are cached on disk (BatchOptions::cacheDir) keyed by the
+ * FNV-1a hash of (cache format version, cell library contents, image
+ * contents, result-affecting analysis options). Options that provably
+ * cannot change the numbers -- numThreads (scheduling-independent
+ * exploration), evalMode (bit-identical kernels), and the record*
+ * trace flags (the cache stores scalars only) -- are excluded from
+ * the key, so re-runs under a different thread count or kernel still
+ * hit. Cached doubles round-trip through hexfloat, so a warm run
+ * reproduces the cold run bit for bit.
+ *
+ * Quickstart:
+ * @code
+ *   std::vector<peak::BatchProgram> suite;
+ *   for (const auto &b : bench430::allBenchmarks())
+ *       suite.push_back({b.name, b.assembleImage()});
+ *   peak::BatchOptions opts;
+ *   opts.jobs = 4;
+ *   opts.cacheDir = ".ulpeak-cache";
+ *   peak::BatchReport rep =
+ *       peak::analyzeBatch(CellLibrary::tsmc65Like(), suite, opts);
+ *   // rep.maxPeakPowerW is the suite's supply-sizing number;
+ *   // rep.supply has per-harvester/battery component sizes.
+ * @endcode
+ */
+
+#ifndef ULPEAK_PEAK_BATCH_HH
+#define ULPEAK_PEAK_BATCH_HH
+
+#include <string>
+#include <vector>
+
+#include "peak/peak_analysis.hh"
+#include "sizing/sizing.hh"
+
+namespace ulpeak {
+namespace peak {
+
+/** One suite entry: a named, already-assembled application image. */
+struct BatchProgram {
+    std::string name;
+    isa::Image image;
+};
+
+struct BatchOptions {
+    /** Per-program analysis options (shared by the whole suite). */
+    Options analysis;
+    /** Program-level workers (<= 1: serial on the calling thread).
+     *  Orthogonal to analysis.numThreads; see the file comment. */
+    unsigned jobs = 1;
+    /** Disk cache directory; "" disables caching. Created on demand;
+     *  entries are one small text file per (image, options, library)
+     *  key, written atomically (tmp + rename), so concurrent batch
+     *  runs may safely share a directory. */
+    std::string cacheDir;
+    /** Stop claiming further programs after the first failure.
+     *  Unclaimed programs are reported as skipped (ok = false). The
+     *  default analyzes every program and reports all failures. */
+    bool failFast = false;
+};
+
+/** Scalar per-program results (peak::Report minus the bulky trace and
+ *  tree members, which would defeat the point of a cached suite). */
+struct ProgramResult {
+    std::string name;
+    bool ok = false;
+    bool cached = false; ///< served from the disk cache
+    std::string error;   ///< analysis error, or the skip reason
+
+    double peakPowerW = 0.0;
+    double peakEnergyJ = 0.0;
+    double npeJPerCycle = 0.0;
+    uint64_t maxPathCycles = 0;
+
+    uint64_t totalCycles = 0;
+    uint32_t pathsExplored = 0;
+    uint32_t dedupMerges = 0;
+
+    double wallSeconds = 0.0; ///< this run's wall time (cache hits
+                              ///< included; near zero when warm)
+};
+
+/** Suite-level report: per-program results in input order plus the
+ *  aggregates a deployment flow consumes. */
+struct BatchReport {
+    bool ok = false; ///< every program analyzed successfully
+    std::vector<ProgramResult> programs;
+
+    /// @name Suite aggregates (over successful programs)
+    /// @{
+    double maxPeakPowerW = 0.0; ///< the paper's supply-sizing number
+    std::string maxPeakPowerProgram;
+    double maxPeakEnergyJ = 0.0;
+    std::string maxPeakEnergyProgram;
+    double maxNpeJPerCycle = 0.0;
+    std::string maxNpeProgram;
+    /// @}
+
+    /** Harvester/battery sizes covering the suite maxima
+     *  (sizing::sizeSuiteSupply; empty when no program succeeded). */
+    sizing::SuiteSupply supply;
+
+    unsigned cacheHits = 0;
+    unsigned cacheMisses = 0;
+    double wallSeconds = 0.0; ///< whole-suite wall time
+};
+
+/**
+ * Cache key for one (library, image, options) combination -- exposed
+ * so tests can pin the exclusion rules (numThreads/evalMode/record*
+ * do not participate; see the file comment).
+ */
+uint64_t cacheKey(const CellLibrary &lib, const isa::Image &image,
+                  const Options &opts);
+
+/**
+ * Analyze every program of @p programs against a system elaborated
+ * from @p lib. Per-program failures (including thrown exceptions) are
+ * captured in the corresponding ProgramResult; the call itself only
+ * throws on environmental errors (e.g. an unwritable cache dir).
+ */
+BatchReport analyzeBatch(const CellLibrary &lib,
+                         const std::vector<BatchProgram> &programs,
+                         const BatchOptions &opts);
+
+} // namespace peak
+} // namespace ulpeak
+
+#endif // ULPEAK_PEAK_BATCH_HH

@@ -12,6 +12,10 @@
  *   peak::Report r = peak::analyze(sys, app, peak::Options{});
  *   // r.peakPowerW, r.peakEnergyJ, r.npeJPerCycle
  * @endcode
+ *
+ * For whole application suites (sharded workers, disk cache, suite
+ * aggregates) see peak::analyzeBatch in peak/batch.hh and the
+ * `ulpeak` CLI built on it.
  */
 
 #ifndef ULPEAK_PEAK_PEAK_ANALYSIS_HH

@@ -67,7 +67,20 @@ namespace ulpeak {
 
 class Simulator;
 
-/** Combinational-phase kernel selection. */
+/**
+ * Combinational-phase kernel selection.
+ *
+ * The two kernels are interchangeable by contract, not by accident:
+ * for any netlist and any driver they produce bit-identical gate
+ * values, activity lists, and per-cycle energies (see the file
+ * comment for why, and tests/test_simulator.cc /
+ * tests/test_benchmarks.cc for the locksteps that enforce it). Every
+ * consumer -- peak::analyze, the symbolic engine, the batch driver's
+ * result cache -- relies on this: switching kernels can change wall
+ * time but never a reported number. FullSweep is the oblivious
+ * reference kernel; EventDriven is the default and is >= 2x faster
+ * on high-activity workloads (BENCH_sim_kernel.json tracks this).
+ */
 enum class EvalMode : uint8_t {
     FullSweep,   ///< oblivious: every scheduled node, every cycle
     EventDriven, ///< dirty worklists: only gates with changed fanins

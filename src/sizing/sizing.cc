@@ -70,5 +70,20 @@ batteryVolumeReductionPct(double baseline_npe, double xbased_npe,
     return processor_fraction * rel * 100.0;
 }
 
+SuiteSupply
+sizeSuiteSupply(double peak_power_w, double peak_energy_j)
+{
+    SuiteSupply s;
+    s.peakPowerW = peak_power_w;
+    s.peakEnergyJ = peak_energy_j;
+    for (const HarvesterType &h : harvesterTypes())
+        s.harvesters.push_back(
+            {h.name, harvesterAreaCm2(peak_power_w, h)});
+    for (const BatteryType &b : batteryTypes())
+        s.batteries.push_back({b.name, batteryVolumeL(peak_energy_j, b),
+                               batteryMassG(peak_energy_j, b)});
+    return s;
+}
+
 } // namespace sizing
 } // namespace ulpeak

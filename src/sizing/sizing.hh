@@ -64,6 +64,37 @@ double batteryVolumeReductionPct(double baseline_npe, double xbased_npe,
                                  double processor_fraction);
 /// @}
 
+/// @name Suite-level supply sizing (batch driver)
+/// @{
+
+/**
+ * Component sizes that cover the worst-case application of a whole
+ * suite. The batch driver (peak::analyzeBatch / the `ulpeak` CLI)
+ * feeds the suite maxima here: a supply sized for the largest
+ * guaranteed peak power / peak energy across the suite is, by the
+ * paper's argument, sufficient for every application and every input.
+ */
+struct SuiteSupply {
+    double peakPowerW = 0.0;  ///< suite max peak power (Type 1 input)
+    double peakEnergyJ = 0.0; ///< suite max peak energy (Type 2/3)
+
+    struct HarvesterFit {
+        std::string name;
+        double areaCm2 = 0.0; ///< harvesterAreaCm2(peakPowerW, type)
+    };
+    struct BatteryFit {
+        std::string name;
+        double volumeL = 0.0; ///< batteryVolumeL(peakEnergyJ, type)
+        double massG = 0.0;   ///< batteryMassG(peakEnergyJ, type)
+    };
+    std::vector<HarvesterFit> harvesters; ///< one per harvesterTypes()
+    std::vector<BatteryFit> batteries;    ///< one per batteryTypes()
+};
+
+/** Size every harvester and battery type for the given suite maxima. */
+SuiteSupply sizeSuiteSupply(double peak_power_w, double peak_energy_j);
+/// @}
+
 } // namespace sizing
 } // namespace ulpeak
 

@@ -54,6 +54,15 @@ struct SymbolicConfig {
      * between clones because netlist construction is deterministic.
      * Peak power/energy/NPE results are scheduling-independent; node
      * numbering inside the tree is not.
+     *
+     * This parallelizes *within* one application's analysis and is
+     * orthogonal to the *program-level* sharding of a suite
+     * (peak::BatchOptions::jobs in peak/batch.hh); the two compose,
+     * and because results are scheduling-independent here and
+     * programs are independent there, every (jobs, numThreads)
+     * combination reports bit-identical numbers
+     * (tests/test_symbolic.cc and tests/test_batch.cc pin the two
+     * halves of that claim).
      */
     unsigned numThreads = 1;
     /** Record the union + peak-cycle sets of active gates

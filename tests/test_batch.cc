@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests of the batch driver (peak::analyzeBatch + the cli layer):
+ * suite determinism under program-level parallelism (jobs=1 and
+ * jobs=N must produce byte-identical JSON modulo timings, and match
+ * serial single-program peak::analyze bit for bit), disk-cache
+ * hit/miss behavior including corrupted entries, cache-key exclusion
+ * rules, error propagation when one program of a suite fails, and the
+ * CLI surface (argument parsing, program resolution, CSV shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "bench430/benchmarks.hh"
+#include "cli/driver.hh"
+#include "peak/batch.hh"
+#include "tests/cpu_test_util.hh"
+
+namespace ulpeak {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<peak::BatchProgram>
+smallSuite()
+{
+    // The three fastest bench430 programs keep the suite tests quick.
+    return cli::resolvePrograms({"mult", "tHold", "intAVG"});
+}
+
+/** A busy-wait loop on port input: rejected as an unbounded
+ *  input-dependent loop when the loop bound is 0. */
+isa::Image
+unboundedLoopImage()
+{
+    return isa::assemble(test::wrapProgram(R"(
+bw_wait:
+        mov &0x0020, r4
+        and #1, r4
+        jnz bw_wait
+    )"));
+}
+
+/** RAII temp directory for cache tests. */
+struct TempDir {
+    fs::path path;
+    TempDir()
+    {
+        path = fs::temp_directory_path() /
+               ("ulpeak_batch_test_" +
+                std::to_string(::getpid()) + "_" +
+                std::to_string(counter()++));
+        fs::remove_all(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    static unsigned &counter()
+    {
+        static unsigned c = 0;
+        return c;
+    }
+};
+
+TEST(Batch, MatchesSerialSingleProgramAnalyze)
+{
+    auto suite = smallSuite();
+    peak::BatchOptions opts; // jobs=1, no cache
+    peak::BatchReport rep = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(rep.ok);
+    ASSERT_EQ(rep.programs.size(), suite.size());
+
+    msp::System &sys = test::sharedSystem();
+    for (size_t i = 0; i < suite.size(); ++i) {
+        peak::Report direct =
+            peak::analyze(sys, suite[i].image, opts.analysis);
+        ASSERT_TRUE(direct.ok) << suite[i].name;
+        const peak::ProgramResult &r = rep.programs[i];
+        EXPECT_EQ(r.name, suite[i].name);
+        // Bit-identical, not approximately equal: the batch driver
+        // must not perturb the per-program numbers in any way.
+        EXPECT_EQ(r.peakPowerW, direct.peakPowerW) << r.name;
+        EXPECT_EQ(r.peakEnergyJ, direct.peakEnergyJ) << r.name;
+        EXPECT_EQ(r.npeJPerCycle, direct.npeJPerCycle) << r.name;
+        EXPECT_EQ(r.maxPathCycles, direct.maxPathCycles) << r.name;
+        EXPECT_EQ(r.totalCycles, direct.totalCycles) << r.name;
+        EXPECT_EQ(r.pathsExplored, direct.pathsExplored) << r.name;
+        EXPECT_EQ(r.dedupMerges, direct.dedupMerges) << r.name;
+    }
+}
+
+TEST(Batch, DeterministicAcrossWorkerCounts)
+{
+    auto suite = smallSuite();
+    peak::BatchOptions serial;
+    serial.jobs = 1;
+    peak::BatchOptions parallel;
+    parallel.jobs = 4;
+
+    peak::BatchReport a = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, serial);
+    peak::BatchReport b = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, parallel);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+
+    // Identical JSON modulo timings: the serializer drops wall-time
+    // and cache/worker provenance when include_timings is false, and
+    // everything that remains must match byte for byte.
+    std::string ja = cli::toJson(a, serial, /*include_timings=*/false);
+    std::string jb = cli::toJson(b, parallel,
+                                 /*include_timings=*/false);
+    EXPECT_EQ(ja, jb);
+
+    EXPECT_EQ(a.maxPeakPowerW, b.maxPeakPowerW);
+    EXPECT_EQ(a.maxPeakPowerProgram, b.maxPeakPowerProgram);
+    EXPECT_EQ(a.maxPeakEnergyJ, b.maxPeakEnergyJ);
+    EXPECT_EQ(a.maxNpeJPerCycle, b.maxNpeJPerCycle);
+}
+
+TEST(Batch, SuiteAggregatesAndSizing)
+{
+    auto suite = smallSuite();
+    peak::BatchOptions opts;
+    peak::BatchReport rep = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(rep.ok);
+
+    double maxP = 0, maxE = 0;
+    for (const auto &r : rep.programs) {
+        maxP = std::max(maxP, r.peakPowerW);
+        maxE = std::max(maxE, r.peakEnergyJ);
+    }
+    EXPECT_EQ(rep.maxPeakPowerW, maxP);
+    EXPECT_EQ(rep.maxPeakEnergyJ, maxE);
+    EXPECT_FALSE(rep.maxPeakPowerProgram.empty());
+
+    // The supply table is sized from the suite maxima.
+    ASSERT_EQ(rep.supply.harvesters.size(),
+              sizing::harvesterTypes().size());
+    ASSERT_EQ(rep.supply.batteries.size(),
+              sizing::batteryTypes().size());
+    EXPECT_EQ(rep.supply.peakPowerW, maxP);
+    EXPECT_EQ(rep.supply.harvesters[0].areaCm2,
+              sizing::harvesterAreaCm2(maxP,
+                                       sizing::harvesterTypes()[0]));
+}
+
+TEST(Batch, CacheHitsReproduceColdRunExactly)
+{
+    TempDir dir;
+    auto suite = smallSuite();
+    peak::BatchOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = dir.path.string();
+
+    peak::BatchReport cold = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(cold.ok);
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_EQ(cold.cacheMisses, unsigned(suite.size()));
+    for (const auto &r : cold.programs)
+        EXPECT_FALSE(r.cached);
+
+    peak::BatchReport warm = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(warm.ok);
+    EXPECT_EQ(warm.cacheHits, unsigned(suite.size()));
+    EXPECT_EQ(warm.cacheMisses, 0u);
+    for (size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_TRUE(warm.programs[i].cached);
+        // Hexfloat round-trip: bit-identical to the cold run.
+        EXPECT_EQ(warm.programs[i].peakPowerW,
+                  cold.programs[i].peakPowerW);
+        EXPECT_EQ(warm.programs[i].peakEnergyJ,
+                  cold.programs[i].peakEnergyJ);
+        EXPECT_EQ(warm.programs[i].npeJPerCycle,
+                  cold.programs[i].npeJPerCycle);
+        EXPECT_EQ(warm.programs[i].totalCycles,
+                  cold.programs[i].totalCycles);
+    }
+    EXPECT_EQ(cli::toJson(warm, opts, false),
+              cli::toJson(cold, opts, false));
+}
+
+TEST(Batch, CorruptedCacheEntryIsAMiss)
+{
+    TempDir dir;
+    auto suite = cli::resolvePrograms({"intAVG"});
+    peak::BatchOptions opts;
+    opts.cacheDir = dir.path.string();
+
+    peak::BatchReport cold = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(cold.ok);
+
+    // Truncate every cache entry; the next run must detect the
+    // damage, recompute, and rewrite.
+    for (const auto &e : fs::directory_iterator(dir.path))
+        std::ofstream(e.path()) << "ulpeak-cache-v1\n";
+
+    peak::BatchReport rerun = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(rerun.ok);
+    EXPECT_EQ(rerun.cacheHits, 0u);
+    EXPECT_EQ(rerun.cacheMisses, 1u);
+    EXPECT_EQ(rerun.programs[0].peakPowerW,
+              cold.programs[0].peakPowerW);
+
+    peak::BatchReport warm = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    EXPECT_EQ(warm.cacheHits, 1u);
+}
+
+TEST(Batch, CacheKeyExclusionRules)
+{
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    isa::Image img = cli::resolvePrograms({"mult"})[0].image;
+    peak::Options base;
+    uint64_t k0 = peak::cacheKey(lib, img, base);
+
+    // Scheduling and kernel choices cannot affect results, so they
+    // must not fragment the cache.
+    peak::Options threads = base;
+    threads.numThreads = 8;
+    EXPECT_EQ(peak::cacheKey(lib, img, threads), k0);
+    peak::Options mode = base;
+    mode.evalMode = EvalMode::FullSweep;
+    EXPECT_EQ(peak::cacheKey(lib, img, mode), k0);
+
+    // Result-affecting knobs must.
+    peak::Options freq = base;
+    freq.freqHz = 8e6;
+    EXPECT_NE(peak::cacheKey(lib, img, freq), k0);
+    peak::Options bound = base;
+    bound.inputDependentLoopBound = 4;
+    EXPECT_NE(peak::cacheKey(lib, img, bound), k0);
+
+    // And so must the image itself, and the cell library (by
+    // content, so recalibrating energies invalidates the cache).
+    isa::Image other = cli::resolvePrograms({"tHold"})[0].image;
+    EXPECT_NE(peak::cacheKey(lib, other, base), k0);
+    EXPECT_NE(peak::cacheKey(CellLibrary::f1610Like(), img, base), k0);
+}
+
+TEST(Batch, OneFailingProgramDoesNotPoisonTheSuite)
+{
+    auto suite = cli::resolvePrograms({"mult"});
+    suite.push_back({"busywait", unboundedLoopImage()});
+    suite.insert(suite.begin() + 1,
+                 cli::resolvePrograms({"intAVG"})[0]);
+
+    peak::BatchOptions opts;
+    opts.jobs = 2;
+    peak::BatchReport rep = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+
+    EXPECT_FALSE(rep.ok);
+    EXPECT_TRUE(rep.programs[0].ok);
+    EXPECT_TRUE(rep.programs[1].ok);
+    EXPECT_FALSE(rep.programs[2].ok);
+    EXPECT_NE(rep.programs[2].error.find("loop"), std::string::npos)
+        << rep.programs[2].error;
+    // Aggregates still cover the successful programs.
+    EXPECT_GT(rep.maxPeakPowerW, 0.0);
+    // The failed program appears in the JSON with its error.
+    std::string json = cli::toJson(rep, opts, false);
+    EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+    EXPECT_NE(json.find("busywait"), std::string::npos);
+}
+
+TEST(Batch, FailFastSkipsUnclaimedPrograms)
+{
+    std::vector<peak::BatchProgram> suite;
+    suite.push_back({"busywait", unboundedLoopImage()});
+    auto rest = smallSuite();
+    suite.insert(suite.end(), rest.begin(), rest.end());
+
+    peak::BatchOptions opts;
+    opts.jobs = 1; // deterministic claim order
+    opts.failFast = true;
+    peak::BatchReport rep = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+
+    EXPECT_FALSE(rep.ok);
+    EXPECT_FALSE(rep.programs[0].ok);
+    for (size_t i = 1; i < rep.programs.size(); ++i) {
+        EXPECT_FALSE(rep.programs[i].ok);
+        EXPECT_NE(rep.programs[i].error.find("skipped"),
+                  std::string::npos);
+    }
+}
+
+TEST(Cli, ParseArgs)
+{
+    const char *argv[] = {"ulpeak", "--programs", "mult,FFT",
+                          "--jobs", "4", "--threads", "2", "--json",
+                          "out.json", "--no-cache", "--quiet",
+                          "tea8"};
+    cli::CliOptions o;
+    std::string err;
+    ASSERT_TRUE(cli::parseArgs(12, argv, o, err)) << err;
+    ASSERT_EQ(o.programSpecs.size(), 3u);
+    EXPECT_EQ(o.programSpecs[0], "mult");
+    EXPECT_EQ(o.programSpecs[1], "FFT");
+    EXPECT_EQ(o.programSpecs[2], "tea8");
+    EXPECT_EQ(o.jobs, 4u);
+    EXPECT_EQ(o.threads, 2u);
+    EXPECT_EQ(o.jsonPath, "out.json");
+    EXPECT_TRUE(o.noCache);
+    EXPECT_TRUE(o.quiet);
+
+    const char *bad[] = {"ulpeak", "--jobs", "many"};
+    cli::CliOptions o2;
+    EXPECT_FALSE(cli::parseArgs(3, bad, o2, err));
+    EXPECT_NE(err.find("--jobs"), std::string::npos);
+
+    // Negative counts must be usage errors, not strtoull wraparound.
+    const char *neg[] = {"ulpeak", "--threads", "-1", "mult"};
+    cli::CliOptions o2b;
+    EXPECT_FALSE(cli::parseArgs(4, neg, o2b, err));
+    EXPECT_NE(err.find("--threads"), std::string::npos);
+
+    const char *none[] = {"ulpeak"};
+    cli::CliOptions o3;
+    EXPECT_FALSE(cli::parseArgs(1, none, o3, err));
+}
+
+TEST(Cli, ResolveProgramsAllAndErrors)
+{
+    auto all = cli::resolvePrograms({"all"});
+    EXPECT_EQ(all.size(), bench430::allBenchmarkNames().size());
+    EXPECT_EQ(all.size(), 14u);
+
+    EXPECT_THROW(cli::resolvePrograms({"nosuchprog"}),
+                 std::runtime_error);
+    EXPECT_THROW(cli::resolvePrograms({"/no/such/file.s"}),
+                 std::runtime_error);
+}
+
+TEST(Cli, ResolveProgramsFromAsmFile)
+{
+    TempDir dir;
+    fs::create_directories(dir.path);
+    fs::path asmfile = dir.path / "standalone.s";
+    std::ofstream(asmfile) << test::wrapProgram(R"(
+        mov #5, r4
+        add #3, r4
+    )");
+    auto suite = cli::resolvePrograms({asmfile.string()});
+    ASSERT_EQ(suite.size(), 1u);
+    EXPECT_EQ(suite[0].name, "standalone");
+
+    peak::BatchOptions opts;
+    peak::BatchReport rep = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(rep.ok) << rep.programs[0].error;
+    EXPECT_GT(rep.programs[0].peakPowerW, 0.0);
+}
+
+TEST(Cli, CsvShape)
+{
+    auto suite = cli::resolvePrograms({"intAVG"});
+    peak::BatchOptions opts;
+    peak::BatchReport rep = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    std::string csv = cli::toCsv(rep);
+    // Header + one row.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+    EXPECT_NE(csv.find("name,ok,cached"), std::string::npos);
+    EXPECT_NE(csv.find("\"intAVG\",1,0"), std::string::npos);
+}
+
+} // namespace
+} // namespace ulpeak

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Entry point of the `ulpeak` tool. All logic lives in cli::runCli so
+ * the driver is testable without spawning a process.
+ */
+
+#include "cli/driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return ulpeak::cli::runCli(argc, argv);
+}

@@ -87,7 +87,7 @@ main()
     baseline::StressmarkResult sm =
         baseline::generateStressmark(sys, bench_util::kFreq65, scfg);
 
-    std::mt19937 rng(7);
+    fuzz::Rng rng(7);
     std::vector<Workload> workloads;
     workloads.push_back({"stressmark", isa::assemble(sm.bestSource),
                          {}, false});

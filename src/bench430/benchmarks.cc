@@ -38,24 +38,24 @@ __forever:
 }
 
 baseline::InputSet
-Benchmark::makeInput(std::mt19937 &rng) const
+Benchmark::makeInput(fuzz::Rng &rng) const
 {
     baseline::InputSet in;
     if (inputWords > 0) {
         std::vector<uint16_t> words(inputWords);
         for (uint16_t &w : words)
-            w = uint16_t(rng()) & inputMask;
+            w = rng.word() & inputMask;
         in.ram.emplace_back(inputAddr, std::move(words));
     }
     if (usesPort)
-        in.portIn = uint16_t(rng()) & portMask;
+        in.portIn = rng.word() & portMask;
     return in;
 }
 
 std::vector<baseline::InputSet>
 Benchmark::makeInputs(unsigned n, uint32_t seed) const
 {
-    std::mt19937 rng(seed);
+    fuzz::Rng rng(seed);
     std::vector<baseline::InputSet> sets;
     sets.reserve(n);
     for (unsigned i = 0; i < n; ++i)

@@ -190,9 +190,13 @@ evalSeqCell(CellKind k, V4 q, const V4 *in, bool &held)
     }
 
     // Reset (modeled synchronously in the cycle-based simulator). An X
-    // reset yields 0 only when the loaded value is also 0.
-    if (rstn == V4::Zero)
+    // reset yields 0 only when the loaded value is also 0. Reset
+    // overrides any hold the enable established: the output is
+    // provably kept only if it was already 0.
+    if (rstn == V4::Zero) {
+        held = q == V4::Zero;
         return V4::Zero;
+    }
     if (rstn == V4::X) {
         held = false;
         return loaded == V4::Zero ? V4::Zero : V4::X;

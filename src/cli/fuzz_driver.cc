@@ -1,0 +1,298 @@
+#include "cli/fuzz_driver.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cosim/cosim.hh"
+#include "fuzz/program_gen.hh"
+#include "fuzz/properties.hh"
+#include "fuzz/rng.hh"
+
+namespace ulpeak {
+namespace cli {
+
+namespace {
+
+/** Disjoint PRNG stream namespaces per property, so adding programs
+ *  to one property never reshuffles another's inputs. */
+constexpr uint64_t kCosimStream = 0;
+constexpr uint64_t kKernelStream = 1ull << 32;
+constexpr uint64_t kSymStream = 2ull << 32;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct Counters {
+    unsigned run = 0;
+    unsigned failed = 0;
+};
+
+} // namespace
+
+std::string
+fuzzUsage()
+{
+    return
+        "usage: ulfuzz [options]\n"
+        "\n"
+        "Differential fuzzing of the ulpeak stack: random MSP430\n"
+        "programs run in lockstep on the golden ISS and the\n"
+        "gate-level core (cosim), random netlists lockstep the two\n"
+        "simulation kernels (kernel), and random programs check\n"
+        "parallel/kernel determinism of the peak analysis (sym).\n"
+        "\n"
+        "options:\n"
+        "  --seed N          master seed (default 1)\n"
+        "  --programs N      cosim programs (default 50)\n"
+        "  --netlists N      kernel-equivalence netlists (default 50)\n"
+        "  --sym-programs N  determinism programs (default 8)\n"
+        "  --instr N         body items per program (default 24)\n"
+        "  --threads K       K of the 1-vs-K thread check (default 4)\n"
+        "  --kernel-cycles N cycles per netlist run (default 64)\n"
+        "  --mode M          all|cosim|kernel|sym (default all)\n"
+        "  --only I          run only item index I of the selected\n"
+        "                    mode (replay a reported failure)\n"
+        "  --dump-programs   print every generated program\n"
+        "  --quiet           only the final summary\n"
+        "  --help            this text\n"
+        "\n"
+        "Reproducing a failure: every report names the mode, item\n"
+        "index and seed; rerun with the same --seed plus\n"
+        "--mode M --only I (see docs/testing.md).\n";
+}
+
+bool
+parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
+              std::string &err)
+{
+    auto value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            err = std::string(flag) + " expects a value";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        const char *v = nullptr;
+        if (a == "--help" || a == "-h") {
+            out.help = true;
+        } else if (a == "--seed") {
+            if (!(v = value(i, "--seed")))
+                return false;
+            out.seed = std::strtoull(v, nullptr, 0);
+        } else if (a == "--programs") {
+            if (!(v = value(i, "--programs")))
+                return false;
+            out.programs = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--netlists") {
+            if (!(v = value(i, "--netlists")))
+                return false;
+            out.netlists = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--sym-programs") {
+            if (!(v = value(i, "--sym-programs")))
+                return false;
+            out.symPrograms = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--instr") {
+            if (!(v = value(i, "--instr")))
+                return false;
+            out.instructions = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--threads") {
+            if (!(v = value(i, "--threads")))
+                return false;
+            out.threads = unsigned(std::strtoul(v, nullptr, 0));
+            if (out.threads < 2) {
+                err = "--threads must be >= 2 (it is the K of the "
+                      "1-vs-K comparison)";
+                return false;
+            }
+        } else if (a == "--kernel-cycles") {
+            if (!(v = value(i, "--kernel-cycles")))
+                return false;
+            out.kernelCycles = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--only") {
+            if (!(v = value(i, "--only")))
+                return false;
+            out.only = std::strtol(v, nullptr, 0);
+        } else if (a == "--mode") {
+            if (!(v = value(i, "--mode")))
+                return false;
+            out.mode = v;
+            if (out.mode != "all" && out.mode != "cosim" &&
+                out.mode != "kernel" && out.mode != "sym") {
+                err = "--mode must be all, cosim, kernel or sym";
+                return false;
+            }
+        } else if (a == "--dump-programs") {
+            out.dumpPrograms = true;
+        } else if (a == "--quiet") {
+            out.quiet = true;
+        } else {
+            err = "unknown argument: " + a;
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+/** Skip logic for --only. */
+bool
+selected(const FuzzCliOptions &cli, unsigned index)
+{
+    return cli.only < 0 || unsigned(cli.only) == index;
+}
+
+void
+runCosim(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
+{
+    fuzz::ProgramGenOptions gen;
+    gen.instructions = cli.instructions;
+    for (unsigned i = 0; i < cli.programs; ++i) {
+        if (!selected(cli, i))
+            continue;
+        fuzz::Rng rng(
+            fuzz::Rng::deriveStream(cli.seed, kCosimStream + i));
+        fuzz::GeneratedProgram prog = fuzz::generateProgram(rng, gen);
+        if (cli.dumpPrograms)
+            std::printf("--- cosim item %u ---\n%s\n", i,
+                        prog.source.c_str());
+        ++c.run;
+        cosim::Options opts;
+        opts.portIn = rng.word();
+        try {
+            isa::Image image = isa::assemble(prog.source);
+            cosim::Result r = cosim::run(sys, image, opts);
+            if (!r.ok) {
+                ++c.failed;
+                std::printf("cosim item %u (seed %llu) DIVERGED:\n%s",
+                            i, (unsigned long long)cli.seed,
+                            r.report().c_str());
+                std::printf("program:\n%s\n", prog.source.c_str());
+            }
+        } catch (const std::exception &e) {
+            ++c.failed;
+            std::printf("cosim item %u (seed %llu) generator/assembler "
+                        "error: %s\nprogram:\n%s\n",
+                        i, (unsigned long long)cli.seed, e.what(),
+                        prog.source.c_str());
+        }
+    }
+}
+
+void
+runKernel(const FuzzCliOptions &cli, Counters &c)
+{
+    fuzz::NetlistGenOptions gen;
+    for (unsigned i = 0; i < cli.netlists; ++i) {
+        if (!selected(cli, i))
+            continue;
+        ++c.run;
+        uint64_t seed =
+            fuzz::Rng::deriveStream(cli.seed, kKernelStream + i);
+        fuzz::PropertyResult r =
+            fuzz::kernelEquivalenceCheck(seed, gen, cli.kernelCycles);
+        if (!r.ok) {
+            ++c.failed;
+            std::printf("kernel item %u (seed %llu) MISMATCH:\n%s", i,
+                        (unsigned long long)cli.seed,
+                        r.detail.c_str());
+        }
+    }
+}
+
+void
+runSym(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
+{
+    fuzz::ProgramGenOptions gen;
+    // Symbolic exploration forks at every X-dependent branch; keep the
+    // bodies shorter than the cosim ones so trees stay small.
+    gen.instructions = cli.instructions / 2 + 1;
+    for (unsigned i = 0; i < cli.symPrograms; ++i) {
+        if (!selected(cli, i))
+            continue;
+        fuzz::Rng rng(
+            fuzz::Rng::deriveStream(cli.seed, kSymStream + i));
+        fuzz::GeneratedProgram prog = fuzz::generateProgram(rng, gen);
+        if (cli.dumpPrograms)
+            std::printf("--- sym item %u ---\n%s\n", i,
+                        prog.source.c_str());
+        ++c.run;
+        try {
+            isa::Image image = isa::assemble(prog.source);
+            fuzz::PropertyResult det =
+                fuzz::symDeterminismCheck(sys, image, cli.threads);
+            fuzz::PropertyResult mode =
+                fuzz::evalModeReportCheck(sys, image);
+            if (!det.ok || !mode.ok) {
+                ++c.failed;
+                std::printf("sym item %u (seed %llu) MISMATCH:\n%s%s"
+                            "program:\n%s\n",
+                            i, (unsigned long long)cli.seed,
+                            det.detail.c_str(), mode.detail.c_str(),
+                            prog.source.c_str());
+            }
+        } catch (const std::exception &e) {
+            ++c.failed;
+            std::printf("sym item %u (seed %llu) generator/assembler "
+                        "error: %s\nprogram:\n%s\n",
+                        i, (unsigned long long)cli.seed, e.what(),
+                        prog.source.c_str());
+        }
+    }
+}
+
+} // namespace
+
+int
+runFuzzCli(int argc, const char *const *argv)
+{
+    FuzzCliOptions cli;
+    std::string err;
+    if (!parseFuzzArgs(argc, argv, cli, err)) {
+        std::fprintf(stderr, "ulfuzz: %s\n%s", err.c_str(),
+                     fuzzUsage().c_str());
+        return 2;
+    }
+    if (cli.help) {
+        std::fputs(fuzzUsage().c_str(), stdout);
+        return 0;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    Counters cosimC, kernelC, symC;
+
+    // One System serves every property: the netlist is immutable, and
+    // each run reloads the behavioral memory.
+    msp::System sys(CellLibrary::tsmc65Like());
+
+    if (cli.mode == "all" || cli.mode == "cosim")
+        runCosim(cli, sys, cosimC);
+    if (cli.mode == "all" || cli.mode == "kernel")
+        runKernel(cli, kernelC);
+    if (cli.mode == "all" || cli.mode == "sym")
+        runSym(cli, sys, symC);
+
+    unsigned failed = cosimC.failed + kernelC.failed + symC.failed;
+    if (!cli.quiet || failed) {
+        std::printf("ulfuzz seed %llu: cosim %u/%u ok, kernel %u/%u "
+                    "ok, sym %u/%u ok (%.1fs)\n",
+                    (unsigned long long)cli.seed,
+                    cosimC.run - cosimC.failed, cosimC.run,
+                    kernelC.run - kernelC.failed, kernelC.run,
+                    symC.run - symC.failed, symC.run,
+                    secondsSince(t0));
+    }
+    return failed ? 1 : 0;
+}
+
+} // namespace cli
+} // namespace ulpeak

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The `ulfuzz` command-line driver: seeded differential fuzzing of
+ * the whole stack, built on src/fuzz and src/cosim.
+ *
+ * One run checks three properties end-to-end (docs/testing.md):
+ *
+ *  1. cosim  -- ISS <-> gate-level lockstep equivalence on
+ *               --programs random programs;
+ *  2. kernel -- FullSweep <-> EventDriven bit-identity on
+ *               --netlists random netlists;
+ *  3. sym    -- 1-vs-K-thread peak-analysis determinism plus
+ *               EventDriven-vs-FullSweep report identity on
+ *               --sym-programs random programs.
+ *
+ * Every work item derives its own PRNG stream from (--seed, index),
+ * and each failure prints the item index, so
+ * `ulfuzz --seed S --programs N --only I` replays one failing item
+ * exactly. Exit code 0 = all properties hold, 1 = any divergence or
+ * mismatch (the report is printed), 2 = usage error.
+ */
+
+#ifndef ULPEAK_CLI_FUZZ_DRIVER_HH
+#define ULPEAK_CLI_FUZZ_DRIVER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ulpeak {
+namespace cli {
+
+/** Parsed command line of the `ulfuzz` tool. */
+struct FuzzCliOptions {
+    uint64_t seed = 1;         ///< --seed
+    unsigned programs = 50;    ///< --programs: cosim runs
+    unsigned netlists = 50;    ///< --netlists: kernel-equivalence runs
+    unsigned symPrograms = 8;  ///< --sym-programs: determinism runs
+    unsigned instructions = 24; ///< --instr: body items per program
+    unsigned threads = 4;      ///< --threads: K of the 1-vs-K check
+    unsigned kernelCycles = 64; ///< --kernel-cycles per netlist
+    long only = -1;            ///< --only INDEX: replay one item
+    std::string mode = "all";  ///< --mode all|cosim|kernel|sym
+    bool dumpPrograms = false; ///< --dump-programs: print sources
+    bool quiet = false;        ///< --quiet: only the summary line
+    bool help = false;         ///< --help
+};
+
+std::string fuzzUsage();
+
+/** Parse @p argv; on bad usage returns false and sets @p err. */
+bool parseFuzzArgs(int argc, const char *const *argv,
+                   FuzzCliOptions &out, std::string &err);
+
+/** The complete driver behind tools/ulfuzz_main.cc. */
+int runFuzzCli(int argc, const char *const *argv);
+
+} // namespace cli
+} // namespace ulpeak
+
+#endif // ULPEAK_CLI_FUZZ_DRIVER_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Lockstep differential co-simulation of the gate-level core against
+ * the golden ISS.
+ *
+ * The gate-level System (src/msp + src/sim) and the ISS (src/isa/iss)
+ * execute the same image cycle for cycle; at every instruction
+ * boundary (the FSM's FETCH state) the checker compares the retired
+ * architectural state -- program counter, register file, status
+ * flags (SR), and the exact stream of memory writes the previous
+ * instruction performed -- and at halt it compares cycle counts and
+ * the final RAM contents. The first disagreement stops the run and
+ * produces a structured divergence report: the gate cycle and retired
+ * instruction index, the state diff, and a disassembled instruction
+ * window around the divergence (src/isa/disassembler).
+ *
+ * The gate and ISS sides can be given *different* images: that is how
+ * the checker checks itself (inject a bug into one side, assert the
+ * divergence is caught and located -- tests/test_cosim.cc).
+ */
+
+#ifndef ULPEAK_COSIM_COSIM_HH
+#define ULPEAK_COSIM_COSIM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/iss.hh"
+#include "msp/cpu.hh"
+
+namespace ulpeak {
+namespace cosim {
+
+struct Options {
+    uint64_t maxCycles = 60000;
+    uint16_t portIn = 0;
+    /** Simulation kernel for the gate side. */
+    EvalMode evalMode = EvalMode::EventDriven;
+    /** Instructions of context disassembled after the divergence PC. */
+    unsigned disasmAfter = 2;
+};
+
+/** One observed memory write (word address, value). */
+struct MemWrite {
+    uint32_t addr = 0;
+    uint16_t value = 0;
+    bool operator==(const MemWrite &o) const
+    {
+        return addr == o.addr && value == o.value;
+    }
+};
+
+struct Divergence {
+    enum class Kind {
+        None,
+        Pc,          ///< fetch address differs
+        Register,    ///< register-file mismatch (includes SR flags)
+        MemWrite,    ///< store streams differ
+        FinalMemory, ///< RAM contents differ after halt
+        Cycles,      ///< cycle counts differ after halt
+        GateX,       ///< gate state unexpectedly unknown
+        GateTimeout, ///< gate core never halted
+        IssTrap,     ///< ISS stopped on an error the gate didn't hit
+        Halt,        ///< one side halted, the other kept running
+    };
+
+    Kind kind = Kind::None;
+    uint64_t cycle = 0;      ///< gate cycle of first divergence
+    uint64_t instrIndex = 0; ///< retired instructions before it
+    uint32_t pc = 0;         ///< PC of the instruction at fault
+    std::string detail;      ///< state diff, one item per line
+    std::string disasm;      ///< instruction window around @ref pc
+};
+
+const char *divergenceKindName(Divergence::Kind k);
+
+struct Result {
+    bool ok = false;
+    uint64_t instructionsRetired = 0;
+    uint64_t gateCycles = 0;
+    uint64_t issCycles = 0;
+    Divergence divergence;
+
+    /** Multi-line human-readable divergence report ("" when ok). */
+    std::string report() const;
+};
+
+/**
+ * Run @p gate_image on the gate-level core and @p iss_image on the
+ * ISS in lockstep. The System's behavioral memory is reloaded, so
+ * calls are independent (the netlist itself is immutable and shared).
+ */
+Result run(msp::System &sys, const isa::Image &gate_image,
+           const isa::Image &iss_image, const Options &opts);
+
+/** Common case: both sides execute the same image. */
+inline Result
+run(msp::System &sys, const isa::Image &image, const Options &opts)
+{
+    return run(sys, image, image, opts);
+}
+
+} // namespace cosim
+} // namespace ulpeak
+
+#endif // ULPEAK_COSIM_COSIM_HH

@@ -1,0 +1,97 @@
+#include "fuzz/netlist_gen.hh"
+
+#include "hw/builder.hh"
+
+namespace ulpeak {
+namespace fuzz {
+
+RandomNetlist
+buildRandomNetlist(Netlist &nl, Rng &rng,
+                   const NetlistGenOptions &opts)
+{
+    hw::Builder b(nl);
+    RandomNetlist out;
+
+    std::vector<hw::Sig> pool;
+    for (unsigned i = 0; i < opts.numInputs; ++i) {
+        hw::Sig in = b.input("in" + std::to_string(i));
+        out.inputs.push_back(in);
+        pool.push_back(in);
+    }
+    pool.push_back(b.zero());
+    pool.push_back(b.one());
+
+    auto pick = [&]() { return pool[rng.below(uint32_t(pool.size()))]; };
+
+    // Register banks are declared up front so their outputs join the
+    // signal pool (feedback through flops is legal and exercises the
+    // event kernel's sequential wake-up windows); enables and resets
+    // are randomly tied to inputs, constants, or nothing.
+    std::vector<hw::Reg> regs;
+    for (unsigned i = 0; i < opts.numRegBanks; ++i) {
+        unsigned width = 1 + rng.below(opts.maxRegWidth);
+        hw::Sig en = rng.chance(50) ? pick() : kNoGate;
+        hw::Sig rstn = rng.chance(30) ? pick() : kNoGate;
+        regs.push_back(
+            b.regDecl(width, "rb" + std::to_string(i), en, rstn));
+        for (hw::Sig q : regs.back().q())
+            pool.push_back(q);
+    }
+
+    for (unsigned i = 0; i < opts.numCombGates; ++i) {
+        hw::Sig s;
+        switch (rng.pickWeighted(
+            {6, 10, 12, 12, 8, 8, 12, 8, 10, 5, 5, 4})) {
+          case 0: s = b.buf(pick()); break;
+          case 1: s = b.inv(pick()); break;
+          case 2: s = b.and2(pick(), pick()); break;
+          case 3: s = b.or2(pick(), pick()); break;
+          case 4: s = b.nand2(pick(), pick()); break;
+          case 5: s = b.nor2(pick(), pick()); break;
+          case 6: s = b.xor2(pick(), pick()); break;
+          case 7: s = b.xnor2(pick(), pick()); break;
+          case 8: s = b.mux(pick(), pick(), pick()); break;
+          case 9: s = b.aoi21(pick(), pick(), pick()); break;
+          case 10: s = b.oai21(pick(), pick(), pick()); break;
+          default: {
+            hw::Bus xs;
+            unsigned n = 2 + rng.below(4);
+            for (unsigned k = 0; k < n; ++k)
+                xs.push_back(pick());
+            s = rng.chance(50) ? b.andN(xs) : b.orN(xs);
+            break;
+          }
+        }
+        pool.push_back(s);
+    }
+
+    for (hw::Reg &r : regs) {
+        hw::Bus d;
+        for (unsigned i = 0; i < r.width(); ++i)
+            d.push_back(pick());
+        r.connect(d);
+    }
+
+    nl.finalize();
+    return out;
+}
+
+std::vector<std::vector<V4>>
+makeInputSchedule(Rng &rng, unsigned num_inputs, unsigned cycles,
+                  unsigned x_percent)
+{
+    std::vector<std::vector<V4>> sched(cycles);
+    for (auto &cyc : sched) {
+        cyc.reserve(num_inputs);
+        for (unsigned i = 0; i < num_inputs; ++i) {
+            if (rng.chance(x_percent))
+                cyc.push_back(V4::X);
+            else
+                cyc.push_back(rng.chance(50) ? V4::One : V4::Zero);
+        }
+    }
+    return sched;
+}
+
+} // namespace fuzz
+} // namespace ulpeak

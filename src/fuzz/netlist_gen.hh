@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Seeded random netlist generator for kernel-level differential
+ * testing.
+ *
+ * The two simulation kernels (EvalMode::FullSweep and
+ * EvalMode::EventDriven) are bit-identical by contract for *any*
+ * netlist and *any* driver, not just the CPU. This generator produces
+ * small random netlists -- primary inputs, register banks with random
+ * enable/reset wiring, and a soup of combinational cells over every
+ * Builder primitive -- so the contract is checked far outside the
+ * structural idioms the CPU happens to use. Construction only ever
+ * feeds already-emitted signals into new gates, so the result is
+ * acyclic by construction and always passes Netlist::finalize().
+ */
+
+#ifndef ULPEAK_FUZZ_NETLIST_GEN_HH
+#define ULPEAK_FUZZ_NETLIST_GEN_HH
+
+#include <vector>
+
+#include "fuzz/rng.hh"
+#include "netlist/netlist.hh"
+
+namespace ulpeak {
+namespace fuzz {
+
+struct NetlistGenOptions {
+    unsigned numInputs = 6;
+    unsigned numCombGates = 120;
+    unsigned numRegBanks = 4;
+    unsigned maxRegWidth = 4;
+    /** Percent chance a cycle drives a given input to X (the rest
+     *  split evenly between 0 and 1). Applies to the generated input
+     *  schedule, not the netlist itself. */
+    unsigned inputXPercent = 20;
+};
+
+/** Handles into a generated netlist. */
+struct RandomNetlist {
+    std::vector<GateId> inputs;
+};
+
+/**
+ * Populate @p nl (fresh, unfinalized) with a random design and
+ * finalize it. Deterministic in @p rng.
+ */
+RandomNetlist buildRandomNetlist(Netlist &nl, Rng &rng,
+                                 const NetlistGenOptions &opts);
+
+/**
+ * Random per-cycle values for every primary input: schedule[c][i] is
+ * the value input i takes in cycle c. Deterministic in @p rng, so the
+ * same schedule can drive any number of simulators in lockstep.
+ */
+std::vector<std::vector<V4>>
+makeInputSchedule(Rng &rng, unsigned num_inputs, unsigned cycles,
+                  unsigned x_percent);
+
+} // namespace fuzz
+} // namespace ulpeak
+
+#endif // ULPEAK_FUZZ_NETLIST_GEN_HH

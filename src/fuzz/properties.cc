@@ -1,0 +1,197 @@
+#include "fuzz/properties.hh"
+
+#include <sstream>
+
+#include "peak/peak_analysis.hh"
+
+namespace ulpeak {
+namespace fuzz {
+
+namespace {
+
+/** Compare complete simulator state after one lockstep cycle. */
+bool
+compareCycle(const Netlist &nl, const Simulator &a, const Simulator &b,
+             const char *label_b, std::ostringstream &os)
+{
+    for (GateId g = 0; g < GateId(nl.numGates()); ++g) {
+        if (a.value(g) != b.value(g)) {
+            os << "cycle " << a.cycle() << " gate " << g
+               << ": value FullSweep=" << v4Char(a.value(g)) << " "
+               << label_b << "=" << v4Char(b.value(g)) << "\n";
+            return false;
+        }
+        if (a.isActive(g) != b.isActive(g)) {
+            os << "cycle " << a.cycle() << " gate " << g
+               << ": activity FullSweep=" << a.isActive(g) << " "
+               << label_b << "=" << b.isActive(g) << "\n";
+            return false;
+        }
+    }
+    if (a.activeGates() != b.activeGates()) {
+        os << "cycle " << a.cycle() << ": active-gate lists differ ("
+           << a.activeGates().size() << " vs "
+           << b.activeGates().size() << " entries)\n";
+        return false;
+    }
+    if (a.actualEnergyJ() != b.actualEnergyJ() ||
+        a.boundEnergyJ() != b.boundEnergyJ()) {
+        os << "cycle " << a.cycle()
+           << ": energy FullSweep=(" << a.actualEnergyJ() << ", "
+           << a.boundEnergyJ() << ") " << label_b << "=("
+           << b.actualEnergyJ() << ", " << b.boundEnergyJ() << ")\n";
+        return false;
+    }
+    if (a.moduleBoundEnergyJ() != b.moduleBoundEnergyJ()) {
+        os << "cycle " << a.cycle()
+           << ": per-module energies differ\n";
+        return false;
+    }
+    if (a.hashFullState() != b.hashFullState()) {
+        os << "cycle " << a.cycle() << ": full-state hashes differ\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+PropertyResult
+kernelEquivalenceCheck(uint64_t seed, const NetlistGenOptions &opts,
+                       unsigned cycles)
+{
+    PropertyResult res;
+    Rng rng(seed);
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    RandomNetlist rn = buildRandomNetlist(nl, rng, opts);
+    auto sched = makeInputSchedule(rng, unsigned(rn.inputs.size()),
+                                   cycles, opts.inputXPercent);
+
+    Simulator full(nl, EvalMode::FullSweep);
+    Simulator event(nl, EvalMode::EventDriven);
+    Simulator forked(nl, EvalMode::EventDriven);
+
+    // Fork point for the snapshot/restore transparency check.
+    unsigned forkAt = cycles / 2;
+    Simulator::Snapshot snap;
+
+    std::ostringstream os;
+    for (unsigned c = 0; c < cycles; ++c) {
+        auto drive = [&](Simulator &s) {
+            for (size_t i = 0; i < rn.inputs.size(); ++i)
+                s.setInput(rn.inputs[i], sched[c][i]);
+        };
+        full.step(drive);
+        event.step(drive);
+        if (!compareCycle(nl, full, event, "EventDriven", os)) {
+            res.ok = false;
+            res.detail = "seed " + std::to_string(seed) + ": " +
+                         os.str();
+            return res;
+        }
+        if (c == forkAt)
+            snap = event.snapshot();
+    }
+
+    // Replay the suffix from the snapshot on a third simulator: the
+    // continuation must be indistinguishable from the original run.
+    forked.restore(snap);
+    for (unsigned c = forkAt + 1; c < cycles; ++c) {
+        forked.step([&](Simulator &s) {
+            for (size_t i = 0; i < rn.inputs.size(); ++i)
+                s.setInput(rn.inputs[i], sched[c][i]);
+        });
+    }
+    if (cycles > forkAt + 1 &&
+        forked.hashFullState() != event.hashFullState()) {
+        res.ok = false;
+        res.detail = "seed " + std::to_string(seed) +
+                     ": snapshot/restore replay diverged from the "
+                     "straight-line run\n";
+    }
+    return res;
+}
+
+namespace {
+
+std::string
+compareReports(const peak::Report &a, const peak::Report &b,
+               const char *what_a, const char *what_b)
+{
+    std::ostringstream os;
+    if (!a.ok && !b.ok) {
+        // Both analyses rejected the program the same way: the
+        // determinism property holds trivially. Different errors mean
+        // the outcome itself was scheduling/kernel-dependent.
+        if (a.error != b.error)
+            os << "errors differ: " << what_a << "=\"" << a.error
+               << "\" " << what_b << "=\"" << b.error << "\"\n";
+        return os.str();
+    }
+    if (!a.ok || !b.ok) {
+        os << what_a << " ok=" << a.ok << " (" << a.error << "), "
+           << what_b << " ok=" << b.ok << " (" << b.error << ")\n";
+        return os.str();
+    }
+    auto field = [&](const char *name, double va, double vb) {
+        if (va != vb)
+            os << name << ": " << what_a << "=" << va << " " << what_b
+               << "=" << vb << "\n";
+    };
+    field("peakPowerW", a.peakPowerW, b.peakPowerW);
+    field("peakEnergyJ", a.peakEnergyJ, b.peakEnergyJ);
+    field("npeJPerCycle", a.npeJPerCycle, b.npeJPerCycle);
+    field("maxPathCycles", double(a.maxPathCycles),
+          double(b.maxPathCycles));
+    field("totalCycles", double(a.totalCycles), double(b.totalCycles));
+    field("pathsExplored", double(a.pathsExplored),
+          double(b.pathsExplored));
+    field("dedupMerges", double(a.dedupMerges), double(b.dedupMerges));
+    return os.str();
+}
+
+} // namespace
+
+PropertyResult
+symDeterminismCheck(msp::System &sys, const isa::Image &image,
+                    unsigned threads)
+{
+    PropertyResult res;
+    peak::Options opts;
+    opts.numThreads = 1;
+    peak::Report serial = peak::analyze(sys, image, opts);
+    opts.numThreads = threads;
+    peak::Report parallel = peak::analyze(sys, image, opts);
+    std::string diff = compareReports(serial, parallel, "1-thread",
+                                      "K-thread");
+    if (!diff.empty()) {
+        res.ok = false;
+        res.detail = diff;
+    }
+    return res;
+}
+
+PropertyResult
+evalModeReportCheck(msp::System &sys, const isa::Image &image)
+{
+    PropertyResult res;
+    peak::Options opts;
+    opts.evalMode = EvalMode::EventDriven;
+    peak::Report event = peak::analyze(sys, image, opts);
+    opts.evalMode = EvalMode::FullSweep;
+    peak::Report full = peak::analyze(sys, image, opts);
+    std::string diff = compareReports(event, full, "EventDriven",
+                                      "FullSweep");
+    if (diff.empty() && event.ok && full.ok &&
+        event.flatTraceW != full.flatTraceW)
+        diff = "flatTraceW: per-cycle traces differ\n";
+    if (!diff.empty()) {
+        res.ok = false;
+        res.detail = diff;
+    }
+    return res;
+}
+
+} // namespace fuzz
+} // namespace ulpeak

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The three differential properties the fuzzing subsystem checks
+ * end-to-end, packaged so the `ulfuzz` tool and the ctest harnesses
+ * exercise the exact same code paths:
+ *
+ *  1. ISS <-> gate-level lockstep equivalence on random programs
+ *     (src/cosim -- invoked directly via cosim::run);
+ *  2. EvalMode::FullSweep <-> EvalMode::EventDriven bit-identity on
+ *     random netlists: per-cycle gate values, activity lists, and all
+ *     energy accumulators must be exactly equal every cycle;
+ *  3. symbolic exploration determinism: peak::analyze with 1 worker
+ *     thread and with K worker threads must report bit-identical
+ *     peak power / peak energy / NPE / cycle counts (scheduling
+ *     independence), as must the two EvalMode kernels end-to-end.
+ *
+ * Each check returns a PropertyResult whose detail names the first
+ * mismatch precisely enough to debug from the printed seed alone.
+ */
+
+#ifndef ULPEAK_FUZZ_PROPERTIES_HH
+#define ULPEAK_FUZZ_PROPERTIES_HH
+
+#include <string>
+
+#include "fuzz/netlist_gen.hh"
+#include "fuzz/rng.hh"
+#include "isa/assembler.hh"
+#include "msp/cpu.hh"
+#include "sim/simulator.hh"
+
+namespace ulpeak {
+namespace fuzz {
+
+struct PropertyResult {
+    bool ok = true;
+    std::string detail; ///< first mismatch, human-readable
+};
+
+/**
+ * Property 2: generate a random netlist and input schedule from
+ * @p seed, run FullSweep and EventDriven simulators in lockstep for
+ * @p cycles, compare values / activity / energies after every cycle.
+ * Also locksteps a third simulator restored from a mid-run snapshot
+ * to pin snapshot/restore transparency in both kernels.
+ */
+PropertyResult kernelEquivalenceCheck(uint64_t seed,
+                                      const NetlistGenOptions &opts,
+                                      unsigned cycles);
+
+/**
+ * Property 3a: peak::analyze on @p image with 1 thread vs
+ * @p threads threads; every scheduling-independent report field must
+ * be bit-identical.
+ */
+PropertyResult symDeterminismCheck(msp::System &sys,
+                                   const isa::Image &image,
+                                   unsigned threads);
+
+/**
+ * Property 3b: peak::analyze on @p image under EvalMode::EventDriven
+ * vs EvalMode::FullSweep; reports must be bit-identical including the
+ * flattened per-cycle trace.
+ */
+PropertyResult evalModeReportCheck(msp::System &sys,
+                                   const isa::Image &image);
+
+} // namespace fuzz
+} // namespace ulpeak
+
+#endif // ULPEAK_FUZZ_PROPERTIES_HH

@@ -73,6 +73,8 @@ void
 Iss::writeMem(uint32_t addr, uint16_t v)
 {
     addr &= 0xfffe;
+    if (writeObs_)
+        writeObs_(addr, v);
     if (addr >= SM::kRomBase)
         return; // ROM writes dropped, as in the gate-level backbone
     if (addr >= SM::kRamBase && addr < SM::kRamBase + SM::kRamSize) {

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 
 #include "isa/assembler.hh"
 #include "isa/encoding.hh"
@@ -77,6 +78,16 @@ class Iss {
     uint16_t readMem(uint32_t addr);
     void writeMem(uint32_t addr, uint16_t v);
 
+    /**
+     * Observer invoked on every architectural memory write (word
+     * address, raw value), before the write is applied or filtered.
+     * The co-simulation checker (src/cosim) uses this to compare the
+     * ISS's store stream against the gate-level core's memory bus,
+     * write for write.
+     */
+    using WriteObserver = std::function<void(uint32_t, uint16_t)>;
+    void setWriteObserver(WriteObserver fn) { writeObs_ = std::move(fn); }
+
     /** Execute one instruction; returns false once halted or on an
      *  unsupported opcode (haltReason() tells which). */
     bool step();
@@ -111,6 +122,7 @@ class Iss {
     uint16_t dbg0_ = 0;
     uint16_t dbg1_ = 0;
 
+    WriteObserver writeObs_;
     bool halted_ = false;
     std::string haltReason_;
     uint64_t cycles_ = 0;

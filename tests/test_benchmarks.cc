@@ -56,7 +56,7 @@ TEST(BenchmarkSuite, FourteenBenchmarksInPaperOrder)
 
 TEST(BenchmarkSuite, AllAssembleAndHaltOnIss)
 {
-    std::mt19937 rng(3);
+    fuzz::Rng rng(3);
     for (const auto &b : bench430::allBenchmarks()) {
         isa::Iss iss = runIss(b, b.makeInput(rng));
         EXPECT_TRUE(iss.halted()) << b.name;
@@ -67,7 +67,7 @@ TEST(BenchmarkSuite, AllAssembleAndHaltOnIss)
 TEST(BenchmarkReference, MultAccumulatesProducts)
 {
     const auto &b = bench430::benchmarkByName("mult");
-    std::mt19937 rng(17);
+    fuzz::Rng rng(17);
     auto in = b.makeInput(rng);
     isa::Iss iss = runIss(b, in);
     auto w = inputWords(in);
@@ -106,7 +106,7 @@ TEST(BenchmarkReference, BinSearchFindsAndMisses)
 TEST(BenchmarkReference, THoldCountsAboveThreshold)
 {
     const auto &b = bench430::benchmarkByName("tHold");
-    std::mt19937 rng(23);
+    fuzz::Rng rng(23);
     auto in = b.makeInput(rng);
     isa::Iss iss = runIss(b, in);
     unsigned expect = 0;
@@ -132,7 +132,7 @@ TEST(BenchmarkReference, DivQuotientRemainder)
 TEST(BenchmarkReference, InSortSorts)
 {
     const auto &b = bench430::benchmarkByName("inSort");
-    std::mt19937 rng(31);
+    fuzz::Rng rng(31);
     auto in = b.makeInput(rng);
     isa::Iss iss = runIss(b, in);
     auto w = inputWords(in);
@@ -145,7 +145,7 @@ TEST(BenchmarkReference, InSortSorts)
 TEST(BenchmarkReference, IntAvgMean)
 {
     const auto &b = bench430::benchmarkByName("intAVG");
-    std::mt19937 rng(37);
+    fuzz::Rng rng(37);
     auto in = b.makeInput(rng);
     isa::Iss iss = runIss(b, in);
     uint16_t sum = 0;
@@ -176,7 +176,7 @@ TEST(BenchmarkReference, RleRoundTrips)
 TEST(BenchmarkReference, AutoCorrLagZeroIsEnergy)
 {
     const auto &b = bench430::benchmarkByName("autoCorr");
-    std::mt19937 rng(41);
+    fuzz::Rng rng(41);
     auto in = b.makeInput(rng);
     isa::Iss iss = runIss(b, in);
     auto w = inputWords(in);
@@ -266,7 +266,7 @@ TEST(BenchmarkReference, Tea8DeterministicAndKeyed)
 TEST(BenchmarkReference, IntFiltFir)
 {
     const auto &b = bench430::benchmarkByName("intFilt");
-    std::mt19937 rng(43);
+    fuzz::Rng rng(43);
     auto in = b.makeInput(rng);
     isa::Iss iss = runIss(b, in);
     auto w = inputWords(in);

@@ -9,9 +9,9 @@
  * counts.
  */
 
-#include <random>
-
 #include <gtest/gtest.h>
+
+#include "fuzz/rng.hh"
 
 #include "tests/cpu_test_util.hh"
 
@@ -54,13 +54,13 @@ class ProgramFuzzer {
     uint16_t
     pick16()
     {
-        return uint16_t(rng_());
+        return rng_.word();
     }
 
     unsigned
     below(unsigned n)
     {
-        return unsigned(rng_() % n);
+        return rng_.below(n);
     }
 
     std::string
@@ -138,7 +138,7 @@ class ProgramFuzzer {
         }
     }
 
-    std::mt19937 rng_;
+    fuzz::Rng rng_;
 };
 
 class EquivalenceFuzz : public ::testing::TestWithParam<uint32_t> {};

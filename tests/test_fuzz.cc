@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests of the fuzzing building blocks (src/fuzz): the shared
+ * deterministic PRNG, the random program generator, and the random
+ * netlist generator. Determinism is the load-bearing property -- a
+ * printed seed must reproduce a failure bit-for-bit on any platform.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/netlist_gen.hh"
+#include "fuzz/program_gen.hh"
+#include "fuzz/rng.hh"
+#include "isa/assembler.hh"
+#include "isa/iss.hh"
+
+namespace ulpeak {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    fuzz::Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, GoldenValuesPinnedCrossPlatform)
+{
+    // SplitMix64 reference outputs: the generator must never change
+    // silently, or archived failure seeds stop reproducing.
+    fuzz::Rng r(1);
+    EXPECT_EQ(r.next(), 0x910a2dec89025cc1ull);
+    EXPECT_EQ(r.next(), 0xbeeb8da1658eec67ull);
+    EXPECT_EQ(r.next(), 0xf893a2eefb32555eull);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    fuzz::Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        uint32_t v = r.below(13);
+        ASSERT_LT(v, 13u);
+    }
+    // All residues reachable.
+    fuzz::Rng r2(8);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r2.below(6));
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, PickWeightedRespectsZeroWeights)
+{
+    fuzz::Rng r(9);
+    for (int i = 0; i < 200; ++i) {
+        size_t k = r.pickWeighted({0, 5, 0, 3});
+        ASSERT_TRUE(k == 1 || k == 3) << k;
+    }
+}
+
+TEST(Rng, DeriveStreamSeparatesIndices)
+{
+    std::set<uint64_t> streams;
+    for (uint64_t i = 0; i < 100; ++i)
+        streams.insert(fuzz::Rng::deriveStream(1, i));
+    EXPECT_EQ(streams.size(), 100u) << "stream collision";
+    EXPECT_NE(fuzz::Rng::deriveStream(1, 0),
+              fuzz::Rng::deriveStream(2, 0));
+}
+
+TEST(ProgramGen, DeterministicSource)
+{
+    fuzz::ProgramGenOptions opts;
+    fuzz::Rng a(123), b(123);
+    fuzz::GeneratedProgram pa = fuzz::generateProgram(a, opts);
+    fuzz::GeneratedProgram pb = fuzz::generateProgram(b, opts);
+    EXPECT_EQ(pa.source, pb.source);
+    EXPECT_FALSE(pa.body.empty());
+    EXPECT_NE(pa.source.find(pa.body), std::string::npos);
+}
+
+TEST(ProgramGen, DifferentSeedsDifferentPrograms)
+{
+    fuzz::ProgramGenOptions opts;
+    fuzz::Rng a(1), b(2);
+    EXPECT_NE(fuzz::generateProgram(a, opts).source,
+              fuzz::generateProgram(b, opts).source);
+}
+
+TEST(ProgramGen, ProgramsAssembleAndHaltOnIss)
+{
+    fuzz::ProgramGenOptions opts;
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+        fuzz::Rng rng(fuzz::Rng::deriveStream(77, seed));
+        fuzz::GeneratedProgram p = fuzz::generateProgram(rng, opts);
+        SCOPED_TRACE(p.source);
+        isa::Image img;
+        ASSERT_NO_THROW(img = isa::assemble(p.source));
+        isa::Iss iss;
+        iss.loadImage(img);
+        iss.setPortIn(0x1234);
+        iss.reset();
+        EXPECT_TRUE(iss.run(100000)) << iss.haltReason();
+    }
+}
+
+TEST(ProgramGen, OptionsGateFeatures)
+{
+    fuzz::ProgramGenOptions opts;
+    opts.allowPortInput = false;
+    opts.allowMultiplier = false;
+    opts.allowLoops = false;
+    opts.instructions = 60;
+    fuzz::Rng rng(5);
+    fuzz::GeneratedProgram p = fuzz::generateProgram(rng, opts);
+    EXPECT_EQ(p.body.find("&0x0020"), std::string::npos);
+    EXPECT_EQ(p.body.find("&0x0130"), std::string::npos);
+    EXPECT_EQ(p.body.find("loop"), std::string::npos);
+}
+
+TEST(NetlistGen, DeterministicStructure)
+{
+    fuzz::NetlistGenOptions opts;
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist na(lib), nb(lib);
+    fuzz::Rng a(99), b(99);
+    fuzz::RandomNetlist ra = fuzz::buildRandomNetlist(na, a, opts);
+    fuzz::RandomNetlist rb = fuzz::buildRandomNetlist(nb, b, opts);
+    ASSERT_EQ(na.numGates(), nb.numGates());
+    EXPECT_EQ(ra.inputs, rb.inputs);
+    for (GateId g = 0; g < GateId(na.numGates()); ++g) {
+        ASSERT_EQ(na.gate(g).kind, nb.gate(g).kind) << g;
+        ASSERT_EQ(na.gate(g).in, nb.gate(g).in) << g;
+    }
+}
+
+TEST(NetlistGen, FinalizesWithRequestedShape)
+{
+    fuzz::NetlistGenOptions opts;
+    opts.numInputs = 4;
+    opts.numRegBanks = 3;
+    opts.numCombGates = 50;
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+        Netlist nl(lib);
+        fuzz::Rng rng(fuzz::Rng::deriveStream(31, seed));
+        fuzz::RandomNetlist rn = fuzz::buildRandomNetlist(nl, rng, opts);
+        EXPECT_TRUE(nl.finalized());
+        EXPECT_EQ(rn.inputs.size(), 4u);
+        EXPECT_GE(nl.numGates(), size_t(4 + 2 + 3 + 50));
+        EXPECT_GE(nl.seqGates().size(), 3u);
+    }
+}
+
+TEST(NetlistGen, InputScheduleDeterministicAndXBounded)
+{
+    fuzz::Rng a(3), b(3);
+    auto sa = fuzz::makeInputSchedule(a, 5, 40, 20);
+    auto sb = fuzz::makeInputSchedule(b, 5, 40, 20);
+    EXPECT_EQ(sa, sb);
+    ASSERT_EQ(sa.size(), 40u);
+    for (auto &cyc : sa)
+        ASSERT_EQ(cyc.size(), 5u);
+    fuzz::Rng c(4);
+    auto sc = fuzz::makeInputSchedule(c, 8, 100, 0);
+    for (auto &cyc : sc)
+        for (V4 v : cyc)
+            ASSERT_NE(v, V4::X) << "x_percent=0 must yield no X";
+}
+
+} // namespace
+} // namespace ulpeak

@@ -11,10 +11,12 @@
  *  - DOT export for netlist inspection.
  */
 
-#include <random>
+
+#include <functional>
 
 #include <gtest/gtest.h>
 
+#include "fuzz/rng.hh"
 #include "peak/peak_analysis.hh"
 #include "tests/cpu_test_util.hh"
 
@@ -100,11 +102,11 @@ class AluSweep : public ::testing::TestWithParam<const char *> {};
 TEST_P(AluSweep, MatchesIssOverOperands)
 {
     const char *op = GetParam();
-    std::mt19937 rng(std::hash<std::string>{}(op));
+    fuzz::Rng rng(std::hash<std::string>{}(op));
     msp::System &sys = test::sharedSystem();
     for (int trial = 0; trial < 8; ++trial) {
-        uint16_t a = uint16_t(rng());
-        uint16_t d = uint16_t(rng());
+        uint16_t a = rng.word();
+        uint16_t d = rng.word();
         std::string body = "        mov #0, sr\n        mov #" +
                            std::to_string(a) + ", r4\n        mov #" +
                            std::to_string(d) + ", r5\n        " + op +

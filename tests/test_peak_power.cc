@@ -69,6 +69,111 @@ TEST(EvenOdd, AssignedVcdsContainNoXOnToggledGates)
     EXPECT_LT(vcdX, rawX);
 }
 
+TEST(EvenOdd, EmptyTraceDegeneratesGracefully)
+{
+    // Algorithm 2 over a zero-cycle trace: valid (header-only) VCDs,
+    // no per-cycle energies, empty interleave -- no special-casing
+    // required anywhere in the pipeline.
+    msp::System &sys = test::sharedSystem();
+    peak::GateTrace trace; // empty
+    std::string evenVcd = peak::buildMaxVcd(sys.netlist(), trace, true);
+    std::string oddVcd = peak::buildMaxVcd(sys.netlist(), trace, false);
+    EXPECT_FALSE(evenVcd.empty()) << "header must still be emitted";
+    auto evenE = peak::switchingEnergyFromVcd(sys.netlist(), evenVcd);
+    auto oddE = peak::switchingEnergyFromVcd(sys.netlist(), oddVcd);
+    EXPECT_TRUE(evenE.empty());
+    EXPECT_TRUE(oddE.empty());
+    EXPECT_TRUE(peak::interleave(evenE, oddE).empty());
+    EXPECT_TRUE(trace.onlineBoundJ.empty());
+}
+
+TEST(EvenOdd, SingleCycleTraceIsWellFormed)
+{
+    // One-cycle window: the pipeline stays well-formed end to end.
+    // Cycle 0 of a VCD has no predecessor, so the file-based flow
+    // reports zero switching energy there (which is why every
+    // trace-equivalence comparison in this file starts at cycle 1);
+    // the sizes and the construction itself must still hold.
+    msp::System &sys = test::sharedSystem();
+    isa::Image img =
+        isa::assemble(test::wrapProgram("        mov #1, r4\n"));
+    peak::GateTrace trace = peak::recordGateTrace(sys, img, 1);
+    ASSERT_EQ(trace.values.size(), 1u);
+    ASSERT_EQ(trace.active.size(), 1u);
+    ASSERT_EQ(trace.onlineBoundJ.size(), 1u);
+    std::string evenVcd = peak::buildMaxVcd(sys.netlist(), trace, true);
+    std::string oddVcd = peak::buildMaxVcd(sys.netlist(), trace, false);
+    auto peakTrace =
+        peak::interleave(peak::switchingEnergyFromVcd(sys.netlist(),
+                                                      evenVcd),
+                         peak::switchingEnergyFromVcd(sys.netlist(),
+                                                      oddVcd));
+    ASSERT_EQ(peakTrace.size(), 1u);
+    EXPECT_EQ(peakTrace[0], 0.0) << "no transition before cycle 0";
+}
+
+TEST(EvenOdd, AllUnknownInputWindowStaysEquivalent)
+{
+    // The cycles right after reset are the X-heaviest window the
+    // flow ever sees (uninitialized registers + X ports): the literal
+    // even/odd construction must still equal the online bound there.
+    msp::System &sys = test::sharedSystem();
+    isa::Image img = isa::assemble(test::wrapProgram(
+        "        mov &0x0020, r4\n        mov &0x0020, r5\n"));
+    peak::GateTrace trace = peak::recordGateTrace(sys, img, 6);
+    ASSERT_EQ(trace.values.size(), 6u);
+    size_t xGates = 0;
+    for (V4 v : trace.values[0])
+        xGates += v == V4::X;
+    EXPECT_GT(xGates, 0u) << "window must actually contain Xs";
+    std::string evenVcd = peak::buildMaxVcd(sys.netlist(), trace, true);
+    std::string oddVcd = peak::buildMaxVcd(sys.netlist(), trace, false);
+    auto peakTrace =
+        peak::interleave(peak::switchingEnergyFromVcd(sys.netlist(),
+                                                      evenVcd),
+                         peak::switchingEnergyFromVcd(sys.netlist(),
+                                                      oddVcd));
+    ASSERT_EQ(peakTrace.size(), trace.onlineBoundJ.size());
+    for (size_t c = 1; c < peakTrace.size(); ++c)
+        EXPECT_NEAR(peakTrace[c], trace.onlineBoundJ[c],
+                    1e-6 * trace.onlineBoundJ[c] + 1e-20)
+            << "cycle " << c;
+}
+
+TEST(Coi, ZeroKAndOversizedKEdgeCases)
+{
+    msp::System &sys = test::sharedSystem();
+    isa::Image img =
+        isa::assemble(test::wrapProgram("        mov #3, r4\n"));
+    sym::SymbolicConfig cfg;
+    cfg.recordModuleTrace = true;
+    sym::SymbolicEngine eng(sys, cfg);
+    auto sr = eng.run(img);
+    ASSERT_TRUE(sr.ok) << sr.error;
+
+    auto none = peak::analyzeCoi(sys.netlist(), sr, img, 0);
+    EXPECT_TRUE(none.cois.empty());
+
+    // k far beyond the number of distinct peaks: the report is capped
+    // by the separation rule, never padded or duplicated.
+    auto many = peak::analyzeCoi(sys.netlist(), sr, img, 10000,
+                                 /*min_separation=*/8);
+    EXPECT_FALSE(many.cois.empty());
+    EXPECT_LE(many.cois.size(), sr.totalCycles / 8 + 1);
+    for (size_t i = 1; i < many.cois.size(); ++i)
+        EXPECT_NE(many.cois[i].flatCycle, many.cois[0].flatCycle);
+}
+
+TEST(Validation, EmptyVectorsAreVacuouslySound)
+{
+    auto v = peak::validateActivity({}, {});
+    EXPECT_TRUE(v.isSuperset);
+    EXPECT_EQ(v.commonGates, 0u);
+    auto t = peak::validateTraceBound({}, {});
+    EXPECT_TRUE(t.bounds);
+    EXPECT_EQ(t.violations, 0u);
+}
+
 TEST(ExecTree, FlattenAndEnergyLinear)
 {
     sym::ExecTree t;

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Entry point of the `ulfuzz` differential fuzzing tool. All logic
+ * lives in cli::runFuzzCli so the driver is testable without spawning
+ * a process.
+ */
+
+#include "cli/fuzz_driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return ulpeak::cli::runFuzzCli(argc, argv);
+}

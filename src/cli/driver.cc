@@ -83,6 +83,34 @@ pathStem(const std::string &path)
     return dot == std::string::npos ? base : base.substr(0, dot);
 }
 
+/** "envelope": {...} JSON object (no surrounding key). */
+std::string
+envelopeJson(const ulpeak::peak::Envelope &env)
+{
+    std::ostringstream o;
+    o << "{\"cycles\": " << env.powerW.size()
+      << ", \"peak_power_w\": " << fmtDouble(env.peakPowerW())
+      << ", \"windows\": [";
+    for (size_t w = 0; w < env.windows.size(); ++w)
+        o << (w ? ", " : "") << env.windows[w];
+    o << "], \"peak_window_energy_j\": [";
+    for (size_t w = 0; w < env.peakWindowEnergyJ.size(); ++w)
+        o << (w ? ", " : "") << fmtDouble(env.peakWindowEnergyJ[w]);
+    o << "], \"power_w\": [";
+    for (size_t c = 0; c < env.powerW.size(); ++c)
+        o << (c ? ", " : "") << fmtDouble(double(env.powerW[c]));
+    o << "], \"window_energy_j\": [";
+    for (size_t w = 0; w < env.windowEnergyJ.size(); ++w) {
+        o << (w ? ", [" : "[");
+        for (size_t c = 0; c < env.windowEnergyJ[w].size(); ++c)
+            o << (c ? ", " : "")
+              << fmtDouble(double(env.windowEnergyJ[w][c]));
+        o << "]";
+    }
+    o << "]}";
+    return o.str();
+}
+
 bool
 parseUnsigned(const std::string &s, uint64_t &out)
 {
@@ -124,6 +152,13 @@ usage()
         "(default 3000000)\n"
         "  --json FILE       write the suite report as JSON\n"
         "  --csv FILE        write per-program rows as CSV\n"
+        "  --envelope[=json|csv]\n"
+        "                    per-cycle peak power envelope + windowed\n"
+        "                    peak-energy curves: json embeds them in\n"
+        "                    the --json report, csv streams per-cycle\n"
+        "                    rows to stdout (default json)\n"
+        "  --windows LIST    envelope window lengths in cycles\n"
+        "                    (default 1,10,100)\n"
         "  --cache-dir DIR   result cache (default .ulpeak-cache)\n"
         "  --no-cache        disable the result cache\n"
         "  --fail-fast       stop claiming programs after a failure\n"
@@ -198,6 +233,41 @@ parseArgs(int argc, const char *const *argv, CliOptions &out,
                 err = std::string("--eval-mode: expected event|full, "
                                   "got ") +
                       v;
+                return false;
+            }
+        } else if (a == "--envelope" ||
+                   a.rfind("--envelope=", 0) == 0) {
+            out.envelope = true;
+            if (a.size() > std::strlen("--envelope")) {
+                out.envelopeFormat =
+                    a.substr(std::strlen("--envelope="));
+                if (out.envelopeFormat != "json" &&
+                    out.envelopeFormat != "csv") {
+                    err = "--envelope: expected json|csv, got " +
+                          out.envelopeFormat;
+                    return false;
+                }
+            }
+        } else if (a == "--windows") {
+            const char *v = value("--windows");
+            if (!v)
+                return false;
+            std::stringstream ss(v);
+            std::string item;
+            out.windows.clear();
+            while (std::getline(ss, item, ',')) {
+                uint64_t n = 0;
+                if (!parseUnsigned(item, n) || n == 0 ||
+                    n > 0xffffffffull) {
+                    err = std::string(
+                              "--windows: bad window length: ") +
+                          item;
+                    return false;
+                }
+                out.windows.push_back(unsigned(n));
+            }
+            if (out.windows.empty()) {
+                err = "--windows: empty list";
                 return false;
             }
         } else if (a == "--json") {
@@ -285,6 +355,9 @@ toBatchOptions(const CliOptions &cli)
     b.analysis.numThreads = cli.threads;
     b.analysis.inputDependentLoopBound = cli.loopBound;
     b.analysis.maxTotalCycles = cli.maxTotalCycles;
+    b.analysis.recordEnvelope = cli.envelope;
+    if (!cli.windows.empty())
+        b.analysis.envelopeWindows = cli.windows;
     b.jobs = cli.jobs;
     b.cacheDir = cli.noCache ? "" : cli.cacheDir;
     b.failFast = cli.failFast;
@@ -297,7 +370,7 @@ toJson(const peak::BatchReport &rep, const peak::BatchOptions &opts,
 {
     std::ostringstream o;
     o << "{\n";
-    o << "  \"tool\": \"ulpeak\",\n  \"format_version\": 1,\n";
+    o << "  \"tool\": \"ulpeak\",\n  \"format_version\": 2,\n";
     o << "  \"options\": {\n"
       << "    \"freq_hz\": " << fmtDouble(opts.analysis.freqHz)
       << ",\n"
@@ -334,6 +407,8 @@ toJson(const peak::BatchReport &rep, const peak::BatchOptions &opts,
           << ", \"total_cycles\": " << r.totalCycles
           << ", \"paths_explored\": " << r.pathsExplored
           << ", \"dedup_merges\": " << r.dedupMerges;
+        if (r.envelope.present)
+            o << ", \"envelope\": " << envelopeJson(r.envelope);
         if (include_timings)
             o << ", \"cached\": " << (r.cached ? "true" : "false")
               << ", \"wall_seconds\": " << fmtDouble(r.wallSeconds);
@@ -374,7 +449,36 @@ toJson(const peak::BatchReport &rep, const peak::BatchOptions &opts,
           << ", \"mass_g\": " << fmtDouble(b.massG) << "}"
           << (i + 1 < rep.supply.batteries.size() ? "," : "") << "\n";
     }
-    o << "    ]\n  }\n}\n";
+    o << "    ]\n  }";
+    if (rep.suiteEnvelope.present) {
+        o << ",\n  \"suite_envelope\": "
+          << envelopeJson(rep.suiteEnvelope) << ",\n";
+        const sizing::EnvelopeSupply &es = rep.envelopeSupply;
+        o << "  \"envelope_sizing\": {\n"
+          << "    \"peak_power_w\": " << fmtDouble(es.peakPowerW)
+          << ",\n"
+          << "    \"sustained_power_w\": "
+          << fmtDouble(es.sustainedPowerW) << ",\n"
+          << "    \"windows\": [";
+        for (size_t w = 0; w < es.windows.size(); ++w)
+            o << (w ? ", " : "") << es.windows[w];
+        o << "],\n    \"peak_window_energy_j\": [";
+        for (size_t w = 0; w < es.peakWindowEnergyJ.size(); ++w)
+            o << (w ? ", " : "")
+              << fmtDouble(es.peakWindowEnergyJ[w]);
+        o << "],\n    \"decap_f\": [";
+        for (size_t w = 0; w < es.decapF.size(); ++w)
+            o << (w ? ", " : "") << fmtDouble(es.decapF[w]);
+        o << "],\n    \"harvesters\": [\n";
+        for (size_t i = 0; i < es.harvesters.size(); ++i) {
+            const auto &h = es.harvesters[i];
+            o << "      {\"name\": \"" << jsonEscape(h.name)
+              << "\", \"area_cm2\": " << fmtDouble(h.areaCm2) << "}"
+              << (i + 1 < es.harvesters.size() ? "," : "") << "\n";
+        }
+        o << "    ]\n  }";
+    }
+    o << "\n}\n";
     return o.str();
 }
 
@@ -394,6 +498,43 @@ toCsv(const peak::BatchReport &rep)
           << r.dedupMerges << ',' << fmtDouble(r.wallSeconds) << ','
           << csvQuote(r.error) << "\n";
     }
+    return o.str();
+}
+
+std::string
+toEnvelopeCsv(const peak::BatchReport &rep)
+{
+    std::ostringstream o;
+    const peak::Envelope *any = nullptr;
+    for (const peak::ProgramResult &r : rep.programs)
+        if (r.envelope.present) {
+            any = &r.envelope;
+            break;
+        }
+    if (!any && rep.suiteEnvelope.present)
+        any = &rep.suiteEnvelope;
+    o << "program,cycle,envelope_w";
+    if (any)
+        for (unsigned w : any->windows)
+            o << ",window_energy_j_w" << w;
+    o << "\n";
+    auto emit = [&o](const std::string &name,
+                     const peak::Envelope &env) {
+        for (size_t c = 0; c < env.powerW.size(); ++c) {
+            o << csvQuote(name) << ',' << c << ','
+              << fmtDouble(double(env.powerW[c]));
+            for (const auto &curve : env.windowEnergyJ)
+                o << ','
+                  << fmtDouble(c < curve.size() ? double(curve[c])
+                                                : 0.0);
+            o << "\n";
+        }
+    };
+    for (const peak::ProgramResult &r : rep.programs)
+        if (r.envelope.present)
+            emit(r.name, r.envelope);
+    if (rep.suiteEnvelope.present)
+        emit("__suite__", rep.suiteEnvelope);
     return o.str();
 }
 
@@ -462,7 +603,23 @@ runCli(int argc, const char *const *argv)
                 std::printf("  harvester %-22s %12.4f cm^2\n",
                             h.name.c_str(), h.areaCm2);
         }
+        if (rep.suiteEnvelope.present) {
+            const sizing::EnvelopeSupply &es = rep.envelopeSupply;
+            std::printf("\nsuite envelope   : %zu cycles, peak "
+                        "%.3f mW, sustained %.3f mW\n",
+                        rep.suiteEnvelope.cycles(),
+                        es.peakPowerW * 1e3,
+                        es.sustainedPowerW * 1e3);
+            for (size_t w = 0; w < es.windows.size(); ++w)
+                std::printf("  window %6u cyc: peak energy %10.3f "
+                            "nJ, decap %10.3f nF\n",
+                            es.windows[w],
+                            es.peakWindowEnergyJ[w] * 1e9,
+                            es.decapF[w] * 1e9);
+        }
     }
+    if (cli.envelope && cli.envelopeFormat == "csv")
+        std::fputs(toEnvelopeCsv(rep).c_str(), stdout);
 
     if (!cli.jsonPath.empty()) {
         std::ofstream out(cli.jsonPath);

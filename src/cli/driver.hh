@@ -46,6 +46,14 @@ struct CliOptions {
     uint64_t maxTotalCycles = 3000000; ///< --max-cycles
     std::string jsonPath;       ///< --json FILE ("" = no JSON output)
     std::string csvPath;        ///< --csv FILE ("" = no CSV output)
+    /** --envelope[=json|csv]: record per-cycle peak power envelopes
+     *  and windowed peak-energy curves. json embeds them in the
+     *  --json report (plus a table summary); csv additionally
+     *  streams per-cycle rows to stdout (cli::toEnvelopeCsv). */
+    bool envelope = false;
+    std::string envelopeFormat = "json"; ///< json | csv
+    /** --windows: window lengths [cycles] of the peak-energy curves. */
+    std::vector<unsigned> windows;
     std::string cacheDir = ".ulpeak-cache"; ///< --cache-dir
     bool noCache = false;       ///< --no-cache
     bool failFast = false;      ///< --fail-fast
@@ -79,6 +87,12 @@ std::string toJson(const peak::BatchReport &rep,
 
 /** One-row-per-program CSV (header included). */
 std::string toCsv(const peak::BatchReport &rep);
+
+/** Per-cycle envelope rows: program name (or "__suite__" for the
+ *  composed suite envelope), cycle, envelope power, and one windowed
+ *  peak-energy column per window. Deterministic: byte-identical
+ *  across --jobs / --threads / cache states. */
+std::string toEnvelopeCsv(const peak::BatchReport &rep);
 
 /** The complete driver behind tools/ulpeak_main.cc: parse, resolve,
  *  analyze, emit. Returns the process exit code (0 = whole suite

@@ -10,8 +10,14 @@
  *  2. kernel -- FullSweep <-> EventDriven bit-identity on
  *               --netlists random netlists;
  *  3. sym    -- 1-vs-K-thread peak-analysis determinism plus
- *               EventDriven-vs-FullSweep report identity on
- *               --sym-programs random programs.
+ *               EventDriven-vs-FullSweep report identity (including
+ *               the peak power envelope and windowed peak-energy
+ *               curves) on --sym-programs random programs;
+ *  4. envelope -- the per-cycle peak power envelope bounds every
+ *               concrete execution: random programs analyzed with
+ *               envelope recording, then re-run concretely with
+ *               random per-cycle port schedules, on --env-programs
+ *               random programs.
  *
  * Every work item derives its own PRNG stream from (--seed, index),
  * and each failure prints the item index, so
@@ -35,11 +41,12 @@ struct FuzzCliOptions {
     unsigned programs = 50;    ///< --programs: cosim runs
     unsigned netlists = 50;    ///< --netlists: kernel-equivalence runs
     unsigned symPrograms = 8;  ///< --sym-programs: determinism runs
+    unsigned envPrograms = 8;  ///< --env-programs: envelope-bound runs
     unsigned instructions = 24; ///< --instr: body items per program
     unsigned threads = 4;      ///< --threads: K of the 1-vs-K check
     unsigned kernelCycles = 64; ///< --kernel-cycles per netlist
     long only = -1;            ///< --only INDEX: replay one item
-    std::string mode = "all";  ///< --mode all|cosim|kernel|sym
+    std::string mode = "all";  ///< --mode all|cosim|kernel|sym|envelope
     bool dumpPrograms = false; ///< --dump-programs: print sources
     bool quiet = false;        ///< --quiet: only the summary line
     bool help = false;         ///< --help

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "peak/peak_analysis.hh"
+#include "peak/validation.hh"
+#include "power/analysis.hh"
 
 namespace ulpeak {
 namespace fuzz {
@@ -148,6 +150,21 @@ compareReports(const peak::Report &a, const peak::Report &b,
     field("pathsExplored", double(a.pathsExplored),
           double(b.pathsExplored));
     field("dedupMerges", double(a.dedupMerges), double(b.dedupMerges));
+    if (a.envelope.present != b.envelope.present) {
+        os << "envelope.present: " << what_a << "="
+           << a.envelope.present << " " << what_b << "="
+           << b.envelope.present << "\n";
+    } else if (a.envelope.present) {
+        if (a.envelope.powerW != b.envelope.powerW)
+            os << "envelope.powerW: traces differ (" << what_a << " "
+               << a.envelope.powerW.size() << " cycles, " << what_b
+               << " " << b.envelope.powerW.size() << " cycles)\n";
+        if (a.envelope.windowEnergyJ != b.envelope.windowEnergyJ)
+            os << "envelope.windowEnergyJ: curves differ\n";
+        if (a.envelope.peakWindowEnergyJ !=
+            b.envelope.peakWindowEnergyJ)
+            os << "envelope.peakWindowEnergyJ: peaks differ\n";
+    }
     return os.str();
 }
 
@@ -159,6 +176,7 @@ symDeterminismCheck(msp::System &sys, const isa::Image &image,
 {
     PropertyResult res;
     peak::Options opts;
+    opts.recordEnvelope = true;
     opts.numThreads = 1;
     peak::Report serial = peak::analyze(sys, image, opts);
     opts.numThreads = threads;
@@ -177,6 +195,7 @@ evalModeReportCheck(msp::System &sys, const isa::Image &image)
 {
     PropertyResult res;
     peak::Options opts;
+    opts.recordEnvelope = true;
     opts.evalMode = EvalMode::EventDriven;
     peak::Report event = peak::analyze(sys, image, opts);
     opts.evalMode = EvalMode::FullSweep;
@@ -189,6 +208,66 @@ evalModeReportCheck(msp::System &sys, const isa::Image &image)
     if (!diff.empty()) {
         res.ok = false;
         res.detail = diff;
+    }
+    return res;
+}
+
+PropertyResult
+envelopeBoundCheck(msp::System &sys, const isa::Image &image,
+                   Rng &rng, unsigned concrete_runs)
+{
+    PropertyResult res;
+    peak::Options opts;
+    opts.recordEnvelope = true;
+    peak::Report x = peak::analyze(sys, image, opts);
+    if (!x.ok)
+        return res; // rejected programs have nothing to bound
+    const peak::Envelope &env = x.envelope;
+
+    power::PowerContext ctx(sys.netlist(), opts.freqHz);
+    for (unsigned run = 0; run < concrete_runs; ++run) {
+        power::ConcreteRunOptions copts;
+        // Fresh random port word every cycle: each concrete run is
+        // one input assignment of the all-X symbolic port.
+        copts.portSchedule.resize(64);
+        for (uint16_t &w : copts.portSchedule)
+            w = rng.word();
+        // Enough room to *detect* a run outliving the envelope
+        // rather than truncating at exactly its length.
+        copts.maxCycles = env.powerW.size() + 256;
+        power::ConcreteRunResult c =
+            power::runConcrete(sys, image, ctx, copts);
+
+        std::ostringstream os;
+        if (!c.halted) {
+            os << "concrete run " << run << " still live after "
+               << copts.maxCycles << " cycles (envelope covers "
+               << env.powerW.size() << ")\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
+        peak::TraceValidation v =
+            peak::validateTraceBound(env.powerW, c.traceW);
+        if (!v.bounds) {
+            os << "concrete run " << run << ": envelope violated at "
+               << v.violations << " of " << c.traceW.size()
+               << " cycles, first at cycle " << v.firstViolationCycle
+               << " (";
+            if (v.firstViolationCycle < env.powerW.size())
+                os << "env="
+                   << env.powerW[size_t(v.firstViolationCycle)]
+                   << " W, ";
+            else
+                os << "beyond the " << env.powerW.size()
+                   << "-cycle envelope, ";
+            os << "concrete="
+               << c.traceW[size_t(v.firstViolationCycle)]
+               << " W, max excess " << v.maxViolationW << " W)\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
     }
     return res;
 }

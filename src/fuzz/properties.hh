@@ -61,9 +61,26 @@ PropertyResult symDeterminismCheck(msp::System &sys,
  * Property 3b: peak::analyze on @p image under EvalMode::EventDriven
  * vs EvalMode::FullSweep; reports must be bit-identical including the
  * flattened per-cycle trace.
+ *
+ * Both 3a and 3b run with envelope recording on and compare the
+ * envelope power trace and windowed peak-energy curves byte for byte.
  */
 PropertyResult evalModeReportCheck(msp::System &sys,
                                    const isa::Image &image);
+
+/**
+ * Property 4: the per-cycle peak power envelope bounds every concrete
+ * execution. Analyze @p image with envelope recording, then run it
+ * concretely @p concrete_runs times with seeded random per-cycle port
+ * schedules and check each concrete power trace lies under the
+ * envelope at every cycle (validateTraceBound's length-aware
+ * semantics: a concrete run outliving the envelope is a violation,
+ * a concrete run halting earlier is not). Programs the symbolic
+ * engine rejects (unbounded loops, indirect X jumps) pass vacuously.
+ */
+PropertyResult envelopeBoundCheck(msp::System &sys,
+                                  const isa::Image &image, Rng &rng,
+                                  unsigned concrete_runs = 3);
 
 } // namespace fuzz
 } // namespace ulpeak

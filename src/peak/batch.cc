@@ -65,7 +65,12 @@ hashString(uint64_t &h, const std::string &s)
 
 /// @name Disk cache: one small text file per key
 /// @{
-constexpr const char *kCacheMagic = "ulpeak-cache-v1";
+// Format-version header. v2 added the envelope fields; the version
+// participates both in the cache key (stale files are simply never
+// addressed) and in the content check below (a key collision or a
+// hand-copied entry from an older binary is rejected as a miss
+// instead of deserializing into a garbage report).
+constexpr const char *kCacheMagic = "ulpeak-cache-v2";
 
 std::string
 doubleBits(double d)
@@ -90,6 +95,41 @@ bitsDouble(const std::string &s, bool &ok)
     return d;
 }
 
+std::string
+floatBits(float f)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof bits);
+    char buf[12];
+    std::snprintf(buf, sizeof buf, "%08x", bits);
+    return buf;
+}
+
+/** Parse @p n floats from @p s (8 hex digits each, concatenated). */
+bool
+bitsFloats(const std::string &s, size_t n, std::vector<float> &out)
+{
+    if (s.size() != n * 8)
+        return false;
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t bits = 0;
+        for (size_t d = 0; d < 8; ++d) {
+            char c = s[i * 8 + d];
+            uint32_t v;
+            if (c >= '0' && c <= '9')
+                v = uint32_t(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v = uint32_t(c - 'a' + 10);
+            else
+                return false;
+            bits = bits << 4 | v;
+        }
+        std::memcpy(&out[i], &bits, sizeof bits);
+    }
+    return true;
+}
+
 fs::path
 cachePath(const std::string &dir, uint64_t key)
 {
@@ -99,9 +139,12 @@ cachePath(const std::string &dir, uint64_t key)
 }
 
 /** Load a cached result into @p r; false on miss or a malformed /
- *  truncated entry (treated as a miss and overwritten). */
+ *  truncated entry (treated as a miss and overwritten). When
+ *  @p expect_envelope, an entry without the envelope payload is a
+ *  miss; window curves are rebuilt by the caller. */
 bool
-loadCached(const fs::path &path, ProgramResult &r)
+loadCached(const fs::path &path, ProgramResult &r,
+           bool expect_envelope)
 {
     std::ifstream in(path);
     if (!in)
@@ -123,6 +166,8 @@ loadCached(const fs::path &path, ProgramResult &r)
             ok = false;
         seen |= 1u << bit;
     };
+    uint64_t envCycles = 0;
+    std::string envBits;
     std::string k, v;
     while (in >> k >> v) {
         if (k == "peak_power_w_bits") {
@@ -146,11 +191,26 @@ loadCached(const fs::path &path, ProgramResult &r)
         } else if (k == "dedup_merges") {
             r.dedupMerges = uint32_t(parseU64(v));
             mark(6);
+        } else if (k == "envelope_cycles") {
+            envCycles = parseU64(v);
+            mark(7);
+        } else if (k == "envelope_w_bits") {
+            envBits = v;
+            mark(8);
         }
         // Unknown keys are ignored (forward compatibility).
     }
-    if (!ok || seen != 0x7f)
+    unsigned required = expect_envelope
+                            ? (envCycles ? 0x1ffu : 0xffu)
+                            : 0x7fu;
+    if (!ok || seen != required)
         return false;
+    if (expect_envelope) {
+        r.envelope.present = true;
+        if (!bitsFloats(envBits, size_t(envCycles),
+                        r.envelope.powerW))
+            return false;
+    }
     r.ok = true;
     return true;
 }
@@ -178,6 +238,16 @@ storeCached(const fs::path &path, const ProgramResult &r)
             << "total_cycles " << r.totalCycles << "\n"
             << "paths_explored " << r.pathsExplored << "\n"
             << "dedup_merges " << r.dedupMerges << "\n";
+        if (r.envelope.present) {
+            out << "envelope_cycles " << r.envelope.powerW.size()
+                << "\n";
+            if (!r.envelope.powerW.empty()) {
+                out << "envelope_w_bits ";
+                for (float f : r.envelope.powerW)
+                    out << floatBits(f);
+                out << "\n";
+            }
+        }
     }
     std::error_code ec;
     fs::rename(tmp, path, ec);
@@ -187,7 +257,7 @@ storeCached(const fs::path &path, const ProgramResult &r)
 /// @}
 
 void
-copyScalars(ProgramResult &r, const Report &full)
+copyScalars(ProgramResult &r, Report &full)
 {
     r.ok = full.ok;
     r.error = full.error;
@@ -198,6 +268,7 @@ copyScalars(ProgramResult &r, const Report &full)
     r.totalCycles = full.totalCycles;
     r.pathsExplored = full.pathsExplored;
     r.dedupMerges = full.dedupMerges;
+    r.envelope = std::move(full.envelope);
 }
 
 } // namespace
@@ -224,11 +295,19 @@ cacheKey(const CellLibrary &lib, const isa::Image &image,
     }
     // Result-affecting options only; numThreads and evalMode are
     // excluded on purpose (scheduling-independent exploration,
-    // bit-identical kernels), as are the record* trace flags (the
-    // cache stores scalars only).
+    // bit-identical kernels), as are recordActiveSets and
+    // recordModuleTrace (never cached). recordEnvelope and the
+    // window set participate: they change what a cached entry must
+    // contain.
     hashDouble(h, opts.freqHz);
     hashU64(h, opts.maxTotalCycles);
     hashU64(h, opts.inputDependentLoopBound);
+    hashU64(h, opts.recordEnvelope ? 1 : 0);
+    if (opts.recordEnvelope) {
+        hashU64(h, opts.envelopeWindows.size());
+        for (unsigned w : opts.envelopeWindows)
+            hashU64(h, w);
+    }
     // Image contents: flattened (address, word) pairs.
     auto words = image.flatten();
     hashU64(h, words.size());
@@ -277,7 +356,18 @@ analyzeBatch(const CellLibrary &lib,
                 entry = cachePath(
                     opts.cacheDir,
                     cacheKey(lib, programs[i].image, opts.analysis));
-                if (loadCached(entry, r)) {
+                if (loadCached(entry, r,
+                               opts.analysis.recordEnvelope)) {
+                    if (r.envelope.present) {
+                        // Window curves are derived data: rebuild
+                        // them from the cached trace exactly as the
+                        // cold path built them.
+                        r.envelope.windows =
+                            opts.analysis.envelopeWindows;
+                        buildWindowCurves(
+                            r.envelope,
+                            1.0 / opts.analysis.freqHz);
+                    }
                     r.cached = true;
                     ++hits;
                     r.wallSeconds = secondsSince(t0);
@@ -347,6 +437,24 @@ analyzeBatch(const CellLibrary &lib,
     if (anyOk)
         rep.supply = sizing::sizeSuiteSupply(rep.maxPeakPowerW,
                                              rep.maxPeakEnergyJ);
+
+    // Suite envelope: elementwise max of the per-program envelopes,
+    // composed in input order (max is order-independent, so any order
+    // would produce the same bytes), then sized.
+    if (opts.analysis.recordEnvelope && anyOk) {
+        double tclk = 1.0 / opts.analysis.freqHz;
+        rep.suiteEnvelope.windows = opts.analysis.envelopeWindows;
+        for (const ProgramResult &r : rep.programs)
+            if (r.ok)
+                maxComposeEnvelope(rep.suiteEnvelope, r.envelope);
+        if (rep.suiteEnvelope.present)
+            buildWindowCurves(rep.suiteEnvelope, tclk);
+        if (rep.suiteEnvelope.present)
+            rep.envelopeSupply = sizing::sizeEnvelopeSupply(
+                rep.suiteEnvelope.windows,
+                rep.suiteEnvelope.peakWindowEnergyJ,
+                rep.suiteEnvelope.peakPowerW(), tclk, lib.vdd());
+    }
     rep.wallSeconds = secondsSince(suite0);
     return rep;
 }

@@ -22,11 +22,16 @@
  * FNV-1a hash of (cache format version, cell library contents, image
  * contents, result-affecting analysis options). Options that provably
  * cannot change the numbers -- numThreads (scheduling-independent
- * exploration), evalMode (bit-identical kernels), and the record*
- * trace flags (the cache stores scalars only) -- are excluded from
- * the key, so re-runs under a different thread count or kernel still
- * hit. Cached doubles round-trip through hexfloat, so a warm run
- * reproduces the cold run bit for bit.
+ * exploration), evalMode (bit-identical kernels), and the
+ * recordActiveSets/recordModuleTrace trace flags (never cached) --
+ * are excluded from the key, so re-runs under a different thread
+ * count or kernel still hit. recordEnvelope and envelopeWindows *do*
+ * participate: they change what a cached entry must contain. Entries
+ * carry a format-version header (bumped when the envelope fields
+ * were added), so stale entries from an older binary are treated as
+ * misses instead of deserializing into garbage reports. Cached
+ * doubles (and envelope floats) round-trip through their bit
+ * patterns, so a warm run reproduces the cold run bit for bit.
  *
  * Quickstart:
  * @code
@@ -78,8 +83,11 @@ struct BatchOptions {
     bool failFast = false;
 };
 
-/** Scalar per-program results (peak::Report minus the bulky trace and
- *  tree members, which would defeat the point of a cached suite). */
+/** Per-program results: the scalars of peak::Report (the bulky tree
+ *  members are dropped, which is the point of a cached suite), plus
+ *  the per-cycle envelope when Options::recordEnvelope asked for it
+ *  (the envelope is the profile being sized against, so the batch
+ *  layer carries and caches it). */
 struct ProgramResult {
     std::string name;
     bool ok = false;
@@ -94,6 +102,11 @@ struct ProgramResult {
     uint64_t totalCycles = 0;
     uint32_t pathsExplored = 0;
     uint32_t dedupMerges = 0;
+
+    /** Peak power envelope + windowed peak-energy curves, when
+     *  Options::recordEnvelope. The cache stores only the power
+     *  trace; window curves are rebuilt deterministically on load. */
+    Envelope envelope;
 
     double wallSeconds = 0.0; ///< this run's wall time (cache hits
                               ///< included; near zero when warm)
@@ -118,6 +131,14 @@ struct BatchReport {
     /** Harvester/battery sizes covering the suite maxima
      *  (sizing::sizeSuiteSupply; empty when no program succeeded). */
     sizing::SuiteSupply supply;
+
+    /** Elementwise max-composition of the per-program envelopes: the
+     *  per-cycle profile a shared supply must cover for every program
+     *  and every input (present only when envelopes were recorded). */
+    Envelope suiteEnvelope;
+    /** Envelope-driven harvester + decap sizes
+     *  (sizing::sizeEnvelopeSupply over suiteEnvelope). */
+    sizing::EnvelopeSupply envelopeSupply;
 
     unsigned cacheHits = 0;
     unsigned cacheMisses = 0;

@@ -1,0 +1,72 @@
+#include "peak/envelope.hh"
+
+#include <algorithm>
+
+namespace ulpeak {
+namespace peak {
+
+double
+Envelope::peakPowerW() const
+{
+    double peak = 0.0;
+    for (float w : powerW)
+        if (double(w) > peak)
+            peak = w;
+    return peak;
+}
+
+const std::vector<unsigned> &
+defaultEnvelopeWindows()
+{
+    static const std::vector<unsigned> windows = {1, 10, 100};
+    return windows;
+}
+
+void
+buildWindowCurves(Envelope &env, double tclk_s)
+{
+    env.windowEnergyJ.assign(env.windows.size(), {});
+    env.peakWindowEnergyJ.assign(env.windows.size(), 0.0);
+    if (env.powerW.empty())
+        return;
+
+    // prefix[i] = sum of powerW[0..i) in double; one sequential pass
+    // keeps the float->double accumulation order fixed.
+    std::vector<double> prefix(env.powerW.size() + 1, 0.0);
+    for (size_t c = 0; c < env.powerW.size(); ++c)
+        prefix[c + 1] = prefix[c] + double(env.powerW[c]);
+
+    for (size_t w = 0; w < env.windows.size(); ++w) {
+        uint64_t win = env.windows[w] ? env.windows[w] : 1;
+        std::vector<float> &curve = env.windowEnergyJ[w];
+        curve.resize(env.powerW.size());
+        double peak = 0.0;
+        for (size_t c = 0; c < env.powerW.size(); ++c) {
+            size_t lo = c + 1 > win ? c + 1 - win : 0;
+            double e = (prefix[c + 1] - prefix[lo]) * tclk_s;
+            curve[c] = float(e);
+            if (e > peak)
+                peak = e;
+        }
+        env.peakWindowEnergyJ[w] = peak;
+    }
+}
+
+void
+maxComposeEnvelope(Envelope &acc, const Envelope &other)
+{
+    if (!other.present)
+        return;
+    if (!acc.present) {
+        acc.present = true;
+        if (acc.windows.empty())
+            acc.windows = other.windows;
+    }
+    if (acc.powerW.size() < other.powerW.size())
+        acc.powerW.resize(other.powerW.size(), 0.0f);
+    for (size_t c = 0; c < other.powerW.size(); ++c)
+        acc.powerW[c] = std::max(acc.powerW[c], other.powerW[c]);
+}
+
+} // namespace peak
+} // namespace ulpeak

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The per-cycle peak power envelope and its windowed peak-energy
+ * curves -- the profile-shaped deliverable of the paper (as opposed
+ * to the single scalar peak): env[c] bounds the power any input can
+ * draw at cycle c, and E_w[c] bounds the energy any input can draw in
+ * the W-cycle window ending at cycle c. Supply sizing against the
+ * envelope (sizing::sizeEnvelopeSupply) replaces guardband-style
+ * point-peak provisioning with profile-driven harvester + decap
+ * sizing.
+ *
+ * The envelope is an elementwise maximum over execution-tree walks
+ * (sym::ExecTree::envelopePowerW), so it is deterministic --
+ * byte-identical across numThreads, EvalMode, and batch worker
+ * counts; the windowed curves are derived from it by a sequential
+ * double-precision prefix sum, preserving that determinism.
+ */
+
+#ifndef ULPEAK_PEAK_ENVELOPE_HH
+#define ULPEAK_PEAK_ENVELOPE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ulpeak {
+namespace peak {
+
+/** Cycle-aligned upper-bound power profile of one program (or the
+ *  max-composition of a whole suite). */
+struct Envelope {
+    bool present = false;      ///< recorded by the analysis?
+    std::vector<float> powerW; ///< env[c], c counted from reset
+
+    /** Window lengths [cycles] of the peak-energy curves. */
+    std::vector<unsigned> windows;
+    /**
+     * windowEnergyJ[w][c]: upper bound on the energy drawn in the
+     * windows[w]-cycle window ending at cycle c (truncated at cycle 0
+     * for c < W-1). Derived from powerW, so max-composition and cache
+     * round-trips recompute it instead of storing it.
+     */
+    std::vector<std::vector<float>> windowEnergyJ;
+    /** max over c of windowEnergyJ[w][c] -- the decap-sizing number
+     *  per window. */
+    std::vector<double> peakWindowEnergyJ;
+
+    /** Envelope peak [W] (equals the scalar peakPowerW bound). */
+    double peakPowerW() const;
+
+    size_t cycles() const { return powerW.size(); }
+};
+
+/** The default window set (1 / 10 / 100 cycles). */
+const std::vector<unsigned> &defaultEnvelopeWindows();
+
+/**
+ * (Re)compute @p env's windowed peak-energy curves from its powerW at
+ * @p tclk_s seconds per cycle, for @p env's window set. Deterministic:
+ * a sequential double prefix sum, truncated windows at the front.
+ */
+void buildWindowCurves(Envelope &env, double tclk_s);
+
+/**
+ * Elementwise max-composition of the power traces: the envelope that
+ * bounds every program of a suite (shorter envelopes are zero-padded
+ * conceptually). @p acc adopts @p other's window set when it has
+ * none yet. Window curves are NOT touched -- call buildWindowCurves
+ * once after the last composition (rebuilding per compose would be
+ * O(programs * cycles * windows) of discarded work).
+ */
+void maxComposeEnvelope(Envelope &acc, const Envelope &other);
+
+} // namespace peak
+} // namespace ulpeak
+
+#endif // ULPEAK_PEAK_ENVELOPE_HH

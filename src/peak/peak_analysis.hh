@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "peak/envelope.hh"
 #include "sym/symbolic_engine.hh"
 
 namespace ulpeak {
@@ -40,6 +41,13 @@ struct Options {
     EvalMode evalMode = EvalMode::EventDriven;
     /** Parallel execution-tree exploration workers (<= 1: serial). */
     unsigned numThreads = 1;
+    /** Record the per-cycle peak power envelope and windowed
+     *  peak-energy curves (Report::envelope). Byte-identical across
+     *  numThreads and evalMode. */
+    bool recordEnvelope = false;
+    /** Window lengths [cycles] of the envelope's peak-energy curves;
+     *  used only when recordEnvelope. */
+    std::vector<unsigned> envelopeWindows = defaultEnvelopeWindows();
 };
 
 /** Application-specific input-independent requirements (the paper's
@@ -55,6 +63,10 @@ struct Report {
 
     /** Flattened per-cycle peak power trace (Figure 3.3). */
     std::vector<float> flatTraceW;
+
+    /** Cycle-aligned peak power envelope + windowed peak-energy
+     *  curves, when Options::recordEnvelope. */
+    Envelope envelope;
 
     /** Gates that can ever toggle / gates active at the peak cycle
      *  (Figures 1.5 and 3.4), when Options::recordActiveSets. */

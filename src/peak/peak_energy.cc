@@ -21,7 +21,22 @@ validateActivity(const std::vector<uint8_t> &x_based,
         else if (c)
             ++v.inputOnlyGates;
     }
-    v.isSuperset = v.inputOnlyGates == 0;
+    // The uncompared tail used to be dropped silently, which let a
+    // truncated X-based vector still claim isSuperset: tally tail
+    // entries into the one-sided buckets instead.
+    v.lengthMismatch = x_based.size() != input_based.size();
+    v.uncomparedGates =
+        std::max(x_based.size(), input_based.size()) - n;
+    for (size_t g = n; g < x_based.size(); ++g)
+        if (x_based[g])
+            ++v.xOnlyGates;
+    for (size_t g = n; g < input_based.size(); ++g)
+        if (input_based[g])
+            ++v.inputOnlyGates;
+    // Gates the X-based analysis has no entry for cannot be claimed
+    // covered, toggled or not.
+    v.isSuperset = v.inputOnlyGates == 0 &&
+                   input_based.size() <= x_based.size();
     return v;
 }
 
@@ -38,10 +53,28 @@ validateTraceBound(const std::vector<float> &x_trace,
         slackSum += slack;
         if (slack < -tolerance_w) {
             ++v.violations;
+            if (v.firstViolationCycle == UINT64_MAX)
+                v.firstViolationCycle = c;
             v.maxViolationW = std::max(v.maxViolationW, -slack);
         }
     }
     v.comparedCycles = n;
+    v.lengthMismatch = x_trace.size() != c_trace.size();
+    v.uncomparedTailCycles =
+        std::max(x_trace.size(), c_trace.size()) - n;
+    // A concrete tail beyond the bound trace has no bound at all:
+    // every tail cycle is a violation (this used to be silently
+    // truncated, masking real bound violations). The opposite tail
+    // (bound longer than the concrete run) is sound.
+    if (c_trace.size() > x_trace.size()) {
+        for (size_t c = n; c < c_trace.size(); ++c) {
+            ++v.violations;
+            if (v.firstViolationCycle == UINT64_MAX)
+                v.firstViolationCycle = c;
+            v.maxViolationW =
+                std::max(v.maxViolationW, double(c_trace[c]));
+        }
+    }
     v.meanSlackW = n ? slackSum / double(n) : 0.0;
     v.bounds = v.violations == 0;
     return v;

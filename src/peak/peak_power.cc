@@ -16,6 +16,7 @@ analyze(msp::System &sys, const isa::Image &image, const Options &opts)
     cfg.maxTotalCycles = opts.maxTotalCycles;
     cfg.evalMode = opts.evalMode;
     cfg.numThreads = opts.numThreads;
+    cfg.recordEnvelope = opts.recordEnvelope;
 
     sym::SymbolicEngine engine(sys, cfg);
     sym::SymbolicResult sr = engine.run(image);
@@ -32,6 +33,12 @@ analyze(msp::System &sys, const isa::Image &image, const Options &opts)
     r.dedupMerges = sr.dedupMerges;
     if (sr.ok)
         r.flatTraceW = sr.tree.flatten();
+    if (sr.ok && opts.recordEnvelope) {
+        r.envelope.present = true;
+        r.envelope.powerW = std::move(sr.envelopeW);
+        r.envelope.windows = opts.envelopeWindows;
+        buildWindowCurves(r.envelope, 1.0 / opts.freqHz);
+    }
     r.everActive = sr.everActive;
     r.peakActive = sr.peakActive;
     r.sym = std::move(sr);

@@ -17,11 +17,19 @@ namespace ulpeak {
 namespace peak {
 
 struct ActivityValidation {
+    /** inputOnlyGates == 0 *and* the concrete vector introduces no
+     *  gates the X-based vector has no entry for. A length mismatch
+     *  can never be silently absorbed into a true superset claim. */
     bool isSuperset = false;
+    /** The two vectors describe different gate counts -- almost
+     *  always a caller bug (different netlists). The uncompared tail
+     *  is still tallied into the one-sided buckets below. */
+    bool lengthMismatch = false;
     size_t commonGates = 0;     ///< toggled in both analyses
     size_t xOnlyGates = 0;      ///< potentially-toggled only (blue
                                 ///< triangles in Figure 3.4)
     size_t inputOnlyGates = 0;  ///< would be a soundness bug
+    size_t uncomparedGates = 0; ///< |size difference|
 };
 
 /** Compare the X-based potentially-toggled set against a concrete
@@ -31,9 +39,21 @@ validateActivity(const std::vector<uint8_t> &x_based,
                  const std::vector<uint8_t> &input_based);
 
 struct TraceValidation {
+    /** violations == 0. A concrete trace longer than the bound trace
+     *  can never be bounded: its tail cycles have no bound and each
+     *  counts as a violation. */
     bool bounds = false;
+    /** Trace lengths differ. An x-trace longer than the concrete
+     *  trace is legitimate (the bound covers the longest path, the
+     *  concrete run halted earlier) and leaves bounds intact; the
+     *  flag still reports it so callers expecting aligned traces
+     *  notice. */
+    bool lengthMismatch = false;
     uint64_t violations = 0;
-    uint64_t comparedCycles = 0;
+    uint64_t comparedCycles = 0;        ///< min of the two lengths
+    uint64_t uncomparedTailCycles = 0;  ///< |length difference|
+    /** First violating cycle (UINT64_MAX when bounds holds). */
+    uint64_t firstViolationCycle = UINT64_MAX;
     double maxViolationW = 0.0;
     /** Mean (x - concrete) over compared cycles: how tight the bound
      *  is (Figure 3.5 shows the traces close together). */
@@ -43,7 +63,9 @@ struct TraceValidation {
 /**
  * Check that the X-based per-cycle trace upper-bounds the concrete
  * trace, cycle-aligned (valid for matching execution paths; for
- * forked programs compare along the concrete path's prefix).
+ * forked programs compare along the concrete path's prefix, and for
+ * the envelope flow compare the whole concrete trace -- the envelope
+ * covers every path, so a concrete tail beyond it is a violation).
  */
 TraceValidation validateTraceBound(const std::vector<float> &x_trace,
                                    const std::vector<float> &c_trace,

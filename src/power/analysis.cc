@@ -29,8 +29,13 @@ runConcrete(msp::System &sys, const isa::Image &image,
         r.everActive.assign(sys.netlist().numGates(), 0);
 
     while (!sys.halted() && sim.cycle() < opts.maxCycles) {
+        uint16_t port =
+            opts.portSchedule.empty()
+                ? opts.portIn
+                : opts.portSchedule[size_t(sim.cycle()) %
+                                    opts.portSchedule.size()];
         sim.step([&](Simulator &s) {
-            sys.driveCycle(s, Word16::known(opts.portIn));
+            sys.driveCycle(s, Word16::known(port));
         });
         double w = ctx.cycleBoundPowerW(sim);
         r.stats.add(w);

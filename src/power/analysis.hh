@@ -31,6 +31,10 @@ struct ConcreteRunOptions {
      *  input-based sets, validated against the X-based superset). */
     bool recordActivity = false;
     uint16_t portIn = 0;
+    /** Per-cycle port values (cycled when shorter than the run);
+     *  overrides portIn when non-empty. The envelope-bounding fuzz
+     *  property drives a fresh random word every cycle this way. */
+    std::vector<uint16_t> portSchedule;
 };
 
 struct ConcreteRunResult {

@@ -1,5 +1,7 @@
 #include "sizing/sizing.hh"
 
+#include <algorithm>
+
 namespace ulpeak {
 namespace sizing {
 
@@ -68,6 +70,47 @@ batteryVolumeReductionPct(double baseline_npe, double xbased_npe,
     if (rel < 0.0)
         rel = 0.0;
     return processor_fraction * rel * 100.0;
+}
+
+double
+decapFarads(double window_energy_j, double vdd, double vmin)
+{
+    double dv2 = vdd * vdd - vmin * vmin;
+    if (dv2 <= 0.0)
+        return 0.0;
+    return 2.0 * window_energy_j / dv2;
+}
+
+EnvelopeSupply
+sizeEnvelopeSupply(const std::vector<unsigned> &windows,
+                   const std::vector<double> &peak_window_energy_j,
+                   double peak_power_w, double tclk_s, double vdd)
+{
+    EnvelopeSupply s;
+    s.peakPowerW = peak_power_w;
+    s.windows = windows;
+    s.peakWindowEnergyJ = peak_window_energy_j;
+
+    double vmin = kDecapVminRatio * vdd;
+    unsigned longest = 0;
+    size_t n = std::min(windows.size(), peak_window_energy_j.size());
+    for (size_t w = 0; w < n; ++w) {
+        s.decapF.push_back(
+            decapFarads(peak_window_energy_j[w], vdd, vmin));
+        if (windows[w] > longest) {
+            longest = windows[w];
+            s.sustainedPowerW =
+                tclk_s > 0.0 ? peak_window_energy_j[w] /
+                                   (double(windows[w]) * tclk_s)
+                             : 0.0;
+        }
+    }
+    if (longest == 0)
+        s.sustainedPowerW = peak_power_w;
+    for (const HarvesterType &h : harvesterTypes())
+        s.harvesters.push_back(
+            {h.name, harvesterAreaCm2(s.sustainedPowerW, h)});
+    return s;
 }
 
 SuiteSupply

@@ -95,6 +95,54 @@ struct SuiteSupply {
 SuiteSupply sizeSuiteSupply(double peak_power_w, double peak_energy_j);
 /// @}
 
+/// @name Envelope-driven supply + decap sizing (peak::Envelope)
+/// @{
+
+/**
+ * Decoupling capacitance that can deliver @p window_energy_j while
+ * the rail droops from @p vdd to @p vmin:
+ *   C = 2 E / (vdd^2 - vmin^2). [F]
+ * This is the decap role of the windowed peak-energy curves: the
+ * supply covers the sustained rate, the decap covers the worst
+ * W-cycle burst above it.
+ */
+double decapFarads(double window_energy_j, double vdd, double vmin);
+
+/** Allowed rail droop of the decap model: vmin = kDecapVminRatio *
+ *  vdd (5% droop). */
+constexpr double kDecapVminRatio = 0.95;
+
+/**
+ * Supply sizes driven by the per-cycle envelope profile instead of
+ * the point peak: the harvester covers the *sustained* rate (the
+ * worst longest-window average power -- strictly tighter than the
+ * single-cycle peak whenever the envelope is not flat), and one decap
+ * per window covers that window's worst energy burst. This is the
+ * anti-guardband sizing the paper argues for.
+ */
+struct EnvelopeSupply {
+    double peakPowerW = 0.0;      ///< envelope max (reference point)
+    double sustainedPowerW = 0.0; ///< worst longest-window avg power
+    std::vector<unsigned> windows;
+    std::vector<double> peakWindowEnergyJ; ///< per window
+    std::vector<double> decapF;            ///< per window, 5% droop
+    std::vector<SuiteSupply::HarvesterFit>
+        harvesters; ///< sized by sustainedPowerW
+};
+
+/**
+ * Size harvesters and decaps from an envelope's windowed peak-energy
+ * curve maxima. @p windows and @p peak_window_energy_j are parallel
+ * (peak::Envelope::windows / peakWindowEnergyJ); @p tclk_s converts
+ * the longest window's energy into the sustained power requirement;
+ * @p vdd is the rail the decaps ride on.
+ */
+EnvelopeSupply
+sizeEnvelopeSupply(const std::vector<unsigned> &windows,
+                   const std::vector<double> &peak_window_energy_j,
+                   double peak_power_w, double tclk_s, double vdd);
+/// @}
+
 } // namespace sizing
 } // namespace ulpeak
 

@@ -1,6 +1,8 @@
 #include "sym/exec_tree.hh"
 
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 
 namespace ulpeak {
 namespace sym {
@@ -109,6 +111,96 @@ visit(const ExecTree &tree, uint32_t id, double tclk,
 }
 
 } // namespace
+
+std::vector<float>
+ExecTree::envelopePowerW(unsigned loop_bound,
+                         uint64_t pair_budget) const
+{
+    std::vector<float> env;
+    if (nodes_.empty())
+        return env;
+
+    // Detect back-edges (iterative three-color DFS over nodes): a
+    // cycle means walks can revisit a node, so offsets are unbounded
+    // without a loop bound.
+    unsigned backEdges = 0;
+    {
+        std::vector<int8_t> color(nodes_.size(), 0);
+        // (node, next-edge-index) explicit stack.
+        std::vector<std::pair<uint32_t, size_t>> dfs{{0, 0}};
+        color[0] = 1;
+        while (!dfs.empty()) {
+            auto &[id, ei] = dfs.back();
+            const TreeNode &n = nodes_[id];
+            if (ei >= n.edges.size()) {
+                color[id] = 2;
+                dfs.pop_back();
+                continue;
+            }
+            uint32_t child = n.edges[ei++].child;
+            if (child == kNoNode)
+                continue;
+            if (color[child] == 1) {
+                ++backEdges;
+            } else if (color[child] == 0) {
+                color[child] = 1;
+                dfs.emplace_back(child, 0);
+            }
+        }
+    }
+    if (backEdges && loop_bound == 0)
+        throw std::runtime_error(
+            "unbounded input-dependent loop in execution tree; "
+            "provide inputDependentLoopBound");
+    // A legal walk takes each of the B back-edges at most loop_bound
+    // times per enclosing iteration, so node visits multiply to at
+    // most loop_bound^B nestings and every legal offset is below
+    // totalCycles * loop_bound^B. Saturate the product instead of
+    // overflowing: a cap that large is never reached -- the pair
+    // budget throws (loudly) long before, rather than an undersized
+    // cap silently truncating legal walks of nested loops.
+    uint64_t cap = UINT64_MAX;
+    if (backEdges) {
+        cap = totalCycles();
+        for (unsigned b = 0; b < backEdges; ++b) {
+            if (cap > (uint64_t(1) << 42))
+                break; // saturated; pair_budget is the real guard
+            cap *= uint64_t(loop_bound);
+        }
+    }
+
+    // Max-merge every reachable (node, start-offset) pair. The pair
+    // set -- not the visit order -- determines the result, because
+    // per-cycle float max is order-independent.
+    std::vector<std::unordered_set<uint64_t>> seen(nodes_.size());
+    std::vector<std::pair<uint32_t, uint64_t>> work{{0, 0}};
+    seen[0].insert(0);
+    uint64_t pairs = 0;
+    while (!work.empty()) {
+        auto [id, start] = work.back();
+        work.pop_back();
+        if (++pairs > pair_budget)
+            throw std::runtime_error(
+                "envelope pair budget exhausted (pathologically "
+                "merge-heavy execution tree)");
+        const TreeNode &n = nodes_[id];
+        if (env.size() < start + n.powerW.size())
+            env.resize(start + n.powerW.size(), 0.0f);
+        for (size_t c = 0; c < n.powerW.size(); ++c)
+            if (n.powerW[c] > env[start + c])
+                env[start + c] = n.powerW[c];
+        uint64_t childStart = start + n.powerW.size();
+        if (childStart >= cap)
+            continue;
+        for (const TreeEdge &e : n.edges) {
+            if (e.child == kNoNode)
+                continue;
+            if (seen[e.child].insert(childStart).second)
+                work.emplace_back(e.child, childStart);
+        }
+    }
+    return env;
+}
 
 PathEnergy
 ExecTree::maxPathEnergy(double tclk, unsigned loop_bound) const

@@ -94,6 +94,32 @@ class ExecTree {
     PathEnergy maxPathEnergy(double tclk,
                              unsigned loop_bound = 0) const;
 
+    /**
+     * The cycle-aligned upper-bound power envelope over *every* walk
+     * of the tree: env[c] = max over all root-to-leaf walks of the
+     * walk's power at cycle c. Unlike flatten() -- which emits each
+     * node's trace exactly once in depth-first order -- this follows
+     * merged edges too, replaying an already-simulated node's trace
+     * at every cycle offset a walk can reach it at, so the envelope
+     * bounds the merged continuations that exploration never
+     * re-simulated. The reachable (node, offset) set is a function of
+     * the tree's logical structure alone, and per-cycle float max is
+     * order-independent, so the envelope is byte-identical under any
+     * exploration scheduling.
+     *
+     * Back-edges (bounded input-dependent loops) contribute walks of
+     * up to @p loop_bound iterations per back-edge, capped at
+     * totalCycles() * loop_bound^B cycles for B back-edges (nested
+     * loops multiply); they are an error when loop_bound == 0, as
+     * in maxPathEnergy. @p pair_budget bounds the traversal on
+     * pathologically merge-heavy or deeply nested trees.
+     * @throws std::runtime_error for unbounded back-edges or an
+     *         exhausted pair budget.
+     */
+    std::vector<float>
+    envelopePowerW(unsigned loop_bound = 0,
+                   uint64_t pair_budget = uint64_t(1) << 22) const;
+
   private:
     std::vector<TreeNode> nodes_;
 };

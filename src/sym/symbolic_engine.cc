@@ -498,6 +498,15 @@ SymbolicEngine::run(const isa::Image &image)
         res.maxPathCycles = pe.cycles;
         res.npeJPerCycle =
             pe.cycles ? pe.energyJ / double(pe.cycles) : 0.0;
+        // ---- Per-cycle peak power envelope over the tree ----
+        // Computed from the tree rather than max-merged inside the
+        // workers: a dedup race can hang the same logical node under
+        // either racing parent, and only the tree walk sees both
+        // resulting offsets -- worker-local merges would be
+        // scheduling-dependent exactly there.
+        if (cfg_.recordEnvelope)
+            res.envelopeW = res.tree.envelopePowerW(
+                cfg_.inputDependentLoopBound);
     } catch (const std::exception &e) {
         res.ok = false;
         res.error = e.what();

@@ -71,6 +71,11 @@ struct SymbolicConfig {
     /** Record per-cycle per-module power and instruction attribution
      *  (Figure 3.6 COI analysis). */
     bool recordModuleTrace = false;
+    /** Compute the cycle-aligned peak power envelope over the whole
+     *  execution tree (ExecTree::envelopePowerW) after exploration.
+     *  Derived from the tree's logical structure, so it is
+     *  byte-identical under any numThreads / EvalMode. */
+    bool recordEnvelope = false;
     /** Iteration bound applied to back-edges in the execution tree
      *  (0 = reject unbounded input-dependent loops). */
     unsigned inputDependentLoopBound = 0;
@@ -103,6 +108,11 @@ struct SymbolicResult {
     std::vector<uint8_t> everActive;  ///< per gate: 1 if ever active
     std::vector<uint32_t> peakActive; ///< gates active at the peak
     /// @}
+
+    /** Per-cycle upper-bound power envelope env[c] = max over all
+     *  execution-tree walks of power(walk, c), when
+     *  SymbolicConfig::recordEnvelope. */
+    std::vector<float> envelopeW;
 
     /// @name Exploration statistics
     /// @{

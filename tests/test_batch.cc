@@ -217,6 +217,152 @@ TEST(Batch, CorruptedCacheEntryIsAMiss)
     EXPECT_EQ(warm.cacheHits, 1u);
 }
 
+// Regression (bugfix): cache entries now carry a format-version
+// header. An entry written by a pre-envelope binary (v1 format, no
+// envelope payload) must be a miss -- not deserialize into a report
+// missing its envelope -- even if it lands at the right path.
+TEST(Batch, StalePreEnvelopeCacheEntryIsAMiss)
+{
+    TempDir dir;
+    auto suite = cli::resolvePrograms({"intAVG"});
+    peak::BatchOptions opts;
+    opts.cacheDir = dir.path.string();
+    opts.analysis.recordEnvelope = true;
+
+    peak::BatchReport cold = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(cold.ok);
+    ASSERT_TRUE(cold.programs[0].envelope.present);
+
+    // Rewrite every entry as a complete, well-formed *v1* entry (the
+    // old magic, scalar fields only): the version check alone must
+    // reject it.
+    for (const auto &e : fs::directory_iterator(dir.path))
+        std::ofstream(e.path())
+            << "ulpeak-cache-v1\n"
+            << "peak_power_w_bits 3f50624dd2f1a9fc\n"
+            << "peak_energy_j_bits 3f50624dd2f1a9fc\n"
+            << "npe_j_per_cycle_bits 3f50624dd2f1a9fc\n"
+            << "max_path_cycles 1\n"
+            << "total_cycles 1\n"
+            << "paths_explored 1\n"
+            << "dedup_merges 0\n";
+
+    peak::BatchReport rerun = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(rerun.ok);
+    EXPECT_EQ(rerun.cacheHits, 0u);
+    EXPECT_EQ(rerun.cacheMisses, 1u);
+    EXPECT_EQ(rerun.programs[0].peakPowerW,
+              cold.programs[0].peakPowerW);
+    EXPECT_EQ(rerun.programs[0].envelope.powerW,
+              cold.programs[0].envelope.powerW);
+}
+
+// A v2 entry stored *without* the envelope payload (same binary,
+// envelope recording off) must never satisfy an envelope-expecting
+// lookup -- the two configurations use distinct keys, and the loader
+// additionally rejects payload-free entries when an envelope is
+// expected.
+TEST(Batch, EnvelopeRunsDoNotShareEntriesWithScalarRuns)
+{
+    TempDir dir;
+    auto suite = cli::resolvePrograms({"intAVG"});
+    peak::BatchOptions scalar;
+    scalar.cacheDir = dir.path.string();
+    peak::BatchReport cold = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, scalar);
+    ASSERT_TRUE(cold.ok);
+
+    peak::BatchOptions withEnv = scalar;
+    withEnv.analysis.recordEnvelope = true;
+    peak::BatchReport env = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, withEnv);
+    ASSERT_TRUE(env.ok);
+    EXPECT_EQ(env.cacheHits, 0u); // distinct key: no cross-hit
+    ASSERT_TRUE(env.programs[0].envelope.present);
+
+    // Both configurations now hit their own entries.
+    EXPECT_EQ(peak::analyzeBatch(CellLibrary::tsmc65Like(), suite,
+                                 scalar)
+                  .cacheHits,
+              1u);
+    peak::BatchReport warm = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, withEnv);
+    EXPECT_EQ(warm.cacheHits, 1u);
+    ASSERT_TRUE(warm.programs[0].envelope.present);
+    // Bit-exact envelope round-trip, window curves rebuilt.
+    EXPECT_EQ(warm.programs[0].envelope.powerW,
+              env.programs[0].envelope.powerW);
+    EXPECT_EQ(warm.programs[0].envelope.windowEnergyJ,
+              env.programs[0].envelope.windowEnergyJ);
+    EXPECT_EQ(warm.programs[0].envelope.peakWindowEnergyJ,
+              env.programs[0].envelope.peakWindowEnergyJ);
+}
+
+TEST(Batch, EnvelopeJsonAndCsvDeterministicAcrossWorkerCounts)
+{
+    auto suite = smallSuite();
+    peak::BatchOptions serial;
+    serial.analysis.recordEnvelope = true;
+    serial.jobs = 1;
+    peak::BatchOptions parallel = serial;
+    parallel.jobs = 4;
+    parallel.analysis.numThreads = 2;
+
+    peak::BatchReport a = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, serial);
+    peak::BatchReport b = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, parallel);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    ASSERT_TRUE(a.suiteEnvelope.present);
+
+    EXPECT_EQ(cli::toJson(a, serial, /*include_timings=*/false),
+              cli::toJson(b, parallel, /*include_timings=*/false));
+    EXPECT_EQ(cli::toEnvelopeCsv(a), cli::toEnvelopeCsv(b));
+    // And the envelope actually made it into both serializations.
+    std::string json = cli::toJson(a, serial, false);
+    EXPECT_NE(json.find("\"suite_envelope\""), std::string::npos);
+    EXPECT_NE(json.find("\"envelope_sizing\""), std::string::npos);
+    EXPECT_NE(cli::toEnvelopeCsv(a).find("__suite__"),
+              std::string::npos);
+}
+
+TEST(Cli, ParseEnvelopeArgs)
+{
+    const char *argv[] = {"ulpeak", "mult", "--envelope=csv",
+                          "--windows", "1,8,64"};
+    cli::CliOptions o;
+    std::string err;
+    ASSERT_TRUE(cli::parseArgs(5, argv, o, err)) << err;
+    EXPECT_TRUE(o.envelope);
+    EXPECT_EQ(o.envelopeFormat, "csv");
+    ASSERT_EQ(o.windows, (std::vector<unsigned>{1, 8, 64}));
+    peak::BatchOptions b = cli::toBatchOptions(o);
+    EXPECT_TRUE(b.analysis.recordEnvelope);
+    EXPECT_EQ(b.analysis.envelopeWindows, o.windows);
+
+    const char *plain[] = {"ulpeak", "mult", "--envelope"};
+    cli::CliOptions o2;
+    ASSERT_TRUE(cli::parseArgs(3, plain, o2, err)) << err;
+    EXPECT_TRUE(o2.envelope);
+    EXPECT_EQ(o2.envelopeFormat, "json");
+    // Default window set applies when --windows is absent.
+    EXPECT_EQ(cli::toBatchOptions(o2).analysis.envelopeWindows,
+              peak::defaultEnvelopeWindows());
+
+    const char *bad[] = {"ulpeak", "mult", "--envelope=xml"};
+    cli::CliOptions o3;
+    EXPECT_FALSE(cli::parseArgs(3, bad, o3, err));
+    EXPECT_NE(err.find("--envelope"), std::string::npos);
+
+    const char *badwin[] = {"ulpeak", "mult", "--windows", "0,4"};
+    cli::CliOptions o4;
+    EXPECT_FALSE(cli::parseArgs(4, badwin, o4, err));
+    EXPECT_NE(err.find("--windows"), std::string::npos);
+}
+
 TEST(Batch, CacheKeyExclusionRules)
 {
     CellLibrary lib = CellLibrary::tsmc65Like();
@@ -240,6 +386,21 @@ TEST(Batch, CacheKeyExclusionRules)
     peak::Options bound = base;
     bound.inputDependentLoopBound = 4;
     EXPECT_NE(peak::cacheKey(lib, img, bound), k0);
+
+    // Envelope recording changes what an entry must contain, so it
+    // (and the window set) participates in the key.
+    peak::Options env = base;
+    env.recordEnvelope = true;
+    uint64_t kEnv = peak::cacheKey(lib, img, env);
+    EXPECT_NE(kEnv, k0);
+    peak::Options envWin = env;
+    envWin.envelopeWindows = {1, 8, 64};
+    EXPECT_NE(peak::cacheKey(lib, img, envWin), kEnv);
+    // ...but the window set is irrelevant while envelopes are off
+    // (curves are never cached).
+    peak::Options winOff = base;
+    winOff.envelopeWindows = {1, 8, 64};
+    EXPECT_EQ(peak::cacheKey(lib, img, winOff), k0);
 
     // And so must the image itself, and the cell library (by
     // content, so recalibrating energies invalidates the cache).

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tests of the peak-envelope subsystem: ExecTree::envelopePowerW
+ * (offset-aware max over all walks, merged-edge continuations,
+ * bounded back-edges), the windowed peak-energy curves, determinism
+ * of the envelope under thread counts and EvalModes, suite-level
+ * max-composition in analyzeBatch, envelope-driven sizing, the
+ * envelope-bounding fuzz property (including an injected-bug
+ * sensitivity check), and activeGatesPerModule coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench430/benchmarks.hh"
+#include "cli/driver.hh"
+#include "fuzz/program_gen.hh"
+#include "fuzz/properties.hh"
+#include "peak/batch.hh"
+#include "peak/peak_analysis.hh"
+#include "peak/validation.hh"
+#include "power/analysis.hh"
+#include "sizing/sizing.hh"
+#include "tests/cpu_test_util.hh"
+
+namespace ulpeak {
+namespace {
+
+/** Two port-dependent branches: a 4-leaf execution tree with paths
+ *  of different lengths, exercising offset-shifted merges. */
+const char *kForkyBody = R"(
+        mov &0x0020, r4
+        mov &0x0020, r6
+        mov #0, r5
+        and #1, r4
+        jz fb_a
+        mov #3, r5
+        add #2, r5
+fb_a:
+        and #2, r6
+        jnz fb_b
+        add #7, r5
+fb_b:
+        add #1, r5
+)";
+
+TEST(EnvelopeTree, LinearChainIsTheTraceItself)
+{
+    sym::ExecTree t;
+    uint32_t root = t.newNode(sym::kNoNode);
+    t.node(root).powerW = {1.0f, 2.0f, 3.0f};
+    std::vector<float> env = t.envelopePowerW();
+    EXPECT_EQ(env, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+}
+
+TEST(EnvelopeTree, SiblingsMaxMergeCycleAligned)
+{
+    sym::ExecTree t;
+    uint32_t root = t.newNode(sym::kNoNode);
+    t.node(root).powerW = {1.0f};
+    uint32_t a = t.newNode(root);
+    t.node(a).powerW = {5.0f, 1.0f};
+    uint32_t b = t.newNode(root);
+    t.node(b).powerW = {2.0f, 4.0f, 3.0f};
+    t.node(root).edges = {{0x100, a, false}, {0x102, b, false}};
+    // env[1] = max(5,2), env[2] = max(1,4), env[3] = 3 (only b).
+    EXPECT_EQ(t.envelopePowerW(),
+              (std::vector<float>{1.0f, 5.0f, 4.0f, 3.0f}));
+}
+
+TEST(EnvelopeTree, MergedEdgeReplaysAtShiftedOffset)
+{
+    // root{1} -> a{2,2} -> join{10}; root -> b{4} -> join (merged).
+    // The walk through b reaches join one cycle earlier than the walk
+    // through a, so join's trace must appear at BOTH offsets -- this
+    // is exactly the continuation exploration never re-simulated.
+    sym::ExecTree t;
+    uint32_t root = t.newNode(sym::kNoNode);
+    t.node(root).powerW = {1.0f};
+    uint32_t a = t.newNode(root);
+    t.node(a).powerW = {2.0f, 2.0f};
+    uint32_t b = t.newNode(root);
+    t.node(b).powerW = {4.0f};
+    uint32_t join = t.newNode(a);
+    t.node(join).powerW = {10.0f};
+    t.node(root).edges = {{0, a, false}, {0, b, false}};
+    t.node(a).edges = {{0, join, false}};
+    t.node(b).edges = {{0, join, true}};
+    // offsets: root 0; a 1-2; b 1; join at 2 (via b) and 3 (via a).
+    EXPECT_EQ(t.envelopePowerW(),
+              (std::vector<float>{1.0f, 4.0f, 10.0f, 10.0f}));
+}
+
+TEST(EnvelopeTree, BackEdgeRequiresBoundAndRepeats)
+{
+    sym::ExecTree t;
+    uint32_t root = t.newNode(sym::kNoNode);
+    t.node(root).powerW = {1.0f};
+    uint32_t loop = t.newNode(root);
+    t.node(loop).powerW = {2.0f, 3.0f};
+    t.node(root).edges = {{0, loop, false}};
+    t.node(loop).edges = {{0, loop, true}}; // self back-edge
+    EXPECT_THROW(t.envelopePowerW(0), std::runtime_error);
+    std::vector<float> env = t.envelopePowerW(2);
+    // Cap is totalCycles()*bound = 6: root + two loop iterations,
+    // truncated at offset >= 6.
+    ASSERT_GE(env.size(), 5u);
+    EXPECT_EQ(env[0], 1.0f);
+    EXPECT_EQ(env[1], 2.0f);
+    EXPECT_EQ(env[2], 3.0f);
+    EXPECT_EQ(env[3], 2.0f);
+    EXPECT_EQ(env[4], 3.0f);
+}
+
+// Regression: the back-edge cap must account for *nested* bounded
+// loops -- with B back-edges a legal walk visits a node up to
+// loop_bound^B times, so a cap of totalCycles * loop_bound (the
+// original formula) silently truncated legal walks.
+TEST(EnvelopeTree, NestedBackEdgesExtendTheCap)
+{
+    sym::ExecTree t;
+    uint32_t root = t.newNode(sym::kNoNode);
+    t.node(root).powerW = {1.0f};
+    uint32_t outer = t.newNode(root);
+    t.node(outer).powerW = {2.0f};
+    uint32_t inner = t.newNode(outer);
+    t.node(inner).powerW = {3.0f};
+    t.node(root).edges = {{0, outer, false}};
+    t.node(outer).edges = {{0, inner, false}};
+    t.node(inner).edges = {{0, inner, true},   // inner self-loop
+                           {0, outer, true}};  // back to the outer
+    // bound 3: a legal walk reaches offset 1 + 3*(1+3) = 13, past
+    // the old cap of totalCycles*bound = 9.
+    std::vector<float> env = t.envelopePowerW(3);
+    EXPECT_GT(env.size(), 9u);
+    // New cap: totalCycles * bound^2 = 27.
+    EXPECT_LE(env.size(), 27u);
+    EXPECT_EQ(env[13], 3.0f); // the deep iteration is covered
+}
+
+TEST(EnvelopeTree, PairBudgetGuard)
+{
+    sym::ExecTree t;
+    uint32_t root = t.newNode(sym::kNoNode);
+    t.node(root).powerW = {1.0f};
+    uint32_t a = t.newNode(root);
+    t.node(a).powerW = {2.0f};
+    uint32_t b = t.newNode(root);
+    t.node(b).powerW = {2.0f, 2.0f};
+    t.node(root).edges = {{0, a, false}, {0, b, false}};
+    uint32_t join = t.newNode(a);
+    t.node(join).powerW = {3.0f};
+    t.node(a).edges = {{0, join, false}};
+    t.node(b).edges = {{0, join, true}};
+    // 6 reachable (node, offset) pairs; a budget of 2 must trip.
+    EXPECT_THROW(t.envelopePowerW(0, 2), std::runtime_error);
+    EXPECT_NO_THROW(t.envelopePowerW(0, 64));
+}
+
+TEST(EnvelopeCurves, WindowedEnergyMath)
+{
+    peak::Envelope env;
+    env.present = true;
+    env.powerW = {1.0f, 3.0f, 2.0f, 5.0f};
+    env.windows = {1, 2, 100};
+    peak::buildWindowCurves(env, 2.0); // tclk = 2 s/cycle
+    ASSERT_EQ(env.windowEnergyJ.size(), 3u);
+    // W=1: the per-cycle energies themselves.
+    EXPECT_EQ(env.windowEnergyJ[0],
+              (std::vector<float>{2.0f, 6.0f, 4.0f, 10.0f}));
+    EXPECT_DOUBLE_EQ(env.peakWindowEnergyJ[0], 10.0);
+    // W=2: truncated at the front.
+    EXPECT_EQ(env.windowEnergyJ[1],
+              (std::vector<float>{2.0f, 8.0f, 10.0f, 14.0f}));
+    EXPECT_DOUBLE_EQ(env.peakWindowEnergyJ[1], 14.0);
+    // W larger than the trace: running total.
+    EXPECT_EQ(env.windowEnergyJ[2],
+              (std::vector<float>{2.0f, 8.0f, 12.0f, 22.0f}));
+    EXPECT_DOUBLE_EQ(env.peakWindowEnergyJ[2], 22.0);
+}
+
+TEST(EnvelopeCurves, MaxComposeIsElementwiseMax)
+{
+    peak::Envelope a, b;
+    a.present = b.present = true;
+    a.windows = b.windows = {1, 2};
+    a.powerW = {1.0f, 5.0f};
+    b.powerW = {2.0f, 3.0f, 4.0f};
+    peak::Envelope acc;
+    acc.windows = {1, 2};
+    peak::maxComposeEnvelope(acc, a);
+    peak::maxComposeEnvelope(acc, b);
+    EXPECT_TRUE(acc.present);
+    EXPECT_EQ(acc.powerW, (std::vector<float>{2.0f, 5.0f, 4.0f}));
+    // Curves are built once, over the final composed trace.
+    peak::buildWindowCurves(acc, 1.0);
+    EXPECT_EQ(acc.windowEnergyJ[1],
+              (std::vector<float>{2.0f, 7.0f, 9.0f}));
+}
+
+TEST(Envelope, ConsistentWithScalarPeakAndPathBound)
+{
+    msp::System &sys = test::sharedSystem();
+    peak::Options opts;
+    opts.recordEnvelope = true;
+    peak::Report r = peak::analyze(
+        sys, isa::assemble(test::wrapProgram(kForkyBody)), opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(r.envelope.present);
+    ASSERT_FALSE(r.envelope.powerW.empty());
+    // The envelope's max is the scalar peak bound (stored as float).
+    EXPECT_EQ(float(r.envelope.peakPowerW()), float(r.peakPowerW));
+    // It covers at least the max-energy path.
+    EXPECT_GE(r.envelope.cycles(), r.maxPathCycles);
+    // Windowed curves exist per window and the W=1 peak matches the
+    // power peak times tclk.
+    ASSERT_EQ(r.envelope.windows, peak::defaultEnvelopeWindows());
+    ASSERT_EQ(r.envelope.windowEnergyJ.size(), 3u);
+    double tclk = 1.0 / opts.freqHz;
+    EXPECT_NEAR(r.envelope.peakWindowEnergyJ[0],
+                r.envelope.peakPowerW() * tclk,
+                1e-6 * r.envelope.peakWindowEnergyJ[0]);
+    // Longer windows bound at least as much energy.
+    EXPECT_GE(r.envelope.peakWindowEnergyJ[1],
+              r.envelope.peakWindowEnergyJ[0]);
+    EXPECT_GE(r.envelope.peakWindowEnergyJ[2],
+              r.envelope.peakWindowEnergyJ[1]);
+}
+
+TEST(Envelope, ByteIdenticalAcrossThreadsAndKernels)
+{
+    msp::System &sys = test::sharedSystem();
+    isa::Image img = isa::assemble(test::wrapProgram(kForkyBody));
+    peak::Options base;
+    base.recordEnvelope = true;
+    peak::Report serial = peak::analyze(sys, img, base);
+    ASSERT_TRUE(serial.ok) << serial.error;
+
+    peak::Options threads = base;
+    threads.numThreads = 4;
+    peak::Report parallel = peak::analyze(sys, img, threads);
+    ASSERT_TRUE(parallel.ok) << parallel.error;
+    EXPECT_EQ(serial.envelope.powerW, parallel.envelope.powerW);
+    EXPECT_EQ(serial.envelope.windowEnergyJ,
+              parallel.envelope.windowEnergyJ);
+    EXPECT_EQ(serial.envelope.peakWindowEnergyJ,
+              parallel.envelope.peakWindowEnergyJ);
+
+    peak::Options full = base;
+    full.evalMode = EvalMode::FullSweep;
+    peak::Report sweep = peak::analyze(sys, img, full);
+    ASSERT_TRUE(sweep.ok) << sweep.error;
+    EXPECT_EQ(serial.envelope.powerW, sweep.envelope.powerW);
+    EXPECT_EQ(serial.envelope.windowEnergyJ,
+              sweep.envelope.windowEnergyJ);
+}
+
+TEST(Envelope, SuiteEnvelopeIsElementwiseMaxOfPrograms)
+{
+    auto suite = cli::resolvePrograms({"mult", "intAVG"});
+    peak::BatchOptions opts;
+    opts.analysis.recordEnvelope = true;
+    peak::BatchReport rep = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(rep.ok);
+    ASSERT_TRUE(rep.suiteEnvelope.present);
+
+    size_t maxLen = 0;
+    for (const auto &r : rep.programs) {
+        ASSERT_TRUE(r.envelope.present) << r.name;
+        maxLen = std::max(maxLen, r.envelope.powerW.size());
+    }
+    ASSERT_EQ(rep.suiteEnvelope.powerW.size(), maxLen);
+    for (size_t c = 0; c < maxLen; ++c) {
+        float expect = 0.0f;
+        for (const auto &r : rep.programs)
+            if (c < r.envelope.powerW.size())
+                expect = std::max(expect, r.envelope.powerW[c]);
+        EXPECT_EQ(rep.suiteEnvelope.powerW[c], expect) << c;
+    }
+
+    // Envelope-driven sizing rides the composed envelope.
+    EXPECT_DOUBLE_EQ(rep.envelopeSupply.peakPowerW,
+                     rep.suiteEnvelope.peakPowerW());
+    EXPECT_GT(rep.envelopeSupply.sustainedPowerW, 0.0);
+    EXPECT_LE(rep.envelopeSupply.sustainedPowerW,
+              rep.envelopeSupply.peakPowerW * (1.0 + 1e-12));
+    ASSERT_EQ(rep.envelopeSupply.decapF.size(),
+              rep.suiteEnvelope.windows.size());
+}
+
+TEST(Envelope, ConcreteBench430RunsLieUnderTheEnvelope)
+{
+    msp::System &sys = test::sharedSystem();
+    const auto &b = bench430::benchmarkByName("mult");
+    isa::Image img = b.assembleImage();
+    peak::Options opts;
+    opts.recordEnvelope = true;
+    peak::Report x = peak::analyze(sys, img, opts);
+    ASSERT_TRUE(x.ok) << x.error;
+
+    power::PowerContext ctx(sys.netlist(), opts.freqHz);
+    fuzz::Rng rng(99);
+    for (const auto &in : b.makeInputs(4, rng.word())) {
+        power::ConcreteRunOptions copts;
+        copts.portIn = in.portIn;
+        copts.maxCycles = x.envelope.powerW.size() + 256;
+        auto run = power::runConcrete(sys, img, ctx, copts, in.ram);
+        ASSERT_TRUE(run.halted);
+        auto v = peak::validateTraceBound(x.envelope.powerW,
+                                          run.traceW);
+        EXPECT_TRUE(v.bounds)
+            << v.violations << " violations, first at cycle "
+            << v.firstViolationCycle;
+        EXPECT_LE(run.traceW.size(), x.envelope.powerW.size());
+    }
+}
+
+TEST(Envelope, FuzzPropertyOnSeededPrograms)
+{
+    msp::System &sys = test::sharedSystem();
+    fuzz::ProgramGenOptions gen;
+    gen.instructions = 10;
+    for (unsigned i = 0; i < 6; ++i) {
+        fuzz::Rng rng(fuzz::Rng::deriveStream(7, i));
+        fuzz::GeneratedProgram prog = fuzz::generateProgram(rng, gen);
+        fuzz::PropertyResult r = fuzz::envelopeBoundCheck(
+            sys, isa::assemble(prog.source), rng);
+        EXPECT_TRUE(r.ok) << "item " << i << ":\n"
+                          << r.detail << prog.source;
+    }
+}
+
+/** The property must actually bite: a corrupted envelope (scaled
+ *  down / truncated) must be flagged, the way an injected bug would
+ *  be. */
+TEST(Envelope, ValidationCatchesCorruptedEnvelope)
+{
+    msp::System &sys = test::sharedSystem();
+    isa::Image img = isa::assemble(test::wrapProgram(kForkyBody));
+    peak::Options opts;
+    opts.recordEnvelope = true;
+    peak::Report x = peak::analyze(sys, img, opts);
+    ASSERT_TRUE(x.ok) << x.error;
+
+    power::PowerContext ctx(sys.netlist(), opts.freqHz);
+    power::ConcreteRunOptions copts;
+    copts.portIn = 0x0003;
+    copts.maxCycles = x.envelope.powerW.size() + 64;
+    auto run = power::runConcrete(sys, img, ctx, copts);
+    ASSERT_TRUE(run.halted);
+    ASSERT_TRUE(
+        peak::validateTraceBound(x.envelope.powerW, run.traceW)
+            .bounds);
+
+    // Halve the envelope: violations must appear.
+    std::vector<float> halved = x.envelope.powerW;
+    for (float &w : halved)
+        w *= 0.5f;
+    auto v = peak::validateTraceBound(halved, run.traceW);
+    EXPECT_FALSE(v.bounds);
+    EXPECT_GT(v.violations, 0u);
+    EXPECT_NE(v.firstViolationCycle, UINT64_MAX);
+
+    // Truncate the envelope below the concrete run length: the tail
+    // must count as violations (the satellite bugfix).
+    std::vector<float> truncated(
+        x.envelope.powerW.begin(),
+        x.envelope.powerW.begin() + run.traceW.size() / 2);
+    v = peak::validateTraceBound(truncated, run.traceW);
+    EXPECT_FALSE(v.bounds);
+    EXPECT_TRUE(v.lengthMismatch);
+    EXPECT_GE(v.violations,
+              uint64_t(run.traceW.size() - run.traceW.size() / 2));
+}
+
+TEST(EnvelopeSizing, DecapFormulaAndSupply)
+{
+    // C = 2E / (vdd^2 - vmin^2).
+    EXPECT_DOUBLE_EQ(sizing::decapFarads(1e-9, 1.0, 0.0), 2e-9);
+    EXPECT_DOUBLE_EQ(
+        sizing::decapFarads(1e-9, 1.2, 1.2 * sizing::kDecapVminRatio),
+        2e-9 / (1.2 * 1.2 * (1.0 - sizing::kDecapVminRatio *
+                                       sizing::kDecapVminRatio)));
+    EXPECT_EQ(sizing::decapFarads(1e-9, 1.0, 1.0), 0.0);
+
+    std::vector<unsigned> windows = {1, 10};
+    std::vector<double> peakE = {1e-11, 8e-11};
+    sizing::EnvelopeSupply s = sizing::sizeEnvelopeSupply(
+        windows, peakE, /*peak_power_w=*/1e-3, /*tclk_s=*/1e-8,
+        /*vdd=*/1.2);
+    EXPECT_DOUBLE_EQ(s.peakPowerW, 1e-3);
+    // Sustained = longest-window energy / window duration: 8e-11 J
+    // over 10 * 1e-8 s = 0.8 mW < 1 mW point peak.
+    EXPECT_DOUBLE_EQ(s.sustainedPowerW, 8e-4);
+    ASSERT_EQ(s.decapF.size(), 2u);
+    EXPECT_GT(s.decapF[1], s.decapF[0]); // more energy, more decap
+    ASSERT_EQ(s.harvesters.size(), sizing::harvesterTypes().size());
+    // Harvesters sized by the sustained rate, not the point peak.
+    EXPECT_DOUBLE_EQ(s.harvesters[0].areaCm2,
+                     sizing::harvesterAreaCm2(
+                         8e-4, sizing::harvesterTypes()[0]));
+}
+
+TEST(ActiveGatesPerModule, CountsPartitionTheGateList)
+{
+    msp::System &sys = test::sharedSystem();
+    peak::Options opts;
+    opts.recordActiveSets = true;
+    peak::Report r = peak::analyze(
+        sys, isa::assemble(test::wrapProgram(kForkyBody)), opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_FALSE(r.peakActive.empty());
+
+    auto perModule =
+        peak::activeGatesPerModule(sys.netlist(), r.peakActive);
+    ASSERT_FALSE(perModule.empty());
+    size_t total = 0;
+    for (const auto &[name, count] : perModule) {
+        EXPECT_FALSE(name.empty());
+        EXPECT_GT(count, 0u);
+        total += count;
+    }
+    // Every gate lands in exactly one top-level module bucket.
+    EXPECT_EQ(total, r.peakActive.size());
+    // Sorted by name, no duplicates (map-backed contract).
+    for (size_t i = 1; i < perModule.size(); ++i)
+        EXPECT_LT(perModule[i - 1].first, perModule[i].first);
+}
+
+TEST(ActiveGatesPerModule, EmptyListIsEmptyReport)
+{
+    msp::System &sys = test::sharedSystem();
+    EXPECT_TRUE(
+        peak::activeGatesPerModule(sys.netlist(), {}).empty());
+}
+
+/** Nightly tier: a deeper envelope-bound sweep (the quick tier runs
+ *  6 programs; CI's ulfuzz smoke covers more end-to-end). */
+TEST(EnvelopeLong, FuzzSweep)
+{
+    msp::System &sys = test::sharedSystem();
+    fuzz::ProgramGenOptions gen;
+    gen.instructions = 13;
+    for (unsigned i = 0; i < 40; ++i) {
+        fuzz::Rng rng(fuzz::Rng::deriveStream(11, i));
+        fuzz::GeneratedProgram prog = fuzz::generateProgram(rng, gen);
+        fuzz::PropertyResult r = fuzz::envelopeBoundCheck(
+            sys, isa::assemble(prog.source), rng);
+        EXPECT_TRUE(r.ok) << "item " << i << ":\n"
+                          << r.detail << prog.source;
+    }
+}
+
+} // namespace
+} // namespace ulpeak

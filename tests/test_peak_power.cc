@@ -300,12 +300,75 @@ TEST(Validation, TraceBoundLogic)
     std::vector<float> c = {1.0f, 2.0f, 1.5f};
     auto v = peak::validateTraceBound(x, c);
     EXPECT_TRUE(v.bounds);
+    EXPECT_FALSE(v.lengthMismatch);
+    EXPECT_EQ(v.firstViolationCycle, UINT64_MAX);
     EXPECT_NEAR(v.meanSlackW, 0.5, 1e-9);
     c[1] = 2.5f;
     v = peak::validateTraceBound(x, c);
     EXPECT_FALSE(v.bounds);
     EXPECT_EQ(v.violations, 1u);
+    EXPECT_EQ(v.firstViolationCycle, 1u);
     EXPECT_NEAR(v.maxViolationW, 0.5, 1e-9);
+}
+
+// Regression (bugfix): mismatched trace lengths used to be silently
+// truncated to min(n, m) and could still report bounds=true -- a
+// concrete run outliving the bound trace is precisely the failure a
+// validation layer exists to catch.
+TEST(Validation, TraceBoundLengthMismatch)
+{
+    std::vector<float> x = {2.0f, 2.0f};
+    std::vector<float> c = {1.0f, 1.0f, 9.0f, 3.0f};
+    auto v = peak::validateTraceBound(x, c);
+    EXPECT_TRUE(v.lengthMismatch);
+    EXPECT_FALSE(v.bounds); // the tail has no bound at all
+    EXPECT_EQ(v.comparedCycles, 2u);
+    EXPECT_EQ(v.uncomparedTailCycles, 2u);
+    EXPECT_EQ(v.violations, 2u);
+    EXPECT_EQ(v.firstViolationCycle, 2u);
+    EXPECT_NEAR(v.maxViolationW, 9.0, 1e-9); // worst unbounded cycle
+
+    // The opposite direction is sound: the bound covers the longest
+    // path, the concrete run simply halted earlier. Flagged, but
+    // still bounding.
+    std::vector<float> shortRun = {1.0f, 1.5f};
+    std::vector<float> longBound = {2.0f, 2.0f, 2.0f, 2.0f};
+    v = peak::validateTraceBound(longBound, shortRun);
+    EXPECT_TRUE(v.lengthMismatch);
+    EXPECT_TRUE(v.bounds);
+    EXPECT_EQ(v.violations, 0u);
+    EXPECT_EQ(v.uncomparedTailCycles, 2u);
+}
+
+// Regression (bugfix): an input-based vector longer than the X-based
+// vector used to keep isSuperset=true even when the tail toggled.
+TEST(Validation, ActivityLengthMismatch)
+{
+    std::vector<uint8_t> x = {1, 1};
+    std::vector<uint8_t> in = {1, 0, 1};
+    auto v = peak::validateActivity(x, in);
+    EXPECT_TRUE(v.lengthMismatch);
+    EXPECT_FALSE(v.isSuperset); // gate 2 is not covered by x at all
+    EXPECT_EQ(v.inputOnlyGates, 1u);
+    EXPECT_EQ(v.uncomparedGates, 1u);
+
+    // Even an inactive tail cannot support a superset claim: the
+    // X-based analysis has no entry for those gates.
+    in = {1, 0, 0};
+    v = peak::validateActivity(x, in);
+    EXPECT_TRUE(v.lengthMismatch);
+    EXPECT_FALSE(v.isSuperset);
+    EXPECT_EQ(v.inputOnlyGates, 0u);
+
+    // An x vector longer than the input vector keeps the claim (x
+    // covers every measured gate); the tail counts as x-only.
+    std::vector<uint8_t> xl = {1, 1, 1, 1};
+    std::vector<uint8_t> ins = {1, 1};
+    v = peak::validateActivity(xl, ins);
+    EXPECT_TRUE(v.lengthMismatch);
+    EXPECT_TRUE(v.isSuperset);
+    EXPECT_EQ(v.xOnlyGates, 2u);
+    EXPECT_EQ(v.uncomparedGates, 2u);
 }
 
 } // namespace

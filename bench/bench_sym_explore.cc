@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Microbenchmark of the execution-tree exploration core: a
+ * fork-heavy program (every round reads the X port and conditionally
+ * bumps an accumulator, so path states stay distinct and the tree
+ * grows quadratically in rounds) analyzed at 1..K worker threads.
+ * Reports exploration wall time, forks (paths) per second and
+ * simulated cycles per second per thread count, after checking that
+ * every thread count reproduces the 1-thread peak numbers
+ * bit-identically (the determinism contract timing must not skew).
+ * Drops bench_out/BENCH_sym_explore.json (the checked-in
+ * BENCH_sym_explore.json at the repository root additionally keeps
+ * the pre-refactor shared-mutex baseline for the speedup claim).
+ *
+ * Usage: bench_sym_explore [branch_rounds] [reps] [max_threads]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "peak/peak_analysis.hh"
+
+namespace ulpeak {
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** A program whose exploration tree is wide and whose per-node runs
+ *  are short: rounds of port-dependent branches over a live
+ *  accumulator, the worst case for fork (snapshot + dedup)
+ *  throughput. After round i the accumulator holds one of i+1
+ *  values, so states neither explode exponentially nor collapse into
+ *  one: the tree has ~rounds^2/2 nodes, each a few cycles long. */
+std::string
+forkStressSource(unsigned rounds)
+{
+    std::string body = "        mov #0, r4\n";
+    for (unsigned i = 0; i < rounds; ++i) {
+        std::string skip = "fs_skip_" + std::to_string(i);
+        body += "        mov &PIN, r5\n"
+                "        and #1, r5\n"
+                "        jz " + skip + "\n"
+                "        add #1, r4\n" +
+                skip + ":\n";
+    }
+    body += "        mov r4, &OUT\n";
+    return bench430::wrapBenchmarkBody(body);
+}
+
+} // namespace
+} // namespace ulpeak
+
+int
+main(int argc, char **argv)
+{
+    using namespace ulpeak;
+    unsigned rounds = argc > 1 ? unsigned(std::atoi(argv[1])) : 32;
+    int reps = argc > 2 ? std::atoi(argv[2]) : 3;
+    unsigned maxThreads = argc > 3 ? unsigned(std::atoi(argv[3])) : 8;
+
+    bench_util::printHeader(
+        "sym exploration core: fork throughput and thread scaling");
+
+    msp::System sys(CellLibrary::tsmc65Like());
+    isa::Image img = isa::assemble(forkStressSource(rounds));
+
+    std::vector<unsigned> threadCounts;
+    for (unsigned t = 1; t <= maxThreads; t *= 2)
+        threadCounts.push_back(t);
+
+    // Reference run: every other thread count must reproduce these
+    // numbers bit for bit before its timing means anything.
+    peak::Options ref;
+    peak::Report refRep = peak::analyze(sys, img, ref);
+    if (!refRep.ok) {
+        std::fprintf(stderr, "reference analysis failed: %s\n",
+                     refRep.error.c_str());
+        return 1;
+    }
+    std::printf("fork stress: %u rounds, %u paths, %" PRIu64
+                " cycles, %u dedup merges\n",
+                rounds, refRep.pathsExplored, refRep.totalCycles,
+                refRep.dedupMerges);
+
+    // Fork memory traffic: bytes the delta snapshots actually stored
+    // vs what full copies at every fork would have stored.
+    peak::Options fullSnap;
+    fullSnap.snapshotMode = sym::SnapshotMode::Full;
+    peak::Report fullRep = peak::analyze(sys, img, fullSnap);
+    double deltaRatio =
+        refRep.snapshotBytesCopied
+            ? double(refRep.snapshotBytesFull) /
+                  double(refRep.snapshotBytesCopied)
+            : 0.0;
+    if (fullRep.peakPowerW != refRep.peakPowerW) {
+        std::fprintf(stderr, "snapshot modes diverged\n");
+        return 1;
+    }
+    std::printf("fork snapshots: delta %.2f MB vs full-copy %.2f MB "
+                "(%.1fx less copied)\n\n",
+                double(refRep.snapshotBytesCopied) / 1e6,
+                double(refRep.snapshotBytesFull) / 1e6, deltaRatio);
+
+    std::printf("%-8s %10s %12s %12s %8s\n", "threads", "wall [s]",
+                "forks/sec", "cycles/sec", "scaling");
+
+    std::string json =
+        "{\n  \"bench\": \"sym_explore\",\n"
+        "  \"branch_rounds\": " + std::to_string(rounds) +
+        ",\n  \"paths\": " + std::to_string(refRep.pathsExplored) +
+        ",\n  \"total_cycles\": " +
+        std::to_string(refRep.totalCycles) +
+        ",\n  \"reps\": " + std::to_string(reps) +
+        ",\n  \"snapshot_bytes_delta\": " +
+        std::to_string(refRep.snapshotBytesCopied) +
+        ",\n  \"snapshot_bytes_full\": " +
+        std::to_string(refRep.snapshotBytesFull) +
+        ",\n  \"runs\": [\n";
+
+    double wall1 = 0.0;
+    bool first = true;
+    for (unsigned t : threadCounts) {
+        peak::Options opts;
+        opts.numThreads = t;
+        double best = 1e9;
+        peak::Report rep;
+        for (int rep_i = 0; rep_i < reps; ++rep_i) {
+            auto t0 = std::chrono::steady_clock::now();
+            rep = peak::analyze(sys, img, opts);
+            best = std::min(best, seconds(t0));
+        }
+        if (!rep.ok || rep.peakPowerW != refRep.peakPowerW ||
+            rep.peakEnergyJ != refRep.peakEnergyJ ||
+            rep.npeJPerCycle != refRep.npeJPerCycle ||
+            rep.pathsExplored != refRep.pathsExplored) {
+            std::fprintf(stderr,
+                         "threads=%u diverged from the 1-thread "
+                         "reference -- timing aborted\n", t);
+            return 1;
+        }
+        if (t == 1)
+            wall1 = best;
+        double forksPerSec = double(rep.pathsExplored) / best;
+        double cyclesPerSec = double(rep.totalCycles) / best;
+        std::printf("%-8u %10.3f %12.0f %12.0f %7.2fx\n", t, best,
+                    forksPerSec, cyclesPerSec, wall1 / best);
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"threads\": %u, \"wall_s\": %.4f, "
+                      "\"forks_per_sec\": %.0f, \"cycles_per_sec\": "
+                      "%.0f, \"scaling_vs_1t\": %.3f}",
+                      t, best, forksPerSec, cyclesPerSec,
+                      wall1 / best);
+        json += std::string(first ? "" : ",\n") + buf;
+        first = false;
+    }
+    json += "\n  ]\n}\n";
+
+    std::ofstream(bench_util::outDir() + "BENCH_sym_explore.json")
+        << json;
+    std::printf("\nwrote %sBENCH_sym_explore.json\n",
+                bench_util::outDir().c_str());
+    return 0;
+}

@@ -159,6 +159,13 @@ usage()
         "                    rows to stdout (default json)\n"
         "  --windows LIST    envelope window lengths in cycles\n"
         "                    (default 1,10,100)\n"
+        "  --scenario S[,S...]\n"
+        "                    deployment scenarios to sweep the suite\n"
+        "                    across: preset names (unconstrained,\n"
+        "                    ports-grounded, sensor-4bit,\n"
+        "                    periodic-sensor) or scenario .json files;\n"
+        "                    the report carries the scenario x program\n"
+        "                    matrix and per-scenario suite maxima\n"
         "  --cache-dir DIR   result cache (default .ulpeak-cache)\n"
         "  --no-cache        disable the result cache\n"
         "  --fail-fast       stop claiming programs after a failure\n"
@@ -247,6 +254,19 @@ parseArgs(int argc, const char *const *argv, CliOptions &out,
                           out.envelopeFormat;
                     return false;
                 }
+            }
+        } else if (a == "--scenario") {
+            const char *v = value("--scenario");
+            if (!v)
+                return false;
+            std::stringstream ss(v);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                if (!item.empty())
+                    out.scenarioSpecs.push_back(item);
+            if (out.scenarioSpecs.empty()) {
+                err = "--scenario: empty list";
+                return false;
             }
         } else if (a == "--windows") {
             const char *v = value("--windows");
@@ -358,6 +378,8 @@ toBatchOptions(const CliOptions &cli)
     b.analysis.recordEnvelope = cli.envelope;
     if (!cli.windows.empty())
         b.analysis.envelopeWindows = cli.windows;
+    for (const std::string &spec : cli.scenarioSpecs)
+        b.scenarios.push_back(scenario::Scenario::resolve(spec));
     b.jobs = cli.jobs;
     b.cacheDir = cli.noCache ? "" : cli.cacheDir;
     b.failFast = cli.failFast;
@@ -370,7 +392,7 @@ toJson(const peak::BatchReport &rep, const peak::BatchOptions &opts,
 {
     std::ostringstream o;
     o << "{\n";
-    o << "  \"tool\": \"ulpeak\",\n  \"format_version\": 2,\n";
+    o << "  \"tool\": \"ulpeak\",\n  \"format_version\": 3,\n";
     o << "  \"options\": {\n"
       << "    \"freq_hz\": " << fmtDouble(opts.analysis.freqHz)
       << ",\n"
@@ -397,6 +419,7 @@ toJson(const peak::BatchReport &rep, const peak::BatchOptions &opts,
     for (size_t i = 0; i < rep.programs.size(); ++i) {
         const peak::ProgramResult &r = rep.programs[i];
         o << "    {\"name\": \"" << jsonEscape(r.name) << "\", "
+          << "\"scenario\": \"" << jsonEscape(r.scenario) << "\", "
           << "\"ok\": " << (r.ok ? "true" : "false");
         if (!r.ok)
             o << ", \"error\": \"" << jsonEscape(r.error) << "\"";
@@ -409,10 +432,62 @@ toJson(const peak::BatchReport &rep, const peak::BatchOptions &opts,
           << ", \"dedup_merges\": " << r.dedupMerges;
         if (r.envelope.present)
             o << ", \"envelope\": " << envelopeJson(r.envelope);
-        if (include_timings)
+        if (include_timings) {
+            // Run-provenance statistics live with the timing fields:
+            // steals and the per-worker split are
+            // scheduling-dependent, and all of them are zero on
+            // cache hits, so they would break the byte-identity
+            // contract anywhere else.
             o << ", \"cached\": " << (r.cached ? "true" : "false")
-              << ", \"wall_seconds\": " << fmtDouble(r.wallSeconds);
+              << ", \"wall_seconds\": " << fmtDouble(r.wallSeconds)
+              << ", \"stats\": {\"steals\": " << r.steals
+              << ", \"snapshot_bytes_copied\": "
+              << r.snapshotBytesCopied
+              << ", \"snapshot_bytes_full\": " << r.snapshotBytesFull
+              << ", \"per_worker_cycles\": [";
+            for (size_t w = 0; w < r.perWorkerCycles.size(); ++w)
+                o << (w ? ", " : "") << r.perWorkerCycles[w];
+            o << "]}";
+        }
         o << "}" << (i + 1 < rep.programs.size() ? "," : "") << "\n";
+    }
+    o << "  ],\n";
+    o << "  \"scenarios\": [\n";
+    for (size_t s = 0; s < rep.scenarios.size(); ++s) {
+        const peak::ScenarioSummary &sum = rep.scenarios[s];
+        const peak::ScenarioSummary &first = rep.scenarios.front();
+        o << "    {\"name\": \"" << jsonEscape(sum.scenario)
+          << "\", \"summary\": \"" << jsonEscape(sum.summary)
+          << "\", \"ok\": " << (sum.ok ? "true" : "false")
+          << ", \"max_peak_power_w\": "
+          << fmtDouble(sum.maxPeakPowerW)
+          << ", \"max_peak_power_program\": \""
+          << jsonEscape(sum.maxPeakPowerProgram)
+          << "\", \"max_peak_energy_j\": "
+          << fmtDouble(sum.maxPeakEnergyJ)
+          << ", \"max_peak_energy_program\": \""
+          << jsonEscape(sum.maxPeakEnergyProgram)
+          << "\", \"max_npe_j_per_cycle\": "
+          << fmtDouble(sum.maxNpeJPerCycle) << ", \"max_npe_program\": \""
+          << jsonEscape(sum.maxNpeProgram) << "\"";
+        // How much this scenario's constraints tighten the suite
+        // bounds relative to the first listed scenario (1.0 = no
+        // change; < 1 = tighter).
+        if (s > 0 && first.maxPeakPowerW > 0 &&
+            first.maxPeakEnergyJ > 0)
+            o << ", \"vs_first\": {\"peak_power\": "
+              << fmtDouble(sum.maxPeakPowerW / first.maxPeakPowerW)
+              << ", \"peak_energy\": "
+              << fmtDouble(sum.maxPeakEnergyJ / first.maxPeakEnergyJ)
+              << "}";
+        if (sum.suiteEnvelope.present) {
+            const sizing::EnvelopeSupply &es = sum.envelopeSupply;
+            o << ", \"envelope_sizing\": {\"peak_power_w\": "
+              << fmtDouble(es.peakPowerW)
+              << ", \"sustained_power_w\": "
+              << fmtDouble(es.sustainedPowerW) << "}";
+        }
+        o << "}" << (s + 1 < rep.scenarios.size() ? "," : "") << "\n";
     }
     o << "  ],\n";
     o << "  \"suite\": {\n"
@@ -486,11 +561,12 @@ std::string
 toCsv(const peak::BatchReport &rep)
 {
     std::ostringstream o;
-    o << "name,ok,cached,peak_power_w,peak_energy_j,npe_j_per_cycle,"
-         "max_path_cycles,total_cycles,paths_explored,dedup_merges,"
-         "wall_seconds,error\n";
+    o << "name,scenario,ok,cached,peak_power_w,peak_energy_j,"
+         "npe_j_per_cycle,max_path_cycles,total_cycles,"
+         "paths_explored,dedup_merges,wall_seconds,error\n";
     for (const peak::ProgramResult &r : rep.programs) {
-        o << csvQuote(r.name) << ',' << (r.ok ? 1 : 0) << ','
+        o << csvQuote(r.name) << ',' << csvQuote(r.scenario) << ','
+          << (r.ok ? 1 : 0) << ','
           << (r.cached ? 1 : 0) << ',' << fmtDouble(r.peakPowerW)
           << ',' << fmtDouble(r.peakEnergyJ) << ','
           << fmtDouble(r.npeJPerCycle) << ',' << r.maxPathCycles << ','
@@ -513,16 +589,17 @@ toEnvelopeCsv(const peak::BatchReport &rep)
         }
     if (!any && rep.suiteEnvelope.present)
         any = &rep.suiteEnvelope;
-    o << "program,cycle,envelope_w";
+    o << "program,scenario,cycle,envelope_w";
     if (any)
         for (unsigned w : any->windows)
             o << ",window_energy_j_w" << w;
     o << "\n";
     auto emit = [&o](const std::string &name,
+                     const std::string &scenario,
                      const peak::Envelope &env) {
         for (size_t c = 0; c < env.powerW.size(); ++c) {
-            o << csvQuote(name) << ',' << c << ','
-              << fmtDouble(double(env.powerW[c]));
+            o << csvQuote(name) << ',' << csvQuote(scenario) << ','
+              << c << ',' << fmtDouble(double(env.powerW[c]));
             for (const auto &curve : env.windowEnergyJ)
                 o << ','
                   << fmtDouble(c < curve.size() ? double(curve[c])
@@ -532,9 +609,10 @@ toEnvelopeCsv(const peak::BatchReport &rep)
     };
     for (const peak::ProgramResult &r : rep.programs)
         if (r.envelope.present)
-            emit(r.name, r.envelope);
-    if (rep.suiteEnvelope.present)
-        emit("__suite__", rep.suiteEnvelope);
+            emit(r.name, r.scenario, r.envelope);
+    for (const peak::ScenarioSummary &s : rep.scenarios)
+        if (s.suiteEnvelope.present)
+            emit("__suite__", s.scenario, s.suiteEnvelope);
     return o.str();
 }
 
@@ -554,68 +632,91 @@ runCli(int argc, const char *const *argv)
     }
 
     std::vector<peak::BatchProgram> suite;
+    peak::BatchOptions opts;
     try {
         suite = resolvePrograms(cli.programSpecs);
+        // Resolves --scenario specs too; bad presets / unreadable
+        // or malformed scenario files are usage errors like bad
+        // program specs, not crashes.
+        opts = toBatchOptions(cli);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ulpeak: %s\n", e.what());
         return 2;
     }
-
-    peak::BatchOptions opts = toBatchOptions(cli);
     peak::BatchReport rep =
         peak::analyzeBatch(CellLibrary::tsmc65Like(), suite, opts);
 
     if (!cli.quiet) {
-        std::printf("%-12s %3s %6s %12s %14s %13s %7s %9s %8s\n",
-                    "program", "ok", "cached", "peak [mW]",
+        const bool multi = rep.scenarios.size() > 1;
+        std::printf("%-12s %-15s %3s %6s %12s %14s %13s %7s %9s %8s\n",
+                    "program", "scenario", "ok", "cached", "peak [mW]",
                     "NPE [pJ/cyc]", "energy [nJ]", "paths", "cycles",
                     "wall [s]");
         for (const peak::ProgramResult &r : rep.programs) {
             if (r.ok)
                 std::printf(
-                    "%-12s %3s %6s %12.3f %14.2f %13.3f %7u %9" PRIu64
-                    " %8.2f\n",
-                    r.name.c_str(), "yes", r.cached ? "yes" : "no",
+                    "%-12s %-15s %3s %6s %12.3f %14.2f %13.3f %7u "
+                    "%9" PRIu64 " %8.2f\n",
+                    r.name.c_str(), r.scenario.c_str(), "yes",
+                    r.cached ? "yes" : "no",
                     r.peakPowerW * 1e3, r.npeJPerCycle * 1e12,
                     r.peakEnergyJ * 1e9, r.pathsExplored,
                     r.totalCycles, r.wallSeconds);
             else
-                std::printf("%-12s %3s  FAILED: %s\n", r.name.c_str(),
-                            "no", r.error.c_str());
+                std::printf("%-12s %-15s %3s  FAILED: %s\n",
+                            r.name.c_str(), r.scenario.c_str(), "no",
+                            r.error.c_str());
         }
-        std::printf("\nsuite: %zu programs, %s (%.2f s, %u cache "
-                    "hits / %u misses)\n",
-                    rep.programs.size(),
+        std::printf("\nsuite: %zu programs x %zu scenario%s, %s "
+                    "(%.2f s, %u cache hits / %u misses)\n",
+                    rep.programs.size() /
+                        (rep.scenarios.empty()
+                             ? 1
+                             : rep.scenarios.size()),
+                    rep.scenarios.size(), multi ? "s" : "",
                     rep.ok ? "all ok" : "FAILURES", rep.wallSeconds,
                     rep.cacheHits, rep.cacheMisses);
-        if (!rep.maxPeakPowerProgram.empty()) {
+        for (const peak::ScenarioSummary &sum : rep.scenarios) {
+            if (sum.maxPeakPowerProgram.empty())
+                continue;
+            if (multi)
+                std::printf("\nscenario %s (%s):\n",
+                            sum.scenario.c_str(),
+                            sum.summary.c_str());
             std::printf("suite peak power : %.3f mW (%s) -- the "
                         "supply-sizing number\n",
-                        rep.maxPeakPowerW * 1e3,
-                        rep.maxPeakPowerProgram.c_str());
+                        sum.maxPeakPowerW * 1e3,
+                        sum.maxPeakPowerProgram.c_str());
             std::printf("suite peak energy: %.3f nJ (%s)\n",
-                        rep.maxPeakEnergyJ * 1e9,
-                        rep.maxPeakEnergyProgram.c_str());
+                        sum.maxPeakEnergyJ * 1e9,
+                        sum.maxPeakEnergyProgram.c_str());
             std::printf("suite max NPE    : %.2f pJ/cycle (%s)\n",
-                        rep.maxNpeJPerCycle * 1e12,
-                        rep.maxNpeProgram.c_str());
-            for (const auto &h : rep.supply.harvesters)
+                        sum.maxNpeJPerCycle * 1e12,
+                        sum.maxNpeProgram.c_str());
+            if (multi && &sum != &rep.scenarios.front() &&
+                rep.scenarios.front().maxPeakPowerW > 0)
+                std::printf("tightening       : peak power %.1f%% of "
+                            "%s\n",
+                            100.0 * sum.maxPeakPowerW /
+                                rep.scenarios.front().maxPeakPowerW,
+                            rep.scenarios.front().scenario.c_str());
+            for (const auto &h : sum.supply.harvesters)
                 std::printf("  harvester %-22s %12.4f cm^2\n",
                             h.name.c_str(), h.areaCm2);
-        }
-        if (rep.suiteEnvelope.present) {
-            const sizing::EnvelopeSupply &es = rep.envelopeSupply;
-            std::printf("\nsuite envelope   : %zu cycles, peak "
-                        "%.3f mW, sustained %.3f mW\n",
-                        rep.suiteEnvelope.cycles(),
-                        es.peakPowerW * 1e3,
-                        es.sustainedPowerW * 1e3);
-            for (size_t w = 0; w < es.windows.size(); ++w)
-                std::printf("  window %6u cyc: peak energy %10.3f "
-                            "nJ, decap %10.3f nF\n",
-                            es.windows[w],
-                            es.peakWindowEnergyJ[w] * 1e9,
-                            es.decapF[w] * 1e9);
+            if (sum.suiteEnvelope.present) {
+                const sizing::EnvelopeSupply &es = sum.envelopeSupply;
+                std::printf("suite envelope   : %zu cycles, peak "
+                            "%.3f mW, sustained %.3f mW\n",
+                            sum.suiteEnvelope.cycles(),
+                            es.peakPowerW * 1e3,
+                            es.sustainedPowerW * 1e3);
+                for (size_t w = 0; w < es.windows.size(); ++w)
+                    std::printf("  window %6u cyc: peak energy "
+                                "%10.3f nJ, decap %10.3f nF\n",
+                                es.windows[w],
+                                es.peakWindowEnergyJ[w] * 1e9,
+                                es.decapF[w] * 1e9);
+            }
         }
     }
     if (cli.envelope && cli.envelopeFormat == "csv")

@@ -11,10 +11,16 @@
  *  - a path to an MSP430 assembly file (anything containing a '/' or
  *    ending in .s/.asm), assembled with isa::assemble.
  *
+ * With --scenario the suite is swept across deployment scenarios
+ * (preset names or scenario .json files; src/scenario): every
+ * program is analyzed once per scenario and the reports carry the
+ * matrix plus per-scenario suite maxima and tightening ratios.
+ *
  * Output: a human-readable table on stdout plus machine-readable
  * JSON (--json) and CSV (--csv) suite reports. The JSON carries
- * per-program requirements, suite aggregates (the supply-sizing
- * maxima) and the sizing::sizeSuiteSupply component table. Timing and
+ * per-(program, scenario) requirements, suite aggregates (the
+ * supply-sizing maxima) and the sizing::sizeSuiteSupply component
+ * table. Timing and
  * cache-provenance fields are isolated so that reports from runs with
  * different worker counts or cache states are comparable: serializing
  * with @p include_timings = false must produce byte-identical JSON
@@ -54,6 +60,12 @@ struct CliOptions {
     std::string envelopeFormat = "json"; ///< json | csv
     /** --windows: window lengths [cycles] of the peak-energy curves. */
     std::vector<unsigned> windows;
+    /** --scenario SPEC[,SPEC...]: deployment scenarios to sweep the
+     *  suite across. Each spec is a preset name
+     *  (scenario::Scenario::presetNames()) or a path to a scenario
+     *  JSON file (anything containing '/' or ending in .json).
+     *  Empty = unconstrained only. */
+    std::vector<std::string> scenarioSpecs;
     std::string cacheDir = ".ulpeak-cache"; ///< --cache-dir
     bool noCache = false;       ///< --no-cache
     bool failFast = false;      ///< --fail-fast
@@ -75,7 +87,9 @@ bool parseArgs(int argc, const char *const *argv, CliOptions &out,
 std::vector<peak::BatchProgram>
 resolvePrograms(const std::vector<std::string> &specs);
 
-/** Map a parsed command line onto batch-analysis options. */
+/** Map a parsed command line onto batch-analysis options; resolves
+ *  --scenario specs (throws std::runtime_error on unknown presets or
+ *  unreadable/malformed scenario files, naming the offending spec). */
 peak::BatchOptions toBatchOptions(const CliOptions &cli);
 
 /** Serialize a suite report as JSON. With @p include_timings = false
@@ -88,10 +102,11 @@ std::string toJson(const peak::BatchReport &rep,
 /** One-row-per-program CSV (header included). */
 std::string toCsv(const peak::BatchReport &rep);
 
-/** Per-cycle envelope rows: program name (or "__suite__" for the
- *  composed suite envelope), cycle, envelope power, and one windowed
- *  peak-energy column per window. Deterministic: byte-identical
- *  across --jobs / --threads / cache states. */
+/** Per-cycle envelope rows: program name (or "__suite__" for a
+ *  composed per-scenario suite envelope), scenario, cycle, envelope
+ *  power, and one windowed peak-energy column per window.
+ *  Deterministic: byte-identical across --jobs / --threads / cache
+ *  states. */
 std::string toEnvelopeCsv(const peak::BatchReport &rep);
 
 /** The complete driver behind tools/ulpeak_main.cc: parse, resolve,

@@ -21,6 +21,7 @@ constexpr uint64_t kCosimStream = 0;
 constexpr uint64_t kKernelStream = 1ull << 32;
 constexpr uint64_t kSymStream = 2ull << 32;
 constexpr uint64_t kEnvelopeStream = 3ull << 32;
+constexpr uint64_t kScenarioStream = 4ull << 32;
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
@@ -55,11 +56,12 @@ fuzzUsage()
         "  --netlists N      kernel-equivalence netlists (default 50)\n"
         "  --sym-programs N  determinism programs (default 8)\n"
         "  --env-programs N  envelope-bound programs (default 8)\n"
+        "  --scn-programs N  scenario-dominance programs (default 8)\n"
         "  --instr N         body items per program (default 24)\n"
         "  --threads K       K of the 1-vs-K thread check (default 4)\n"
         "  --kernel-cycles N cycles per netlist run (default 64)\n"
-        "  --mode M          all|cosim|kernel|sym|envelope "
-        "(default all)\n"
+        "  --mode M          all|cosim|kernel|sym|envelope|scenario\n"
+        "                    (default all)\n"
         "  --only I          run only item index I of the selected\n"
         "                    mode (replay a reported failure)\n"
         "  --dump-programs   print every generated program\n"
@@ -107,6 +109,10 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
             if (!(v = value(i, "--env-programs")))
                 return false;
             out.envPrograms = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--scn-programs") {
+            if (!(v = value(i, "--scn-programs")))
+                return false;
+            out.scnPrograms = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--instr") {
             if (!(v = value(i, "--instr")))
                 return false;
@@ -134,9 +140,9 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
             out.mode = v;
             if (out.mode != "all" && out.mode != "cosim" &&
                 out.mode != "kernel" && out.mode != "sym" &&
-                out.mode != "envelope") {
-                err = "--mode must be all, cosim, kernel, sym or "
-                      "envelope";
+                out.mode != "envelope" && out.mode != "scenario") {
+                err = "--mode must be all, cosim, kernel, sym, "
+                      "envelope or scenario";
                 return false;
             }
         } else if (a == "--dump-programs") {
@@ -297,6 +303,44 @@ runEnvelope(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
     }
 }
 
+void
+runScenario(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
+{
+    fuzz::ProgramGenOptions gen;
+    // Same sizing rationale as the sym mode: every X-dependent branch
+    // forks the tree, so keep bodies short.
+    gen.instructions = cli.instructions / 2 + 1;
+    for (unsigned i = 0; i < cli.scnPrograms; ++i) {
+        if (!selected(cli, i))
+            continue;
+        fuzz::Rng rng(
+            fuzz::Rng::deriveStream(cli.seed, kScenarioStream + i));
+        fuzz::GeneratedProgram prog = fuzz::generateProgram(rng, gen);
+        if (cli.dumpPrograms)
+            std::printf("--- scenario item %u ---\n%s\n", i,
+                        prog.source.c_str());
+        ++c.run;
+        try {
+            isa::Image image = isa::assemble(prog.source);
+            fuzz::PropertyResult r = fuzz::scenarioDominanceCheck(
+                sys, image, rng, cli.threads);
+            if (!r.ok) {
+                ++c.failed;
+                std::printf("scenario item %u (seed %llu) DOMINANCE "
+                            "VIOLATION:\n%sprogram:\n%s\n",
+                            i, (unsigned long long)cli.seed,
+                            r.detail.c_str(), prog.source.c_str());
+            }
+        } catch (const std::exception &e) {
+            ++c.failed;
+            std::printf("scenario item %u (seed %llu) "
+                        "generator/assembler error: %s\nprogram:\n%s\n",
+                        i, (unsigned long long)cli.seed, e.what(),
+                        prog.source.c_str());
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -315,7 +359,7 @@ runFuzzCli(int argc, const char *const *argv)
     }
 
     auto t0 = std::chrono::steady_clock::now();
-    Counters cosimC, kernelC, symC, envC;
+    Counters cosimC, kernelC, symC, envC, scnC;
 
     // One System serves every property: the netlist is immutable, and
     // each run reloads the behavioral memory.
@@ -329,17 +373,21 @@ runFuzzCli(int argc, const char *const *argv)
         runSym(cli, sys, symC);
     if (cli.mode == "all" || cli.mode == "envelope")
         runEnvelope(cli, sys, envC);
+    if (cli.mode == "all" || cli.mode == "scenario")
+        runScenario(cli, sys, scnC);
 
-    unsigned failed =
-        cosimC.failed + kernelC.failed + symC.failed + envC.failed;
+    unsigned failed = cosimC.failed + kernelC.failed + symC.failed +
+                      envC.failed + scnC.failed;
     if (!cli.quiet || failed) {
         std::printf("ulfuzz seed %llu: cosim %u/%u ok, kernel %u/%u "
-                    "ok, sym %u/%u ok, envelope %u/%u ok (%.1fs)\n",
+                    "ok, sym %u/%u ok, envelope %u/%u ok, scenario "
+                    "%u/%u ok (%.1fs)\n",
                     (unsigned long long)cli.seed,
                     cosimC.run - cosimC.failed, cosimC.run,
                     kernelC.run - kernelC.failed, kernelC.run,
                     symC.run - symC.failed, symC.run,
                     envC.run - envC.failed, envC.run,
+                    scnC.run - scnC.failed, scnC.run,
                     secondsSince(t0));
     }
     return failed ? 1 : 0;

@@ -17,6 +17,12 @@
  *               concrete execution: random programs analyzed with
  *               envelope recording, then re-run concretely with
  *               random per-cycle port schedules, on --env-programs
+ *               random programs;
+ *  5. scenario -- scenario dominance: random port-constraint
+ *               scenarios must only tighten peak power / energy /
+ *               envelope vs the unconstrained analysis, stay
+ *               1-vs-K-thread deterministic, and bound every
+ *               scenario-obeying concrete run, on --scn-programs
  *               random programs.
  *
  * Every work item derives its own PRNG stream from (--seed, index),
@@ -42,11 +48,14 @@ struct FuzzCliOptions {
     unsigned netlists = 50;    ///< --netlists: kernel-equivalence runs
     unsigned symPrograms = 8;  ///< --sym-programs: determinism runs
     unsigned envPrograms = 8;  ///< --env-programs: envelope-bound runs
+    unsigned scnPrograms = 8;  ///< --scn-programs: scenario-dominance
+                               ///< runs
     unsigned instructions = 24; ///< --instr: body items per program
     unsigned threads = 4;      ///< --threads: K of the 1-vs-K check
     unsigned kernelCycles = 64; ///< --kernel-cycles per netlist
     long only = -1;            ///< --only INDEX: replay one item
-    std::string mode = "all";  ///< --mode all|cosim|kernel|sym|envelope
+    std::string mode = "all";  ///< --mode
+                               ///< all|cosim|kernel|sym|envelope|scenario
     bool dumpPrograms = false; ///< --dump-programs: print sources
     bool quiet = false;        ///< --quiet: only the summary line
     bool help = false;         ///< --help

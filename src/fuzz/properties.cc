@@ -272,5 +272,154 @@ envelopeBoundCheck(msp::System &sys, const isa::Image &image,
     return res;
 }
 
+scenario::Scenario
+randomScenario(Rng &rng)
+{
+    scenario::Scenario s;
+    s.name = "fuzz-scenario";
+    auto pattern = [&rng]() {
+        scenario::PortPattern p;
+        p.pinned = rng.word();
+        p.value = uint16_t(rng.word() & p.pinned);
+        return p;
+    };
+    if (rng.chance(40)) {
+        // A repeating schedule: exercises the schedule-phase dedup
+        // keys (the same simulator state is NOT interchangeable at
+        // two different points of the period).
+        unsigned period = 2 + rng.below(6);
+        for (unsigned i = 0; i < period; ++i)
+            s.portSchedule.push_back(pattern());
+    } else {
+        s.port = pattern();
+    }
+    return s;
+}
+
+PropertyResult
+scenarioDominanceCheck(msp::System &sys, const isa::Image &image,
+                       Rng &rng, unsigned threads,
+                       unsigned concrete_runs)
+{
+    PropertyResult res;
+    peak::Options uopts;
+    uopts.recordEnvelope = true;
+    peak::Report unc = peak::analyze(sys, image, uopts);
+    if (!unc.ok)
+        return res; // rejected programs have nothing to dominate
+
+    scenario::Scenario scn = randomScenario(rng);
+    peak::Options copts = uopts;
+    copts.scenario = scn;
+    peak::Report con = peak::analyze(sys, image, copts);
+    if (!con.ok) {
+        // A scheduled scenario multiplies distinct states (phase
+        // joins the dedup key), so budget exhaustion is a legitimate
+        // outcome, not a dominance violation.
+        return res;
+    }
+
+    std::ostringstream os;
+
+    // The constrained analysis must stay scheduling-independent.
+    copts.numThreads = threads;
+    peak::Report par = peak::analyze(sys, image, copts);
+    std::string diff =
+        compareReports(con, par, "1-thread", "K-thread");
+    if (!diff.empty()) {
+        res.ok = false;
+        res.detail = "scenario " + scn.summary() +
+                     ": determinism broke under constraints:\n" +
+                     diff;
+        return res;
+    }
+
+    // Bound dominance. Exact arithmetic guarantees <=; the analyses
+    // sum different (nested) active sets in floating point, so allow
+    // a relative whisker far below any real violation.
+    const double slack = 1.0 + 1e-9;
+    auto dominated = [&](const char *what, double c, double u) {
+        if (c <= u * slack)
+            return true;
+        os << what << ": constrained " << c << " > unconstrained "
+           << u << " (scenario " << scn.summary() << ")\n";
+        return false;
+    };
+    if (!dominated("peakPowerW", con.peakPowerW, unc.peakPowerW) ||
+        !dominated("peakEnergyJ", con.peakEnergyJ,
+                   unc.peakEnergyJ)) {
+        res.ok = false;
+        res.detail = os.str();
+        return res;
+    }
+    const std::vector<float> &envC = con.envelope.powerW;
+    const std::vector<float> &envU = unc.envelope.powerW;
+    if (envC.size() > envU.size()) {
+        res.ok = false;
+        res.detail = "constrained envelope outlives the "
+                     "unconstrained one (" +
+                     std::to_string(envC.size()) + " vs " +
+                     std::to_string(envU.size()) + " cycles)\n";
+        return res;
+    }
+    for (size_t c = 0; c < envC.size(); ++c) {
+        if (double(envC[c]) > double(envU[c]) * slack) {
+            os << "envelope cycle " << c << ": constrained "
+               << envC[c] << " > unconstrained " << envU[c]
+               << " (scenario " << scn.summary() << ")\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
+    }
+
+    // Concrete runs obeying the scenario lie under *its* envelope.
+    // runConcrete indexes its schedule by absolute simulator cycle,
+    // so the first kResetCycles entries cover reset (values free:
+    // the engine drives reset cycles itself) and entry
+    // kResetCycles + c realizes the scenario pattern of cycle c.
+    power::PowerContext ctx(sys.netlist(), copts.freqHz);
+    for (unsigned run = 0; run < concrete_runs; ++run) {
+        power::ConcreteRunOptions ropts;
+        ropts.maxCycles =
+            envC.size() + msp::System::kResetCycles + 256;
+        ropts.portSchedule.resize(size_t(ropts.maxCycles));
+        for (size_t a = 0; a < ropts.portSchedule.size(); ++a) {
+            uint16_t w = rng.word();
+            if (a >= msp::System::kResetCycles) {
+                const scenario::PortPattern &p = scn.patternAt(
+                    uint64_t(a) - msp::System::kResetCycles);
+                w = uint16_t((w & ~p.pinned) | p.value);
+            }
+            ropts.portSchedule[a] = w;
+        }
+        power::ConcreteRunResult c = power::runConcrete(
+            sys, image, ctx, ropts, scn.ramInit);
+        if (!c.halted) {
+            os << "scenario-obeying concrete run " << run
+               << " still live after " << ropts.maxCycles
+               << " cycles (envelope covers " << envC.size()
+               << ")\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
+        peak::TraceValidation v =
+            peak::validateTraceBound(envC, c.traceW);
+        if (!v.bounds) {
+            os << "scenario-obeying concrete run " << run
+               << ": envelope violated at " << v.violations << " of "
+               << c.traceW.size() << " cycles, first at cycle "
+               << v.firstViolationCycle << " (max excess "
+               << v.maxViolationW << " W, scenario " << scn.summary()
+               << ")\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
+    }
+    return res;
+}
+
 } // namespace fuzz
 } // namespace ulpeak

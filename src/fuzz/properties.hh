@@ -27,6 +27,7 @@
 #include "fuzz/rng.hh"
 #include "isa/assembler.hh"
 #include "msp/cpu.hh"
+#include "scenario/scenario.hh"
 #include "sim/simulator.hh"
 
 namespace ulpeak {
@@ -81,6 +82,30 @@ PropertyResult evalModeReportCheck(msp::System &sys,
 PropertyResult envelopeBoundCheck(msp::System &sys,
                                   const isa::Image &image, Rng &rng,
                                   unsigned concrete_runs = 3);
+
+/** A random port-constraint scenario (static pattern or repeating
+ *  schedule) drawn from @p rng -- the input generator of
+ *  scenarioDominanceCheck, exposed for tests. */
+scenario::Scenario randomScenario(Rng &rng);
+
+/**
+ * Property 5: scenario dominance. A constrained scenario admits a
+ * subset of the unconstrained executions, so every bound it produces
+ * must lie at or under the unconstrained one: peak power, peak
+ * energy, and the envelope pointwise (the envelope may also only get
+ * shorter). Additionally every concrete run *obeying* the scenario
+ * (port words drawn per-cycle inside the scenario's constraint) must
+ * lie under the scenario's own envelope, and the constrained
+ * analysis must stay 1-vs-K-thread deterministic (this exercises the
+ * schedule-phase dedup keys under the sharded/stealing exploration
+ * core). Programs either analysis rejects pass vacuously.
+ * Comparisons allow a ~1e-9 relative slack: per-cycle bound sums are
+ * floating-point and the constrained tree sums fewer, smaller terms.
+ */
+PropertyResult scenarioDominanceCheck(msp::System &sys,
+                                      const isa::Image &image,
+                                      Rng &rng, unsigned threads = 4,
+                                      unsigned concrete_runs = 2);
 
 } // namespace fuzz
 } // namespace ulpeak

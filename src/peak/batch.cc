@@ -65,12 +65,16 @@ hashString(uint64_t &h, const std::string &s)
 
 /// @name Disk cache: one small text file per key
 /// @{
-// Format-version header. v2 added the envelope fields; the version
-// participates both in the cache key (stale files are simply never
-// addressed) and in the content check below (a key collision or a
-// hand-copied entry from an older binary is rejected as a miss
-// instead of deserializing into a garbage report).
-constexpr const char *kCacheMagic = "ulpeak-cache-v2";
+// Format-version header. v2 added the envelope fields; v3 made the
+// deployment scenario part of the key (a v2 entry was implicitly
+// "unconstrained", so letting it satisfy a constrained lookup -- or
+// the other way around -- would serve numbers from the wrong
+// environment). The version participates both in the cache key
+// (stale files are simply never addressed) and in the content check
+// below (a key collision or a hand-copied entry from an older
+// binary is rejected as a miss instead of deserializing into a
+// garbage report).
+constexpr const char *kCacheMagic = "ulpeak-cache-v3";
 
 std::string
 doubleBits(double d)
@@ -268,6 +272,10 @@ copyScalars(ProgramResult &r, Report &full)
     r.totalCycles = full.totalCycles;
     r.pathsExplored = full.pathsExplored;
     r.dedupMerges = full.dedupMerges;
+    r.steals = full.steals;
+    r.snapshotBytesCopied = full.snapshotBytesCopied;
+    r.snapshotBytesFull = full.snapshotBytesFull;
+    r.perWorkerCycles = std::move(full.perWorkerCycles);
     r.envelope = std::move(full.envelope);
 }
 
@@ -293,15 +301,17 @@ cacheKey(const CellLibrary &lib, const isa::Image &image,
         hashDouble(h, p.areaUm2);
         hashDouble(h, p.clkPinEnergyJ);
     }
-    // Result-affecting options only; numThreads and evalMode are
-    // excluded on purpose (scheduling-independent exploration,
-    // bit-identical kernels), as are recordActiveSets and
-    // recordModuleTrace (never cached). recordEnvelope and the
-    // window set participate: they change what a cached entry must
-    // contain.
+    // Result-affecting options only; numThreads, evalMode and
+    // snapshotMode are excluded on purpose (scheduling-independent
+    // exploration, bit-identical kernels and fork representations),
+    // as are recordActiveSets and recordModuleTrace (never cached).
+    // recordEnvelope and the window set participate: they change
+    // what a cached entry must contain. The scenario participates by
+    // content (not name): it changes every number.
     hashDouble(h, opts.freqHz);
     hashU64(h, opts.maxTotalCycles);
     hashU64(h, opts.inputDependentLoopBound);
+    opts.scenario.hashInto(h);
     hashU64(h, opts.recordEnvelope ? 1 : 0);
     if (opts.recordEnvelope) {
         hashU64(h, opts.envelopeWindows.size());
@@ -326,9 +336,23 @@ analyzeBatch(const CellLibrary &lib,
     Clock::time_point suite0 = Clock::now();
 
     BatchReport rep;
-    rep.programs.resize(programs.size());
-    for (size_t i = 0; i < programs.size(); ++i)
-        rep.programs[i].name = programs[i].name;
+    // The work list is the scenario x program matrix, scenario-major
+    // (a single implicit scenario reproduces the old flat suite).
+    std::vector<scenario::Scenario> scens = opts.scenarios;
+    if (scens.empty())
+        scens.push_back(opts.analysis.scenario);
+    const size_t nProg = programs.size();
+    const size_t nItems = scens.size() * nProg;
+
+    rep.programs.resize(nItems);
+    std::vector<Options> scenOpts(scens.size(), opts.analysis);
+    for (size_t s = 0; s < scens.size(); ++s) {
+        scenOpts[s].scenario = scens[s];
+        for (size_t p = 0; p < nProg; ++p) {
+            rep.programs[s * nProg + p].name = programs[p].name;
+            rep.programs[s * nProg + p].scenario = scens[s].name;
+        }
+    }
 
     const bool useCache = !opts.cacheDir.empty();
     if (useCache)
@@ -346,27 +370,25 @@ analyzeBatch(const CellLibrary &lib,
             if (opts.failFast && abort.load())
                 break;
             size_t i = next.fetch_add(1);
-            if (i >= programs.size())
+            if (i >= nItems)
                 break;
+            const Options &aopts = scenOpts[i / nProg];
+            const BatchProgram &prog = programs[i % nProg];
             ProgramResult &r = rep.programs[i];
             Clock::time_point t0 = Clock::now();
 
             fs::path entry;
             if (useCache) {
-                entry = cachePath(
-                    opts.cacheDir,
-                    cacheKey(lib, programs[i].image, opts.analysis));
-                if (loadCached(entry, r,
-                               opts.analysis.recordEnvelope)) {
+                entry = cachePath(opts.cacheDir,
+                                  cacheKey(lib, prog.image, aopts));
+                if (loadCached(entry, r, aopts.recordEnvelope)) {
                     if (r.envelope.present) {
                         // Window curves are derived data: rebuild
                         // them from the cached trace exactly as the
                         // cold path built them.
-                        r.envelope.windows =
-                            opts.analysis.envelopeWindows;
-                        buildWindowCurves(
-                            r.envelope,
-                            1.0 / opts.analysis.freqHz);
+                        r.envelope.windows = aopts.envelopeWindows;
+                        buildWindowCurves(r.envelope,
+                                          1.0 / aopts.freqHz);
                     }
                     r.cached = true;
                     ++hits;
@@ -379,8 +401,7 @@ analyzeBatch(const CellLibrary &lib,
             try {
                 if (!sys)
                     sys = std::make_unique<msp::System>(lib);
-                Report full =
-                    analyze(*sys, programs[i].image, opts.analysis);
+                Report full = analyze(*sys, prog.image, aopts);
                 copyScalars(r, full);
             } catch (const std::exception &e) {
                 r.ok = false;
@@ -395,8 +416,8 @@ analyzeBatch(const CellLibrary &lib,
     };
 
     unsigned jobs = opts.jobs < 1 ? 1 : opts.jobs;
-    if (jobs > programs.size())
-        jobs = unsigned(programs.size() ? programs.size() : 1);
+    if (jobs > nItems)
+        jobs = unsigned(nItems ? nItems : 1);
     if (jobs <= 1) {
         workerFn();
     } else {
@@ -411,49 +432,81 @@ analyzeBatch(const CellLibrary &lib,
     rep.cacheHits = hits.load();
     rep.cacheMisses = misses.load();
 
-    rep.ok = !programs.empty();
-    bool anyOk = false;
+    rep.ok = nItems > 0;
     for (ProgramResult &r : rep.programs) {
         if (!r.ok) {
             rep.ok = false;
             if (r.error.empty())
                 r.error = "skipped (fail-fast after earlier failure)";
-            continue;
-        }
-        anyOk = true;
-        if (r.peakPowerW > rep.maxPeakPowerW) {
-            rep.maxPeakPowerW = r.peakPowerW;
-            rep.maxPeakPowerProgram = r.name;
-        }
-        if (r.peakEnergyJ > rep.maxPeakEnergyJ) {
-            rep.maxPeakEnergyJ = r.peakEnergyJ;
-            rep.maxPeakEnergyProgram = r.name;
-        }
-        if (r.npeJPerCycle > rep.maxNpeJPerCycle) {
-            rep.maxNpeJPerCycle = r.npeJPerCycle;
-            rep.maxNpeProgram = r.name;
         }
     }
-    if (anyOk)
-        rep.supply = sizing::sizeSuiteSupply(rep.maxPeakPowerW,
-                                             rep.maxPeakEnergyJ);
 
-    // Suite envelope: elementwise max of the per-program envelopes,
-    // composed in input order (max is order-independent, so any order
-    // would produce the same bytes), then sized.
-    if (opts.analysis.recordEnvelope && anyOk) {
-        double tclk = 1.0 / opts.analysis.freqHz;
-        rep.suiteEnvelope.windows = opts.analysis.envelopeWindows;
-        for (const ProgramResult &r : rep.programs)
-            if (r.ok)
-                maxComposeEnvelope(rep.suiteEnvelope, r.envelope);
-        if (rep.suiteEnvelope.present)
-            buildWindowCurves(rep.suiteEnvelope, tclk);
-        if (rep.suiteEnvelope.present)
-            rep.envelopeSupply = sizing::sizeEnvelopeSupply(
-                rep.suiteEnvelope.windows,
-                rep.suiteEnvelope.peakWindowEnergyJ,
-                rep.suiteEnvelope.peakPowerW(), tclk, lib.vdd());
+    // Per-scenario aggregates; the top-level fields mirror the first
+    // scenario so single-scenario callers see the familiar report.
+    rep.scenarios.resize(scens.size());
+    for (size_t s = 0; s < scens.size(); ++s) {
+        ScenarioSummary &sum = rep.scenarios[s];
+        sum.scenario = scens[s].name;
+        sum.summary = scens[s].summary();
+        sum.ok = nProg > 0;
+        bool anyOk = false;
+        for (size_t p = 0; p < nProg; ++p) {
+            const ProgramResult &r = rep.programs[s * nProg + p];
+            if (!r.ok) {
+                sum.ok = false;
+                continue;
+            }
+            anyOk = true;
+            if (r.peakPowerW > sum.maxPeakPowerW) {
+                sum.maxPeakPowerW = r.peakPowerW;
+                sum.maxPeakPowerProgram = r.name;
+            }
+            if (r.peakEnergyJ > sum.maxPeakEnergyJ) {
+                sum.maxPeakEnergyJ = r.peakEnergyJ;
+                sum.maxPeakEnergyProgram = r.name;
+            }
+            if (r.npeJPerCycle > sum.maxNpeJPerCycle) {
+                sum.maxNpeJPerCycle = r.npeJPerCycle;
+                sum.maxNpeProgram = r.name;
+            }
+        }
+        if (anyOk)
+            sum.supply = sizing::sizeSuiteSupply(sum.maxPeakPowerW,
+                                                 sum.maxPeakEnergyJ);
+
+        // Suite envelope: elementwise max of the scenario's
+        // per-program envelopes, composed in input order (max is
+        // order-independent, so any order would produce the same
+        // bytes), then sized.
+        if (opts.analysis.recordEnvelope && anyOk) {
+            double tclk = 1.0 / opts.analysis.freqHz;
+            sum.suiteEnvelope.windows =
+                opts.analysis.envelopeWindows;
+            for (size_t p = 0; p < nProg; ++p) {
+                const ProgramResult &r = rep.programs[s * nProg + p];
+                if (r.ok)
+                    maxComposeEnvelope(sum.suiteEnvelope, r.envelope);
+            }
+            if (sum.suiteEnvelope.present) {
+                buildWindowCurves(sum.suiteEnvelope, tclk);
+                sum.envelopeSupply = sizing::sizeEnvelopeSupply(
+                    sum.suiteEnvelope.windows,
+                    sum.suiteEnvelope.peakWindowEnergyJ,
+                    sum.suiteEnvelope.peakPowerW(), tclk, lib.vdd());
+            }
+        }
+    }
+    if (!rep.scenarios.empty()) {
+        const ScenarioSummary &first = rep.scenarios.front();
+        rep.maxPeakPowerW = first.maxPeakPowerW;
+        rep.maxPeakPowerProgram = first.maxPeakPowerProgram;
+        rep.maxPeakEnergyJ = first.maxPeakEnergyJ;
+        rep.maxPeakEnergyProgram = first.maxPeakEnergyProgram;
+        rep.maxNpeJPerCycle = first.maxNpeJPerCycle;
+        rep.maxNpeProgram = first.maxNpeProgram;
+        rep.supply = first.supply;
+        rep.suiteEnvelope = first.suiteEnvelope;
+        rep.envelopeSupply = first.envelopeSupply;
     }
     rep.wallSeconds = secondsSince(suite0);
     return rep;

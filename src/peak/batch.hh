@@ -18,20 +18,33 @@
  * (jobs, numThreads) combination produces bit-identical per-program
  * numbers -- tests/test_batch.cc locksteps jobs=1 against jobs=N.
  *
+ * A suite can be analyzed under several deployment scenarios at
+ * once (BatchOptions::scenarios): analyzeBatch then runs the full
+ * scenario x program matrix -- BatchReport::programs holds one
+ * ProgramResult per (scenario, program) pair in scenario-major
+ * order, and BatchReport::scenarios carries per-scenario suite
+ * aggregates (maxima, envelope, supply sizing), so one invocation
+ * reports how much each added constraint tightens the suite's
+ * requirements. The top-level aggregates always describe the first
+ * scenario, which keeps single-scenario callers unchanged.
+ *
  * Results are cached on disk (BatchOptions::cacheDir) keyed by the
  * FNV-1a hash of (cache format version, cell library contents, image
- * contents, result-affecting analysis options). Options that provably
- * cannot change the numbers -- numThreads (scheduling-independent
- * exploration), evalMode (bit-identical kernels), and the
- * recordActiveSets/recordModuleTrace trace flags (never cached) --
- * are excluded from the key, so re-runs under a different thread
+ * contents, result-affecting analysis options, scenario contents).
+ * Options that provably cannot change the numbers -- numThreads
+ * (scheduling-independent exploration), evalMode (bit-identical
+ * kernels), snapshotMode (bit-identical fork representations), and
+ * the recordActiveSets/recordModuleTrace trace flags (never cached)
+ * -- are excluded from the key, so re-runs under a different thread
  * count or kernel still hit. recordEnvelope and envelopeWindows *do*
- * participate: they change what a cached entry must contain. Entries
- * carry a format-version header (bumped when the envelope fields
- * were added), so stale entries from an older binary are treated as
- * misses instead of deserializing into garbage reports. Cached
- * doubles (and envelope floats) round-trip through their bit
- * patterns, so a warm run reproduces the cold run bit for bit.
+ * participate: they change what a cached entry must contain; the
+ * scenario participates by content hash because it changes every
+ * number. Entries carry a format-version header (v2 added the
+ * envelope fields, v3 the scenario-aware key), so stale entries from
+ * an older binary are treated as misses instead of deserializing
+ * into garbage reports. Cached doubles (and envelope floats)
+ * round-trip through their bit patterns, so a warm run reproduces
+ * the cold run bit for bit.
  *
  * Quickstart:
  * @code
@@ -69,6 +82,14 @@ struct BatchProgram {
 struct BatchOptions {
     /** Per-program analysis options (shared by the whole suite). */
     Options analysis;
+    /**
+     * Deployment scenarios to sweep the suite across. Empty (the
+     * default) analyzes under analysis.scenario alone; otherwise
+     * every program is analyzed once per listed scenario
+     * (analysis.scenario is ignored) and the report carries the
+     * full matrix plus per-scenario aggregates.
+     */
+    std::vector<scenario::Scenario> scenarios;
     /** Program-level workers (<= 1: serial on the calling thread).
      *  Orthogonal to analysis.numThreads; see the file comment. */
     unsigned jobs = 1;
@@ -90,6 +111,8 @@ struct BatchOptions {
  *  layer carries and caches it). */
 struct ProgramResult {
     std::string name;
+    /** Scenario this row was analyzed under (its Scenario::name). */
+    std::string scenario;
     bool ok = false;
     bool cached = false; ///< served from the disk cache
     std::string error;   ///< analysis error, or the skip reason
@@ -102,6 +125,15 @@ struct ProgramResult {
     uint64_t totalCycles = 0;
     uint32_t pathsExplored = 0;
     uint32_t dedupMerges = 0;
+    /// @name Run-provenance statistics (like wallSeconds: zero on
+    /// cache hits, scheduling-dependent, excluded from determinism
+    /// comparisons and from the cache)
+    /// @{
+    uint32_t steals = 0;
+    uint64_t snapshotBytesCopied = 0;
+    uint64_t snapshotBytesFull = 0;
+    std::vector<uint64_t> perWorkerCycles;
+    /// @}
 
     /** Peak power envelope + windowed peak-energy curves, when
      *  Options::recordEnvelope. The cache stores only the power
@@ -112,13 +144,41 @@ struct ProgramResult {
                               ///< included; near zero when warm)
 };
 
-/** Suite-level report: per-program results in input order plus the
- *  aggregates a deployment flow consumes. */
+/** Per-scenario suite aggregates (one entry per analyzed scenario,
+ *  in BatchOptions::scenarios order). */
+struct ScenarioSummary {
+    std::string scenario;
+    std::string summary; ///< Scenario::summary() for reports
+    bool ok = false;     ///< every program of this scenario analyzed
+
+    double maxPeakPowerW = 0.0;
+    std::string maxPeakPowerProgram;
+    double maxPeakEnergyJ = 0.0;
+    std::string maxPeakEnergyProgram;
+    double maxNpeJPerCycle = 0.0;
+    std::string maxNpeProgram;
+
+    sizing::SuiteSupply supply;
+    Envelope suiteEnvelope;
+    sizing::EnvelopeSupply envelopeSupply;
+};
+
+/** Suite-level report: per-(scenario, program) results in
+ *  scenario-major input order plus the aggregates a deployment flow
+ *  consumes. */
 struct BatchReport {
     bool ok = false; ///< every program analyzed successfully
+    /** One row per (scenario, program), scenario-major: with S
+     *  scenarios and P programs, row s*P + p is program p under
+     *  scenario s. Single-scenario runs look exactly like before. */
     std::vector<ProgramResult> programs;
+    /** Per-scenario aggregates; size 1 when no scenario sweep was
+     *  requested. scenarios[0] equals the top-level aggregate
+     *  fields below. */
+    std::vector<ScenarioSummary> scenarios;
 
-    /// @name Suite aggregates (over successful programs)
+    /// @name Suite aggregates (over successful programs of the
+    /// *first* scenario -- see scenarios[] for the rest)
     /// @{
     double maxPeakPowerW = 0.0; ///< the paper's supply-sizing number
     std::string maxPeakPowerProgram;

@@ -48,6 +48,16 @@ struct Options {
     /** Window lengths [cycles] of the envelope's peak-energy curves;
      *  used only when recordEnvelope. */
     std::vector<unsigned> envelopeWindows = defaultEnvelopeWindows();
+    /** The deployment scenario analyzed under (port/memory/register
+     *  constraints; default unconstrained = the classic all-X flow).
+     *  Participates in the batch cache key by content. Constraining
+     *  it can only tighten every reported bound
+     *  (fuzz::scenarioDominanceCheck). */
+    scenario::Scenario scenario;
+    /** Fork snapshot representation inside the exploration (delta =
+     *  default, full = reference); never changes a reported number,
+     *  so it is excluded from the cache key like evalMode. */
+    sym::SnapshotMode snapshotMode = sym::SnapshotMode::Delta;
 };
 
 /** Application-specific input-independent requirements (the paper's
@@ -73,10 +83,16 @@ struct Report {
     std::vector<uint8_t> everActive;
     std::vector<uint32_t> peakActive;
 
-    /** Exploration statistics. */
+    /** Exploration statistics (see SymbolicResult: steals and
+     *  perWorkerCycles are scheduling-dependent and excluded from
+     *  determinism comparisons, like timings). */
     uint64_t totalCycles = 0;
     uint32_t pathsExplored = 0;
     uint32_t dedupMerges = 0;
+    uint32_t steals = 0;
+    uint64_t snapshotBytesCopied = 0;
+    uint64_t snapshotBytesFull = 0;
+    std::vector<uint64_t> perWorkerCycles;
 
     /** Full result (execution tree etc.) for advanced consumers. */
     sym::SymbolicResult sym;

@@ -17,6 +17,8 @@ analyze(msp::System &sys, const isa::Image &image, const Options &opts)
     cfg.evalMode = opts.evalMode;
     cfg.numThreads = opts.numThreads;
     cfg.recordEnvelope = opts.recordEnvelope;
+    cfg.scenario = opts.scenario;
+    cfg.snapshotMode = opts.snapshotMode;
 
     sym::SymbolicEngine engine(sys, cfg);
     sym::SymbolicResult sr = engine.run(image);
@@ -31,6 +33,10 @@ analyze(msp::System &sys, const isa::Image &image, const Options &opts)
     r.totalCycles = sr.totalCycles;
     r.pathsExplored = sr.pathsExplored;
     r.dedupMerges = sr.dedupMerges;
+    r.steals = sr.steals;
+    r.snapshotBytesCopied = sr.snapshotBytesCopied;
+    r.snapshotBytesFull = sr.snapshotBytesFull;
+    r.perWorkerCycles = sr.perWorkerCycles;
     if (sr.ok)
         r.flatTraceW = sr.tree.flatten();
     if (sr.ok && opts.recordEnvelope) {

@@ -1,0 +1,554 @@
+#include "scenario/scenario.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ulpeak {
+namespace scenario {
+
+namespace {
+
+/// @name Minimal JSON reader
+/// Just enough JSON for scenario files: objects, arrays, strings,
+/// integers and bools. No external dependency; errors carry the
+/// byte offset so a broken file is debuggable from the message.
+/// @{
+struct JsonValue {
+    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text; ///< String payload
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser {
+  public:
+    explicit JsonParser(const std::string &s) : s_(s) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters after the JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw std::runtime_error("scenario JSON, offset " +
+                                 std::to_string(pos_) + ": " + msg);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 s_[pos_] + "'");
+        ++pos_;
+    }
+
+    JsonValue
+    value()
+    {
+        char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return number();
+        fail("unexpected character");
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            JsonValue key = string();
+            expect(':');
+            v.members.emplace_back(key.text, value());
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    JsonValue
+    string()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::String;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    fail("unterminated escape");
+                char e = s_[pos_++];
+                switch (e) {
+                case '"': v.text += '"'; break;
+                case '\\': v.text += '\\'; break;
+                case '/': v.text += '/'; break;
+                case 'n': v.text += '\n'; break;
+                case 't': v.text += '\t'; break;
+                case 'r': v.text += '\r'; break;
+                default: fail("unsupported escape sequence");
+                }
+            } else {
+                v.text += c;
+            }
+        }
+        if (pos_ >= s_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return v;
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Bool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+        } else {
+            fail("expected true/false");
+        }
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        size_t start = pos_;
+        if (s_[pos_] == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        JsonValue v;
+        v.kind = JsonValue::Number;
+        v.text = s_.substr(start, pos_ - start);
+        try {
+            v.number = std::stod(v.text);
+        } catch (const std::exception &) {
+            fail("malformed number");
+        }
+        return v;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+/// @}
+
+/** A JSON integer or a "0x.."/decimal string, range-checked. */
+uint32_t
+asUint(const JsonValue &v, uint32_t max, const char *what)
+{
+    long long n = 0;
+    if (v.kind == JsonValue::Number) {
+        // Range-check in double space before the cast: converting an
+        // out-of-range double to an integer is undefined behavior.
+        if (v.number < -9.3e18 || v.number > 9.3e18)
+            throw std::runtime_error(std::string(what) +
+                                     ": out of range [0, " +
+                                     std::to_string(max) + "]");
+        n = (long long)(v.number);
+        if (double(n) != v.number)
+            throw std::runtime_error(std::string(what) +
+                                     ": not an integer");
+    } else if (v.kind == JsonValue::String) {
+        try {
+            n = std::stoll(v.text, nullptr, 0);
+        } catch (const std::exception &) {
+            throw std::runtime_error(std::string(what) +
+                                     ": bad number '" + v.text + "'");
+        }
+    } else {
+        throw std::runtime_error(std::string(what) +
+                                 ": expected a number");
+    }
+    if (n < 0 || (unsigned long long)(n) > max)
+        throw std::runtime_error(std::string(what) +
+                                 ": out of range [0, " +
+                                 std::to_string(max) + "]");
+    return uint32_t(n);
+}
+
+PortPattern
+patternFromJson(const JsonValue &v, const char *what)
+{
+    if (v.kind == JsonValue::String)
+        return PortPattern::parse(v.text);
+    if (v.kind == JsonValue::Object) {
+        PortPattern p;
+        if (const JsonValue *pin = v.find("pinned"))
+            p.pinned = uint16_t(asUint(*pin, 0xffff, "pinned"));
+        if (const JsonValue *val = v.find("value"))
+            p.value = uint16_t(asUint(*val, 0xffff, "value"));
+        p.value &= p.pinned; // free bits stay 0 (canonical form)
+        return p;
+    }
+    throw std::runtime_error(
+        std::string(what) +
+        ": expected a 16-char pattern string or {pinned, value}");
+}
+
+} // namespace
+
+std::string
+PortPattern::toString() const
+{
+    std::string s(16, 'x');
+    for (unsigned i = 0; i < 16; ++i) {
+        uint16_t m = uint16_t(1u << (15 - i));
+        if (pinned & m)
+            s[i] = (value & m) ? '1' : '0';
+    }
+    return s;
+}
+
+PortPattern
+PortPattern::parse(const std::string &s)
+{
+    if (s.size() != 16)
+        throw std::runtime_error(
+            "port pattern must be exactly 16 characters (MSB "
+            "first), got \"" + s + "\"");
+    PortPattern p;
+    for (unsigned i = 0; i < 16; ++i) {
+        uint16_t m = uint16_t(1u << (15 - i));
+        switch (s[i]) {
+        case '0':
+            p.pinned |= m;
+            break;
+        case '1':
+            p.pinned |= m;
+            p.value |= m;
+            break;
+        case 'x':
+        case 'X':
+            break;
+        default:
+            throw std::runtime_error(
+                "port pattern characters must be 0, 1 or x, got '" +
+                std::string(1, s[i]) + "' in \"" + s + "\"");
+        }
+    }
+    return p;
+}
+
+bool
+Scenario::isUnconstrained() const
+{
+    if (!ramInit.empty() || !regInit.empty())
+        return false;
+    if (portSchedule.empty())
+        return port.pinned == 0;
+    return std::all_of(portSchedule.begin(), portSchedule.end(),
+                       [](const PortPattern &p) {
+                           return p.pinned == 0;
+                       });
+}
+
+const PortPattern &
+Scenario::patternAt(uint64_t cycle) const
+{
+    if (portSchedule.empty())
+        return port;
+    return portSchedule[size_t(cycle % portSchedule.size())];
+}
+
+void
+Scenario::hashInto(uint64_t &h) const
+{
+    auto mix = [&h](uint64_t x) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (x >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    // Content only, never the name: renaming a scenario must keep
+    // cache entries valid, and two differently-named identical
+    // scenarios must share them.
+    mix(port.pinned);
+    mix(port.value);
+    mix(portSchedule.size());
+    for (const PortPattern &p : portSchedule) {
+        mix(p.pinned);
+        mix(p.value);
+    }
+    mix(ramInit.size());
+    for (const auto &[addr, words] : ramInit) {
+        mix(addr);
+        mix(words.size());
+        for (uint16_t w : words)
+            mix(w);
+    }
+    mix(regInit.size());
+    for (const auto &[reg, value] : regInit) {
+        mix(reg);
+        mix(value);
+    }
+}
+
+std::string
+Scenario::summary() const
+{
+    if (isUnconstrained())
+        return "unconstrained (all-X ports)";
+    std::ostringstream os;
+    if (portSchedule.empty()) {
+        os << "port " << port.toString();
+    } else {
+        os << "port schedule period " << portSchedule.size() << " ["
+           << portSchedule.front().toString() << ", ...]";
+    }
+    if (!ramInit.empty())
+        os << ", " << ramInit.size() << " RAM range"
+           << (ramInit.size() > 1 ? "s" : "");
+    if (!regInit.empty())
+        os << ", " << regInit.size() << " register"
+           << (regInit.size() > 1 ? "s" : "");
+    return os.str();
+}
+
+const std::vector<std::string> &
+Scenario::presetNames()
+{
+    static const std::vector<std::string> names = {
+        "unconstrained",
+        "ports-grounded",
+        "sensor-4bit",
+        "periodic-sensor",
+    };
+    return names;
+}
+
+Scenario
+Scenario::preset(const std::string &name)
+{
+    Scenario s;
+    s.name = name;
+    if (name == "unconstrained")
+        return s;
+    if (name == "ports-grounded") {
+        // Every peripheral pin strapped low: the tightest
+        // environment, bounds driven by the application alone.
+        s.port.pinned = 0xffff;
+        s.port.value = 0;
+        return s;
+    }
+    if (name == "sensor-4bit") {
+        // A 4-bit sensor on the low nibble, everything else
+        // grounded -- the paper's "constrained peripheral" shape.
+        s.port.pinned = 0xfff0;
+        s.port.value = 0;
+        return s;
+    }
+    if (name == "periodic-sensor") {
+        // A sampled sensor: the port floats (all X) one cycle in
+        // eight and is grounded in between.
+        PortPattern sample;                    // all X
+        PortPattern grounded{0xffff, 0};
+        s.portSchedule.assign(8, grounded);
+        s.portSchedule[0] = sample;
+        return s;
+    }
+    std::string known;
+    for (const std::string &n : presetNames())
+        known += (known.empty() ? "" : ", ") + n;
+    throw std::runtime_error("unknown scenario '" + name +
+                             "' (known presets: " + known +
+                             ", or a .json path)");
+}
+
+Scenario
+Scenario::fromJson(const std::string &text)
+{
+    JsonValue root = JsonParser(text).parse();
+    if (root.kind != JsonValue::Object)
+        throw std::runtime_error(
+            "scenario JSON: top level must be an object");
+    Scenario s;
+    s.name = "custom";
+    for (const auto &[key, v] : root.members) {
+        if (key == "name") {
+            if (v.kind != JsonValue::String)
+                throw std::runtime_error("name: expected a string");
+            s.name = v.text;
+        } else if (key == "port") {
+            s.port = patternFromJson(v, "port");
+        } else if (key == "port_schedule") {
+            if (v.kind != JsonValue::Array)
+                throw std::runtime_error(
+                    "port_schedule: expected an array");
+            for (const JsonValue &e : v.items)
+                s.portSchedule.push_back(
+                    patternFromJson(e, "port_schedule entry"));
+        } else if (key == "ram_init") {
+            if (v.kind != JsonValue::Array)
+                throw std::runtime_error("ram_init: expected an array");
+            for (const JsonValue &e : v.items) {
+                if (e.kind != JsonValue::Object || !e.find("addr") ||
+                    !e.find("words"))
+                    throw std::runtime_error(
+                        "ram_init entries must be {addr, words}");
+                uint32_t addr =
+                    asUint(*e.find("addr"), 0xffff, "ram_init addr");
+                if (addr & 1)
+                    throw std::runtime_error(
+                        "ram_init addr must be word-aligned");
+                const JsonValue &wv = *e.find("words");
+                if (wv.kind != JsonValue::Array || wv.items.empty())
+                    throw std::runtime_error(
+                        "ram_init words: expected a non-empty array");
+                std::vector<uint16_t> words;
+                for (const JsonValue &w : wv.items)
+                    words.push_back(
+                        uint16_t(asUint(w, 0xffff, "ram_init word")));
+                s.ramInit.emplace_back(addr, std::move(words));
+            }
+        } else if (key == "reg_init") {
+            if (v.kind != JsonValue::Array)
+                throw std::runtime_error("reg_init: expected an array");
+            for (const JsonValue &e : v.items) {
+                if (e.kind != JsonValue::Object || !e.find("reg") ||
+                    !e.find("value"))
+                    throw std::runtime_error(
+                        "reg_init entries must be {reg, value}");
+                uint32_t reg =
+                    asUint(*e.find("reg"), 15, "reg_init reg");
+                if (reg < 4)
+                    throw std::runtime_error(
+                        "reg_init reg must be a general-purpose "
+                        "register (4..15); r0-r3 are pc/sp/sr/cg");
+                uint32_t val = asUint(*e.find("value"), 0xffff,
+                                      "reg_init value");
+                s.regInit.emplace_back(reg, uint16_t(val));
+            }
+        } else {
+            throw std::runtime_error("unknown scenario key '" + key +
+                                     "'");
+        }
+    }
+    return s;
+}
+
+Scenario
+Scenario::fromJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot read scenario file: " + path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    try {
+        Scenario s = fromJson(ss.str());
+        if (s.name == "custom") {
+            // Default the name to the file stem for reports.
+            size_t slash = path.find_last_of('/');
+            std::string base = slash == std::string::npos
+                                   ? path
+                                   : path.substr(slash + 1);
+            size_t dot = base.find_last_of('.');
+            s.name = dot == std::string::npos ? base
+                                              : base.substr(0, dot);
+        }
+        return s;
+    } catch (const std::exception &e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
+}
+
+Scenario
+Scenario::resolve(const std::string &spec)
+{
+    auto endsWith = [&](const char *suf) {
+        size_t n = std::string(suf).size();
+        return spec.size() > n &&
+               spec.compare(spec.size() - n, n, suf) == 0;
+    };
+    if (spec.find('/') != std::string::npos || endsWith(".json"))
+        return fromJsonFile(spec);
+    return preset(spec);
+}
+
+} // namespace scenario
+} // namespace ulpeak

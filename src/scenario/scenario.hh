@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Deployment scenarios: first-class descriptions of the environment
+ * an application is analyzed under.
+ *
+ * The paper's central observation is that peak power/energy
+ * requirements are application-specific; its Section 5 goes one step
+ * further and shows the bounds tighten again when the analyst knows
+ * something about the deployment -- e.g. that a peripheral port is
+ * strapped to ground, or that a sensor drives only 4 of 16 pins. A
+ * Scenario captures exactly that knowledge:
+ *
+ *  - per-port input constraints: each port bit is either pinned to a
+ *    concrete value or left unconstrained (X), optionally as a
+ *    per-cycle schedule that repeats with a fixed period
+ *    (generalizing power::ConcreteRunOptions::portSchedule from
+ *    concrete words to three-valued patterns);
+ *  - initial-memory constraints: RAM words with known contents at
+ *    boot (calibration tables, pinned input buffers) instead of
+ *    Algorithm 1's all-X initialization;
+ *  - initial-register constraints: architectural registers with
+ *    known boot values.
+ *
+ * The symbolic engine drives port bits from the scenario instead of
+ * all-X (sym::SymbolicConfig::scenario), so every reported number --
+ * peak power, peak energy, NPE, the envelope -- is a guaranteed bound
+ * over exactly the executions the scenario admits. Constraining a
+ * scenario can only shrink that execution set, so every bound is <=
+ * the unconstrained one (the dominance property
+ * fuzz::scenarioDominanceCheck pins end-to-end).
+ *
+ * Scenarios come from named presets (presetNames()) or JSON files
+ * (fromJsonFile; `ulpeak --scenario NAME|file.json`), participate in
+ * the batch result cache by content hash (hashInto), and one
+ * analyzeBatch call can sweep a whole scenario x program matrix.
+ */
+
+#ifndef ULPEAK_SCENARIO_SCENARIO_HH
+#define ULPEAK_SCENARIO_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "logic/v4.hh"
+
+namespace ulpeak {
+namespace scenario {
+
+/** One cycle's three-valued port constraint: bit i of @ref pinned
+ *  set means the port bit is held at bit i of @ref value; clear
+ *  means the bit is unconstrained (X under symbolic analysis). */
+struct PortPattern {
+    uint16_t pinned = 0;
+    uint16_t value = 0;
+
+    /** The Word16 the simulator is driven with (free bits X). */
+    Word16
+    word() const
+    {
+        return Word16(value, uint16_t(~pinned));
+    }
+
+    bool
+    operator==(const PortPattern &o) const
+    {
+        return pinned == o.pinned && value == o.value;
+    }
+
+    /** Render as 16 chars, MSB first: '0'/'1' pinned, 'x' free. */
+    std::string toString() const;
+    /** Parse the toString() form; throws std::runtime_error. */
+    static PortPattern parse(const std::string &s);
+};
+
+struct Scenario {
+    std::string name = "unconstrained";
+
+    /** Static port constraint, used when @ref portSchedule is empty. */
+    PortPattern port;
+    /** Per-cycle port constraints, repeating with period size();
+     *  cycle c (counted from the end of reset, like every trace and
+     *  envelope) uses entry c % size(). Overrides @ref port. */
+    std::vector<PortPattern> portSchedule;
+
+    /** Concrete RAM words loaded before analysis begins (addr,
+     *  words), narrowing Algorithm 1's all-X initial memory. */
+    std::vector<std::pair<uint32_t, std::vector<uint16_t>>> ramInit;
+    /** Concrete boot values of architectural registers (reg index
+     *  4..15, value); applied once at the first post-reset cycle. */
+    std::vector<std::pair<unsigned, uint16_t>> regInit;
+
+    /** True when the scenario admits every execution (all port bits
+     *  X every cycle, no memory/register constraints) -- analysis
+     *  results equal the classic all-X flow exactly. */
+    bool isUnconstrained() const;
+
+    /** The constraint in force at post-reset cycle @p cycle. */
+    const PortPattern &patternAt(uint64_t cycle) const;
+    /** The port word driven at post-reset cycle @p cycle. */
+    Word16
+    portWordAt(uint64_t cycle) const
+    {
+        return patternAt(cycle).word();
+    }
+
+    /** Schedule phase at @p cycle -- 0 for unscheduled scenarios.
+     *  Two simulator states are interchangeable only at equal
+     *  phases, so the engine mixes this into its dedup keys. */
+    uint64_t
+    dedupPhase(uint64_t cycle) const
+    {
+        return portSchedule.empty() ? 0 : cycle % portSchedule.size();
+    }
+
+    /** Mix the full scenario content into @p h (FNV-1a order): the
+     *  batch cache key uses this, so two scenarios hash equal iff
+     *  they constrain identically (the name does not participate). */
+    void hashInto(uint64_t &h) const;
+
+    /** Human one-liner ("port 0000xxxxxxxxxxxx, 2 RAM ranges"). */
+    std::string summary() const;
+
+    /// @name Construction
+    /// @{
+    static const std::vector<std::string> &presetNames();
+    /** A named preset; throws std::runtime_error on unknown names
+     *  (message lists the known ones). */
+    static Scenario preset(const std::string &name);
+    /** Parse the JSON form (see docs/architecture.md):
+     *  {"name": ..., "port": "16-char pattern" | {"pinned","value"},
+     *   "port_schedule": [pattern, ...],
+     *   "ram_init": [{"addr": A, "words": [...]}, ...],
+     *   "reg_init": [{"reg": R, "value": V}, ...]}
+     *  Numbers may be JSON integers or "0x.." strings. Throws
+     *  std::runtime_error with a position-bearing message. */
+    static Scenario fromJson(const std::string &text);
+    static Scenario fromJsonFile(const std::string &path);
+    /** A preset name, or a path to a JSON file (anything containing
+     *  a '/' or ending in ".json"). */
+    static Scenario resolve(const std::string &spec);
+    /// @}
+};
+
+} // namespace scenario
+} // namespace ulpeak
+
+#endif // ULPEAK_SCENARIO_SCENARIO_HH

@@ -508,6 +508,92 @@ Simulator::restore(const Snapshot &s)
         markAllSeq();
 }
 
+namespace {
+
+/** Append (index, new) pairs where @p cur differs from @p base. */
+template <typename T>
+void
+diffInto(const std::vector<T> &cur, const std::vector<T> &base,
+         std::vector<uint32_t> &idx, std::vector<T> &out)
+{
+    if (cur.size() != base.size())
+        throw std::logic_error(
+            "delta snapshot against a base from a different netlist");
+    for (size_t i = 0; i < cur.size(); ++i) {
+        if (cur[i] != base[i]) {
+            idx.push_back(uint32_t(i));
+            out.push_back(cur[i]);
+        }
+    }
+}
+
+template <typename T>
+void
+applyDelta(std::vector<T> &dst, const std::vector<T> &base,
+           const std::vector<uint32_t> &idx, const std::vector<T> &v)
+{
+    dst = base; // capacity reuse: no allocation on repeated restores
+    for (size_t i = 0; i < idx.size(); ++i)
+        dst[idx[i]] = v[i];
+}
+
+} // namespace
+
+size_t
+Simulator::DeltaSnapshot::deltaBytes() const
+{
+    return valIdx.size() * (sizeof(uint32_t) + sizeof(V4)) +
+           actIdx.size() * (sizeof(uint32_t) + sizeof(uint8_t)) +
+           seqIdx.size() * (sizeof(uint32_t) + sizeof(uint8_t));
+}
+
+size_t
+Simulator::bytesOf(const Snapshot &s)
+{
+    return s.val.size() * sizeof(V4) + s.activeLast.size() +
+           s.loadedPrevEdge.size();
+}
+
+Simulator::DeltaSnapshot
+Simulator::snapshotDelta(std::shared_ptr<const Snapshot> base) const
+{
+    DeltaSnapshot d;
+    diffInto(val_, base->val, d.valIdx, d.valNew);
+    diffInto(active_, base->activeLast, d.actIdx, d.actNew);
+    diffInto(loadedPrevEdge_, base->loadedPrevEdge, d.seqIdx,
+             d.seqNew);
+    d.cycle = cycle_;
+    d.base = std::move(base);
+    return d;
+}
+
+void
+Simulator::restore(const DeltaSnapshot &s)
+{
+    applyDelta(val_, s.base->val, s.valIdx, s.valNew);
+    applyDelta(active_, s.base->activeLast, s.actIdx, s.actNew);
+    applyDelta(loadedPrevEdge_, s.base->loadedPrevEdge, s.seqIdx,
+               s.seqNew);
+    cycle_ = s.cycle;
+    // Same tail as restore(Snapshot): see there for why.
+    rebuildActiveList();
+    if (mode_ == EvalMode::EventDriven)
+        markAllSeq();
+}
+
+Simulator::Snapshot
+Simulator::materialize(const DeltaSnapshot &s)
+{
+    Snapshot full;
+    applyDelta(full.val, s.base->val, s.valIdx, s.valNew);
+    applyDelta(full.activeLast, s.base->activeLast, s.actIdx,
+               s.actNew);
+    applyDelta(full.loadedPrevEdge, s.base->loadedPrevEdge, s.seqIdx,
+               s.seqNew);
+    full.cycle = s.cycle;
+    return full;
+}
+
 V4
 Simulator::predictSeqValue(GateId g) const
 {

@@ -59,6 +59,7 @@
 #define ULPEAK_SIM_SIMULATOR_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "netlist/netlist.hh"
@@ -174,6 +175,48 @@ class Simulator {
     };
     Snapshot snapshot() const;
     void restore(const Snapshot &s);
+
+    /**
+     * Sparse snapshot: the same complete inter-step state as
+     * Snapshot, stored as a shared base plus the entries that differ
+     * from it. The symbolic engine's forks are temporally close to
+     * the snapshot they restored from, so typically only a few
+     * percent of the state changed -- a delta captures (and a
+     * restore rewrites) little more than that, while the base is
+     * shared read-only between all sibling forks. restore(delta) and
+     * restore(materialize(delta)) are interchangeable by contract
+     * (tests/test_snapshot.cc locksteps the two across randomized
+     * dirty patterns), so switching snapshot forms can never change
+     * a simulated value.
+     */
+    struct DeltaSnapshot {
+        std::shared_ptr<const Snapshot> base;
+        /// @name Entries differing from *base (parallel arrays)
+        /// @{
+        std::vector<uint32_t> valIdx;
+        std::vector<V4> valNew;
+        std::vector<uint32_t> actIdx;
+        std::vector<uint8_t> actNew;
+        std::vector<uint32_t> seqIdx;
+        std::vector<uint8_t> seqNew;
+        /// @}
+        uint64_t cycle = 0;
+
+        /** Heap bytes this delta stores (the "bytes copied" of a
+         *  delta fork, vs bytesOf(full) for a full one). */
+        size_t deltaBytes() const;
+    };
+    /** Capture the current state as a delta against @p base, which
+     *  must describe the same netlist (sizes are checked). Same
+     *  between-steps contract as snapshot(). */
+    DeltaSnapshot
+    snapshotDelta(std::shared_ptr<const Snapshot> base) const;
+    void restore(const DeltaSnapshot &s);
+    /** Expand a delta into the equivalent full Snapshot (the
+     *  equivalence-test helper). */
+    static Snapshot materialize(const DeltaSnapshot &s);
+    /** Heap bytes of a full snapshot of this simulator's netlist. */
+    static size_t bytesOf(const Snapshot &s);
     /// @}
 
     /** FNV-1a hash over all sequential gate outputs. */

@@ -18,6 +18,7 @@
 #define ULPEAK_SYM_EXEC_TREE_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -121,7 +122,12 @@ class ExecTree {
                    uint64_t pair_budget = uint64_t(1) << 22) const;
 
   private:
-    std::vector<TreeNode> nodes_;
+    /** Deque, not vector: newNode() must never move existing nodes.
+     *  The parallel exploration allocates children under the tree
+     *  lock while other workers hold references to (and write the
+     *  traces of) nodes they own; deque growth keeps those
+     *  references valid. */
+    std::deque<TreeNode> nodes_;
 };
 
 } // namespace sym

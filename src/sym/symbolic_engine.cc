@@ -1,7 +1,10 @@
 #include "sym/symbolic_engine.hh"
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -17,6 +20,19 @@ namespace sym {
 namespace {
 
 constexpr uint32_t kNoForcedPc = UINT32_MAX;
+
+/** Dedup-map shards; a power of two well above any sane worker
+ * count, so concurrent forks rarely collide on a shard mutex. */
+constexpr unsigned kDedupShards = 64;
+
+/** Delta snapshots beyond this fraction of a full copy promote to a
+ * fresh full base: the path has diverged so far that sparse storage
+ * stops paying, and later forks on the same path restart their
+ * deltas from the new, nearby base. Purely a representation choice
+ * (path-state-determined, so scheduling-independent) -- restored
+ * bits are identical either way. */
+constexpr size_t kDeltaPromoteNum = 1;
+constexpr size_t kDeltaPromoteDen = 2;
 
 /** Structural identity of a netlist (kinds + CSR fanins): snapshots
  * transfer between Systems only when this matches. */
@@ -37,63 +53,157 @@ netlistStructureHash(const Netlist &nl)
 }
 
 /** One un-processed execution path (Algorithm 1's stack U entry).
- * Snapshots are shared between sibling entries (immutable). */
+ * The simulator state is either a full snapshot or a delta against a
+ * shared base (both immutable and shared between sibling entries);
+ * the node pointer is pre-resolved under the tree lock so workers
+ * never touch the tree container concurrently. */
 struct Pending {
-    std::shared_ptr<const Simulator::Snapshot> simSnap;
+    std::shared_ptr<const Simulator::Snapshot> simFull;
+    std::shared_ptr<const Simulator::DeltaSnapshot> simDelta;
     std::shared_ptr<const msp::System::Snapshot> sysSnap;
-    uint32_t node;
-    uint64_t nodeKey;      ///< dedup key that created the node (0: root)
-    uint32_t forcedPc;     ///< PC constraint applied on the next step
-    uint32_t lastKnownPc;  ///< last concrete PC value on this path
-    uint32_t curInstrAddr; ///< instruction in execute/mem (COI)
-    uint64_t pathCycles;
+    uint32_t node = 0;
+    TreeNode *nodePtr = nullptr;
+    uint64_t nodeKey = 0;  ///< dedup key that created the node (0: root)
+    uint32_t forcedPc = kNoForcedPc; ///< PC constraint on the next step
+    uint32_t lastKnownPc = 0; ///< last concrete PC value on this path
+    uint32_t curInstrAddr = 0; ///< instruction in execute/mem (COI)
+    uint64_t pathCycles = 0;
+    bool applyInit = false; ///< root only: scenario register forces
 };
 
-/** State shared by all exploration workers, guarded by @c mu except
- * for the lock-free fast-path flags. */
+/**
+ * State shared by all exploration workers. Three independent lock
+ * domains replace the old single engine mutex:
+ *
+ *  - the visited-state dedup map is sharded by key hash (shards[]),
+ *    so two workers forking at the same time only contend when their
+ *    keys land in the same shard;
+ *  - tree-node allocation takes treeMu; everything else about a node
+ *    (its trace, its edges) is written lock-free through the stable
+ *    TreeNode pointer by the one worker that owns the node;
+ *  - each worker owns a work deque (queues[]) with a private mutex:
+ *    the owner pushes/pops at the back (depth-first, cache-warm),
+ *    thieves take from the front (the oldest entry, closest to the
+ *    root, statistically the largest unexplored subtree).
+ *
+ * Idle workers sleep on idleCv; inflight counts queued + running
+ * paths and reaching zero is the termination condition.
+ */
 struct SharedState {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::vector<Pending> stack; ///< LIFO work stack (Algorithm 1's U)
-    std::unordered_map<uint64_t, uint32_t> visited;
+    struct Shard {
+        std::mutex mu;
+        std::unordered_map<uint64_t, uint32_t> visited;
+    };
+    std::array<Shard, kDedupShards> shards;
+
+    std::mutex treeMu; ///< node allocation (and maxNodes accounting)
     ExecTree *tree = nullptr;
-    uint32_t pathsExplored = 0;
-    uint32_t dedupMerges = 0;
-    unsigned working = 0; ///< workers currently simulating a path
+
+    struct WorkerQueue {
+        std::mutex mu;
+        std::deque<Pending> q;
+    };
+    std::deque<WorkerQueue> queues; ///< deque: mutexes never move
+
+    std::mutex idleMu;
+    std::condition_variable idleCv;
+    std::atomic<uint32_t> queued{0};   ///< entries sitting in queues
+    std::atomic<uint32_t> inflight{0}; ///< queued + running paths
+
+    /// @name Statistics (atomic: many writers)
+    /// @{
+    std::atomic<uint64_t> totalCycles{0};
+    std::atomic<uint32_t> pathsExplored{0};
+    std::atomic<uint32_t> dedupMerges{0};
+    std::atomic<uint32_t> steals{0};
+    std::atomic<uint64_t> snapshotBytesCopied{0};
+    std::atomic<uint64_t> snapshotBytesFull{0};
+    /// @}
+
+    std::atomic<bool> failed{false};
+    std::mutex errMu;
     std::string error;
 
-    std::atomic<uint64_t> totalCycles{0};
-    std::atomic<bool> failed{false};
-
-    /** Record a failure; caller must already hold @c mu. */
-    void
-    failLocked(const std::string &msg)
+    static unsigned
+    shardOf(uint64_t key)
     {
-        if (!failed.exchange(true))
-            error = msg;
-        cv.notify_all();
+        // High multiplicative bits: the low bits feed the map's own
+        // bucket index, so reusing them would correlate the two.
+        return unsigned((key * 0x9e3779b97f4a7c15ull) >> 58) &
+               (kDedupShards - 1);
     }
 
     void
     fail(const std::string &msg)
     {
-        std::lock_guard<std::mutex> lock(mu);
-        failLocked(msg);
+        {
+            std::lock_guard<std::mutex> lock(errMu);
+            if (!failed.exchange(true))
+                error = msg;
+        }
+        std::lock_guard<std::mutex> lock(idleMu);
+        idleCv.notify_all();
+    }
+
+    /** Enqueue @p p on @p worker's deque and wake one sleeper. */
+    void
+    push(unsigned worker, Pending &&p)
+    {
+        inflight.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(queues[worker].mu);
+            queues[worker].q.push_back(std::move(p));
+        }
+        queued.fetch_add(1, std::memory_order_release);
+        if (queues.size() > 1) {
+            std::lock_guard<std::mutex> lock(idleMu);
+            idleCv.notify_one();
+        }
+    }
+
+    bool
+    popOwn(unsigned worker, Pending &out)
+    {
+        std::lock_guard<std::mutex> lock(queues[worker].mu);
+        if (queues[worker].q.empty())
+            return false;
+        out = std::move(queues[worker].q.back());
+        queues[worker].q.pop_back();
+        queued.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    bool
+    stealFrom(unsigned thief, Pending &out)
+    {
+        unsigned n = unsigned(queues.size());
+        for (unsigned i = 1; i < n; ++i) {
+            unsigned victim = (thief + i) % n;
+            std::lock_guard<std::mutex> lock(queues[victim].mu);
+            if (queues[victim].q.empty())
+                continue;
+            out = std::move(queues[victim].q.front());
+            queues[victim].q.pop_front();
+            queued.fetch_sub(1, std::memory_order_relaxed);
+            steals.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
     }
 };
 
 /**
  * One exploration worker: a simulator (plus, for workers beyond the
  * first, a private System clone) that pops pending paths, simulates
- * them to the next fork or leaf, and commits traces to the shared
- * tree. Peak candidates and activity sets are tracked locally and
- * merged after the pool drains.
+ * them to the next fork or leaf, and commits traces to the tree
+ * through the nodes it owns. Peak candidates and activity sets are
+ * tracked locally and merged after the pool drains.
  */
 class Worker {
   public:
     Worker(msp::System &base, const SymbolicConfig &cfg,
-           const isa::Image &image, bool owns_clone)
-        : cfg_(cfg)
+           const isa::Image &image, unsigned id, bool owns_clone)
+        : cfg_(cfg), id_(id)
     {
         if (owns_clone) {
             owned_ = std::make_unique<msp::System>(
@@ -123,40 +233,45 @@ class Worker {
     msp::System &sys() { return *sys_; }
     Simulator &sim() { return *sim_; }
 
-    /** Pop-simulate-commit until the stack drains or a worker fails. */
+    /** Pop/steal-simulate-commit until all work drains or fails. */
     void
     explore(SharedState &sh)
     {
-        std::unique_lock<std::mutex> lock(sh.mu);
-        while (true) {
+        for (;;) {
             if (sh.failed.load())
                 break;
-            if (!sh.stack.empty()) {
-                Pending p = std::move(sh.stack.back());
-                sh.stack.pop_back();
-                ++sh.pathsExplored;
-                ++sh.working;
-                lock.unlock();
+            Pending p;
+            bool got = sh.popOwn(id_, p);
+            if (!got && sh.queues.size() > 1)
+                got = sh.stealFrom(id_, p);
+            if (got) {
+                sh.pathsExplored.fetch_add(
+                    1, std::memory_order_relaxed);
                 // Exceptions must not escape a worker thread (that
-                // would terminate the process); convert them into the
-                // engine's normal failure reporting.
+                // would terminate the process); convert them into
+                // the engine's normal failure reporting.
                 try {
                     runPath(sh, std::move(p));
                 } catch (const std::exception &e) {
                     sh.fail(std::string("worker exception: ") +
                             e.what());
                 }
-                lock.lock();
-                --sh.working;
-                if (sh.stack.empty() && sh.working == 0)
-                    sh.cv.notify_all();
-            } else if (sh.working == 0) {
-                break;
-            } else {
-                sh.cv.wait(lock);
+                if (sh.inflight.fetch_sub(1) == 1) {
+                    std::lock_guard<std::mutex> lock(sh.idleMu);
+                    sh.idleCv.notify_all();
+                }
+                continue;
             }
+            std::unique_lock<std::mutex> lock(sh.idleMu);
+            sh.idleCv.wait(lock, [&] {
+                return sh.failed.load() || sh.inflight.load() == 0 ||
+                       sh.queued.load(std::memory_order_acquire) > 0;
+            });
+            if (sh.failed.load() || sh.inflight.load() == 0)
+                break;
         }
-        sh.cv.notify_all();
+        std::lock_guard<std::mutex> lock(sh.idleMu);
+        sh.idleCv.notify_all();
     }
 
     /// @name Locally-merged results
@@ -171,6 +286,7 @@ class Worker {
     uint64_t peakNodeKey = 0;
     std::vector<uint32_t> peakActive;
     std::vector<uint8_t> everActive_;
+    uint64_t cyclesRun = 0; ///< cycles this worker simulated
 
     /** Strict-weak "better candidate" order used both within a worker
      * and for the final cross-worker merge. */
@@ -188,12 +304,48 @@ class Worker {
     /// @}
 
   private:
-    // Dedup keys are full-simulator-state + memory + fork-target
-    // hashes (built inline at the fork): hashing the complete state,
-    // not just the architectural state, guarantees that when two
-    // racing paths map to one key their continuations are identical
-    // -- so the merged node's trace, and every number derived from
-    // it, is independent of which path claimed the key.
+    /** Capture the current simulator state for a fork: a delta
+     * against @p base, promoted to a fresh full snapshot when the
+     * path has diverged too far (or always, in Full mode). The
+     * choice is a pure function of path state, so every scheduling
+     * captures the same representations and the byte statistics are
+     * deterministic. */
+    void
+    captureSim(SharedState &sh,
+               const std::shared_ptr<const Simulator::Snapshot> &base,
+               std::shared_ptr<const Simulator::Snapshot> &out_full,
+               std::shared_ptr<const Simulator::DeltaSnapshot>
+                   &out_delta) const
+    {
+        size_t full_bytes = Simulator::bytesOf(*base);
+        sh.snapshotBytesFull.fetch_add(full_bytes,
+                                       std::memory_order_relaxed);
+        if (cfg_.snapshotMode == SnapshotMode::Delta) {
+            Simulator::DeltaSnapshot d = sim_->snapshotDelta(base);
+            if (d.deltaBytes() * kDeltaPromoteDen <=
+                full_bytes * kDeltaPromoteNum) {
+                sh.snapshotBytesCopied.fetch_add(
+                    d.deltaBytes(), std::memory_order_relaxed);
+                out_delta = std::make_shared<
+                    const Simulator::DeltaSnapshot>(std::move(d));
+                return;
+            }
+        }
+        sh.snapshotBytesCopied.fetch_add(full_bytes,
+                                         std::memory_order_relaxed);
+        out_full = std::make_shared<const Simulator::Snapshot>(
+            sim_->snapshot());
+    }
+
+    // Dedup keys are full-simulator-state + memory + schedule-phase
+    // + fork-target hashes (built inline at the fork): hashing the
+    // complete state, not just the architectural state, guarantees
+    // that when two racing paths map to one key their continuations
+    // are identical -- so the merged node's trace, and every number
+    // derived from it, is independent of which path claimed the key.
+    // The scenario schedule phase participates because under a
+    // scheduled scenario the same state continues differently at
+    // different points of the period.
     void
     runPath(SharedState &sh, Pending p)
     {
@@ -201,30 +353,38 @@ class Worker {
         Simulator &sim = *sim_;
         const msp::CpuHandles &h = sys.handles();
         power::PowerContext &ctx = *ctx_;
+        const scenario::Scenario &scen = cfg_.scenario;
 
-        sim.restore(*p.simSnap);
+        std::shared_ptr<const Simulator::Snapshot> base;
+        if (p.simDelta) {
+            sim.restore(*p.simDelta);
+            base = p.simDelta->base;
+        } else {
+            sim.restore(*p.simFull);
+            base = p.simFull;
+        }
         sys.restore(*p.sysSnap);
 
         uint32_t nodeId = p.node;
+        TreeNode *nodePtr = p.nodePtr;
         uint64_t nodeKey = p.nodeKey;
         uint32_t forcedPc = p.forcedPc;
         uint32_t lastPc = p.lastKnownPc;
         uint32_t curInstr = p.curInstrAddr;
         uint64_t pathCycles = p.pathCycles;
+        bool applyInit = p.applyInit;
 
         // Per-cycle data is buffered locally and committed to the
-        // shared tree at the fork/leaf boundary.
+        // owned tree node at the fork/leaf boundary.
         std::vector<float> powerW;
         std::vector<std::vector<float>> modulePowerW;
         std::vector<CycleInfo> cycleInfo;
 
         auto commitNode = [&](bool ends_halted) {
-            std::lock_guard<std::mutex> lock(sh.mu);
-            TreeNode &node = sh.tree->node(nodeId);
-            node.powerW = std::move(powerW);
-            node.modulePowerW = std::move(modulePowerW);
-            node.cycleInfo = std::move(cycleInfo);
-            node.endsHalted = ends_halted;
+            nodePtr->powerW = std::move(powerW);
+            nodePtr->modulePowerW = std::move(modulePowerW);
+            nodePtr->cycleInfo = std::move(cycleInfo);
+            nodePtr->endsHalted = ends_halted;
         };
 
         while (true) {
@@ -243,8 +403,20 @@ class Worker {
 
             uint32_t applyPc = forcedPc;
             forcedPc = kNoForcedPc;
+            bool applyRegs = applyInit;
+            applyInit = false;
             sim.step([&](Simulator &s) {
-                sys.driveCycle(s, Word16::allX());
+                // Algorithm 1 line 11, generalized: the scenario
+                // says which port bits are X this cycle.
+                sys.driveCycle(s, scen.portWordAt(pathCycles));
+                if (applyRegs) {
+                    // Scenario initial-register constraints: narrow
+                    // the boot-X registers once, right after reset,
+                    // the same way forks narrow the PC.
+                    for (const auto &[reg, value] : scen.regInit)
+                        s.forceBus(h.regs[reg],
+                                   Word16::known(value));
+                }
                 if (applyPc != kNoForcedPc) {
                     // Algorithm 1's update_PC_next: constrain only the
                     // PC flops, right after the edge, before fetch
@@ -253,6 +425,7 @@ class Worker {
                 }
             });
             sh.totalCycles.fetch_add(1, std::memory_order_relaxed);
+            ++cyclesRun;
             ++pathCycles;
 
             Word16 pcNow = sys.readPc(sim);
@@ -342,60 +515,87 @@ class Worker {
             uint32_t targets[2] = {taken, fallThrough};
             unsigned numTargets = taken == fallThrough ? 1 : 2;
 
-            // Hash keys and capture the fork state before taking the
-            // global lock: both read only worker-local state, and
-            // they are the heavy part of a fork. The state is hashed
-            // once (the target only enters via the final mix) and the
-            // snapshots are shared by both child Pendings.
-            uint64_t base = sim.hashFullState();
-            sys.memory().hashInto(base);
+            // Hash keys and capture the fork state before touching
+            // any shared structure: both read only worker-local
+            // state, and they are the heavy part of a fork. The
+            // state is hashed once (target and schedule phase enter
+            // via final mixes) and the snapshots are shared by both
+            // child Pendings.
+            uint64_t keyBase = sim.hashFullState();
+            sys.memory().hashInto(keyBase);
+            keyBase ^= 0xda942042e4dd58b5ull *
+                       (scen.dedupPhase(pathCycles) + 1);
             uint64_t keys[2];
             for (unsigned t = 0; t < numTargets; ++t)
-                keys[t] = base ^ 0x9e3779b97f4a7c15ull *
-                                     (uint64_t(targets[t]) + 1);
-            auto simSnap =
-                std::make_shared<const Simulator::Snapshot>(
-                    sim.snapshot());
+                keys[t] = keyBase ^ 0x9e3779b97f4a7c15ull *
+                                        (uint64_t(targets[t]) + 1);
+            std::shared_ptr<const Simulator::Snapshot> childFull;
+            std::shared_ptr<const Simulator::DeltaSnapshot> childDelta;
+            captureSim(sh, base, childFull, childDelta);
             auto sysSnap =
                 std::make_shared<const msp::System::Snapshot>(
                     sys.snapshot());
 
-            std::lock_guard<std::mutex> lock(sh.mu);
-            TreeNode &forkNode = sh.tree->node(nodeId);
-            forkNode.branchPc = (lastPc - 2) & 0xffff;
-            forkNode.powerW = std::move(powerW);
-            forkNode.modulePowerW = std::move(modulePowerW);
-            forkNode.cycleInfo = std::move(cycleInfo);
+            // Commit this node's trace (we own it; no lock), then
+            // resolve each target against the sharded dedup map.
+            nodePtr->branchPc = (lastPc - 2) & 0xffff;
+            commitNode(false);
             for (unsigned t = 0; t < numTargets; ++t) {
                 uint64_t key = keys[t];
-                auto it = sh.visited.find(key);
-                if (it != sh.visited.end()) {
-                    // Algorithm 1 line 19: already simulated; merge.
-                    sh.tree->node(nodeId).edges.push_back(
-                        TreeEdge{targets[t], it->second, true});
-                    ++sh.dedupMerges;
-                    continue;
+                SharedState::Shard &shard =
+                    sh.shards[SharedState::shardOf(key)];
+                uint32_t child = kNoNode;
+                TreeNode *childPtr = nullptr;
+                {
+                    std::lock_guard<std::mutex> lock(shard.mu);
+                    auto it = shard.visited.find(key);
+                    if (it != shard.visited.end()) {
+                        // Algorithm 1 line 19: already simulated (or
+                        // claimed by a racing worker, which will
+                        // simulate the identical continuation); merge.
+                        nodePtr->edges.push_back(
+                            TreeEdge{targets[t], it->second, true});
+                        sh.dedupMerges.fetch_add(
+                            1, std::memory_order_relaxed);
+                        continue;
+                    }
+                    // New state: allocate its node while holding the
+                    // shard (lock order: shard -> tree, never the
+                    // reverse), so a racing twin either sees our map
+                    // entry or blocks until it does.
+                    {
+                        std::lock_guard<std::mutex> tlock(sh.treeMu);
+                        if (sh.tree->numNodes() >= cfg_.maxNodes) {
+                            sh.fail("execution tree node budget "
+                                    "exhausted");
+                            return;
+                        }
+                        child = sh.tree->newNode(nodeId);
+                        childPtr = &sh.tree->node(child);
+                    }
+                    shard.visited.emplace(key, child);
                 }
-                if (sh.tree->numNodes() >= cfg_.maxNodes) {
-                    sh.failLocked(
-                        "execution tree node budget exhausted");
-                    return;
-                }
-                uint32_t child = sh.tree->newNode(nodeId);
-                sh.visited.emplace(key, child);
-                sh.tree->node(nodeId).edges.push_back(
+                nodePtr->edges.push_back(
                     TreeEdge{targets[t], child, false});
-                sh.stack.push_back(Pending{simSnap, sysSnap, child,
-                                           keys[t], targets[t],
-                                           lastPc, curInstr,
-                                           pathCycles});
+                Pending next;
+                next.simFull = childFull;
+                next.simDelta = childDelta;
+                next.sysSnap = sysSnap;
+                next.node = child;
+                next.nodePtr = childPtr;
+                next.nodeKey = key;
+                next.forcedPc = targets[t];
+                next.lastKnownPc = lastPc;
+                next.curInstrAddr = curInstr;
+                next.pathCycles = pathCycles;
+                sh.push(id_, std::move(next));
             }
-            sh.cv.notify_all();
-            return; // continuations live on the shared stack
+            return; // continuations live on the work queues
         }
     }
 
     SymbolicConfig cfg_;
+    unsigned id_;
     std::unique_ptr<msp::System> owned_;
     msp::System *sys_ = nullptr;
     std::unique_ptr<Simulator> sim_;
@@ -425,7 +625,7 @@ SymbolicEngine::run(const isa::Image &image)
     try {
         for (unsigned i = 0; i < numWorkers; ++i)
             workers.push_back(std::make_unique<Worker>(
-                *sys_, cfg_, image, /*owns_clone=*/i > 0));
+                *sys_, cfg_, image, i, /*owns_clone=*/i > 0));
     } catch (const std::exception &e) {
         res.ok = false;
         res.error = std::string("worker setup failed: ") + e.what();
@@ -433,31 +633,83 @@ SymbolicEngine::run(const isa::Image &image)
     }
     sys_->reset(workers[0]->sim());
 
+    // Scenario constraints are validated here, not only in the JSON
+    // parser: scenarios built programmatically must fail as cleanly
+    // as ones read from files.
+    for (const auto &[reg, value] : cfg_.scenario.regInit) {
+        (void)value;
+        if (reg < 4 || reg > 15) {
+            res.ok = false;
+            res.error = "scenario reg_init register r" +
+                        std::to_string(reg) +
+                        " is not a general-purpose register "
+                        "(4..15; r0-r3 are pc/sp/sr/cg)";
+            return res;
+        }
+    }
+    // Scenario initial-memory constraints, applied to the base
+    // system before the root snapshot so every path inherits them.
+    for (const auto &[addr, words] : cfg_.scenario.ramInit) {
+        char range[32];
+        std::snprintf(range, sizeof range, "0x%04x", addr);
+        if (words.empty()) {
+            res.ok = false;
+            res.error = std::string("scenario ram_init at ") + range +
+                        " has no words";
+            return res;
+        }
+        uint32_t last = addr + uint32_t(words.size() - 1) * 2;
+        if (!sys_->memory().inRam(addr) ||
+            !sys_->memory().inRam(last)) {
+            res.ok = false;
+            res.error = std::string("scenario ram_init range [") +
+                        range + ", +" +
+                        std::to_string(words.size()) +
+                        " words] is outside RAM";
+            return res;
+        }
+        sys_->memory().loadRam(addr, words);
+    }
+
     SharedState sh;
     sh.tree = &res.tree;
+    sh.queues.resize(numWorkers);
 
     uint32_t root = res.tree.newNode(kNoNode);
-    sh.stack.push_back(
-        Pending{std::make_shared<const Simulator::Snapshot>(
-                    workers[0]->sim().snapshot()),
-                std::make_shared<const msp::System::Snapshot>(
-                    sys_->snapshot()),
-                root, 0, kNoForcedPc, 0, 0, 0});
+    {
+        Pending p;
+        p.simFull = std::make_shared<const Simulator::Snapshot>(
+            workers[0]->sim().snapshot());
+        p.sysSnap = std::make_shared<const msp::System::Snapshot>(
+            sys_->snapshot());
+        p.node = root;
+        p.nodePtr = &res.tree.node(root);
+        p.applyInit = !cfg_.scenario.regInit.empty();
+        sh.push(0, std::move(p));
+    }
 
     if (numWorkers == 1) {
         workers[0]->explore(sh);
     } else {
         std::vector<std::thread> pool;
         pool.reserve(numWorkers);
-        for (auto &w : workers)
-            pool.emplace_back([&sh, &w] { w->explore(sh); });
+        for (unsigned i = 0; i < numWorkers; ++i) {
+            Worker *w = workers[i].get();
+            pool.emplace_back([&sh, w] { w->explore(sh); });
+        }
         for (auto &t : pool)
             t.join();
     }
 
     res.totalCycles = sh.totalCycles.load();
-    res.pathsExplored = sh.pathsExplored;
-    res.dedupMerges = sh.dedupMerges;
+    res.pathsExplored = sh.pathsExplored.load();
+    res.dedupMerges = sh.dedupMerges.load();
+    res.steals = sh.steals.load();
+    res.snapshotBytesCopied = sh.snapshotBytesCopied.load();
+    res.snapshotBytesFull = sh.snapshotBytesFull.load();
+    res.perWorkerCycles.reserve(numWorkers);
+    for (auto &w : workers)
+        res.perWorkerCycles.push_back(w->cyclesRun);
 
     if (sh.failed.load()) {
         res.ok = false;

@@ -14,16 +14,36 @@
  * peak/even_odd.hh for the literal file-based flow and the test that
  * proves the equivalence.
  *
- * Forks are O(state-copy): the engine snapshots simulator + system
- * state at each branch and restores instead of re-executing the
- * prefix. With SymbolicConfig::numThreads > 1 independent
- * execution-tree branches are explored by a worker pool over a shared
- * work stack; the visited-state dedup map and the tree are
- * mutex-guarded, per-cycle traces are buffered worker-locally and
- * committed at fork/leaf boundaries, and peak results merge
- * deterministically (the explored state set, every node's trace, and
- * therefore peak power, peak energy and NPE are independent of thread
- * scheduling; only tree node numbering varies).
+ * Forks are O(dirtied-state): at each branch the engine captures a
+ * delta snapshot (only the entries that changed since the state the
+ * path restored from; Simulator::DeltaSnapshot) and restores instead
+ * of re-executing the prefix, promoting to a fresh full snapshot
+ * when a path has diverged too far from its base for the delta to
+ * stay small. SymbolicConfig::snapshotMode forces full-copy
+ * snapshots for comparison; both modes are bit-identical by
+ * construction (restore(delta) == restore(materialize(delta))).
+ *
+ * With SymbolicConfig::numThreads > 1 independent execution-tree
+ * branches are explored by a worker pool: each worker owns a private
+ * work deque (newly forked children push to the owner; idle workers
+ * steal from the oldest end of a victim's deque, where the largest
+ * unexplored subtrees sit), and the visited-state dedup map is
+ * sharded by key hash so concurrent forks only contend when they
+ * collide on a shard; only tree-node allocation takes a global lock.
+ * Per-cycle traces are buffered worker-locally and committed at
+ * fork/leaf boundaries, and peak results merge deterministically
+ * (the explored state set, every node's trace, and therefore peak
+ * power, peak energy, NPE and the envelope are independent of thread
+ * scheduling; only tree node numbering and the steal/per-worker
+ * statistics vary).
+ *
+ * The inputs driven each cycle come from SymbolicConfig::scenario:
+ * the default unconstrained scenario drives every port bit X
+ * (Algorithm 1 line 11); a constrained scenario pins port bits
+ * (statically or on a repeating per-cycle schedule, whose phase then
+ * joins the dedup key) and can narrow the all-X initial memory and
+ * registers, so the reported bounds cover exactly the executions the
+ * deployment admits.
  */
 
 #ifndef ULPEAK_SYM_SYMBOLIC_ENGINE_HH
@@ -35,10 +55,17 @@
 #include "isa/assembler.hh"
 #include "msp/cpu.hh"
 #include "power/power_model.hh"
+#include "scenario/scenario.hh"
 #include "sym/exec_tree.hh"
 
 namespace ulpeak {
 namespace sym {
+
+/** Fork snapshot representation (results are identical in both). */
+enum class SnapshotMode : uint8_t {
+    Full,  ///< complete state copy at every fork (reference)
+    Delta, ///< dirtied entries against a shared base (default)
+};
 
 struct SymbolicConfig {
     double freqHz = 100e6;
@@ -79,6 +106,18 @@ struct SymbolicConfig {
     /** Iteration bound applied to back-edges in the execution tree
      *  (0 = reject unbounded input-dependent loops). */
     unsigned inputDependentLoopBound = 0;
+    /**
+     * The environment the application is analyzed under: port-input
+     * constraints (static or scheduled), initial-memory and
+     * initial-register constraints. The default admits every
+     * execution (all ports X -- the classic Algorithm 1 flow).
+     * Results are bounds over exactly the scenario's executions and
+     * can only tighten as constraints are added.
+     */
+    scenario::Scenario scenario;
+    /** Fork snapshot form; Delta is the fast default, Full the
+     *  reference. Never changes any reported number. */
+    SnapshotMode snapshotMode = SnapshotMode::Delta;
 };
 
 struct SymbolicResult {
@@ -115,10 +154,24 @@ struct SymbolicResult {
     std::vector<float> envelopeW;
 
     /// @name Exploration statistics
+    /// Scheduling-independent: totalCycles, pathsExplored,
+    /// dedupMerges, snapshotBytesCopied/Full (every path captures
+    /// the same snapshots whoever runs it). Scheduling-dependent
+    /// (excluded from determinism comparisons, like timings):
+    /// steals, perWorkerCycles.
     /// @{
     uint64_t totalCycles = 0;
     uint32_t pathsExplored = 0;
     uint32_t dedupMerges = 0;
+    /** Work items taken from another worker's deque. */
+    uint32_t steals = 0;
+    /** Bytes actually stored by fork snapshots (delta or full). */
+    uint64_t snapshotBytesCopied = 0;
+    /** Bytes full-copy snapshots of the same forks would have
+     *  stored (the delta savings denominator). */
+    uint64_t snapshotBytesFull = 0;
+    /** Simulated cycles per exploration worker (size numThreads). */
+    std::vector<uint64_t> perWorkerCycles;
     /// @}
 };
 

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Scenario subsystem tests: pattern/JSON parsing and presets, the
+ * engine-level semantics of port/memory/register constraints
+ * (constraints collapse the forks their X values caused and can only
+ * tighten the bounds), schedule-phase dedup determinism under the
+ * parallel exploration core, snapshot-mode bit-identity, exploration
+ * statistics, and the scenario x program batch matrix with its
+ * per-scenario aggregates and cache behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "bench430/benchmarks.hh"
+#include "cli/driver.hh"
+#include "peak/batch.hh"
+#include "peak/peak_analysis.hh"
+#include "scenario/scenario.hh"
+
+namespace ulpeak {
+namespace {
+
+namespace fs = std::filesystem;
+using scenario::PortPattern;
+using scenario::Scenario;
+
+/** A program forking twice on port bits: 4 paths unconstrained,
+ *  1 path with the port pinned. */
+std::string
+portBranchSource()
+{
+    return bench430::wrapBenchmarkBody(R"(
+        mov #0, r4
+        mov &PIN, r5
+        and #1, r5
+        jz ps_skip1
+        add #1, r4
+ps_skip1:
+        mov &PIN, r5
+        and #2, r5
+        jz ps_skip2
+        add #2, r4
+ps_skip2:
+        mov r4, &OUT
+)");
+}
+
+/** A program forking on an uninitialized (X) RAM word. */
+std::string
+ramBranchSource()
+{
+    return bench430::wrapBenchmarkBody(R"(
+        mov #0, r4
+        mov &INPUT, r5
+        and #1, r5
+        jz rs_skip
+        add #1, r4
+rs_skip:
+        mov r4, &OUT
+)");
+}
+
+/** A program forking on an uninitialized (X) register. */
+std::string
+regBranchSource()
+{
+    return bench430::wrapBenchmarkBody(R"(
+        mov #0, r4
+        and #1, r7
+        jz gs_skip
+        add #1, r4
+gs_skip:
+        mov r4, &OUT
+)");
+}
+
+TEST(Scenario, PortPatternParseRoundTrip)
+{
+    PortPattern p = PortPattern::parse("000000000000xxxx");
+    EXPECT_EQ(p.pinned, 0xfff0);
+    EXPECT_EQ(p.value, 0x0000);
+    EXPECT_EQ(p.toString(), "000000000000xxxx");
+
+    PortPattern q = PortPattern::parse("1xxxxxxxxxxxxxx0");
+    EXPECT_EQ(q.pinned, 0x8001);
+    EXPECT_EQ(q.value, 0x8000);
+    EXPECT_EQ(q.word().bit(15), V4::One);
+    EXPECT_EQ(q.word().bit(0), V4::Zero);
+    EXPECT_EQ(q.word().bit(7), V4::X);
+
+    EXPECT_THROW(PortPattern::parse("0000"), std::runtime_error);
+    EXPECT_THROW(PortPattern::parse("000000000000xxx2"),
+                 std::runtime_error);
+}
+
+TEST(Scenario, Presets)
+{
+    EXPECT_TRUE(Scenario::preset("unconstrained").isUnconstrained());
+    Scenario g = Scenario::preset("ports-grounded");
+    EXPECT_FALSE(g.isUnconstrained());
+    EXPECT_EQ(g.port.pinned, 0xffff);
+    EXPECT_TRUE(g.portWordAt(0).isFullyKnown());
+
+    Scenario s4 = Scenario::preset("sensor-4bit");
+    EXPECT_EQ(s4.port.pinned, 0xfff0);
+
+    Scenario ps = Scenario::preset("periodic-sensor");
+    ASSERT_EQ(ps.portSchedule.size(), 8u);
+    EXPECT_EQ(ps.portWordAt(0), Word16::allX());
+    EXPECT_TRUE(ps.portWordAt(1).isFullyKnown());
+    EXPECT_EQ(ps.portWordAt(8), Word16::allX()); // period wraps
+    EXPECT_EQ(ps.dedupPhase(3), 3u);
+    EXPECT_EQ(ps.dedupPhase(11), 3u);
+    EXPECT_EQ(Scenario::preset("unconstrained").dedupPhase(7), 0u);
+
+    EXPECT_THROW(Scenario::preset("no-such-scenario"),
+                 std::runtime_error);
+}
+
+TEST(Scenario, JsonParsing)
+{
+    Scenario s = Scenario::fromJson(R"({
+        "name": "lab-bench",
+        "port": "00000000xxxxxxxx",
+        "port_schedule": ["xxxxxxxxxxxxxxxx",
+                          {"pinned": "0xffff", "value": 0}],
+        "ram_init": [{"addr": "0x0380", "words": [17, "0xbeef"]}],
+        "reg_init": [{"reg": 7, "value": "0x10"}]
+    })");
+    EXPECT_EQ(s.name, "lab-bench");
+    EXPECT_EQ(s.port.pinned, 0xff00);
+    ASSERT_EQ(s.portSchedule.size(), 2u);
+    EXPECT_EQ(s.portSchedule[0].pinned, 0x0000);
+    EXPECT_EQ(s.portSchedule[1].pinned, 0xffff);
+    ASSERT_EQ(s.ramInit.size(), 1u);
+    EXPECT_EQ(s.ramInit[0].first, 0x0380u);
+    EXPECT_EQ(s.ramInit[0].second,
+              (std::vector<uint16_t>{17, 0xbeef}));
+    ASSERT_EQ(s.regInit.size(), 1u);
+    EXPECT_EQ(s.regInit[0].first, 7u);
+    EXPECT_EQ(s.regInit[0].second, 0x10);
+
+    // Malformed inputs fail loudly.
+    EXPECT_THROW(Scenario::fromJson("[]"), std::runtime_error);
+    EXPECT_THROW(Scenario::fromJson(R"({"port": "short"})"),
+                 std::runtime_error);
+    EXPECT_THROW(Scenario::fromJson(R"({"unknown_key": 1})"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        Scenario::fromJson(R"({"reg_init": [{"reg": 0, "value": 1}]})"),
+        std::runtime_error);
+    EXPECT_THROW(
+        Scenario::fromJson(R"({"ram_init": [{"addr": 0x}]})"),
+        std::runtime_error);
+}
+
+TEST(Scenario, ResolveDispatchesPresetsAndFiles)
+{
+    EXPECT_EQ(Scenario::resolve("ports-grounded").port.pinned, 0xffff);
+
+    fs::path file =
+        fs::temp_directory_path() / "ulpeak_scn_test.json";
+    std::ofstream(file) << R"({"port": "0000000000000000"})";
+    Scenario s = Scenario::resolve(file.string());
+    EXPECT_EQ(s.port.pinned, 0xffff);
+    EXPECT_EQ(s.name, "ulpeak_scn_test"); // file stem becomes the name
+    fs::remove(file);
+
+    EXPECT_THROW(Scenario::resolve("/nonexistent/dir/x.json"),
+                 std::runtime_error);
+}
+
+TEST(Scenario, ContentHashIgnoresNameAndSeesEveryField)
+{
+    auto key = [](const Scenario &s) {
+        uint64_t h = 1469598103934665603ull;
+        s.hashInto(h);
+        return h;
+    };
+    Scenario a = Scenario::preset("ports-grounded");
+    Scenario b = a;
+    b.name = "renamed";
+    EXPECT_EQ(key(a), key(b)); // names never split the cache
+
+    Scenario c = a;
+    c.port.value = 1;
+    c.port.pinned = 0xffff;
+    EXPECT_NE(key(a), key(c));
+    Scenario d = a;
+    d.ramInit.push_back({0x0380, {1}});
+    EXPECT_NE(key(a), key(d));
+    Scenario e = a;
+    e.regInit.push_back({7, 0});
+    EXPECT_NE(key(a), key(e));
+}
+
+TEST(Scenario, CacheKeyIncludesScenario)
+{
+    isa::Image img =
+        bench430::benchmarkByName("mult").assembleImage();
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    peak::Options u;
+    peak::Options g;
+    g.scenario = Scenario::preset("ports-grounded");
+    EXPECT_NE(peak::cacheKey(lib, img, u),
+              peak::cacheKey(lib, img, g));
+    // snapshotMode, threads, kernels stay excluded.
+    peak::Options full = u;
+    full.snapshotMode = sym::SnapshotMode::Full;
+    full.numThreads = 4;
+    full.evalMode = EvalMode::FullSweep;
+    EXPECT_EQ(peak::cacheKey(lib, img, u),
+              peak::cacheKey(lib, img, full));
+}
+
+TEST(Scenario, PinnedPortsCollapseForksAndTightenBounds)
+{
+    msp::System sys(CellLibrary::tsmc65Like());
+    isa::Image img = isa::assemble(portBranchSource());
+
+    peak::Options uopts;
+    uopts.recordEnvelope = true;
+    peak::Report unc = peak::analyze(sys, img, uopts);
+    ASSERT_TRUE(unc.ok) << unc.error;
+    EXPECT_GE(unc.pathsExplored, 3u); // two port branches fork
+
+    peak::Options gopts = uopts;
+    gopts.scenario = Scenario::preset("ports-grounded");
+    peak::Report grounded = peak::analyze(sys, img, gopts);
+    ASSERT_TRUE(grounded.ok) << grounded.error;
+    EXPECT_EQ(grounded.pathsExplored, 1u); // branches are concrete
+    EXPECT_LE(grounded.peakPowerW, unc.peakPowerW * (1 + 1e-9));
+    EXPECT_LE(grounded.peakEnergyJ, unc.peakEnergyJ * (1 + 1e-9));
+    EXPECT_LE(grounded.envelope.powerW.size(),
+              unc.envelope.powerW.size());
+
+    // Pinning only bit 0 leaves the second branch (bit 1) forking.
+    peak::Options bit0 = uopts;
+    bit0.scenario.name = "bit0";
+    bit0.scenario.port.pinned = 0x0001;
+    peak::Report partial = peak::analyze(sys, img, bit0);
+    ASSERT_TRUE(partial.ok) << partial.error;
+    EXPECT_GT(partial.pathsExplored, grounded.pathsExplored);
+    EXPECT_LT(partial.pathsExplored, unc.pathsExplored);
+    EXPECT_LE(partial.peakPowerW, unc.peakPowerW * (1 + 1e-9));
+}
+
+TEST(Scenario, RamInitNarrowsUninitializedMemory)
+{
+    msp::System sys(CellLibrary::tsmc65Like());
+    isa::Image img = isa::assemble(ramBranchSource());
+
+    peak::Report unc = peak::analyze(sys, img, peak::Options{});
+    ASSERT_TRUE(unc.ok) << unc.error;
+    EXPECT_GE(unc.pathsExplored, 2u); // X RAM word forks the branch
+
+    peak::Options copts;
+    copts.scenario.name = "ram-pinned";
+    copts.scenario.ramInit.push_back({0x0380, {0}});
+    peak::Report con = peak::analyze(sys, img, copts);
+    ASSERT_TRUE(con.ok) << con.error;
+    EXPECT_EQ(con.pathsExplored, 1u);
+    EXPECT_LE(con.peakPowerW, unc.peakPowerW * (1 + 1e-9));
+
+    // Out-of-RAM init ranges fail loudly, not with an assert.
+    peak::Options bad;
+    bad.scenario.ramInit.push_back({0xf000, {1}});
+    peak::Report b = peak::analyze(sys, img, bad);
+    EXPECT_FALSE(b.ok);
+    EXPECT_NE(b.error.find("outside RAM"), std::string::npos);
+    EXPECT_NE(b.error.find("0xf000"), std::string::npos);
+}
+
+// Scenarios built through the library API (bypassing the JSON
+// parser's checks) must fail as cleanly as ones read from files.
+TEST(Scenario, ProgrammaticConstraintsAreValidated)
+{
+    msp::System sys(CellLibrary::tsmc65Like());
+    isa::Image img = isa::assemble(regBranchSource());
+
+    peak::Options emptyWords;
+    emptyWords.scenario.ramInit.push_back({0x0380, {}});
+    peak::Report a = peak::analyze(sys, img, emptyWords);
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find("has no words"), std::string::npos);
+
+    peak::Options regHigh;
+    regHigh.scenario.regInit.push_back({16, 0});
+    peak::Report b = peak::analyze(sys, img, regHigh);
+    EXPECT_FALSE(b.ok);
+    EXPECT_NE(b.error.find("general-purpose"), std::string::npos);
+
+    peak::Options regSpecial;
+    regSpecial.scenario.regInit.push_back({2, 0}); // r2 = sr
+    peak::Report c = peak::analyze(sys, img, regSpecial);
+    EXPECT_FALSE(c.ok);
+}
+
+// A bad --scenario spec is a usage error (exit 2), never an uncaught
+// exception aborting the process.
+TEST(Scenario, CliRejectsBadScenarioSpecsAsUsageErrors)
+{
+    const char *argv[] = {"ulpeak", "--programs", "mult",
+                          "--scenario", "no-such-preset"};
+    EXPECT_EQ(cli::runCli(5, argv), 2);
+    const char *argv2[] = {"ulpeak", "--programs", "mult",
+                           "--scenario", "/nonexistent/x.json"};
+    EXPECT_EQ(cli::runCli(5, argv2), 2);
+}
+
+TEST(Scenario, RegInitNarrowsBootRegisters)
+{
+    msp::System sys(CellLibrary::tsmc65Like());
+    isa::Image img = isa::assemble(regBranchSource());
+
+    peak::Report unc = peak::analyze(sys, img, peak::Options{});
+    ASSERT_TRUE(unc.ok) << unc.error;
+    EXPECT_GE(unc.pathsExplored, 2u); // X r7 forks the branch
+
+    peak::Options copts;
+    copts.scenario.name = "r7-known";
+    copts.scenario.regInit.push_back({7, 0x0001});
+    peak::Report con = peak::analyze(sys, img, copts);
+    ASSERT_TRUE(con.ok) << con.error;
+    EXPECT_EQ(con.pathsExplored, 1u);
+    EXPECT_LE(con.peakPowerW, unc.peakPowerW * (1 + 1e-9));
+}
+
+/** Field-by-field identity of two reports (the scheduling- and
+ *  representation-independent parts). */
+void
+expectIdenticalReports(const peak::Report &a, const peak::Report &b)
+{
+    ASSERT_EQ(a.ok, b.ok) << a.error << " vs " << b.error;
+    EXPECT_EQ(a.peakPowerW, b.peakPowerW);
+    EXPECT_EQ(a.peakEnergyJ, b.peakEnergyJ);
+    EXPECT_EQ(a.npeJPerCycle, b.npeJPerCycle);
+    EXPECT_EQ(a.maxPathCycles, b.maxPathCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.pathsExplored, b.pathsExplored);
+    EXPECT_EQ(a.dedupMerges, b.dedupMerges);
+    EXPECT_EQ(a.flatTraceW, b.flatTraceW);
+    EXPECT_EQ(a.envelope.powerW, b.envelope.powerW);
+    EXPECT_EQ(a.envelope.windowEnergyJ, b.envelope.windowEnergyJ);
+}
+
+// A scheduled scenario makes the same simulator state reachable at
+// different schedule phases; the phase-aware dedup keys must keep
+// 1-vs-K-thread exploration bit-identical anyway.
+TEST(Scenario, ScheduledScenarioIsThreadDeterministic)
+{
+    msp::System sys(CellLibrary::tsmc65Like());
+    isa::Image img = isa::assemble(portBranchSource());
+
+    peak::Options opts;
+    opts.recordEnvelope = true;
+    opts.scenario = Scenario::preset("periodic-sensor");
+    peak::Report serial = peak::analyze(sys, img, opts);
+    ASSERT_TRUE(serial.ok) << serial.error;
+
+    opts.numThreads = 4;
+    peak::Report parallel = peak::analyze(sys, img, opts);
+    expectIdenticalReports(serial, parallel);
+}
+
+// Delta and full fork snapshots must be bit-identical end to end --
+// and the delta representation must actually copy fewer bytes.
+TEST(Scenario, SnapshotModesAreBitIdentical)
+{
+    msp::System sys(CellLibrary::tsmc65Like());
+    for (const char *prog : {"binSearch", "tea8"}) {
+        isa::Image img =
+            bench430::benchmarkByName(prog).assembleImage();
+        peak::Options delta;
+        delta.recordEnvelope = true;
+        peak::Options full = delta;
+        full.snapshotMode = sym::SnapshotMode::Full;
+        peak::Report rd = peak::analyze(sys, img, delta);
+        peak::Report rf = peak::analyze(sys, img, full);
+        expectIdenticalReports(rd, rf);
+        if (rd.pathsExplored > 1) {
+            EXPECT_LT(rd.snapshotBytesCopied, rf.snapshotBytesCopied)
+                << prog;
+            EXPECT_EQ(rf.snapshotBytesCopied, rf.snapshotBytesFull)
+                << prog;
+        }
+    }
+}
+
+TEST(Scenario, ExplorationStatistics)
+{
+    msp::System sys(CellLibrary::tsmc65Like());
+    isa::Image img =
+        bench430::benchmarkByName("binSearch").assembleImage();
+    peak::Options opts;
+    peak::Report r = peak::analyze(sys, img, opts);
+    ASSERT_TRUE(r.ok);
+    // Serial exploration: one worker, no steals, its cycle count is
+    // the whole run.
+    EXPECT_EQ(r.steals, 0u);
+    ASSERT_EQ(r.perWorkerCycles.size(), 1u);
+    EXPECT_EQ(r.perWorkerCycles[0], r.totalCycles);
+    EXPECT_GT(r.snapshotBytesFull, 0u);
+    EXPECT_LE(r.snapshotBytesCopied, r.snapshotBytesFull);
+
+    opts.numThreads = 3;
+    peak::Report p = peak::analyze(sys, img, opts);
+    ASSERT_TRUE(p.ok);
+    ASSERT_EQ(p.perWorkerCycles.size(), 3u);
+    uint64_t sum = 0;
+    for (uint64_t c : p.perWorkerCycles)
+        sum += c;
+    EXPECT_EQ(sum, p.totalCycles);
+    // Scheduling-independent statistics stay pinned across thread
+    // counts; steals/perWorkerCycles are allowed to differ.
+    EXPECT_EQ(p.snapshotBytesCopied, r.snapshotBytesCopied);
+    EXPECT_EQ(p.snapshotBytesFull, r.snapshotBytesFull);
+}
+
+TEST(Scenario, BatchMatrixAndPerScenarioAggregates)
+{
+    auto suite = cli::resolvePrograms({"mult", "intAVG"});
+    peak::BatchOptions opts;
+    opts.analysis.recordEnvelope = true;
+    opts.scenarios = {Scenario::preset("unconstrained"),
+                      Scenario::preset("ports-grounded")};
+    peak::BatchReport rep = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(rep.ok);
+
+    // Scenario-major matrix.
+    ASSERT_EQ(rep.programs.size(), 4u);
+    EXPECT_EQ(rep.programs[0].name, "mult");
+    EXPECT_EQ(rep.programs[0].scenario, "unconstrained");
+    EXPECT_EQ(rep.programs[1].name, "intAVG");
+    EXPECT_EQ(rep.programs[1].scenario, "unconstrained");
+    EXPECT_EQ(rep.programs[2].scenario, "ports-grounded");
+    EXPECT_EQ(rep.programs[3].scenario, "ports-grounded");
+
+    ASSERT_EQ(rep.scenarios.size(), 2u);
+    EXPECT_TRUE(rep.scenarios[0].ok);
+    EXPECT_TRUE(rep.scenarios[1].ok);
+    // Top-level aggregates mirror the first scenario.
+    EXPECT_EQ(rep.maxPeakPowerW, rep.scenarios[0].maxPeakPowerW);
+    EXPECT_EQ(rep.suiteEnvelope.powerW,
+              rep.scenarios[0].suiteEnvelope.powerW);
+    // Constraining can only tighten the suite maxima.
+    EXPECT_LE(rep.scenarios[1].maxPeakPowerW,
+              rep.scenarios[0].maxPeakPowerW * (1 + 1e-9));
+    EXPECT_LE(rep.scenarios[1].maxPeakEnergyJ,
+              rep.scenarios[0].maxPeakEnergyJ * (1 + 1e-9));
+    EXPECT_TRUE(rep.scenarios[1].suiteEnvelope.present);
+
+    // JSON without timings stays byte-identical across jobs.
+    peak::BatchOptions par = opts;
+    par.jobs = 4;
+    peak::BatchReport rep4 = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, par);
+    EXPECT_EQ(cli::toJson(rep, opts, /*include_timings=*/false),
+              cli::toJson(rep4, par, /*include_timings=*/false));
+    EXPECT_EQ(cli::toCsv(rep).substr(0, cli::toCsv(rep).find("wall")),
+              cli::toCsv(rep4).substr(0,
+                                      cli::toCsv(rep4).find("wall")));
+}
+
+TEST(Scenario, BatchCacheIsScenarioAware)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("ulpeak_scn_cache_" +
+                    std::to_string(::getpid()));
+    fs::remove_all(dir);
+    auto suite = cli::resolvePrograms({"mult"});
+    peak::BatchOptions opts;
+    opts.cacheDir = dir.string();
+    opts.scenarios = {Scenario::preset("unconstrained"),
+                      Scenario::preset("ports-grounded")};
+
+    peak::BatchReport cold = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(cold.ok);
+    EXPECT_EQ(cold.cacheMisses, 2u); // one entry per scenario
+
+    peak::BatchReport warm = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    EXPECT_EQ(warm.cacheHits, 2u);
+    for (size_t i = 0; i < cold.programs.size(); ++i) {
+        EXPECT_EQ(warm.programs[i].peakPowerW,
+                  cold.programs[i].peakPowerW);
+        EXPECT_EQ(warm.programs[i].scenario,
+                  cold.programs[i].scenario);
+    }
+    // The two scenarios produced distinct numbers, so a shared entry
+    // would have been wrong -- prove they differ on this program.
+    EXPECT_NE(cold.programs[0].peakPowerW,
+              cold.programs[1].peakPowerW);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace ulpeak

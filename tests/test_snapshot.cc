@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Delta-vs-full snapshot equivalence: the sparse fork snapshots the
+ * exploration core uses (Simulator::DeltaSnapshot) must be
+ * indistinguishable from full state copies under every randomized
+ * dirty pattern -- materialize() reproduces the full snapshot bit
+ * for bit, restore(delta) into any simulator (the original or a
+ * fresh clone, either kernel) continues exactly like
+ * restore(full), and the empty delta (no cycles between base and
+ * capture) round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/netlist_gen.hh"
+#include "fuzz/rng.hh"
+#include "sim/simulator.hh"
+
+namespace ulpeak {
+namespace {
+
+/** Drive @p sim for @p cycles cycles from @p sched starting at
+ *  @p from (all simulators in these tests share one schedule so
+ *  their states are comparable). */
+void
+runCycles(Simulator &sim, const std::vector<GateId> &inputs,
+          const std::vector<std::vector<V4>> &sched, unsigned from,
+          unsigned cycles)
+{
+    for (unsigned c = from; c < from + cycles; ++c) {
+        sim.step([&](Simulator &s) {
+            for (size_t i = 0; i < inputs.size(); ++i)
+                s.setInput(inputs[i], sched[c][i]);
+        });
+    }
+}
+
+struct Rig {
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl{lib};
+    fuzz::RandomNetlist rn;
+    std::vector<std::vector<V4>> sched;
+
+    Rig(uint64_t seed, unsigned cycles)
+    {
+        fuzz::Rng rng(seed);
+        fuzz::NetlistGenOptions opts;
+        rn = fuzz::buildRandomNetlist(nl, rng, opts);
+        sched = fuzz::makeInputSchedule(
+            rng, unsigned(rn.inputs.size()), cycles,
+            opts.inputXPercent);
+    }
+};
+
+bool
+snapshotsEqual(const Simulator::Snapshot &a,
+               const Simulator::Snapshot &b)
+{
+    return a.val == b.val && a.activeLast == b.activeLast &&
+           a.loadedPrevEdge == b.loadedPrevEdge && a.cycle == b.cycle;
+}
+
+// materialize(delta-vs-base) must equal the full snapshot captured
+// at the same instant, across randomized dirty distances and seeds.
+TEST(SnapshotDelta, MaterializeEqualsFullSnapshot)
+{
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        Rig rig(seed, 128);
+        Simulator sim(rig.nl);
+        fuzz::Rng rng(seed * 977);
+
+        unsigned at = 0;
+        runCycles(sim, rig.rn.inputs, rig.sched, at, 8);
+        at += 8;
+        auto base = std::make_shared<const Simulator::Snapshot>(
+            sim.snapshot());
+        while (at < 110) {
+            unsigned gap = 1 + rng.below(12); // randomized dirtying
+            runCycles(sim, rig.rn.inputs, rig.sched, at, gap);
+            at += gap;
+            Simulator::Snapshot full = sim.snapshot();
+            Simulator::DeltaSnapshot delta = sim.snapshotDelta(base);
+            EXPECT_TRUE(
+                snapshotsEqual(Simulator::materialize(delta), full))
+                << "seed " << seed << " cycle " << at;
+        }
+    }
+}
+
+// The empty delta: capturing immediately after the base stores
+// nothing and still restores the full state.
+TEST(SnapshotDelta, EmptyDeltaRoundTrips)
+{
+    Rig rig(3, 16);
+    Simulator sim(rig.nl);
+    runCycles(sim, rig.rn.inputs, rig.sched, 0, 10);
+    auto base = std::make_shared<const Simulator::Snapshot>(
+        sim.snapshot());
+    Simulator::DeltaSnapshot delta = sim.snapshotDelta(base);
+    EXPECT_EQ(delta.deltaBytes(), 0u);
+    EXPECT_TRUE(snapshotsEqual(Simulator::materialize(delta), *base));
+
+    Simulator clone(rig.nl);
+    clone.restore(delta);
+    EXPECT_EQ(clone.hashFullState(), sim.hashFullState());
+    EXPECT_EQ(clone.cycle(), sim.cycle());
+}
+
+// restore(delta) and restore(full) are interchangeable: restoring
+// either form into a fresh clone (and into a simulator of the
+// *other* kernel) must produce identical continuations, cycle by
+// cycle, to the straight-line run.
+TEST(SnapshotDelta, RestoreIntoCloneMatchesFullRestore)
+{
+    for (uint64_t seed = 11; seed <= 14; ++seed) {
+        Rig rig(seed, 64);
+        Simulator sim(rig.nl);
+        runCycles(sim, rig.rn.inputs, rig.sched, 0, 12);
+        auto base = std::make_shared<const Simulator::Snapshot>(
+            sim.snapshot());
+        runCycles(sim, rig.rn.inputs, rig.sched, 12, 9);
+        Simulator::Snapshot full = sim.snapshot();
+        Simulator::DeltaSnapshot delta = sim.snapshotDelta(base);
+
+        // Continue the original to the end of the schedule.
+        runCycles(sim, rig.rn.inputs, rig.sched, 21, 43);
+
+        Simulator viaFull(rig.nl);
+        viaFull.restore(full);
+        Simulator viaDelta(rig.nl);
+        viaDelta.restore(delta);
+        Simulator viaDeltaFullSweep(rig.nl, EvalMode::FullSweep);
+        viaDeltaFullSweep.restore(delta);
+        EXPECT_EQ(viaFull.hashFullState(), viaDelta.hashFullState());
+        EXPECT_EQ(viaFull.activeGates(), viaDelta.activeGates());
+
+        for (unsigned c = 21; c < 64; ++c) {
+            auto drive = [&](Simulator &s) {
+                for (size_t i = 0; i < rig.rn.inputs.size(); ++i)
+                    s.setInput(rig.rn.inputs[i], rig.sched[c][i]);
+            };
+            viaFull.step(drive);
+            viaDelta.step(drive);
+            viaDeltaFullSweep.step(drive);
+            ASSERT_EQ(viaFull.hashFullState(),
+                      viaDelta.hashFullState())
+                << "seed " << seed << " cycle " << c;
+            ASSERT_EQ(viaFull.boundEnergyJ(), viaDelta.boundEnergyJ());
+            ASSERT_EQ(viaFull.hashFullState(),
+                      viaDeltaFullSweep.hashFullState())
+                << "seed " << seed << " cycle " << c
+                << " (FullSweep clone)";
+        }
+        EXPECT_EQ(viaDelta.hashFullState(), sim.hashFullState())
+            << "restored continuation diverged from the "
+               "straight-line run";
+    }
+}
+
+// A delta against a base from a different netlist must be rejected
+// loudly, not silently mis-applied.
+TEST(SnapshotDelta, MismatchedBaseThrows)
+{
+    Rig rigA(21, 8);
+    fuzz::NetlistGenOptions bigger;
+    bigger.numCombGates = 40;
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nlB(lib);
+    fuzz::Rng rng(22);
+    fuzz::buildRandomNetlist(nlB, rng, bigger);
+
+    Simulator simA(rigA.nl);
+    runCycles(simA, rigA.rn.inputs, rigA.sched, 0, 4);
+    Simulator simB(nlB);
+    auto baseB = std::make_shared<const Simulator::Snapshot>(
+        simB.snapshot());
+    EXPECT_THROW(simA.snapshotDelta(baseB), std::logic_error);
+}
+
+} // namespace
+} // namespace ulpeak

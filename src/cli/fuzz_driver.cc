@@ -22,6 +22,7 @@ constexpr uint64_t kKernelStream = 1ull << 32;
 constexpr uint64_t kSymStream = 2ull << 32;
 constexpr uint64_t kEnvelopeStream = 3ull << 32;
 constexpr uint64_t kScenarioStream = 4ull << 32;
+constexpr uint64_t kPackedStream = 5ull << 32;
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
@@ -57,11 +58,15 @@ fuzzUsage()
         "  --sym-programs N  determinism programs (default 8)\n"
         "  --env-programs N  envelope-bound programs (default 8)\n"
         "  --scn-programs N  scenario-dominance programs (default 8)\n"
+        "  --packed-netlists N  packed lane-identity netlists\n"
+        "                    (default 6)\n"
+        "  --packed-programs N  packed envelope-batch programs\n"
+        "                    (default 4)\n"
         "  --instr N         body items per program (default 24)\n"
         "  --threads K       K of the 1-vs-K thread check (default 4)\n"
         "  --kernel-cycles N cycles per netlist run (default 64)\n"
         "  --mode M          all|cosim|kernel|sym|envelope|scenario\n"
-        "                    (default all)\n"
+        "                    |packed (default all)\n"
         "  --only I          run only item index I of the selected\n"
         "                    mode (replay a reported failure)\n"
         "  --dump-programs   print every generated program\n"
@@ -113,6 +118,14 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
             if (!(v = value(i, "--scn-programs")))
                 return false;
             out.scnPrograms = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--packed-netlists") {
+            if (!(v = value(i, "--packed-netlists")))
+                return false;
+            out.packedNetlists = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--packed-programs") {
+            if (!(v = value(i, "--packed-programs")))
+                return false;
+            out.packedPrograms = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--instr") {
             if (!(v = value(i, "--instr")))
                 return false;
@@ -140,9 +153,10 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
             out.mode = v;
             if (out.mode != "all" && out.mode != "cosim" &&
                 out.mode != "kernel" && out.mode != "sym" &&
-                out.mode != "envelope" && out.mode != "scenario") {
+                out.mode != "envelope" && out.mode != "scenario" &&
+                out.mode != "packed") {
                 err = "--mode must be all, cosim, kernel, sym, "
-                      "envelope or scenario";
+                      "envelope, scenario or packed";
                 return false;
             }
         } else if (a == "--dump-programs") {
@@ -341,6 +355,66 @@ runScenario(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
     }
 }
 
+void
+runPacked(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
+{
+    // Item index space: [0, packedNetlists) are lane-identity netlist
+    // items, [packedNetlists, packedNetlists + packedPrograms) are
+    // envelope-batch program items (--only addresses both).
+    fuzz::NetlistGenOptions ngen;
+    for (unsigned i = 0; i < cli.packedNetlists; ++i) {
+        if (!selected(cli, i))
+            continue;
+        ++c.run;
+        uint64_t seed =
+            fuzz::Rng::deriveStream(cli.seed, kPackedStream + i);
+        fuzz::PropertyResult r = fuzz::packedKernelEquivalenceCheck(
+            seed, ngen, cli.kernelCycles);
+        if (!r.ok) {
+            ++c.failed;
+            std::printf("packed item %u (seed %llu) LANE MISMATCH:"
+                        "\n%s",
+                        i, (unsigned long long)cli.seed,
+                        r.detail.c_str());
+        }
+    }
+
+    fuzz::ProgramGenOptions pgen;
+    // Same sizing rationale as the sym mode: every X-dependent branch
+    // forks the tree, so keep bodies short.
+    pgen.instructions = cli.instructions / 2 + 1;
+    for (unsigned p = 0; p < cli.packedPrograms; ++p) {
+        unsigned i = cli.packedNetlists + p;
+        if (!selected(cli, i))
+            continue;
+        fuzz::Rng rng(
+            fuzz::Rng::deriveStream(cli.seed, kPackedStream + i));
+        fuzz::GeneratedProgram prog = fuzz::generateProgram(rng, pgen);
+        if (cli.dumpPrograms)
+            std::printf("--- packed item %u ---\n%s\n", i,
+                        prog.source.c_str());
+        ++c.run;
+        try {
+            isa::Image image = isa::assemble(prog.source);
+            fuzz::PropertyResult r =
+                fuzz::packedEnvelopeBatchCheck(sys, image, rng);
+            if (!r.ok) {
+                ++c.failed;
+                std::printf("packed item %u (seed %llu) BATCH "
+                            "MISMATCH:\n%sprogram:\n%s\n",
+                            i, (unsigned long long)cli.seed,
+                            r.detail.c_str(), prog.source.c_str());
+            }
+        } catch (const std::exception &e) {
+            ++c.failed;
+            std::printf("packed item %u (seed %llu) "
+                        "generator/assembler error: %s\nprogram:\n%s\n",
+                        i, (unsigned long long)cli.seed, e.what(),
+                        prog.source.c_str());
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -359,7 +433,7 @@ runFuzzCli(int argc, const char *const *argv)
     }
 
     auto t0 = std::chrono::steady_clock::now();
-    Counters cosimC, kernelC, symC, envC, scnC;
+    Counters cosimC, kernelC, symC, envC, scnC, packedC;
 
     // One System serves every property: the netlist is immutable, and
     // each run reloads the behavioral memory.
@@ -375,19 +449,22 @@ runFuzzCli(int argc, const char *const *argv)
         runEnvelope(cli, sys, envC);
     if (cli.mode == "all" || cli.mode == "scenario")
         runScenario(cli, sys, scnC);
+    if (cli.mode == "all" || cli.mode == "packed")
+        runPacked(cli, sys, packedC);
 
     unsigned failed = cosimC.failed + kernelC.failed + symC.failed +
-                      envC.failed + scnC.failed;
+                      envC.failed + scnC.failed + packedC.failed;
     if (!cli.quiet || failed) {
         std::printf("ulfuzz seed %llu: cosim %u/%u ok, kernel %u/%u "
                     "ok, sym %u/%u ok, envelope %u/%u ok, scenario "
-                    "%u/%u ok (%.1fs)\n",
+                    "%u/%u ok, packed %u/%u ok (%.1fs)\n",
                     (unsigned long long)cli.seed,
                     cosimC.run - cosimC.failed, cosimC.run,
                     kernelC.run - kernelC.failed, kernelC.run,
                     symC.run - symC.failed, symC.run,
                     envC.run - envC.failed, envC.run,
                     scnC.run - scnC.failed, scnC.run,
+                    packedC.run - packedC.failed, packedC.run,
                     secondsSince(t0));
     }
     return failed ? 1 : 0;

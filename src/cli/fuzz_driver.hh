@@ -23,7 +23,13 @@
  *               envelope vs the unconstrained analysis, stay
  *               1-vs-K-thread deterministic, and bound every
  *               scenario-obeying concrete run, on --scn-programs
- *               random programs.
+ *               random programs;
+ *  6. packed -- bit-parallel kernel lane identity: one 64-lane
+ *               PackedSimulator run vs 64 independent scalar runs on
+ *               --packed-netlists random netlists (64 derived input
+ *               schedules per item), and 64-lane batched concrete
+ *               envelope validation on --packed-programs random
+ *               programs.
  *
  * Every work item derives its own PRNG stream from (--seed, index),
  * and each failure prints the item index, so
@@ -50,12 +56,17 @@ struct FuzzCliOptions {
     unsigned envPrograms = 8;  ///< --env-programs: envelope-bound runs
     unsigned scnPrograms = 8;  ///< --scn-programs: scenario-dominance
                                ///< runs
+    unsigned packedNetlists = 6; ///< --packed-netlists: packed
+                                 ///< lane-identity netlists
+    unsigned packedPrograms = 4; ///< --packed-programs: packed
+                                 ///< envelope-batch programs
     unsigned instructions = 24; ///< --instr: body items per program
     unsigned threads = 4;      ///< --threads: K of the 1-vs-K check
     unsigned kernelCycles = 64; ///< --kernel-cycles per netlist
     long only = -1;            ///< --only INDEX: replay one item
     std::string mode = "all";  ///< --mode
-                               ///< all|cosim|kernel|sym|envelope|scenario
+                               ///< all|cosim|kernel|sym|envelope|
+                               ///< scenario|packed
     bool dumpPrograms = false; ///< --dump-programs: print sources
     bool quiet = false;        ///< --quiet: only the summary line
     bool help = false;         ///< --help

@@ -1,10 +1,13 @@
 #include "fuzz/properties.hh"
 
+#include <array>
 #include <sstream>
 
 #include "peak/peak_analysis.hh"
 #include "peak/validation.hh"
 #include "power/analysis.hh"
+#include "power/packed_run.hh"
+#include "sim/packed_simulator.hh"
 
 namespace ulpeak {
 namespace fuzz {
@@ -264,6 +267,171 @@ envelopeBoundCheck(msp::System &sys, const isa::Image &image,
             os << "concrete="
                << c.traceW[size_t(v.firstViolationCycle)]
                << " W, max excess " << v.maxViolationW << " W)\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
+    }
+    return res;
+}
+
+PropertyResult
+packedKernelEquivalenceCheck(uint64_t seed,
+                             const NetlistGenOptions &opts,
+                             unsigned cycles)
+{
+    constexpr unsigned kLanes = PackedSimulator::kLanes;
+    PropertyResult res;
+    Rng rng(seed);
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    RandomNetlist rn = buildRandomNetlist(nl, rng, opts);
+    unsigned nin = unsigned(rn.inputs.size());
+
+    // One independent input schedule per lane, derived so any single
+    // lane reproduces from (seed, lane) alone.
+    std::array<std::vector<std::vector<V4>>, kLanes> sched;
+    for (unsigned l = 0; l < kLanes; ++l) {
+        Rng lrng(Rng::deriveStream(seed, l));
+        sched[l] =
+            makeInputSchedule(lrng, nin, cycles, opts.inputXPercent);
+    }
+
+    PackedSimulator psim(nl);
+    std::vector<Simulator> sims;
+    sims.reserve(kLanes);
+    for (unsigned l = 0; l < kLanes; ++l)
+        sims.emplace_back(nl, (l % 2) ? EvalMode::FullSweep
+                                      : EvalMode::EventDriven);
+
+    std::ostringstream os;
+    auto fail = [&]() {
+        res.ok = false;
+        res.detail = "seed " + std::to_string(seed) + ": " + os.str();
+        return res;
+    };
+
+    for (unsigned c = 0; c < cycles; ++c) {
+        psim.step([&](PackedSimulator &s) {
+            for (unsigned i = 0; i < nin; ++i) {
+                V64 v;
+                for (unsigned l = 0; l < kLanes; ++l)
+                    v.setLane(l, sched[l][c][i]);
+                s.setInput(rn.inputs[i], v);
+            }
+        });
+        for (unsigned l = 0; l < kLanes; ++l) {
+            Simulator &sim = sims[l];
+            sim.step([&](Simulator &s) {
+                for (unsigned i = 0; i < nin; ++i)
+                    s.setInput(rn.inputs[i], sched[l][c][i]);
+            });
+            for (GateId g = 0; g < GateId(nl.numGates()); ++g) {
+                if (psim.valueLane(g, l) != sim.value(g)) {
+                    os << "cycle " << c << " lane " << l << " gate "
+                       << g << ": value packed="
+                       << v4Char(psim.valueLane(g, l)) << " scalar="
+                       << v4Char(sim.value(g)) << "\n";
+                    return fail();
+                }
+                bool pact = (psim.activeMask(g) >> l) & 1;
+                if (pact != sim.isActive(g)) {
+                    os << "cycle " << c << " lane " << l << " gate "
+                       << g << ": activity packed=" << pact
+                       << " scalar=" << sim.isActive(g) << "\n";
+                    return fail();
+                }
+            }
+            if (psim.actualEnergyJ(l) != sim.actualEnergyJ() ||
+                psim.boundEnergyJ(l) != sim.boundEnergyJ()) {
+                os << "cycle " << c << " lane " << l
+                   << ": energy packed=(" << psim.actualEnergyJ(l)
+                   << ", " << psim.boundEnergyJ(l) << ") scalar=("
+                   << sim.actualEnergyJ() << ", "
+                   << sim.boundEnergyJ() << ")\n";
+                return fail();
+            }
+            if (psim.moduleBoundEnergyLaneJ(l) !=
+                sim.moduleBoundEnergyJ()) {
+                os << "cycle " << c << " lane " << l
+                   << ": per-module energies differ\n";
+                return fail();
+            }
+            if (psim.hashLaneState(l) != sim.hashFullState()) {
+                os << "cycle " << c << " lane " << l
+                   << ": full-state hashes differ\n";
+                return fail();
+            }
+        }
+    }
+    return res;
+}
+
+PropertyResult
+packedEnvelopeBatchCheck(msp::System &sys, const isa::Image &image,
+                         Rng &rng, unsigned verify_lanes)
+{
+    constexpr unsigned kLanes = PackedSimulator::kLanes;
+    PropertyResult res;
+    peak::Options opts;
+    opts.recordEnvelope = true;
+    peak::Report x = peak::analyze(sys, image, opts);
+    if (!x.ok)
+        return res; // rejected programs have nothing to bound
+    const peak::Envelope &env = x.envelope;
+
+    power::PowerContext ctx(sys.netlist(), opts.freqHz);
+    power::PackedRunOptions popts;
+    popts.maxCycles = env.powerW.size() + 256;
+    for (unsigned l = 0; l < kLanes; ++l) {
+        popts.portSchedules[l].resize(64);
+        for (uint16_t &w : popts.portSchedules[l])
+            w = rng.word();
+    }
+    power::PackedRunResult pr =
+        power::runConcretePacked(sys, image, ctx, popts);
+
+    std::ostringstream os;
+    for (unsigned l = 0; l < kLanes; ++l) {
+        const power::PackedLaneResult &lane = pr.lanes[l];
+        if (!lane.halted) {
+            os << "packed lane " << l << " still live after "
+               << popts.maxCycles << " cycles (envelope covers "
+               << env.powerW.size() << ")\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
+        peak::TraceValidation v =
+            peak::validateTraceBound(env.powerW, lane.traceW);
+        if (!v.bounds) {
+            os << "packed lane " << l << ": envelope violated at "
+               << v.violations << " of " << lane.traceW.size()
+               << " cycles, first at cycle " << v.firstViolationCycle
+               << " (max excess " << v.maxViolationW << " W)\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
+    }
+
+    // Lane-identity spot check: re-run a few lanes on the scalar
+    // path; trace floats must match exactly, not approximately.
+    for (unsigned i = 0; i < verify_lanes; ++i) {
+        unsigned l = (i * kLanes) / (verify_lanes ? verify_lanes : 1);
+        power::ConcreteRunOptions copts;
+        copts.maxCycles = popts.maxCycles;
+        copts.portSchedule = popts.portSchedules[l];
+        power::ConcreteRunResult c =
+            power::runConcrete(sys, image, ctx, copts);
+        const power::PackedLaneResult &lane = pr.lanes[l];
+        if (c.halted != lane.halted || c.traceW != lane.traceW ||
+            c.totalEnergyJ != lane.totalEnergyJ) {
+            os << "lane " << l
+               << " diverges from its scalar run (halted "
+               << lane.halted << " vs " << c.halted << ", "
+               << lane.traceW.size() << " vs " << c.traceW.size()
+               << " trace cycles)\n";
             res.ok = false;
             res.detail = os.str();
             return res;

@@ -83,6 +83,34 @@ PropertyResult envelopeBoundCheck(msp::System &sys,
                                   const isa::Image &image, Rng &rng,
                                   unsigned concrete_runs = 3);
 
+/**
+ * Property 6: packed-kernel lane identity. Generate a random netlist
+ * from @p seed and 64 independent input schedules (one per lane,
+ * derived streams), run one PackedSimulator against 64 scalar
+ * Simulators in lockstep for @p cycles, and require every lane to be
+ * bit-identical to its scalar run after every cycle: gate values,
+ * activity, actual / bound / per-module energies, and the full-state
+ * hash. Scalar lanes alternate EvalMode so both kernels anchor the
+ * comparison.
+ */
+PropertyResult packedKernelEquivalenceCheck(uint64_t seed,
+                                            const NetlistGenOptions &opts,
+                                            unsigned cycles);
+
+/**
+ * Property 7: packed envelope batching. Analyze @p image with envelope
+ * recording, then run one 64-lane packed batch of seeded random port
+ * schedules: every lane must halt within the envelope length + slack
+ * and lie under the envelope at every cycle (validateTraceBound), and
+ * @p verify_lanes of the lanes are re-run on the scalar runConcrete
+ * path and must match float-for-float (trace, halt flag, total
+ * energy). Programs the symbolic engine rejects pass vacuously.
+ */
+PropertyResult packedEnvelopeBatchCheck(msp::System &sys,
+                                        const isa::Image &image,
+                                        Rng &rng,
+                                        unsigned verify_lanes = 2);
+
 /** A random port-constraint scenario (static pattern or repeating
  *  schedule) drawn from @p rng -- the input generator of
  *  scenarioDominanceCheck, exposed for tests. */

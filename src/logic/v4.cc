@@ -2,53 +2,8 @@
 
 namespace ulpeak {
 
-V4
-v4And(V4 a, V4 b)
-{
-    if (a == V4::Zero || b == V4::Zero)
-        return V4::Zero;
-    if (a == V4::One && b == V4::One)
-        return V4::One;
-    return V4::X;
-}
-
-V4
-v4Or(V4 a, V4 b)
-{
-    if (a == V4::One || b == V4::One)
-        return V4::One;
-    if (a == V4::Zero && b == V4::Zero)
-        return V4::Zero;
-    return V4::X;
-}
-
-V4
-v4Xor(V4 a, V4 b)
-{
-    if (a == V4::X || b == V4::X)
-        return V4::X;
-    return fromBool(a != b);
-}
-
-V4
-v4Not(V4 a)
-{
-    if (a == V4::X)
-        return V4::X;
-    return a == V4::One ? V4::Zero : V4::One;
-}
-
-V4
-v4Mux(V4 sel, V4 a, V4 b)
-{
-    if (sel == V4::Zero)
-        return a;
-    if (sel == V4::One)
-        return b;
-    if (a == b && isKnown(a))
-        return a;
-    return V4::X;
-}
+// The hot ops (v4And/v4Or/v4Xor/v4Not/v4Mux) are constexpr in v4.hh;
+// only the cold string/character helpers stay out of line.
 
 char
 v4Char(V4 v)

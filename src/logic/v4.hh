@@ -25,27 +25,65 @@ enum class V4 : uint8_t {
 };
 
 /** @return true iff @p v is a concrete 0 or 1. */
-inline bool
+constexpr bool
 isKnown(V4 v)
 {
     return v != V4::X;
 }
 
 /** Convert a bool to a concrete logic value. */
-inline V4
+constexpr V4
 fromBool(bool b)
 {
     return b ? V4::One : V4::Zero;
 }
 
+// The five hot logic ops below are the innermost operations of both
+// simulation kernels (evalCell composes them per gate, every cycle),
+// so they live here as constexpr header functions: out-of-line calls
+// per signal cost more than the operation itself
+// (BENCH_sim_kernel.json tracks the kernel throughput this protects).
+
 /** Kleene AND: 0 dominates, X otherwise unless both 1. */
-V4 v4And(V4 a, V4 b);
+constexpr V4
+v4And(V4 a, V4 b)
+{
+    if (a == V4::Zero || b == V4::Zero)
+        return V4::Zero;
+    if (a == V4::One && b == V4::One)
+        return V4::One;
+    return V4::X;
+}
+
 /** Kleene OR: 1 dominates, X otherwise unless both 0. */
-V4 v4Or(V4 a, V4 b);
+constexpr V4
+v4Or(V4 a, V4 b)
+{
+    if (a == V4::One || b == V4::One)
+        return V4::One;
+    if (a == V4::Zero && b == V4::Zero)
+        return V4::Zero;
+    return V4::X;
+}
+
 /** XOR: X if either operand is X. */
-V4 v4Xor(V4 a, V4 b);
+constexpr V4
+v4Xor(V4 a, V4 b)
+{
+    if (a == V4::X || b == V4::X)
+        return V4::X;
+    return fromBool(a != b);
+}
+
 /** NOT: X maps to X. */
-V4 v4Not(V4 a);
+constexpr V4
+v4Not(V4 a)
+{
+    if (a == V4::X)
+        return V4::X;
+    return a == V4::One ? V4::Zero : V4::One;
+}
+
 /**
  * 2:1 multiplexer with X-pessimistic select. When the select is X the
  * result is the common value of the two data inputs if they agree and are
@@ -55,7 +93,17 @@ V4 v4Not(V4 a);
  * agree); cells of kind MUX2 use this slightly tighter rule, which is
  * sound because the real cell output cannot differ from both inputs.
  */
-V4 v4Mux(V4 sel, V4 a, V4 b);
+constexpr V4
+v4Mux(V4 sel, V4 a, V4 b)
+{
+    if (sel == V4::Zero)
+        return a;
+    if (sel == V4::One)
+        return b;
+    if (a == b && isKnown(a))
+        return a;
+    return V4::X;
+}
 
 /** Single-character representation: '0', '1' or 'x' (VCD style). */
 char v4Char(V4 v);

@@ -1,0 +1,18 @@
+#include "logic/v64.hh"
+
+namespace ulpeak {
+
+// The packed ops are constexpr in v64.hh for the same reason the
+// scalar ones are in v4.hh; only the string rendering lives here.
+
+std::string
+V64::toString() const
+{
+    std::string s;
+    s.reserve(64);
+    for (int i = 63; i >= 0; --i)
+        s.push_back(v4Char(lane(unsigned(i))));
+    return s;
+}
+
+} // namespace ulpeak

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Bit-parallel three-valued logic: 64 independent V4 lanes packed into
+ * two 64-bit planes, so one and/or/xor/not/mux evaluates 64 patterns
+ * in a handful of word operations.
+ *
+ * Encoding (two-plane): lane i of a V64 holds
+ *
+ *   k bit | v bit | lane value
+ *   ------+-------+-----------
+ *     1   |   0   |   0
+ *     1   |   1   |   1
+ *     0   |   0   |   X
+ *
+ * The encoding is canonical: an X lane keeps its @ref V64::v bit at 0
+ * (v is always a subset of k), so two V64s are lane-wise equal exactly
+ * when both planes are equal -- the packed analogue of Word16 keeping
+ * X bits of `value` at 0. Every operation below preserves canonical
+ * form and computes, in each lane, exactly the scalar v4And / v4Or /
+ * v4Xor / v4Not / v4Mux of that lane's operands (tests/test_logic.cc
+ * pins this against the scalar truth tables). PackedSimulator builds
+ * on these ops to sweep a netlist once for 64 input patterns.
+ */
+
+#ifndef ULPEAK_LOGIC_V64_HH
+#define ULPEAK_LOGIC_V64_HH
+
+#include <cstdint>
+#include <string>
+
+#include "logic/v4.hh"
+
+namespace ulpeak {
+
+/** 64 three-valued lanes: value plane @ref v, known plane @ref k. */
+struct V64 {
+    uint64_t v = 0; ///< value plane (lane subset of k: X lanes read 0)
+    uint64_t k = 0; ///< known plane (0 = lane is X)
+
+    /** Default: every lane X. */
+    constexpr V64() = default;
+    constexpr V64(uint64_t v_, uint64_t k_) : v(v_ & k_), k(k_) {}
+
+    constexpr bool
+    operator==(const V64 &o) const
+    {
+        return v == o.v && k == o.k;
+    }
+    constexpr bool operator!=(const V64 &o) const { return !(*this == o); }
+
+    /** Lanes whose value differs from @p o (X counts as a value). */
+    constexpr uint64_t
+    diffMask(const V64 &o) const
+    {
+        return (v ^ o.v) | (k ^ o.k);
+    }
+
+    constexpr V4
+    lane(unsigned i) const
+    {
+        uint64_t m = uint64_t(1) << i;
+        if (!(k & m))
+            return V4::X;
+        return (v & m) ? V4::One : V4::Zero;
+    }
+
+    void
+    setLane(unsigned i, V4 val)
+    {
+        uint64_t m = uint64_t(1) << i;
+        if (val == V4::X) {
+            k &= ~m;
+            v &= ~m;
+        } else {
+            k |= m;
+            v = (val == V4::One) ? (v | m) : (v & ~m);
+        }
+    }
+
+    /** All 64 lanes X. */
+    static constexpr V64
+    allX()
+    {
+        return V64();
+    }
+
+    /** The same concrete/unknown value in every lane. */
+    static constexpr V64
+    splat(V4 val)
+    {
+        if (val == V4::X)
+            return V64();
+        return V64(val == V4::One ? ~uint64_t(0) : 0, ~uint64_t(0));
+    }
+
+    /** Render as 64 characters, lane 63 first (VCD style). */
+    std::string toString() const;
+};
+
+/** Lane-wise Kleene AND (64 x v4And). A known 0 forces the lane known
+ *  regardless of the other operand. */
+constexpr V64
+v64And(V64 a, V64 b)
+{
+    V64 r;
+    r.v = a.v & b.v;
+    r.k = (a.k & b.k) | (a.k & ~a.v) | (b.k & ~b.v);
+    return r;
+}
+
+/** Lane-wise Kleene OR (64 x v4Or). A known 1 dominates. Canonical
+ *  since v bits only appear where some operand was known-1. */
+constexpr V64
+v64Or(V64 a, V64 b)
+{
+    V64 r;
+    r.v = a.v | b.v;
+    r.k = (a.k & b.k) | a.v | b.v;
+    return r;
+}
+
+/** Lane-wise XOR (64 x v4Xor): X if either lane is X. */
+constexpr V64
+v64Xor(V64 a, V64 b)
+{
+    V64 r;
+    r.k = a.k & b.k;
+    r.v = (a.v ^ b.v) & r.k;
+    return r;
+}
+
+/** Lane-wise NOT (64 x v4Not). */
+constexpr V64
+v64Not(V64 a)
+{
+    V64 r;
+    r.k = a.k;
+    r.v = ~a.v & a.k;
+    return r;
+}
+
+/** Lane-wise 2:1 mux (64 x v4Mux): sel 0 -> a, 1 -> b; an X select
+ *  resolves only where the data lanes are known and agree. */
+constexpr V64
+v64Mux(V64 sel, V64 a, V64 b)
+{
+    uint64_t sel0 = sel.k & ~sel.v;
+    uint64_t sel1 = sel.v;
+    uint64_t selx = ~sel.k;
+    uint64_t agree = a.k & b.k & ~(a.v ^ b.v);
+    V64 r;
+    r.k = (sel0 & a.k) | (sel1 & b.k) | (selx & agree);
+    r.v = ((sel0 & a.v) | (sel1 & b.v) | (selx & agree & a.v));
+    return r;
+}
+
+} // namespace ulpeak
+
+#endif // ULPEAK_LOGIC_V64_HH

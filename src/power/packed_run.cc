@@ -1,0 +1,159 @@
+#include "power/packed_run.hh"
+
+namespace ulpeak {
+namespace power {
+
+namespace {
+
+constexpr unsigned kLanes = PackedSimulator::kLanes;
+
+/** Per-lane mirror of System::memHook: asynchronous RAM/ROM read data
+ *  for every lane, one access-energy bill per accessing lane. */
+void
+packedMemHook(PackedSimulator &s, const msp::CpuHandles &h,
+              std::vector<Memory> &mem)
+{
+    std::array<Word16, kLanes> data;
+    uint64_t access_mask = 0;
+    V64 en = s.value(h.mbEn);
+    for (unsigned l = 0; l < kLanes; ++l) {
+        V4 e = en.lane(l);
+        if (e == V4::Zero) {
+            data[l] = Word16::known(0);
+            continue;
+        }
+        Word16 addr = s.readBusLane(h.mab, l);
+        if (e == V4::X || !addr.isFullyKnown()) {
+            data[l] = Word16::allX();
+            continue;
+        }
+        uint32_t a = addr.value;
+        if (mem[l].inRam(a) || mem[l].inRom(a)) {
+            data[l] = mem[l].read(a);
+            access_mask |= uint64_t(1) << l;
+        } else if (a < 0x0200) {
+            data[l] = Word16::known(0);
+        } else {
+            data[l] = Word16::known(0xffff);
+        }
+    }
+    s.setInputBusLanes(h.memData, data);
+    if (access_mask)
+        s.addBehavioralEnergyJ(msp::System::kMemAccessEnergyJ,
+                               h.modMemBackbone, access_mask);
+}
+
+/** Per-lane mirror of System::memEdge. Halted lanes are skipped: the
+ *  scalar run stops stepping one cycle after the halting store, so no
+ *  later edge of that lane ever commits there -- skipping keeps the
+ *  lane's memory, fault flag and halt state bit-identical while the
+ *  other lanes keep going. */
+void
+packedMemEdge(PackedSimulator &s, const msp::CpuHandles &h,
+              std::vector<Memory> &mem, uint64_t &halted_mask,
+              uint64_t &fault_mask)
+{
+    V64 rstn = s.value(h.rstn);
+    V64 wr = s.value(h.mbWr);
+    for (unsigned l = 0; l < kLanes; ++l) {
+        uint64_t bit = uint64_t(1) << l;
+        if (halted_mask & bit)
+            continue;
+        if (rstn.lane(l) != V4::One)
+            continue;
+        V4 w = wr.lane(l);
+        if (w == V4::Zero)
+            continue;
+        if (w == V4::X) {
+            fault_mask |= bit;
+            continue;
+        }
+        Word16 addr = s.readBusLane(h.mab, l);
+        if (!addr.isFullyKnown()) {
+            fault_mask |= bit;
+            continue;
+        }
+        uint32_t a = addr.value;
+        Word16 d = s.readBusLane(h.mdbOut, l);
+        if (mem[l].inRam(a))
+            mem[l].write(a, d);
+        else if (a == msp::SystemMap::kDone)
+            halted_mask |= bit;
+    }
+}
+
+} // namespace
+
+PackedRunResult
+runConcretePacked(msp::System &sys, const isa::Image &image,
+                  const PowerContext &ctx, const PackedRunOptions &opts,
+                  const RamInit &ram_init)
+{
+    sys.memory().reset();
+    sys.loadImage(image);
+    for (auto &[addr, words] : ram_init)
+        sys.memory().loadRam(addr, words);
+
+    const msp::CpuHandles &h = sys.handles();
+    std::vector<Memory> mem(kLanes, sys.memory());
+    uint64_t halted_mask = 0;
+    uint64_t fault_mask = 0;
+
+    PackedSimulator psim(sys.netlist());
+    psim.setHookFn(h.memHookId, [&](PackedSimulator &s) {
+        packedMemHook(s, h, mem);
+    });
+    psim.addEdgeFn([&](PackedSimulator &s) {
+        packedMemEdge(s, h, mem, halted_mask, fault_mask);
+    });
+
+    // Reset sequence (System::reset, all lanes in lockstep).
+    for (unsigned i = 0; i < msp::System::kResetCycles; ++i) {
+        psim.step([&](PackedSimulator &s) {
+            s.setInput(h.rstn, V64::splat(V4::Zero));
+            s.setInput(h.irq, V64::splat(V4::Zero));
+            s.setInputBusAll(h.portIn, Word16::allX());
+        });
+    }
+
+    PackedRunResult r;
+    std::array<Word16, kLanes> ports;
+    while (halted_mask != ~uint64_t(0) &&
+           psim.cycle() < opts.maxCycles) {
+        // Lanes recording this step: exactly those whose scalar run
+        // would still be in its step loop (halt is checked before the
+        // step there, so the step whose edge sets halt still records).
+        uint64_t record_mask = ~halted_mask;
+        for (unsigned l = 0; l < kLanes; ++l) {
+            const std::vector<uint16_t> &sched = opts.portSchedules[l];
+            uint16_t p = sched.empty()
+                             ? opts.portIn
+                             : sched[size_t(psim.cycle()) %
+                                     sched.size()];
+            ports[l] = Word16::known(p);
+        }
+        psim.step([&](PackedSimulator &s) {
+            s.setInput(h.rstn, V64::splat(V4::One));
+            s.setInput(h.irq, V64::splat(V4::Zero));
+            s.setInputBusLanes(h.portIn, ports);
+        });
+        while (record_mask) {
+            unsigned l = unsigned(__builtin_ctzll(record_mask));
+            record_mask &= record_mask - 1;
+            double w = ctx.cyclePowerW(psim.boundEnergyJ(l));
+            r.lanes[l].stats.add(w);
+            if (opts.recordTrace)
+                r.lanes[l].traceW.push_back(float(w));
+        }
+    }
+
+    for (unsigned l = 0; l < kLanes; ++l) {
+        r.lanes[l].halted = (halted_mask >> l) & 1;
+        r.lanes[l].xStoreFault = (fault_mask >> l) & 1;
+        r.lanes[l].totalEnergyJ = r.lanes[l].stats.energyJ(ctx.tclkS());
+    }
+    return r;
+}
+
+} // namespace power
+} // namespace ulpeak

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "fuzz/rng.hh"
 #include "logic/v4.hh"
+#include "logic/v64.hh"
 
 namespace ulpeak {
 namespace {
@@ -97,6 +99,137 @@ TEST(Word16, AllXAndToString)
     EXPECT_EQ(x.toString(), std::string(16, 'x'));
     Word16 k = Word16::known(0x8001);
     EXPECT_EQ(k.toString(), "1000000000000001");
+}
+
+// --- V64: 64 packed three-valued lanes -------------------------------
+
+constexpr V4 kVals[3] = {V4::Zero, V4::One, V4::X};
+
+/** Pack operand pairs so all 9 (a,b) combinations occupy distinct
+ *  lanes, plus pseudo-random fill in the upper lanes. */
+void
+fillOperands(V64 &a, V64 &b)
+{
+    unsigned l = 0;
+    for (V4 va : kVals)
+        for (V4 vb : kVals) {
+            a.setLane(l, va);
+            b.setLane(l, vb);
+            ++l;
+        }
+    for (; l < 64; ++l) {
+        a.setLane(l, kVals[(l * 7 + 1) % 3]);
+        b.setLane(l, kVals[(l * 5 + 2) % 3]);
+    }
+}
+
+TEST(V64, LaneAccessAndCanonicalForm)
+{
+    V64 v;
+    EXPECT_EQ(v, V64::allX());
+    for (unsigned l = 0; l < 64; ++l)
+        EXPECT_EQ(v.lane(l), V4::X);
+    v.setLane(0, V4::One);
+    v.setLane(63, V4::Zero);
+    EXPECT_EQ(v.lane(0), V4::One);
+    EXPECT_EQ(v.lane(63), V4::Zero);
+    EXPECT_EQ(v.lane(17), V4::X);
+    v.setLane(0, V4::X);
+    EXPECT_EQ(v.lane(0), V4::X);
+    // Canonical: X lanes keep their value-plane bit at 0, so plane
+    // equality is lane equality.
+    EXPECT_EQ(v.v & ~v.k, 0u);
+    V64 noncanon(~uint64_t(0), 0x5aa5);
+    EXPECT_EQ(noncanon.v, uint64_t(0x5aa5));
+}
+
+TEST(V64, SplatAndToString)
+{
+    EXPECT_EQ(V64::splat(V4::X), V64::allX());
+    V64 ones = V64::splat(V4::One);
+    V64 zeros = V64::splat(V4::Zero);
+    for (unsigned l = 0; l < 64; ++l) {
+        EXPECT_EQ(ones.lane(l), V4::One);
+        EXPECT_EQ(zeros.lane(l), V4::Zero);
+    }
+    EXPECT_EQ(V64::allX().toString(), std::string(64, 'x'));
+    V64 v;
+    v.setLane(0, V4::One);
+    EXPECT_EQ(v.toString().back(), '1');
+}
+
+TEST(V64, DiffMask)
+{
+    V64 a, b;
+    fillOperands(a, b);
+    uint64_t d = a.diffMask(b);
+    for (unsigned l = 0; l < 64; ++l)
+        EXPECT_EQ((d >> l) & 1, a.lane(l) != b.lane(l) ? 1u : 0u)
+            << "lane " << l;
+}
+
+TEST(V64, OpsMatchScalarTruthTables)
+{
+    V64 a, b;
+    fillOperands(a, b);
+    V64 rAnd = v64And(a, b);
+    V64 rOr = v64Or(a, b);
+    V64 rXor = v64Xor(a, b);
+    V64 rNot = v64Not(a);
+    for (unsigned l = 0; l < 64; ++l) {
+        V4 va = a.lane(l), vb = b.lane(l);
+        EXPECT_EQ(rAnd.lane(l), v4And(va, vb)) << "lane " << l;
+        EXPECT_EQ(rOr.lane(l), v4Or(va, vb)) << "lane " << l;
+        EXPECT_EQ(rXor.lane(l), v4Xor(va, vb)) << "lane " << l;
+        EXPECT_EQ(rNot.lane(l), v4Not(va)) << "lane " << l;
+    }
+    // Results stay canonical (X lanes read 0 on the value plane).
+    for (const V64 &r : {rAnd, rOr, rXor, rNot})
+        EXPECT_EQ(r.v & ~r.k, 0u);
+}
+
+TEST(V64, MuxMatchesScalarAllCombinations)
+{
+    // All 27 (sel, a, b) combinations, exhaustively.
+    for (V4 sel : kVals)
+        for (V4 va : kVals)
+            for (V4 vb : kVals) {
+                V64 r = v64Mux(V64::splat(sel), V64::splat(va),
+                               V64::splat(vb));
+                V4 expect = v4Mux(sel, va, vb);
+                for (unsigned l = 0; l < 64; ++l)
+                    EXPECT_EQ(r.lane(l), expect)
+                        << v4Char(sel) << v4Char(va) << v4Char(vb)
+                        << " lane " << l;
+                EXPECT_EQ(r.v & ~r.k, 0u);
+            }
+}
+
+TEST(V64, RandomizedLaneExactness)
+{
+    fuzz::Rng rng(0x5eedu);
+    auto randomV64 = [&rng]() {
+        V64 v;
+        for (unsigned l = 0; l < 64; ++l)
+            v.setLane(l, kVals[rng.below(3)]);
+        return v;
+    };
+    for (unsigned iter = 0; iter < 200; ++iter) {
+        V64 sel = randomV64(), a = randomV64(), b = randomV64();
+        V64 rAnd = v64And(a, b);
+        V64 rOr = v64Or(a, b);
+        V64 rXor = v64Xor(a, b);
+        V64 rNot = v64Not(a);
+        V64 rMux = v64Mux(sel, a, b);
+        for (unsigned l = 0; l < 64; ++l) {
+            ASSERT_EQ(rAnd.lane(l), v4And(a.lane(l), b.lane(l)));
+            ASSERT_EQ(rOr.lane(l), v4Or(a.lane(l), b.lane(l)));
+            ASSERT_EQ(rXor.lane(l), v4Xor(a.lane(l), b.lane(l)));
+            ASSERT_EQ(rNot.lane(l), v4Not(a.lane(l)));
+            ASSERT_EQ(rMux.lane(l),
+                      v4Mux(sel.lane(l), a.lane(l), b.lane(l)));
+        }
+    }
 }
 
 } // namespace

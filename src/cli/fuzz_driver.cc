@@ -23,6 +23,7 @@ constexpr uint64_t kSymStream = 2ull << 32;
 constexpr uint64_t kEnvelopeStream = 3ull << 32;
 constexpr uint64_t kScenarioStream = 4ull << 32;
 constexpr uint64_t kPackedStream = 5ull << 32;
+constexpr uint64_t kFaultStream = 6ull << 32;
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
@@ -62,11 +63,15 @@ fuzzUsage()
         "                    (default 6)\n"
         "  --packed-programs N  packed envelope-batch programs\n"
         "                    (default 4)\n"
+        "  --fault-netlists N  faulted lane-identity netlists\n"
+        "                    (default 4)\n"
+        "  --fault-programs N  fault-campaign determinism programs\n"
+        "                    (default 3)\n"
         "  --instr N         body items per program (default 24)\n"
         "  --threads K       K of the 1-vs-K thread check (default 4)\n"
         "  --kernel-cycles N cycles per netlist run (default 64)\n"
         "  --mode M          all|cosim|kernel|sym|envelope|scenario\n"
-        "                    |packed (default all)\n"
+        "                    |packed|fault (default all)\n"
         "  --only I          run only item index I of the selected\n"
         "                    mode (replay a reported failure)\n"
         "  --dump-programs   print every generated program\n"
@@ -126,6 +131,14 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
             if (!(v = value(i, "--packed-programs")))
                 return false;
             out.packedPrograms = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--fault-netlists") {
+            if (!(v = value(i, "--fault-netlists")))
+                return false;
+            out.faultNetlists = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--fault-programs") {
+            if (!(v = value(i, "--fault-programs")))
+                return false;
+            out.faultPrograms = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--instr") {
             if (!(v = value(i, "--instr")))
                 return false;
@@ -154,9 +167,9 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
             if (out.mode != "all" && out.mode != "cosim" &&
                 out.mode != "kernel" && out.mode != "sym" &&
                 out.mode != "envelope" && out.mode != "scenario" &&
-                out.mode != "packed") {
+                out.mode != "packed" && out.mode != "fault") {
                 err = "--mode must be all, cosim, kernel, sym, "
-                      "envelope, scenario or packed";
+                      "envelope, scenario, packed or fault";
                 return false;
             }
         } else if (a == "--dump-programs") {
@@ -415,6 +428,66 @@ runPacked(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
     }
 }
 
+void
+runFault(const FuzzCliOptions &cli, Counters &c)
+{
+    // Item index space mirrors the packed mode: [0, faultNetlists)
+    // are faulted lane-identity netlist items,
+    // [faultNetlists, faultNetlists + faultPrograms) are campaign
+    // determinism program items (--only addresses both).
+    fuzz::NetlistGenOptions ngen;
+    for (unsigned i = 0; i < cli.faultNetlists; ++i) {
+        if (!selected(cli, i))
+            continue;
+        ++c.run;
+        uint64_t seed =
+            fuzz::Rng::deriveStream(cli.seed, kFaultStream + i);
+        fuzz::PropertyResult r = fuzz::faultedPackedEquivalenceCheck(
+            seed, ngen, cli.kernelCycles);
+        if (!r.ok) {
+            ++c.failed;
+            std::printf("fault item %u (seed %llu) FAULTED LANE "
+                        "MISMATCH:\n%s",
+                        i, (unsigned long long)cli.seed,
+                        r.detail.c_str());
+        }
+    }
+
+    fuzz::ProgramGenOptions pgen;
+    pgen.instructions = cli.instructions;
+    for (unsigned p = 0; p < cli.faultPrograms; ++p) {
+        unsigned i = cli.faultNetlists + p;
+        if (!selected(cli, i))
+            continue;
+        fuzz::Rng rng(
+            fuzz::Rng::deriveStream(cli.seed, kFaultStream + i));
+        fuzz::GeneratedProgram prog = fuzz::generateProgram(rng, pgen);
+        if (cli.dumpPrograms)
+            std::printf("--- fault item %u ---\n%s\n", i,
+                        prog.source.c_str());
+        ++c.run;
+        try {
+            isa::Image image = isa::assemble(prog.source);
+            fuzz::PropertyResult r =
+                fuzz::faultCampaignDeterminismCheck(
+                    image, rng.next(), cli.threads);
+            if (!r.ok) {
+                ++c.failed;
+                std::printf("fault item %u (seed %llu) CAMPAIGN "
+                            "NONDETERMINISM:\n%sprogram:\n%s\n",
+                            i, (unsigned long long)cli.seed,
+                            r.detail.c_str(), prog.source.c_str());
+            }
+        } catch (const std::exception &e) {
+            ++c.failed;
+            std::printf("fault item %u (seed %llu) "
+                        "generator/assembler error: %s\nprogram:\n%s\n",
+                        i, (unsigned long long)cli.seed, e.what(),
+                        prog.source.c_str());
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -433,7 +506,7 @@ runFuzzCli(int argc, const char *const *argv)
     }
 
     auto t0 = std::chrono::steady_clock::now();
-    Counters cosimC, kernelC, symC, envC, scnC, packedC;
+    Counters cosimC, kernelC, symC, envC, scnC, packedC, faultC;
 
     // One System serves every property: the netlist is immutable, and
     // each run reloads the behavioral memory.
@@ -451,13 +524,17 @@ runFuzzCli(int argc, const char *const *argv)
         runScenario(cli, sys, scnC);
     if (cli.mode == "all" || cli.mode == "packed")
         runPacked(cli, sys, packedC);
+    if (cli.mode == "all" || cli.mode == "fault")
+        runFault(cli, faultC);
 
     unsigned failed = cosimC.failed + kernelC.failed + symC.failed +
-                      envC.failed + scnC.failed + packedC.failed;
+                      envC.failed + scnC.failed + packedC.failed +
+                      faultC.failed;
     if (!cli.quiet || failed) {
         std::printf("ulfuzz seed %llu: cosim %u/%u ok, kernel %u/%u "
                     "ok, sym %u/%u ok, envelope %u/%u ok, scenario "
-                    "%u/%u ok, packed %u/%u ok (%.1fs)\n",
+                    "%u/%u ok, packed %u/%u ok, fault %u/%u ok "
+                    "(%.1fs)\n",
                     (unsigned long long)cli.seed,
                     cosimC.run - cosimC.failed, cosimC.run,
                     kernelC.run - kernelC.failed, kernelC.run,
@@ -465,6 +542,7 @@ runFuzzCli(int argc, const char *const *argv)
                     envC.run - envC.failed, envC.run,
                     scnC.run - scnC.failed, scnC.run,
                     packedC.run - packedC.failed, packedC.run,
+                    faultC.run - faultC.failed, faultC.run,
                     secondsSince(t0));
     }
     return failed ? 1 : 0;

@@ -3,7 +3,7 @@
  * The `ulfuzz` command-line driver: seeded differential fuzzing of
  * the whole stack, built on src/fuzz and src/cosim.
  *
- * One run checks three properties end-to-end (docs/testing.md):
+ * One run checks seven properties end-to-end (docs/testing.md):
  *
  *  1. cosim  -- ISS <-> gate-level lockstep equivalence on
  *               --programs random programs;
@@ -29,7 +29,14 @@
  *               --packed-netlists random netlists (64 derived input
  *               schedules per item), and 64-lane batched concrete
  *               envelope validation on --packed-programs random
- *               programs.
+ *               programs;
+ *  7. fault  -- SEU-injection identity and determinism: the packed
+ *               lane-identity lockstep with per-lane random bit-flips
+ *               injected through the fault API on --fault-netlists
+ *               random netlists, and one small fault campaign run
+ *               scalar-1-job vs packed-1-job vs packed-K-jobs with
+ *               row-for-row classification identity required, on
+ *               --fault-programs random programs.
  *
  * Every work item derives its own PRNG stream from (--seed, index),
  * and each failure prints the item index, so
@@ -60,13 +67,17 @@ struct FuzzCliOptions {
                                  ///< lane-identity netlists
     unsigned packedPrograms = 4; ///< --packed-programs: packed
                                  ///< envelope-batch programs
+    unsigned faultNetlists = 4; ///< --fault-netlists: faulted
+                                ///< lane-identity netlists
+    unsigned faultPrograms = 3; ///< --fault-programs: campaign
+                                ///< determinism programs
     unsigned instructions = 24; ///< --instr: body items per program
     unsigned threads = 4;      ///< --threads: K of the 1-vs-K check
     unsigned kernelCycles = 64; ///< --kernel-cycles per netlist
     long only = -1;            ///< --only INDEX: replay one item
     std::string mode = "all";  ///< --mode
                                ///< all|cosim|kernel|sym|envelope|
-                               ///< scenario|packed
+                               ///< scenario|packed|fault
     bool dumpPrograms = false; ///< --dump-programs: print sources
     bool quiet = false;        ///< --quiet: only the summary line
     bool help = false;         ///< --help

@@ -155,7 +155,7 @@ run(msp::System &sys, const isa::Image &gate_image,
             gateWrites.push_back({addr.value, data.value});
     });
 
-    sys.reset(sim);
+    sys.reset(sim, opts.preCycle);
 
     isa::Iss iss;
     iss.loadImage(iss_image);
@@ -212,7 +212,12 @@ run(msp::System &sys, const isa::Image &gate_image,
     while (sim.cycle() < opts.maxCycles) {
         sim.step([&](Simulator &s) {
             sys.driveCycle(s, Word16::known(opts.portIn));
+            if (opts.preCycle)
+                opts.preCycle(s);
         });
+        if (opts.powerCtx)
+            res.powerTraceW.push_back(
+                float(opts.powerCtx->cycleBoundPowerW(sim)));
         if (sys.halted())
             break;
         if (sys.xStoreFault()) {

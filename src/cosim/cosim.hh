@@ -28,6 +28,7 @@
 
 #include "isa/iss.hh"
 #include "msp/cpu.hh"
+#include "power/power_model.hh"
 
 namespace ulpeak {
 namespace cosim {
@@ -39,6 +40,22 @@ struct Options {
     EvalMode evalMode = EvalMode::EventDriven;
     /** Instructions of context disassembled after the divergence PC. */
     unsigned disasmAfter = 2;
+    /**
+     * Called inside every gate-side cycle driver -- reset cycles
+     * included -- after the inputs are set, i.e. after the sequential
+     * update and before the combinational sweep. This is the
+     * injection point of the fault layer (src/fault): a
+     * Simulator::injectSeuFlip here is what that cycle's
+     * combinational logic observes. May be null.
+     */
+    std::function<void(Simulator &)> preCycle;
+    /**
+     * When non-null, record the gate side's per-cycle *bound* power
+     * into Result::powerTraceW -- same accounting and same post-reset
+     * cycle indexing as power::runConcrete, so the trace is directly
+     * comparable against a peak::Envelope.
+     */
+    const power::PowerContext *powerCtx = nullptr;
 };
 
 /** One observed memory write (word address, value). */
@@ -81,6 +98,14 @@ struct Result {
     uint64_t gateCycles = 0;
     uint64_t issCycles = 0;
     Divergence divergence;
+    /**
+     * Per-cycle gate-side bound power [W], recorded only when
+     * Options::powerCtx is set. Index 0 is the first post-reset cycle
+     * (runConcrete's indexing); the trace ends with the last cycle the
+     * run simulated -- the halting step, the divergent cycle, or the
+     * budget limit.
+     */
+    std::vector<float> powerTraceW;
 
     /** Multi-line human-readable divergence report ("" when ok). */
     std::string report() const;

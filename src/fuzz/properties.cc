@@ -3,6 +3,7 @@
 #include <array>
 #include <sstream>
 
+#include "fault/campaign.hh"
 #include "peak/peak_analysis.hh"
 #include "peak/validation.hh"
 #include "power/analysis.hh"
@@ -436,6 +437,208 @@ packedEnvelopeBatchCheck(msp::System &sys, const isa::Image &image,
             res.detail = os.str();
             return res;
         }
+    }
+    return res;
+}
+
+PropertyResult
+faultedPackedEquivalenceCheck(uint64_t seed,
+                              const NetlistGenOptions &opts,
+                              unsigned cycles)
+{
+    constexpr unsigned kLanes = PackedSimulator::kLanes;
+    PropertyResult res;
+    Rng rng(seed);
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    Netlist nl(lib);
+    RandomNetlist rn = buildRandomNetlist(nl, rng, opts);
+    unsigned nin = unsigned(rn.inputs.size());
+    const std::vector<GateId> &seq = nl.seqGates();
+
+    // Per-lane input schedules and per-lane SEU flips, both derived
+    // so any lane reproduces from (seed, lane) alone. Lane 0 stays
+    // fault-free as the in-item control.
+    struct Flip {
+        GateId gate;
+        unsigned cycle;
+    };
+    std::array<std::vector<std::vector<V4>>, kLanes> sched;
+    std::array<std::vector<Flip>, kLanes> flips;
+    for (unsigned l = 0; l < kLanes; ++l) {
+        Rng lrng(Rng::deriveStream(seed, l));
+        sched[l] =
+            makeInputSchedule(lrng, nin, cycles, opts.inputXPercent);
+        if (l == 0 || seq.empty())
+            continue;
+        unsigned n = 1 + lrng.below(3);
+        for (unsigned f = 0; f < n; ++f)
+            flips[l].push_back({seq[lrng.below(unsigned(seq.size()))],
+                                lrng.below(cycles)});
+    }
+
+    PackedSimulator psim(nl);
+    std::vector<Simulator> sims;
+    sims.reserve(kLanes);
+    for (unsigned l = 0; l < kLanes; ++l)
+        sims.emplace_back(nl, (l % 2) ? EvalMode::FullSweep
+                                      : EvalMode::EventDriven);
+
+    std::ostringstream os;
+    auto fail = [&]() {
+        res.ok = false;
+        res.detail = "seed " + std::to_string(seed) + ": " + os.str();
+        return res;
+    };
+
+    for (unsigned c = 0; c < cycles; ++c) {
+        // applied decisions (X-bit flips are no-ops) must agree
+        // flip-for-flip between the two injection APIs.
+        std::array<std::vector<bool>, kLanes> appP, appS;
+        psim.step([&](PackedSimulator &s) {
+            for (unsigned i = 0; i < nin; ++i) {
+                V64 v;
+                for (unsigned l = 0; l < kLanes; ++l)
+                    v.setLane(l, sched[l][c][i]);
+                s.setInput(rn.inputs[i], v);
+            }
+            for (unsigned l = 0; l < kLanes; ++l)
+                for (const Flip &f : flips[l])
+                    if (f.cycle == c)
+                        appP[l].push_back(
+                            s.injectSeuFlip(f.gate, 1ull << l) != 0);
+        });
+        for (unsigned l = 0; l < kLanes; ++l) {
+            Simulator &sim = sims[l];
+            sim.step([&](Simulator &s) {
+                for (unsigned i = 0; i < nin; ++i)
+                    s.setInput(rn.inputs[i], sched[l][c][i]);
+                for (const Flip &f : flips[l])
+                    if (f.cycle == c)
+                        appS[l].push_back(s.injectSeuFlip(f.gate));
+            });
+            if (appP[l] != appS[l]) {
+                os << "cycle " << c << " lane " << l
+                   << ": applied-flip decisions differ\n";
+                return fail();
+            }
+            for (GateId g = 0; g < GateId(nl.numGates()); ++g) {
+                if (psim.valueLane(g, l) != sim.value(g)) {
+                    os << "cycle " << c << " lane " << l << " gate "
+                       << g << ": value packed="
+                       << v4Char(psim.valueLane(g, l)) << " scalar="
+                       << v4Char(sim.value(g)) << "\n";
+                    return fail();
+                }
+                bool pact = (psim.activeMask(g) >> l) & 1;
+                if (pact != sim.isActive(g)) {
+                    os << "cycle " << c << " lane " << l << " gate "
+                       << g << ": activity packed=" << pact
+                       << " scalar=" << sim.isActive(g) << "\n";
+                    return fail();
+                }
+            }
+            if (psim.actualEnergyJ(l) != sim.actualEnergyJ() ||
+                psim.boundEnergyJ(l) != sim.boundEnergyJ()) {
+                os << "cycle " << c << " lane " << l
+                   << ": energy packed=(" << psim.actualEnergyJ(l)
+                   << ", " << psim.boundEnergyJ(l) << ") scalar=("
+                   << sim.actualEnergyJ() << ", "
+                   << sim.boundEnergyJ() << ")\n";
+                return fail();
+            }
+            if (psim.hashLaneState(l) != sim.hashFullState()) {
+                os << "cycle " << c << " lane " << l
+                   << ": full-state hashes differ\n";
+                return fail();
+            }
+        }
+    }
+    return res;
+}
+
+namespace {
+
+std::string
+compareCampaigns(const fault::CampaignResult &a,
+                 const fault::CampaignResult &b, const char *what_a,
+                 const char *what_b)
+{
+    std::ostringstream os;
+    if (a.ok != b.ok || (!a.ok && a.error != b.error)) {
+        os << what_a << " ok=" << a.ok << " (" << a.error << "), "
+           << what_b << " ok=" << b.ok << " (" << b.error << ")\n";
+        return os.str();
+    }
+    if (!a.ok)
+        return os.str(); // identical refusal: vacuously deterministic
+    auto field = [&](const char *name, uint64_t va, uint64_t vb) {
+        if (va != vb)
+            os << name << ": " << what_a << "=" << va << " "
+               << what_b << "=" << vb << "\n";
+    };
+    field("goldenCycles", a.goldenCycles, b.goldenCycles);
+    field("goldenInstructions", a.goldenInstructions,
+          b.goldenInstructions);
+    field("hangCycles", a.hangCycles, b.hangCycles);
+    field("sites", a.sites.size(), b.sites.size());
+    field("injections", a.injections.size(), b.injections.size());
+    field("masked", a.masked, b.masked);
+    field("sdc", a.sdc, b.sdc);
+    field("crash", a.crash, b.crash);
+    field("hang", a.hang, b.hang);
+    field("notApplied", a.notApplied, b.notApplied);
+    field("escapes", a.escapes, b.escapes);
+    if (!os.str().empty())
+        return os.str();
+    for (size_t i = 0; i < a.injections.size(); ++i) {
+        const fault::InjectionResult &ra = a.injections[i];
+        const fault::InjectionResult &rb = b.injections[i];
+        if (ra.siteIndex != rb.siteIndex || ra.cycle != rb.cycle ||
+            !ra.r.sameClassification(rb.r)) {
+            os << "injection row " << i << " (site " << ra.siteIndex
+               << " cycle " << ra.cycle << "): classification "
+               << what_a << "=" << fault::outcomeName(ra.r.outcome)
+               << "/" << ra.r.divergenceCycle << " " << what_b << "="
+               << fault::outcomeName(rb.r.outcome) << "/"
+               << rb.r.divergenceCycle << " differ\n";
+            return os.str();
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+PropertyResult
+faultCampaignDeterminismCheck(const isa::Image &image, uint64_t seed,
+                              unsigned threads)
+{
+    PropertyResult res;
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    fault::CampaignOptions opts;
+    opts.seed = seed;
+    opts.cyclesPerSite = 1;
+    opts.maxFlopSites = 24;
+    opts.ramSites = 2;
+    opts.goldenMaxCycles = 20000;
+    // No cacheDir: the disk cache would trivialize the comparison.
+
+    opts.packed = false;
+    opts.jobs = 1;
+    fault::CampaignResult scalar1 = runCampaign(lib, image, opts);
+    opts.packed = true;
+    fault::CampaignResult packed1 = runCampaign(lib, image, opts);
+    opts.jobs = threads;
+    fault::CampaignResult packedK = runCampaign(lib, image, opts);
+
+    std::string diff = compareCampaigns(scalar1, packed1,
+                                        "scalar-1job", "packed-1job");
+    if (diff.empty())
+        diff = compareCampaigns(packed1, packedK, "packed-1job",
+                                "packed-Kjobs");
+    if (!diff.empty()) {
+        res.ok = false;
+        res.detail = diff;
     }
     return res;
 }

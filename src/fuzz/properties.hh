@@ -1,6 +1,6 @@
 /**
  * @file
- * The three differential properties the fuzzing subsystem checks
+ * The differential properties the fuzzing subsystem checks
  * end-to-end, packaged so the `ulfuzz` tool and the ctest harnesses
  * exercise the exact same code paths:
  *
@@ -110,6 +110,33 @@ PropertyResult packedEnvelopeBatchCheck(msp::System &sys,
                                         const isa::Image &image,
                                         Rng &rng,
                                         unsigned verify_lanes = 2);
+
+/**
+ * Property 8a: faulted packed-kernel lane identity. The property-6
+ * lockstep (one PackedSimulator vs 64 scalar Simulators on a random
+ * netlist, 64 derived input schedules, scalar lanes alternating
+ * EvalMode) with per-lane random SEU bit-flips injected into random
+ * sequential gates at random cycles through the in-driver injection
+ * API (Simulator::injectSeuFlip vs PackedSimulator::injectSeuFlip).
+ * Requires bit-identical per-lane state after every cycle *and*
+ * identical applied/not-applied (X-bit no-op) decisions per flip.
+ * Netlists without sequential gates degrade to the fault-free check.
+ */
+PropertyResult faultedPackedEquivalenceCheck(
+    uint64_t seed, const NetlistGenOptions &opts, unsigned cycles);
+
+/**
+ * Property 8b: fault-campaign determinism. One small campaign over
+ * @p image run three ways -- scalar 1 job, packed 1 job, packed
+ * @p threads jobs -- must agree on every classification row
+ * (FaultResult::sameClassification), every aggregate, and the golden
+ * run metadata. Programs whose golden run the campaign refuses
+ * (cosim divergence) pass vacuously, but the refusal must be
+ * identical across all three configurations.
+ */
+PropertyResult faultCampaignDeterminismCheck(const isa::Image &image,
+                                             uint64_t seed,
+                                             unsigned threads);
 
 /** A random port-constraint scenario (static pattern or repeating
  *  schedule) drawn from @p rng -- the input generator of

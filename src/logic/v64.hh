@@ -64,6 +64,21 @@ struct V64 {
         return (v & m) ? V4::One : V4::Zero;
     }
 
+    /**
+     * Flip the value of every known lane in @p lane_mask; X lanes are
+     * untouched (an upset of a bit with no defined value has no
+     * defined effect -- the same rule as Simulator::injectSeuFlip and
+     * Memory::flipBit). Preserves canonical form. Returns the mask of
+     * lanes actually flipped.
+     */
+    constexpr uint64_t
+    flipKnown(uint64_t lane_mask)
+    {
+        uint64_t m = lane_mask & k;
+        v ^= m;
+        return m;
+    }
+
     void
     setLane(unsigned i, V4 val)
     {

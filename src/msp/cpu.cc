@@ -86,15 +86,18 @@ System::attach(Simulator &sim)
 }
 
 void
-System::reset(Simulator &sim)
+System::reset(Simulator &sim,
+              const std::function<void(Simulator &)> &pre_cycle)
 {
     halted_ = false;
     xStoreFault_ = false;
     for (unsigned i = 0; i < kResetCycles; ++i) {
-        sim.step([this](Simulator &s) {
+        sim.step([&](Simulator &s) {
             s.setInput(h_.rstn, V4::Zero);
             s.setInput(h_.irq, V4::Zero);
             s.setInputBus(h_.portIn, Word16::allX());
+            if (pre_cycle)
+                pre_cycle(s);
         });
     }
 }

@@ -109,8 +109,15 @@ class System {
      */
     static constexpr unsigned kResetCycles = 6;
 
-    /** Drive the reset sequence; after this the core is in RESETV. */
-    void reset(Simulator &sim);
+    /**
+     * Drive the reset sequence; after this the core is in RESETV.
+     * @p pre_cycle (may be null) runs inside each reset step's driver,
+     * after the inputs are set -- the fault layer injects SEUs there
+     * so reset cycles are injectable like any other cycle.
+     */
+    void reset(Simulator &sim,
+               const std::function<void(Simulator &)> &pre_cycle =
+                   nullptr);
 
     /**
      * Per-cycle input driver: deasserts reset, holds irq at 0 (Ch. 6

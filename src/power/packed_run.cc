@@ -4,11 +4,9 @@ namespace ulpeak {
 namespace power {
 
 namespace {
-
 constexpr unsigned kLanes = PackedSimulator::kLanes;
+} // namespace
 
-/** Per-lane mirror of System::memHook: asynchronous RAM/ROM read data
- *  for every lane, one access-energy bill per accessing lane. */
 void
 packedMemHook(PackedSimulator &s, const msp::CpuHandles &h,
               std::vector<Memory> &mem)
@@ -43,21 +41,19 @@ packedMemHook(PackedSimulator &s, const msp::CpuHandles &h,
                                h.modMemBackbone, access_mask);
 }
 
-/** Per-lane mirror of System::memEdge. Halted lanes are skipped: the
- *  scalar run stops stepping one cycle after the halting store, so no
- *  later edge of that lane ever commits there -- skipping keeps the
- *  lane's memory, fault flag and halt state bit-identical while the
- *  other lanes keep going. */
+/** Halted lanes are skipped: the scalar run stops stepping one cycle
+ *  after the halting store, so no later edge of that lane ever commits
+ *  there. */
 void
 packedMemEdge(PackedSimulator &s, const msp::CpuHandles &h,
               std::vector<Memory> &mem, uint64_t &halted_mask,
-              uint64_t &fault_mask)
+              uint64_t &fault_mask, uint64_t skip_mask)
 {
     V64 rstn = s.value(h.rstn);
     V64 wr = s.value(h.mbWr);
     for (unsigned l = 0; l < kLanes; ++l) {
         uint64_t bit = uint64_t(1) << l;
-        if (halted_mask & bit)
+        if ((halted_mask | skip_mask) & bit)
             continue;
         if (rstn.lane(l) != V4::One)
             continue;
@@ -82,8 +78,6 @@ packedMemEdge(PackedSimulator &s, const msp::CpuHandles &h,
     }
 }
 
-} // namespace
-
 PackedRunResult
 runConcretePacked(msp::System &sys, const isa::Image &image,
                   const PowerContext &ctx, const PackedRunOptions &opts,
@@ -104,7 +98,8 @@ runConcretePacked(msp::System &sys, const isa::Image &image,
         packedMemHook(s, h, mem);
     });
     psim.addEdgeFn([&](PackedSimulator &s) {
-        packedMemEdge(s, h, mem, halted_mask, fault_mask);
+        packedMemEdge(s, h, mem, halted_mask, fault_mask,
+                      /*skip_mask=*/0);
     });
 
     // Reset sequence (System::reset, all lanes in lockstep).

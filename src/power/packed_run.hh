@@ -65,6 +65,28 @@ PackedRunResult runConcretePacked(msp::System &sys,
                                   const PackedRunOptions &opts,
                                   const RamInit &ram_init = {});
 
+/// @name Per-lane behavioral-memory mirrors (shared with src/fault)
+/// @{
+
+/** Per-lane mirror of System::memHook: asynchronous RAM/ROM read data
+ *  for every lane, one access-energy bill per accessing lane. */
+void packedMemHook(PackedSimulator &s, const msp::CpuHandles &h,
+                   std::vector<Memory> &mem);
+
+/**
+ * Per-lane mirror of System::memEdge. Lanes in @p skip_mask are
+ * skipped outright (their scalar counterpart stopped stepping before
+ * this edge, so nothing may commit); additionally lanes already in
+ * @p halted_mask are skipped, keeping memory, fault flag and halt
+ * state bit-identical to independent scalar runs while other lanes
+ * keep going.
+ */
+void packedMemEdge(PackedSimulator &s, const msp::CpuHandles &h,
+                   std::vector<Memory> &mem, uint64_t &halted_mask,
+                   uint64_t &fault_mask, uint64_t skip_mask);
+
+/// @}
+
 } // namespace power
 } // namespace ulpeak
 

@@ -76,6 +76,20 @@ Memory::poisonRam(uint32_t addr, uint32_t words)
     }
 }
 
+bool
+Memory::flipBit(uint32_t addr, unsigned bit)
+{
+    addr &= 0xfffe;
+    if (!inRam(addr) || bit >= 16)
+        return false;
+    size_t i = (addr - ramBase_) / 2;
+    uint16_t m = uint16_t(1u << bit);
+    if (ramX_[i] & m)
+        return false;
+    ramVal_[i] ^= m;
+    return true;
+}
+
 void
 Memory::hashInto(uint64_t &h) const
 {

@@ -49,6 +49,14 @@ class Memory {
     /** Store a fully-X word at a RAM address (marks an input buffer). */
     void poisonRam(uint32_t addr, uint32_t words);
 
+    /**
+     * Flip one stored RAM bit (a single-event upset in the RAM macro).
+     * No-op returning false when @p addr is outside RAM or the bit is
+     * X -- an upset of a bit with no defined value has no defined
+     * effect, and the three-valued model already covers it.
+     */
+    bool flipBit(uint32_t addr, unsigned bit);
+
     bool
     inRam(uint32_t addr) const
     {

@@ -120,6 +120,20 @@ PackedSimulator::setInputLane(GateId g, unsigned lane, V4 v)
     setInput(g, cur);
 }
 
+uint64_t
+PackedSimulator::injectSeuFlip(GateId g, uint64_t lane_mask)
+{
+    assert(isSequential(flat_->kind[g]));
+    V64 q = value(g);
+    uint64_t m = q.flipKnown(lane_mask);
+    valV_[g] = q.v;
+    // An upset is a real output transition in its lane; the packed
+    // oblivious sweep re-evaluates every fanout anyway, so no wake
+    // marks are needed (unlike the scalar event-driven kernel).
+    act_[g] |= m;
+    return m;
+}
+
 void
 PackedSimulator::setInputBusAll(const std::vector<GateId> &bus,
                                 Word16 w)

@@ -90,6 +90,16 @@ class PackedSimulator {
                        unsigned lane) const;
     /// @}
 
+    /**
+     * Per-lane single-event upsets: invert sequential gate @p g's
+     * stored value in every *known* lane of @p lane_mask and mark
+     * those lanes active (X lanes are untouched). Legal from the
+     * cycle driver, mirroring Simulator::injectSeuFlip lane for lane
+     * -- the lane-identity invariant extends to faulted runs. Returns
+     * the mask of lanes actually flipped.
+     */
+    uint64_t injectSeuFlip(GateId g, uint64_t lane_mask);
+
     /** Simulate one clock cycle on all 64 lanes; the driver sets
      *  primary inputs (same position in the cycle as Simulator). */
     void step(const std::function<void(PackedSimulator &)> &driver =

@@ -187,6 +187,36 @@ Simulator::forceBus(const std::vector<GateId> &bus, Word16 w)
         forceValue(bus[i], w.bit(unsigned(i)));
 }
 
+bool
+Simulator::injectSeuFlip(GateId g)
+{
+    // Sequential state only: a flipped combinational gate would be
+    // recomputed from its fanins by the very next sweep, discarding
+    // the flip (same reasoning as forceValue).
+    uint32_t si = seqIndexOf_[g];
+    assert(si != UINT32_MAX);
+    (void)si;
+    V4 cur = val_[g];
+    if (cur == V4::X)
+        return false;
+    val_[g] = (cur == V4::One) ? V4::Zero : V4::One;
+    // The upset is a real output transition this cycle. If it flips
+    // the flop back to its pre-edge value the known->known p == c rule
+    // in accumulateEnergy bills no transition energy -- the flag then
+    // only feeds X-propagation, exactly like a glitchless hold.
+    if (!active_[g]) {
+        active_[g] = 1;
+        activeList_.push_back(g); // sweepEvent seeds from this list
+    }
+    if (mode_ == EvalMode::EventDriven) {
+        markFanoutsDirty(g, /*value_changed=*/true);
+        markSeqConsumers(g);
+        // The flipped q feeds this flop's own next-edge evaluation.
+        enqueueSeqNext(si);
+    }
+    return true;
+}
+
 Word16
 Simulator::readBus(const std::vector<GateId> &bus) const
 {

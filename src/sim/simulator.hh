@@ -123,6 +123,22 @@ class Simulator {
     void forceValue(GateId g, V4 v);
     void forceBus(const std::vector<GateId> &bus, Word16 w);
 
+    /**
+     * Single-event upset: invert the stored output of sequential gate
+     * @p g. Legal from the cycle driver (the position after the
+     * sequential update and before the combinational sweep), so a flip
+     * at cycle c is what cycle c's combinational logic observes and,
+     * if the flop holds, what the next edge reloads -- real SEU
+     * semantics, not a transient glitch. The upset is a genuine output
+     * transition, so the gate is marked active for this cycle's
+     * Section-3.1 activity accounting (a flip back to the pre-edge
+     * value contributes no transition energy, matching
+     * accumulateEnergy's known->known rule). Returns false (no-op)
+     * when the stored value is X: an upset of an undefined bit has no
+     * defined effect, and the X already subsumes both values.
+     */
+    bool injectSeuFlip(GateId g);
+
     /// @name Reading values
     /// @{
     V4 value(GateId g) const { return val_[g]; }

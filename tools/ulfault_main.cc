@@ -1,0 +1,7 @@
+#include "cli/fault_driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return ulpeak::cli::runFaultCli(argc, argv);
+}

@@ -1,6 +1,8 @@
 #include "cell/cell_library.hh"
 
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 namespace ulpeak {
 
@@ -314,6 +316,25 @@ CellLibrary::maxTransitionEnergyJ(CellKind k, unsigned fanouts) const
     double r = transitionEnergyJ(k, true, fanouts);
     double f = transitionEnergyJ(k, false, fanouts);
     return r > f ? r : f;
+}
+
+double
+CellLibrary::energyScale(double vdd_v) const
+{
+    if (!(vdd_v > 0.0) || !std::isfinite(vdd_v))
+        throw std::invalid_argument(
+            "CellLibrary::energyScale: vdd must be a positive finite "
+            "voltage");
+    double ratio = vdd_v / vdd_;
+    return ratio * ratio;
+}
+
+double
+CellLibrary::scaledTransitionEnergyJ(CellKind k, bool rising,
+                                     unsigned fanouts,
+                                     double vdd_v) const
+{
+    return transitionEnergyJ(k, rising, fanouts) * energyScale(vdd_v);
 }
 
 V4

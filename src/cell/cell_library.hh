@@ -144,6 +144,32 @@ class CellLibrary {
     double maxTransitionEnergyJ(CellKind k, unsigned fanouts) const;
 
     /**
+     * Dynamic-energy scale factor of running this library at supply
+     * @p vdd_v instead of its calibration voltage: (vdd_v / vdd())^2.
+     * Every dynamic term here -- internal rise/fall energy, the
+     * 0.5*C*V^2 load charge, and the clock-pin energy -- is
+     * proportional to vdd^2, so one factor rescales a whole cycle's
+     * switching energy (what the operating-mode schedules of
+     * scenario::OperatingMode rely on). Throws std::invalid_argument
+     * unless @p vdd_v is positive and finite.
+     */
+    double energyScale(double vdd_v) const;
+
+    /**
+     * transitionEnergyJ evaluated at supply @p vdd_v: the calibrated
+     * energy (internal + load-charge terms) times
+     * energyScale(vdd_v). energyScale(vdd()) == 1 exactly, so the
+     * default operating point reproduces transitionEnergyJ
+     * bit-for-bit. Clock-pin energy scales by the same factor --
+     * the engine applies energyScale to whole per-cycle switching
+     * energies, which the simulator accumulates with clkPinEnergyJ
+     * already inside.
+     */
+    double scaledTransitionEnergyJ(CellKind k, bool rising,
+                                   unsigned fanouts,
+                                   double vdd_v) const;
+
+    /**
      * The first/second cycle values of the maximum-power transition of
      * cell @p k (paper: maxTransition(g,1) / maxTransition(g,2)). For
      * every cell here the rising output transition is the expensive one,

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "bench430/benchmarks.hh"
+#include "cli/parse_util.hh"
 
 namespace ulpeak {
 namespace cli {
@@ -159,13 +160,26 @@ usage()
         "                    rows to stdout (default json)\n"
         "  --windows LIST    envelope window lengths in cycles\n"
         "                    (default 1,10,100)\n"
+        "  --modes[=table|json|csv]\n"
+        "                    per-operating-mode report of mode-\n"
+        "                    scheduled scenarios (implies envelope\n"
+        "                    recording): per-mode envelope slices,\n"
+        "                    schedule transitions with settling-window\n"
+        "                    peaks, assertion verdicts and sizing\n"
+        "                    findings; table appends sections to the\n"
+        "                    stdout table, json/csv print a standalone\n"
+        "                    deterministic report (default table)\n"
+        "  --no-timings      omit wall-time / cache fields from the\n"
+        "                    --json report (byte-identical output\n"
+        "                    across --jobs/--threads/cache states)\n"
         "  --scenario S[,S...]\n"
         "                    deployment scenarios to sweep the suite\n"
         "                    across: preset names (unconstrained,\n"
         "                    ports-grounded, sensor-4bit,\n"
-        "                    periodic-sensor) or scenario .json files;\n"
-        "                    the report carries the scenario x program\n"
-        "                    matrix and per-scenario suite maxima\n"
+        "                    periodic-sensor, duty-cycled-dvfs) or\n"
+        "                    scenario .json files; the report carries\n"
+        "                    the scenario x program matrix and\n"
+        "                    per-scenario suite maxima\n"
         "  --cache-dir DIR   result cache (default .ulpeak-cache)\n"
         "  --no-cache        disable the result cache\n"
         "  --fail-fast       stop claiming programs after a failure\n"
@@ -222,9 +236,7 @@ parseArgs(int argc, const char *const *argv, CliOptions &out,
             const char *v = value("--freq");
             if (!v)
                 return false;
-            char *end = nullptr;
-            out.freqHz = std::strtod(v, &end);
-            if (!end || *end != '\0' || out.freqHz <= 0) {
+            if (!parsePositiveDouble(v, out.freqHz)) {
                 err = std::string("--freq: bad frequency: ") + v;
                 return false;
             }
@@ -255,6 +267,20 @@ parseArgs(int argc, const char *const *argv, CliOptions &out,
                     return false;
                 }
             }
+        } else if (a == "--modes" || a.rfind("--modes=", 0) == 0) {
+            out.modes = true;
+            if (a.size() > std::strlen("--modes")) {
+                out.modesFormat = a.substr(std::strlen("--modes="));
+                if (out.modesFormat != "table" &&
+                    out.modesFormat != "json" &&
+                    out.modesFormat != "csv") {
+                    err = "--modes: expected table|json|csv, got " +
+                          out.modesFormat;
+                    return false;
+                }
+            }
+        } else if (a == "--no-timings") {
+            out.noTimings = true;
         } else if (a == "--scenario") {
             const char *v = value("--scenario");
             if (!v)
@@ -375,7 +401,9 @@ toBatchOptions(const CliOptions &cli)
     b.analysis.numThreads = cli.threads;
     b.analysis.inputDependentLoopBound = cli.loopBound;
     b.analysis.maxTotalCycles = cli.maxTotalCycles;
-    b.analysis.recordEnvelope = cli.envelope;
+    // The mode report is sliced from the envelope, so --modes
+    // records one even without an explicit --envelope.
+    b.analysis.recordEnvelope = cli.envelope || cli.modes;
     if (!cli.windows.empty())
         b.analysis.envelopeWindows = cli.windows;
     for (const std::string &spec : cli.scenarioSpecs)
@@ -616,6 +644,153 @@ toEnvelopeCsv(const peak::BatchReport &rep)
     return o.str();
 }
 
+std::vector<peak::ModeReport>
+buildModeReports(const peak::BatchReport &rep,
+                 const std::vector<scenario::Scenario> &scens,
+                 double lib_vdd)
+{
+    std::vector<peak::ModeReport> out(rep.programs.size());
+    if (scens.empty() || rep.programs.empty())
+        return out;
+    // Rows are scenario-major: row i ran scenario i / (P programs).
+    size_t nProg = rep.programs.size() / scens.size();
+    if (nProg == 0)
+        return out;
+    for (size_t i = 0; i < rep.programs.size(); ++i) {
+        size_t s = i / nProg;
+        if (s >= scens.size() || !scens[s].hasModes())
+            continue;
+        const peak::ProgramResult &r = rep.programs[i];
+        if (r.ok && r.envelope.present)
+            out[i] =
+                peak::buildModeReport(r.envelope, scens[s], lib_vdd);
+    }
+    return out;
+}
+
+std::string
+toModesJson(const peak::BatchReport &rep,
+            const std::vector<peak::ModeReport> &reports)
+{
+    std::ostringstream o;
+    o << "{\n  \"tool\": \"ulpeak\",\n  \"report\": \"modes\",\n"
+      << "  \"rows\": [\n";
+    bool firstRow = true;
+    for (size_t i = 0; i < rep.programs.size(); ++i) {
+        if (i >= reports.size() || !reports[i].present)
+            continue;
+        const peak::ProgramResult &r = rep.programs[i];
+        const peak::ModeReport &m = reports[i];
+        o << (firstRow ? "" : ",\n");
+        firstRow = false;
+        o << "    {\"program\": \"" << jsonEscape(r.name)
+          << "\", \"scenario\": \"" << jsonEscape(r.scenario)
+          << "\", \"composite_peak_w\": "
+          << fmtDouble(m.compositePeakW)
+          << ", \"envelope_cycles\": " << m.envelopeCycles
+          << ", \"all_assertions_pass\": "
+          << (m.allAssertionsPass() ? "true" : "false")
+          << ",\n     \"modes\": [";
+        for (size_t k = 0; k < m.modes.size(); ++k) {
+            const peak::ModeSlice &s = m.modes[k];
+            o << (k ? ", " : "") << "{\"name\": \""
+              << jsonEscape(s.name)
+              << "\", \"vdd\": " << fmtDouble(s.vdd)
+              << ", \"freq_hz\": " << fmtDouble(s.freqHz)
+              << ", \"cycles\": " << s.cycles
+              << ", \"peak_w\": " << fmtDouble(s.peakW)
+              << ", \"peak_cycle\": " << s.peakCycle
+              << ", \"avg_w\": " << fmtDouble(s.avgW)
+              << ", \"energy_j\": " << fmtDouble(s.energyJ) << "}";
+        }
+        o << "],\n     \"transitions\": [";
+        for (size_t k = 0; k < m.transitions.size(); ++k) {
+            const peak::ModeTransition &t = m.transitions[k];
+            o << (k ? ", " : "") << "{\"from\": \""
+              << jsonEscape(t.from) << "\", \"to\": \""
+              << jsonEscape(t.to) << "\", \"phase\": " << t.phase
+              << ", \"occurrences\": " << t.occurrences
+              << ", \"peak_entry_w\": " << fmtDouble(t.peakEntryW)
+              << ", \"settle_cycles\": " << t.settleCycles
+              << ", \"peak_settle_w\": " << fmtDouble(t.peakSettleW)
+              << "}";
+        }
+        o << "],\n     \"assertions\": [";
+        for (size_t k = 0; k < m.assertions.size(); ++k) {
+            const peak::ModeAssertionResult &a = m.assertions[k];
+            o << (k ? ", " : "") << "{\"mode\": \""
+              << jsonEscape(a.assertion.mode)
+              << "\", \"max_power_w\": "
+              << fmtDouble(a.assertion.maxPowerW)
+              << ", \"settle_cycles\": " << a.assertion.settleCycles
+              << ", \"pass\": " << (a.pass ? "true" : "false")
+              << ", \"checked_cycles\": " << a.checkedCycles
+              << ", \"violations\": " << a.violations
+              << ", \"first_violation_cycle\": "
+              << a.firstViolationCycle
+              << ", \"max_excess_w\": " << fmtDouble(a.maxExcessW)
+              << "}";
+        }
+        o << "],\n     \"findings\": [";
+        for (size_t k = 0; k < m.findings.size(); ++k)
+            o << (k ? ", " : "") << "\"" << jsonEscape(m.findings[k])
+              << "\"";
+        o << "]}";
+    }
+    o << "\n  ]\n}\n";
+    return o.str();
+}
+
+std::string
+toModesCsv(const peak::BatchReport &rep,
+           const std::vector<peak::ModeReport> &reports)
+{
+    std::ostringstream o;
+    o << "program,scenario,kind,name,vdd,freq_hz,cycles,peak_w,"
+         "avg_w,energy_j,pass,detail\n";
+    for (size_t i = 0; i < rep.programs.size(); ++i) {
+        if (i >= reports.size() || !reports[i].present)
+            continue;
+        const peak::ProgramResult &r = rep.programs[i];
+        const peak::ModeReport &m = reports[i];
+        auto row = [&](const char *kind, const std::string &name) {
+            o << csvQuote(r.name) << ',' << csvQuote(r.scenario)
+              << ',' << kind << ',' << csvQuote(name) << ',';
+        };
+        for (const peak::ModeSlice &s : m.modes) {
+            row("mode", s.name);
+            o << fmtDouble(s.vdd) << ',' << fmtDouble(s.freqHz)
+              << ',' << s.cycles << ',' << fmtDouble(s.peakW) << ','
+              << fmtDouble(s.avgW) << ',' << fmtDouble(s.energyJ)
+              << ",,\n";
+        }
+        for (const peak::ModeTransition &t : m.transitions) {
+            row("transition", t.from + "->" + t.to);
+            o << ",," << t.occurrences << ','
+              << fmtDouble(t.peakSettleW) << ",,,,"
+              << csvQuote("phase " + std::to_string(t.phase) +
+                          " settle " + std::to_string(t.settleCycles))
+              << "\n";
+        }
+        for (const peak::ModeAssertionResult &a : m.assertions) {
+            row("assertion", a.assertion.mode);
+            o << ",," << a.checkedCycles << ','
+              << fmtDouble(a.assertion.maxPowerW) << ",,,"
+              << (a.pass ? 1 : 0) << ','
+              << csvQuote("violations " +
+                          std::to_string(a.violations) +
+                          " max_excess_w " +
+                          fmtDouble(a.maxExcessW))
+              << "\n";
+        }
+        for (const std::string &f : m.findings) {
+            row("finding", "");
+            o << ",,,,,,," << csvQuote(f) << "\n";
+        }
+    }
+    return o.str();
+}
+
 int
 runCli(int argc, const char *const *argv)
 {
@@ -643,8 +818,16 @@ runCli(int argc, const char *const *argv)
         std::fprintf(stderr, "ulpeak: %s\n", e.what());
         return 2;
     }
-    peak::BatchReport rep =
-        peak::analyzeBatch(CellLibrary::tsmc65Like(), suite, opts);
+    const CellLibrary &lib = CellLibrary::tsmc65Like();
+    peak::BatchReport rep = peak::analyzeBatch(lib, suite, opts);
+
+    std::vector<peak::ModeReport> modeReps;
+    if (cli.modes) {
+        std::vector<scenario::Scenario> scens = opts.scenarios;
+        if (scens.empty())
+            scens.push_back(opts.analysis.scenario);
+        modeReps = buildModeReports(rep, scens, lib.vdd());
+    }
 
     if (!cli.quiet) {
         const bool multi = rep.scenarios.size() > 1;
@@ -719,8 +902,60 @@ runCli(int argc, const char *const *argv)
             }
         }
     }
+    if (!cli.quiet && cli.modes && cli.modesFormat == "table") {
+        for (size_t i = 0; i < modeReps.size(); ++i) {
+            const peak::ModeReport &m = modeReps[i];
+            if (!m.present)
+                continue;
+            const peak::ProgramResult &r = rep.programs[i];
+            std::printf("\nmodes: %s under %s (composite peak "
+                        "%.3f mW over %" PRIu64 " cycles)\n",
+                        r.name.c_str(), r.scenario.c_str(),
+                        m.compositePeakW * 1e3, m.envelopeCycles);
+            for (const peak::ModeSlice &s : m.modes)
+                std::printf("  mode %-10s %5.2f V %9.3g Hz: "
+                            "%8" PRIu64 " cyc, peak %9.3f mW @%-8"
+                            PRIu64 " avg %9.3f mW, %10.3f nJ\n",
+                            s.name.c_str(), s.vdd, s.freqHz,
+                            s.cycles, s.peakW * 1e3, s.peakCycle,
+                            s.avgW * 1e3, s.energyJ * 1e9);
+            for (const peak::ModeTransition &t : m.transitions)
+                std::printf("  switch %s -> %-10s phase %-4" PRIu64
+                            " x%-5" PRIu64 " entry %9.3f mW, settle "
+                            "%" PRIu64 " cyc peak %9.3f mW\n",
+                            t.from.c_str(), t.to.c_str(), t.phase,
+                            t.occurrences, t.peakEntryW * 1e3,
+                            t.settleCycles, t.peakSettleW * 1e3);
+            for (const peak::ModeAssertionResult &a : m.assertions) {
+                if (a.pass)
+                    std::printf("  assert %-10s <= %9.3f mW "
+                                "(settle %" PRIu64 "): PASS over "
+                                "%" PRIu64 " cycles\n",
+                                a.assertion.mode.c_str(),
+                                a.assertion.maxPowerW * 1e3,
+                                a.assertion.settleCycles,
+                                a.checkedCycles);
+                else
+                    std::printf("  assert %-10s <= %9.3f mW "
+                                "(settle %" PRIu64 "): FAIL -- %"
+                                PRIu64 " violation(s), first at "
+                                "cycle %" PRIu64 ", worst +%.3f mW\n",
+                                a.assertion.mode.c_str(),
+                                a.assertion.maxPowerW * 1e3,
+                                a.assertion.settleCycles,
+                                a.violations, a.firstViolationCycle,
+                                a.maxExcessW * 1e3);
+            }
+            for (const std::string &f : m.findings)
+                std::printf("  finding: %s\n", f.c_str());
+        }
+    }
     if (cli.envelope && cli.envelopeFormat == "csv")
         std::fputs(toEnvelopeCsv(rep).c_str(), stdout);
+    if (cli.modes && cli.modesFormat == "json")
+        std::fputs(toModesJson(rep, modeReps).c_str(), stdout);
+    if (cli.modes && cli.modesFormat == "csv")
+        std::fputs(toModesCsv(rep, modeReps).c_str(), stdout);
 
     if (!cli.jsonPath.empty()) {
         std::ofstream out(cli.jsonPath);
@@ -729,7 +964,8 @@ runCli(int argc, const char *const *argv)
                          cli.jsonPath.c_str());
             return 1;
         }
-        out << toJson(rep, opts, /*include_timings=*/true);
+        out << toJson(rep, opts,
+                      /*include_timings=*/!cli.noTimings);
     }
     if (!cli.csvPath.empty()) {
         std::ofstream out(cli.csvPath);

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "peak/batch.hh"
+#include "peak/modes.hh"
 
 namespace ulpeak {
 namespace cli {
@@ -58,6 +59,21 @@ struct CliOptions {
      *  streams per-cycle rows to stdout (cli::toEnvelopeCsv). */
     bool envelope = false;
     std::string envelopeFormat = "json"; ///< json | csv
+    /** --modes[=table|json|csv]: per-operating-mode report of
+     *  mode-scheduled scenarios (peak::buildModeReport): per-mode
+     *  envelope slices, schedule transitions with settling-window
+     *  peaks, assertion verdicts and sizing findings. Implies
+     *  envelope recording. table appends sections to the stdout
+     *  table; json/csv print a standalone report to stdout
+     *  (toModesJson / toModesCsv). Assertion failures are findings,
+     *  never a nonzero exit. */
+    bool modes = false;
+    std::string modesFormat = "table"; ///< table | json | csv
+    /** --no-timings: omit wall-time / cache-provenance fields from
+     *  the --json report (toJson's include_timings = false), so
+     *  reports from different --jobs/--threads/cache runs are
+     *  byte-identical. */
+    bool noTimings = false;
     /** --windows: window lengths [cycles] of the peak-energy curves. */
     std::vector<unsigned> windows;
     /** --scenario SPEC[,SPEC...]: deployment scenarios to sweep the
@@ -108,6 +124,30 @@ std::string toCsv(const peak::BatchReport &rep);
  *  Deterministic: byte-identical across --jobs / --threads / cache
  *  states. */
 std::string toEnvelopeCsv(const peak::BatchReport &rep);
+
+/** Per-(program, scenario) operating-mode reports
+ *  (peak::buildModeReport over each row's envelope), parallel to
+ *  rep.programs; rows without a mode schedule or envelope get a
+ *  non-present report. @p scens must be the scenario list the batch
+ *  ran (BatchOptions::scenarios, or the single analysis scenario);
+ *  @p lib_vdd the analysis library's nominal rail. */
+std::vector<peak::ModeReport>
+buildModeReports(const peak::BatchReport &rep,
+                 const std::vector<scenario::Scenario> &scens,
+                 double lib_vdd);
+
+/** Standalone JSON document of the --modes report. Deterministic:
+ *  carries no timing or cache-provenance fields, so it is
+ *  byte-identical across --jobs / --threads / kernels / snapshot
+ *  modes / cache states. */
+std::string toModesJson(const peak::BatchReport &rep,
+                        const std::vector<peak::ModeReport> &reports);
+
+/** CSV form of the --modes report: one row per mode slice,
+ *  transition, assertion verdict and finding (kind column).
+ *  Deterministic like toModesJson. */
+std::string toModesCsv(const peak::BatchReport &rep,
+                       const std::vector<peak::ModeReport> &reports);
 
 /** The complete driver behind tools/ulpeak_main.cc: parse, resolve,
  *  analyze, emit. Returns the process exit code (0 = whole suite

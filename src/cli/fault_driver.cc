@@ -10,6 +10,7 @@
 
 #include "bench430/benchmarks.hh"
 #include "cli/driver.hh"
+#include "cli/parse_util.hh"
 
 namespace ulpeak {
 namespace cli {
@@ -295,12 +296,11 @@ parseFaultArgs(int argc, const char *const *argv, FaultCliOptions &out,
             out.portSet = true;
             ++i;
         } else if (a == "--freq") {
-            if (!(v = need(i))) {
-                err = "--freq needs a value";
-                return false;
-            }
-            out.freqHz = std::atof(v);
-            if (out.freqHz <= 0) {
+            // parsePositiveDouble, not atof: atof("8e6x") silently
+            // returned 8e6, so a typo ran the whole campaign at the
+            // wrong idea of what was checked.
+            if (!(v = need(i)) ||
+                !parsePositiveDouble(v, out.freqHz)) {
                 err = "--freq needs a positive frequency";
                 return false;
             }

@@ -24,6 +24,7 @@ constexpr uint64_t kEnvelopeStream = 3ull << 32;
 constexpr uint64_t kScenarioStream = 4ull << 32;
 constexpr uint64_t kPackedStream = 5ull << 32;
 constexpr uint64_t kFaultStream = 6ull << 32;
+constexpr uint64_t kDvfsStream = 7ull << 32;
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
@@ -67,11 +68,14 @@ fuzzUsage()
         "                    (default 4)\n"
         "  --fault-programs N  fault-campaign determinism programs\n"
         "                    (default 3)\n"
+        "  --dvfs-programs N  operating-mode dominance programs\n"
+        "                    (default 8; `--mode dvfs` also honors a\n"
+        "                    bare --programs N as the item count)\n"
         "  --instr N         body items per program (default 24)\n"
         "  --threads K       K of the 1-vs-K thread check (default 4)\n"
         "  --kernel-cycles N cycles per netlist run (default 64)\n"
         "  --mode M          all|cosim|kernel|sym|envelope|scenario\n"
-        "                    |packed|fault (default all)\n"
+        "                    |packed|fault|dvfs (default all)\n"
         "  --only I          run only item index I of the selected\n"
         "                    mode (replay a reported failure)\n"
         "  --dump-programs   print every generated program\n"
@@ -107,6 +111,7 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
             if (!(v = value(i, "--programs")))
                 return false;
             out.programs = unsigned(std::strtoul(v, nullptr, 0));
+            out.programsGiven = true;
         } else if (a == "--netlists") {
             if (!(v = value(i, "--netlists")))
                 return false;
@@ -139,6 +144,10 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
             if (!(v = value(i, "--fault-programs")))
                 return false;
             out.faultPrograms = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--dvfs-programs") {
+            if (!(v = value(i, "--dvfs-programs")))
+                return false;
+            out.dvfsPrograms = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--instr") {
             if (!(v = value(i, "--instr")))
                 return false;
@@ -167,9 +176,10 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
             if (out.mode != "all" && out.mode != "cosim" &&
                 out.mode != "kernel" && out.mode != "sym" &&
                 out.mode != "envelope" && out.mode != "scenario" &&
-                out.mode != "packed" && out.mode != "fault") {
+                out.mode != "packed" && out.mode != "fault" &&
+                out.mode != "dvfs") {
                 err = "--mode must be all, cosim, kernel, sym, "
-                      "envelope, scenario, packed or fault";
+                      "envelope, scenario, packed, fault or dvfs";
                 return false;
             }
         } else if (a == "--dump-programs") {
@@ -488,6 +498,50 @@ runFault(const FuzzCliOptions &cli, Counters &c)
     }
 }
 
+void
+runDvfs(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
+{
+    fuzz::ProgramGenOptions gen;
+    // Same sizing rationale as the sym mode: every X-dependent branch
+    // forks the tree, so keep bodies short.
+    gen.instructions = cli.instructions / 2 + 1;
+    // `--mode dvfs --programs N` means N dvfs items: --programs is the
+    // headline knob, and with dvfs selected alone there are no cosim
+    // items for it to apply to.
+    unsigned items = cli.dvfsPrograms;
+    if (cli.mode == "dvfs" && cli.programsGiven)
+        items = cli.programs;
+    for (unsigned i = 0; i < items; ++i) {
+        if (!selected(cli, i))
+            continue;
+        fuzz::Rng rng(
+            fuzz::Rng::deriveStream(cli.seed, kDvfsStream + i));
+        fuzz::GeneratedProgram prog = fuzz::generateProgram(rng, gen);
+        if (cli.dumpPrograms)
+            std::printf("--- dvfs item %u ---\n%s\n", i,
+                        prog.source.c_str());
+        ++c.run;
+        try {
+            isa::Image image = isa::assemble(prog.source);
+            fuzz::PropertyResult r = fuzz::modeDominanceCheck(
+                sys, image, rng, cli.threads);
+            if (!r.ok) {
+                ++c.failed;
+                std::printf("dvfs item %u (seed %llu) MODE DOMINANCE "
+                            "VIOLATION:\n%sprogram:\n%s\n",
+                            i, (unsigned long long)cli.seed,
+                            r.detail.c_str(), prog.source.c_str());
+            }
+        } catch (const std::exception &e) {
+            ++c.failed;
+            std::printf("dvfs item %u (seed %llu) "
+                        "generator/assembler error: %s\nprogram:\n%s\n",
+                        i, (unsigned long long)cli.seed, e.what(),
+                        prog.source.c_str());
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -506,7 +560,8 @@ runFuzzCli(int argc, const char *const *argv)
     }
 
     auto t0 = std::chrono::steady_clock::now();
-    Counters cosimC, kernelC, symC, envC, scnC, packedC, faultC;
+    Counters cosimC, kernelC, symC, envC, scnC, packedC, faultC,
+        dvfsC;
 
     // One System serves every property: the netlist is immutable, and
     // each run reloads the behavioral memory.
@@ -526,15 +581,17 @@ runFuzzCli(int argc, const char *const *argv)
         runPacked(cli, sys, packedC);
     if (cli.mode == "all" || cli.mode == "fault")
         runFault(cli, faultC);
+    if (cli.mode == "all" || cli.mode == "dvfs")
+        runDvfs(cli, sys, dvfsC);
 
     unsigned failed = cosimC.failed + kernelC.failed + symC.failed +
                       envC.failed + scnC.failed + packedC.failed +
-                      faultC.failed;
+                      faultC.failed + dvfsC.failed;
     if (!cli.quiet || failed) {
         std::printf("ulfuzz seed %llu: cosim %u/%u ok, kernel %u/%u "
                     "ok, sym %u/%u ok, envelope %u/%u ok, scenario "
-                    "%u/%u ok, packed %u/%u ok, fault %u/%u ok "
-                    "(%.1fs)\n",
+                    "%u/%u ok, packed %u/%u ok, fault %u/%u ok, dvfs "
+                    "%u/%u ok (%.1fs)\n",
                     (unsigned long long)cli.seed,
                     cosimC.run - cosimC.failed, cosimC.run,
                     kernelC.run - kernelC.failed, kernelC.run,
@@ -543,6 +600,7 @@ runFuzzCli(int argc, const char *const *argv)
                     scnC.run - scnC.failed, scnC.run,
                     packedC.run - packedC.failed, packedC.run,
                     faultC.run - faultC.failed, faultC.run,
+                    dvfsC.run - dvfsC.failed, dvfsC.run,
                     secondsSince(t0));
     }
     return failed ? 1 : 0;

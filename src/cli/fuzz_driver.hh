@@ -3,7 +3,7 @@
  * The `ulfuzz` command-line driver: seeded differential fuzzing of
  * the whole stack, built on src/fuzz and src/cosim.
  *
- * One run checks seven properties end-to-end (docs/testing.md):
+ * One run checks eight properties end-to-end (docs/testing.md):
  *
  *  1. cosim  -- ISS <-> gate-level lockstep equivalence on
  *               --programs random programs;
@@ -36,7 +36,15 @@
  *               random netlists, and one small fault campaign run
  *               scalar-1-job vs packed-1-job vs packed-K-jobs with
  *               row-for-row classification identity required, on
- *               --fault-programs random programs.
+ *               --fault-programs random programs;
+ *  8. dvfs   -- operating-mode dominance: a random DVFS mode
+ *               schedule vs a twin whose every (vdd, freq) is only
+ *               lowered must only tighten peak power / energy /
+ *               envelope, stay bit-identical across 1-vs-K threads,
+ *               both kernels and both snapshot modes, and bound
+ *               every mode-obeying concrete run, on --dvfs-programs
+ *               random programs (`--mode dvfs` honors a bare
+ *               --programs N as the item count too).
  *
  * Every work item derives its own PRNG stream from (--seed, index),
  * and each failure prints the item index, so
@@ -71,13 +79,18 @@ struct FuzzCliOptions {
                                 ///< lane-identity netlists
     unsigned faultPrograms = 3; ///< --fault-programs: campaign
                                 ///< determinism programs
+    unsigned dvfsPrograms = 8;  ///< --dvfs-programs: mode-dominance
+                                ///< runs
     unsigned instructions = 24; ///< --instr: body items per program
     unsigned threads = 4;      ///< --threads: K of the 1-vs-K check
     unsigned kernelCycles = 64; ///< --kernel-cycles per netlist
     long only = -1;            ///< --only INDEX: replay one item
     std::string mode = "all";  ///< --mode
                                ///< all|cosim|kernel|sym|envelope|
-                               ///< scenario|packed|fault
+                               ///< scenario|packed|fault|dvfs
+    bool programsGiven = false; ///< --programs was on the command line
+                                ///< (`--mode dvfs` reuses it as the
+                                ///< dvfs item count)
     bool dumpPrograms = false; ///< --dump-programs: print sources
     bool quiet = false;        ///< --quiet: only the summary line
     bool help = false;         ///< --help

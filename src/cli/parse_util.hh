@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small argument-parsing helpers shared by the CLI drivers (ulpeak /
+ * ulfuzz / ulfault), so every tool rejects malformed numbers the same
+ * way.
+ */
+
+#ifndef ULPEAK_CLI_PARSE_UTIL_HH
+#define ULPEAK_CLI_PARSE_UTIL_HH
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace ulpeak {
+namespace cli {
+
+/**
+ * Parse @p s as a strictly positive, finite double. Unlike
+ * std::atof, trailing garbage ("8e6x", "100 MHz") is rejected, not
+ * silently truncated: the whole token must be consumed. Returns
+ * false (leaving @p out untouched) on empty input, trailing
+ * characters, non-positive values, or inf/nan.
+ */
+inline bool
+parsePositiveDouble(const char *s, double &out)
+{
+    if (!s || !*s)
+        return false;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (!end || *end != '\0')
+        return false;
+    if (!(v > 0.0) || !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+inline bool
+parsePositiveDouble(const std::string &s, double &out)
+{
+    return parsePositiveDouble(s.c_str(), out);
+}
+
+} // namespace cli
+} // namespace ulpeak
+
+#endif // ULPEAK_CLI_PARSE_UTIL_HH

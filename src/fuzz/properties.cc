@@ -792,5 +792,196 @@ scenarioDominanceCheck(msp::System &sys, const isa::Image &image,
     return res;
 }
 
+scenario::Scenario
+randomModeScenario(Rng &rng)
+{
+    scenario::Scenario s;
+    if (rng.chance(30))
+        // A port constraint rides along so the mixed-radix
+        // (portPhase, modePhase) dedup keys get exercised too.
+        s = randomScenario(rng);
+    s.name = "fuzz-dvfs";
+    unsigned n_modes = 2 + rng.below(2);
+    for (unsigned m = 0; m < n_modes; ++m) {
+        scenario::OperatingMode om;
+        om.name = "m" + std::to_string(m);
+        om.vdd = 0.5 + 0.1 * double(rng.below(8));    // 0.5..1.2 V
+        om.freqHz = 1e6 * double(1 + rng.below(100)); // 1..100 MHz
+        s.modes.push_back(om);
+    }
+    unsigned period = 2 + rng.below(7);
+    for (unsigned i = 0; i < period; ++i)
+        s.modeSchedule.push_back(rng.below(n_modes));
+    return s;
+}
+
+PropertyResult
+modeDominanceCheck(msp::System &sys, const isa::Image &image,
+                   Rng &rng, unsigned threads, unsigned concrete_runs)
+{
+    PropertyResult res;
+    scenario::Scenario base = randomModeScenario(rng);
+
+    // The lowered twin: every mode's (vdd, freq) scaled by a factor
+    // <= 1 -- mode 0 strictly below 1 -- with the schedule (and any
+    // port constraint) untouched.
+    scenario::Scenario low = base;
+    low.name = "fuzz-dvfs-low";
+    for (size_t m = 0; m < low.modes.size(); ++m) {
+        uint32_t span = m == 0 ? 5 : 6; // 0.5..0.9 vs 0.5..1.0
+        low.modes[m].vdd *=
+            double(5 + rng.below(span)) / 10.0;
+        low.modes[m].freqHz *=
+            double(5 + rng.below(span)) / 10.0;
+    }
+
+    peak::Options bopts;
+    bopts.recordEnvelope = true;
+    bopts.scenario = base;
+    peak::Report rb = peak::analyze(sys, image, bopts);
+    if (!rb.ok)
+        return res; // rejected / budget-exhausted: vacuous
+
+    peak::Options lopts = bopts;
+    lopts.scenario = low;
+    peak::Report rl = peak::analyze(sys, image, lopts);
+    std::ostringstream os;
+    if (!rl.ok) {
+        // Operating modes only re-price cycles; the explored tree --
+        // and therefore the cycle budget spent -- is identical, so a
+        // lowered analysis can never fail where the base succeeded.
+        res.ok = false;
+        res.detail = "lowered-mode analysis failed (" + rl.error +
+                     ") though the base mode analysis succeeded "
+                     "(scenario " + base.summary() + ")";
+        return res;
+    }
+
+    // The mode-scheduled analysis must stay bit-identical across
+    // thread counts, kernels, and snapshot representations (mode
+    // phases join the dedup keys; pricing must not disturb any of
+    // the scheduling-independence machinery).
+    {
+        peak::Options o = lopts;
+        o.numThreads = threads;
+        std::string diff = compareReports(
+            rl, peak::analyze(sys, image, o), "1-thread", "K-thread");
+        if (diff.empty()) {
+            o = lopts;
+            o.evalMode = EvalMode::FullSweep;
+            diff = compareReports(rl, peak::analyze(sys, image, o),
+                                  "event", "full-sweep");
+        }
+        if (diff.empty()) {
+            o = lopts;
+            o.snapshotMode = sym::SnapshotMode::Full;
+            diff = compareReports(rl, peak::analyze(sys, image, o),
+                                  "delta-snap", "full-snap");
+        }
+        if (!diff.empty()) {
+            res.ok = false;
+            res.detail = "mode scenario " + low.summary() +
+                         ": determinism broke:\n" + diff;
+            return res;
+        }
+    }
+
+    // Scalar dominance. Per-cycle powers are stored as float in the
+    // tree nodes, and maxPathEnergy multiplies them back by 1/freq,
+    // so the base and lowered path sums carry *independent* ~1e-7
+    // relative float-narrowing noise on top of the freq * 1/freq
+    // round-trip -- 1e-6 slack sits above that noise while still
+    // catching any real mispricing (the smallest mode-factor step is
+    // 10%). The per-cycle envelope powers themselves are monotone
+    // rounding chains of the same bound, so they must dominate with
+    // NO slack and equal length.
+    const double slack = 1.0 + 1e-6;
+    auto dominated = [&](const char *what, double l, double b) {
+        if (l <= b * slack)
+            return true;
+        os << what << ": lowered " << l << " > base " << b
+           << " (scenario " << base.summary() << ")\n";
+        return false;
+    };
+    if (!dominated("peakPowerW", rl.peakPowerW, rb.peakPowerW) ||
+        !dominated("peakEnergyJ", rl.peakEnergyJ, rb.peakEnergyJ)) {
+        res.ok = false;
+        res.detail = os.str();
+        return res;
+    }
+    const std::vector<float> &envL = rl.envelope.powerW;
+    const std::vector<float> &envB = rb.envelope.powerW;
+    if (envL.size() != envB.size()) {
+        res.ok = false;
+        res.detail = "lowered envelope length " +
+                     std::to_string(envL.size()) +
+                     " != base length " + std::to_string(envB.size()) +
+                     " (identical trees expected)\n";
+        return res;
+    }
+    for (size_t c = 0; c < envL.size(); ++c) {
+        if (envL[c] > envB[c]) {
+            os << "envelope cycle " << c << ": lowered " << envL[c]
+               << " > base " << envB[c] << " (scenario "
+               << base.summary() << ")\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
+    }
+
+    // Mode-obeying concrete runs lie under the mode-priced envelope:
+    // the concrete side prices each cycle with the same (energy
+    // scale, mode clock) schedule the symbolic side used.
+    const CellLibrary &lib = sys.lib();
+    std::vector<std::pair<double, double>> mf;
+    for (uint64_t ph = 0; ph < low.modePeriod(); ++ph) {
+        const scenario::OperatingMode &m = low.modeAt(ph);
+        mf.emplace_back(lib.energyScale(m.vdd), m.freqHz);
+    }
+    power::PowerContext ctx(sys.netlist(), lopts.freqHz);
+    for (unsigned run = 0; run < concrete_runs; ++run) {
+        power::ConcreteRunOptions ropts;
+        ropts.maxCycles =
+            envL.size() + msp::System::kResetCycles + 256;
+        ropts.modeSchedule = mf;
+        ropts.portSchedule.resize(size_t(ropts.maxCycles));
+        for (size_t a = 0; a < ropts.portSchedule.size(); ++a) {
+            uint16_t w = rng.word();
+            if (a >= msp::System::kResetCycles) {
+                const scenario::PortPattern &p = low.patternAt(
+                    uint64_t(a) - msp::System::kResetCycles);
+                w = uint16_t((w & ~p.pinned) | p.value);
+            }
+            ropts.portSchedule[a] = w;
+        }
+        power::ConcreteRunResult c = power::runConcrete(
+            sys, image, ctx, ropts, low.ramInit);
+        if (!c.halted) {
+            os << "mode-obeying concrete run " << run
+               << " still live after " << ropts.maxCycles
+               << " cycles (envelope covers " << envL.size()
+               << ")\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
+        peak::TraceValidation v =
+            peak::validateTraceBound(envL, c.traceW);
+        if (!v.bounds) {
+            os << "mode-obeying concrete run " << run
+               << ": mode envelope violated at " << v.violations
+               << " of " << c.traceW.size()
+               << " cycles, first at cycle " << v.firstViolationCycle
+               << " (max excess " << v.maxViolationW
+               << " W, scenario " << low.summary() << ")\n";
+            res.ok = false;
+            res.detail = os.str();
+            return res;
+        }
+    }
+    return res;
+}
+
 } // namespace fuzz
 } // namespace ulpeak

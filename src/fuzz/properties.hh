@@ -162,6 +162,37 @@ PropertyResult scenarioDominanceCheck(msp::System &sys,
                                       Rng &rng, unsigned threads = 4,
                                       unsigned concrete_runs = 2);
 
+/** A random operating-mode (DVFS) scenario drawn from @p rng: 2-3
+ *  named modes with random (vdd, freq), a repeating mode schedule,
+ *  and (30% of the time) a port constraint riding along so the
+ *  mixed-radix dedup phases get exercised -- the input generator of
+ *  modeDominanceCheck, exposed for tests. */
+scenario::Scenario randomModeScenario(Rng &rng);
+
+/**
+ * Property 8: operating-mode (DVFS) dominance. From a random mode
+ * scenario, derive a "lowered" twin whose every mode has (vdd, freq)
+ * scaled by factors <= 1 (mode 0 strictly). Lowering an operating
+ * point changes only how cycles are *priced*, never which executions
+ * exist, so the two analyses explore identical trees and the lowered
+ * report must only tighten: peak power / peak energy at or under the
+ * base (1e-6 relative slack: per-cycle powers are float-narrowed
+ * before the path-energy sum crosses a freq * 1/freq round-trip, and
+ * the two analyses round independently), and the envelope pointwise
+ * at or under with NO
+ * slack and identical length (per-cycle powers scale by exact IEEE
+ * multiplications, which are monotone). The lowered analysis must
+ * also stay bit-identical across 1-vs-K threads, both EvalModes and
+ * both snapshot modes (mode phases join the dedup keys), and
+ * mode-obeying concrete runs (ConcreteRunOptions::modeSchedule built
+ * from the scenario) must stay under the mode-priced envelope.
+ * Programs either analysis rejects pass vacuously.
+ */
+PropertyResult modeDominanceCheck(msp::System &sys,
+                                  const isa::Image &image, Rng &rng,
+                                  unsigned threads = 4,
+                                  unsigned concrete_runs = 2);
+
 } // namespace fuzz
 } // namespace ulpeak
 

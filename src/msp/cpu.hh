@@ -88,6 +88,8 @@ class System {
     explicit System(const CellLibrary &lib);
 
     const Netlist &netlist() const { return nl_; }
+    /** The library the netlist was built against (voltage scaling). */
+    const CellLibrary &lib() const { return lib_; }
     const CpuHandles &handles() const { return h_; }
     Memory &memory() { return mem_; }
     const Memory &memory() const { return mem_; }

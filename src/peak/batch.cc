@@ -69,12 +69,15 @@ hashString(uint64_t &h, const std::string &s)
 // deployment scenario part of the key (a v2 entry was implicitly
 // "unconstrained", so letting it satisfy a constrained lookup -- or
 // the other way around -- would serve numbers from the wrong
-// environment). The version participates both in the cache key
-// (stale files are simply never addressed) and in the content check
-// below (a key collision or a hand-copied entry from an older
-// binary is rejected as a miss instead of deserializing into a
-// garbage report).
-constexpr const char *kCacheMagic = "ulpeak-cache-v3";
+// environment); v4 added operating-mode (DVFS) schedules to the
+// scenario hash -- a v3 binary knows nothing about modes, so its
+// entries must never satisfy a mode-scheduled lookup even if the
+// rest of the scenario hashes equal. The version participates both
+// in the cache key (stale files are simply never addressed) and in
+// the content check below (a key collision or a hand-copied entry
+// from an older binary is rejected as a miss instead of
+// deserializing into a garbage report).
+constexpr const char *kCacheMagic = "ulpeak-cache-v4";
 
 std::string
 doubleBits(double d)
@@ -387,8 +390,13 @@ analyzeBatch(const CellLibrary &lib,
                         // them from the cached trace exactly as the
                         // cold path built them.
                         r.envelope.windows = aopts.envelopeWindows;
-                        buildWindowCurves(r.envelope,
-                                          1.0 / aopts.freqHz);
+                        if (aopts.scenario.hasModes())
+                            buildWindowCurves(
+                                r.envelope,
+                                aopts.scenario.phaseTclkS());
+                        else
+                            buildWindowCurves(r.envelope,
+                                              1.0 / aopts.freqHz);
                     }
                     r.cached = true;
                     ++hits;
@@ -480,6 +488,19 @@ analyzeBatch(const CellLibrary &lib,
         // bytes), then sized.
         if (opts.analysis.recordEnvelope && anyOk) {
             double tclk = 1.0 / opts.analysis.freqHz;
+            // Under a mode schedule the cycles run at per-phase
+            // clocks: the curves use the exact per-phase periods,
+            // and the sizing's sustained-rate conversion uses the
+            // schedule-mean period (energy per cycle over seconds
+            // per cycle, averaged over one period).
+            std::vector<double> phaseTclk;
+            if (scens[s].hasModes()) {
+                phaseTclk = scens[s].phaseTclkS();
+                double acc = 0.0;
+                for (double t : phaseTclk)
+                    acc += t;
+                tclk = acc / double(phaseTclk.size());
+            }
             sum.suiteEnvelope.windows =
                 opts.analysis.envelopeWindows;
             for (size_t p = 0; p < nProg; ++p) {
@@ -488,7 +509,10 @@ analyzeBatch(const CellLibrary &lib,
                     maxComposeEnvelope(sum.suiteEnvelope, r.envelope);
             }
             if (sum.suiteEnvelope.present) {
-                buildWindowCurves(sum.suiteEnvelope, tclk);
+                if (phaseTclk.empty())
+                    buildWindowCurves(sum.suiteEnvelope, tclk);
+                else
+                    buildWindowCurves(sum.suiteEnvelope, phaseTclk);
                 sum.envelopeSupply = sizing::sizeEnvelopeSupply(
                     sum.suiteEnvelope.windows,
                     sum.suiteEnvelope.peakWindowEnergyJ,

@@ -40,9 +40,10 @@
  * participate: they change what a cached entry must contain; the
  * scenario participates by content hash because it changes every
  * number. Entries carry a format-version header (v2 added the
- * envelope fields, v3 the scenario-aware key), so stale entries from
- * an older binary are treated as misses instead of deserializing
- * into garbage reports. Cached doubles (and envelope floats)
+ * envelope fields, v3 the scenario-aware key, v4 operating-mode
+ * schedules in the scenario hash), so stale entries from an older
+ * binary are treated as misses instead of deserializing into
+ * garbage reports. Cached doubles (and envelope floats)
  * round-trip through their bit patterns, so a warm run reproduces
  * the cold run bit for bit.
  *

@@ -1,6 +1,7 @@
 #include "peak/envelope.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace ulpeak {
 namespace peak {
@@ -44,6 +45,43 @@ buildWindowCurves(Envelope &env, double tclk_s)
         for (size_t c = 0; c < env.powerW.size(); ++c) {
             size_t lo = c + 1 > win ? c + 1 - win : 0;
             double e = (prefix[c + 1] - prefix[lo]) * tclk_s;
+            curve[c] = float(e);
+            if (e > peak)
+                peak = e;
+        }
+        env.peakWindowEnergyJ[w] = peak;
+    }
+}
+
+void
+buildWindowCurves(Envelope &env,
+                  const std::vector<double> &tclk_by_phase)
+{
+    if (tclk_by_phase.empty())
+        throw std::invalid_argument(
+            "buildWindowCurves: tclk_by_phase must be non-empty");
+    env.windowEnergyJ.assign(env.windows.size(), {});
+    env.peakWindowEnergyJ.assign(env.windows.size(), 0.0);
+    if (env.powerW.empty())
+        return;
+
+    // prefix[i] = energy of cycles [0, i) in double, each cycle
+    // weighted by its phase's clock period; one sequential pass
+    // keeps the accumulation order fixed.
+    const size_t period = tclk_by_phase.size();
+    std::vector<double> prefix(env.powerW.size() + 1, 0.0);
+    for (size_t c = 0; c < env.powerW.size(); ++c)
+        prefix[c + 1] = prefix[c] + double(env.powerW[c]) *
+                                        tclk_by_phase[c % period];
+
+    for (size_t w = 0; w < env.windows.size(); ++w) {
+        uint64_t win = env.windows[w] ? env.windows[w] : 1;
+        std::vector<float> &curve = env.windowEnergyJ[w];
+        curve.resize(env.powerW.size());
+        double peak = 0.0;
+        for (size_t c = 0; c < env.powerW.size(); ++c) {
+            size_t lo = c + 1 > win ? c + 1 - win : 0;
+            double e = prefix[c + 1] - prefix[lo];
             curve[c] = float(e);
             if (e > peak)
                 peak = e;

@@ -62,6 +62,19 @@ const std::vector<unsigned> &defaultEnvelopeWindows();
 void buildWindowCurves(Envelope &env, double tclk_s);
 
 /**
+ * buildWindowCurves under a repeating per-cycle clock schedule:
+ * cycle c contributes powerW[c] * tclk_by_phase[c % period] joules
+ * (operating-mode schedules, where each phase runs at its mode's
+ * clock -- scenario::Scenario::phaseTclkS). The prefix sum runs over
+ * per-cycle energies instead of powers, so the scalar overload stays
+ * bit-identical for existing callers while mode schedules get exact
+ * per-phase accounting. Throws std::invalid_argument on an empty
+ * schedule.
+ */
+void buildWindowCurves(Envelope &env,
+                       const std::vector<double> &tclk_by_phase);
+
+/**
  * Elementwise max-composition of the power traces: the envelope that
  * bounds every program of a suite (shorter envelopes are zero-padded
  * conceptually). @p acc adopts @p other's window set when it has

@@ -1,0 +1,147 @@
+#include "peak/modes.hh"
+
+#include <cstdio>
+
+#include "sizing/sizing.hh"
+
+namespace ulpeak {
+namespace peak {
+
+namespace {
+
+std::string
+formatFinding(const scenario::OperatingMode &m, double lib_vdd)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "mode \"%s\" runs at %.3g V, at or below the decap "
+                  "sizing floor vmin = %.3g V (%.0f%% of the %.3g V "
+                  "nominal rail); a nominal-rail decap has no "
+                  "discharge headroom down to this mode -- size the "
+                  "decap against the mode's own rail",
+                  m.name.c_str(), m.vdd,
+                  sizing::kDecapVminRatio * lib_vdd,
+                  sizing::kDecapVminRatio * 100.0, lib_vdd);
+    return buf;
+}
+
+} // namespace
+
+ModeReport
+buildModeReport(const Envelope &env, const scenario::Scenario &scen,
+                double lib_vdd)
+{
+    ModeReport rep;
+    if (!scen.hasModes() || !env.present)
+        return rep;
+    rep.present = true;
+    rep.envelopeCycles = env.powerW.size();
+    rep.compositePeakW = env.peakPowerW();
+
+    const uint64_t period = scen.modePeriod();
+
+    // Per-mode slices: one sequential pass keeps the double
+    // accumulation order fixed (determinism contract).
+    rep.modes.resize(scen.modes.size());
+    for (size_t m = 0; m < scen.modes.size(); ++m) {
+        rep.modes[m].name = scen.modes[m].name;
+        rep.modes[m].vdd = scen.modes[m].vdd;
+        rep.modes[m].freqHz = scen.modes[m].freqHz;
+    }
+    std::vector<double> sum(scen.modes.size(), 0.0);
+    for (size_t c = 0; c < env.powerW.size(); ++c) {
+        ModeSlice &s = rep.modes[scen.modeIndexAt(c)];
+        double w = env.powerW[c];
+        if (s.cycles == 0 || w > s.peakW) {
+            s.peakW = w;
+            s.peakCycle = c;
+        }
+        ++s.cycles;
+        sum[scen.modeIndexAt(c)] += w;
+        s.energyJ += w / scen.modeAt(c).freqHz;
+    }
+    for (size_t m = 0; m < rep.modes.size(); ++m)
+        if (rep.modes[m].cycles)
+            rep.modes[m].avgW = sum[m] / double(rep.modes[m].cycles);
+
+    // Distinct switches of the repeating schedule: phase p is an
+    // entry into its mode when the previous phase (cyclically) ran a
+    // different mode. A static schedule (period 1, or all entries
+    // equal) has no transitions.
+    for (uint64_t p = 0; p < period; ++p) {
+        uint32_t to = scen.modeIndexAt(p);
+        uint32_t from = scen.modeIndexAt((p + period - 1) % period);
+        if (to == from)
+            continue;
+        ModeTransition tr;
+        tr.from = scen.modes[from].name;
+        tr.to = scen.modes[to].name;
+        tr.phase = p;
+        for (const scenario::ModeAssertion &a : scen.assertions)
+            if (a.mode == tr.to && a.settleCycles > tr.settleCycles)
+                tr.settleCycles = a.settleCycles;
+        uint64_t window = tr.settleCycles ? tr.settleCycles : 1;
+        // Entry cycles congruent to p mod period. Cycle 0 only
+        // counts when the schedule actually switches into phase 0
+        // from the (cyclic) last phase, i.e. never on the very first
+        // cycle -- there is no "from" mode before reset ends; start
+        // the scan at the first full occurrence instead.
+        for (uint64_t c = p == 0 ? period : p; c < env.powerW.size();
+             c += period) {
+            ++tr.occurrences;
+            double entry = env.powerW[c];
+            if (entry > tr.peakEntryW)
+                tr.peakEntryW = entry;
+            uint64_t end = c + window;
+            if (end > env.powerW.size())
+                end = env.powerW.size();
+            for (uint64_t k = c; k < end; ++k)
+                if (double(env.powerW[k]) > tr.peakSettleW)
+                    tr.peakSettleW = env.powerW[k];
+        }
+        rep.transitions.push_back(std::move(tr));
+    }
+
+    // Assertions: walk the envelope tracking cycles-since-entry into
+    // the current mode; a cycle is checked when it runs the asserted
+    // mode outside the settling window after the last switch into it.
+    for (const scenario::ModeAssertion &a : scen.assertions) {
+        ModeAssertionResult res;
+        res.assertion = a;
+        uint64_t sinceEntry = 0;
+        for (size_t c = 0; c < env.powerW.size(); ++c) {
+            uint32_t mi = scen.modeIndexAt(c);
+            if (c == 0 || mi != scen.modeIndexAt(c - 1))
+                sinceEntry = 0;
+            else
+                ++sinceEntry;
+            if (scen.modes[mi].name != a.mode)
+                continue;
+            if (sinceEntry < a.settleCycles)
+                continue;
+            ++res.checkedCycles;
+            double w = env.powerW[c];
+            if (w > a.maxPowerW) {
+                if (res.violations == 0)
+                    res.firstViolationCycle = c;
+                ++res.violations;
+                if (w - a.maxPowerW > res.maxExcessW)
+                    res.maxExcessW = w - a.maxPowerW;
+                res.pass = false;
+            }
+        }
+        rep.assertions.push_back(std::move(res));
+    }
+
+    // The low-vdd decap guard (see sizing::decapFarads): a mode at
+    // or below the nominal rail's droop floor would make the decap
+    // model's (vdd^2 - vmin^2) headroom non-positive.
+    for (const scenario::OperatingMode &m : scen.modes)
+        if (m.vdd <= sizing::kDecapVminRatio * lib_vdd)
+            rep.findings.push_back(formatFinding(m, lib_vdd));
+
+    return rep;
+}
+
+} // namespace peak
+} // namespace ulpeak

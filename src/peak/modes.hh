@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-operating-mode views of an analyzed envelope.
+ *
+ * When a scenario carries an operating-mode (DVFS) schedule, the
+ * envelope already prices every cycle at its mode's voltage-scaled
+ * energy and clock (sym layer), so this file is pure post-processing:
+ * it slices the envelope by mode, locates the schedule's mode
+ * transitions and their settling-window peaks, evaluates the
+ * scenario's assertions ("power never exceeds X W while in mode M,
+ * outside a W-cycle settling window after each switch into M"), and
+ * raises sizing findings (a low-voltage mode at or under the
+ * decap-sizing floor of the nominal rail). Everything here is a
+ * deterministic function of (envelope, scenario), independent of how
+ * the envelope was computed -- it is never cached and never feeds
+ * back into the analysis. Assertion failures are findings for
+ * `ulpeak --modes` to report, not analysis errors, mirroring how
+ * ulfault treats envelope escapes.
+ */
+
+#ifndef ULPEAK_PEAK_MODES_HH
+#define ULPEAK_PEAK_MODES_HH
+
+#include <string>
+#include <vector>
+
+#include "peak/envelope.hh"
+#include "scenario/scenario.hh"
+
+namespace ulpeak {
+namespace peak {
+
+/** Envelope statistics of the cycles one mode is in force. */
+struct ModeSlice {
+    std::string name;
+    double vdd = 0.0;
+    double freqHz = 0.0;
+    uint64_t cycles = 0;    ///< envelope cycles run in this mode
+    double peakW = 0.0;     ///< per-mode envelope peak
+    uint64_t peakCycle = 0; ///< envelope cycle of that peak
+    double avgW = 0.0;      ///< mean envelope power in this mode
+    double energyJ = 0.0;   ///< envelope energy at this mode's clock
+};
+
+/** One distinct mode switch of the repeating schedule. */
+struct ModeTransition {
+    std::string from;
+    std::string to;
+    uint64_t phase = 0;       ///< schedule phase entering @ref to
+    uint64_t occurrences = 0; ///< entry cycles inside the envelope
+    double peakEntryW = 0.0;  ///< max envelope power at entry cycles
+    /** Widest assertion settling window applying to @ref to (0 when
+     *  no assertion names it). */
+    uint64_t settleCycles = 0;
+    /** Max envelope power inside [entry, entry + max(settle, 1))
+     *  across all entries -- what "the switch settles within W
+     *  cycles" is judged against. */
+    double peakSettleW = 0.0;
+};
+
+/** Verdict of one scenario::ModeAssertion against the envelope. */
+struct ModeAssertionResult {
+    scenario::ModeAssertion assertion;
+    bool pass = true;
+    uint64_t checkedCycles = 0; ///< in-mode cycles outside settling
+    uint64_t violations = 0;
+    uint64_t firstViolationCycle = 0;
+    double maxExcessW = 0.0; ///< max envelope power above the limit
+};
+
+struct ModeReport {
+    bool present = false;
+    /** Envelope peak over the whole schedule -- the composite bound
+     *  across every mode and transition (the envelope itself is
+     *  mode-priced, so its peak already accounts for switches). */
+    double compositePeakW = 0.0;
+    uint64_t envelopeCycles = 0;
+    std::vector<ModeSlice> modes;
+    std::vector<ModeTransition> transitions;
+    std::vector<ModeAssertionResult> assertions;
+    /** Human-readable sizing findings (e.g. the low-vdd decap
+     *  guard); findings never fail the analysis. */
+    std::vector<std::string> findings;
+
+    bool
+    allAssertionsPass() const
+    {
+        for (const ModeAssertionResult &a : assertions)
+            if (!a.pass)
+                return false;
+        return true;
+    }
+};
+
+/**
+ * Build the per-mode report of @p env under @p scen. @p lib_vdd is
+ * the library's nominal rail [V], used only for the low-voltage
+ * decap-guard finding (a mode whose vdd is at or below
+ * sizing::kDecapVminRatio * lib_vdd leaves the nominal-rail decap
+ * with no discharge headroom). Returns a non-present report when the
+ * scenario has no modes or the envelope was not recorded.
+ */
+ModeReport buildModeReport(const Envelope &env,
+                           const scenario::Scenario &scen,
+                           double lib_vdd);
+
+} // namespace peak
+} // namespace ulpeak
+
+#endif // ULPEAK_PEAK_MODES_HH

@@ -43,7 +43,10 @@ analyze(msp::System &sys, const isa::Image &image, const Options &opts)
         r.envelope.present = true;
         r.envelope.powerW = std::move(sr.envelopeW);
         r.envelope.windows = opts.envelopeWindows;
-        buildWindowCurves(r.envelope, 1.0 / opts.freqHz);
+        if (opts.scenario.hasModes())
+            buildWindowCurves(r.envelope, opts.scenario.phaseTclkS());
+        else
+            buildWindowCurves(r.envelope, 1.0 / opts.freqHz);
     }
     r.everActive = sr.everActive;
     r.peakActive = sr.peakActive;

@@ -28,7 +28,14 @@ runConcrete(msp::System &sys, const isa::Image &image,
     if (opts.recordActivity)
         r.everActive.assign(sys.netlist().numGates(), 0);
 
+    // Post-reset cycle counter for the mode schedule: traces and
+    // envelopes count cycles from the end of reset, and the loop
+    // starts right after sys.reset(), so the executed cycle's index
+    // is sim.cycle() - startCycle sampled before the step.
+    uint64_t startCycle = sim.cycle();
+    double modeEnergyJ = 0.0;
     while (!sys.halted() && sim.cycle() < opts.maxCycles) {
+        uint64_t cycleIdx = sim.cycle() - startCycle;
         uint16_t port =
             opts.portSchedule.empty()
                 ? opts.portIn
@@ -37,12 +44,31 @@ runConcrete(msp::System &sys, const isa::Image &image,
         sim.step([&](Simulator &s) {
             sys.driveCycle(s, Word16::known(port));
         });
-        double w = ctx.cycleBoundPowerW(sim);
+        double w;
+        if (opts.modeSchedule.empty()) {
+            w = ctx.cycleBoundPowerW(sim);
+        } else {
+            const std::pair<double, double> &mf =
+                opts.modeSchedule[size_t(cycleIdx %
+                                         opts.modeSchedule.size())];
+            w = ctx.cycleBoundPowerW(sim, mf.first, mf.second);
+            // energy = power / mode clock (w already carries the
+            // vdd^2 scale and the mode frequency).
+            modeEnergyJ += w / mf.second;
+        }
         r.stats.add(w);
         if (opts.recordTrace)
             r.traceW.push_back(float(w));
         if (opts.recordModules) {
             std::vector<double> mod = ctx.cycleModulePowerW(sim);
+            if (!opts.modeSchedule.empty()) {
+                const std::pair<double, double> &mf =
+                    opts.modeSchedule[size_t(
+                        cycleIdx % opts.modeSchedule.size())];
+                double ratio = mf.first * (mf.second / ctx.freqHz());
+                for (double &m : mod)
+                    m *= ratio;
+            }
             for (size_t m = 0; m < nmod; ++m)
                 r.traceModulesW[m].push_back(float(mod[m]));
         }
@@ -51,7 +77,9 @@ runConcrete(msp::System &sys, const isa::Image &image,
                 r.everActive[g] = 1;
     }
     r.halted = sys.halted();
-    r.totalEnergyJ = r.stats.energyJ(ctx.tclkS());
+    r.totalEnergyJ = opts.modeSchedule.empty()
+                         ? r.stats.energyJ(ctx.tclkS())
+                         : modeEnergyJ;
     return r;
 }
 

@@ -35,6 +35,12 @@ struct ConcreteRunOptions {
      *  overrides portIn when non-empty. The envelope-bounding fuzz
      *  property drives a fresh random word every cycle this way. */
     std::vector<uint16_t> portSchedule;
+    /** Per-cycle operating-mode factors (energy scale, clock Hz),
+     *  repeating with period size() and indexed by the post-reset
+     *  cycle -- the concrete-side mirror of a scenario mode schedule
+     *  (scale = CellLibrary::energyScale(mode vdd)). Empty runs the
+     *  classic fixed-operating-point path bit-identically. */
+    std::vector<std::pair<double, double>> modeSchedule;
 };
 
 struct ConcreteRunResult {

@@ -41,11 +41,48 @@ class PowerContext {
         return (switching_j + staticPerCycle_) * freq_;
     }
 
+    /**
+     * Power of one cycle run in an operating mode: the cycle energy
+     * (switching + the reference static lump) scaled by the mode's
+     * voltage factor @p energy_scale
+     * (CellLibrary::energyScale(mode.vdd)), times the mode clock
+     * @p freq_hz. The static lump stays the calibrated per-cycle
+     * energy at this context's reference clock and scales only with
+     * vdd^2 -- a deliberate simplification (leakW * tclk_mode would
+     * *grow* per-cycle energy as the clock slows, breaking the
+     * mode-dominance guarantee the fuzzer pins). With scale 1 and
+     * this context's own frequency it reproduces cyclePowerW
+     * bit-for-bit.
+     */
+    double
+    cyclePowerW(double switching_j, double energy_scale,
+                double freq_hz) const
+    {
+        return (switching_j + staticPerCycle_) * energy_scale *
+               freq_hz;
+    }
+
+    /** Mode-scaled energy of one cycle [J] (frequency-free form of
+     *  the mode cyclePowerW overload; power = this * freq_hz). */
+    double
+    cycleEnergyJ(double switching_j, double energy_scale) const
+    {
+        return (switching_j + staticPerCycle_) * energy_scale;
+    }
+
     /** Bound power of the cycle most recently stepped on @p sim. */
     double
     cycleBoundPowerW(const Simulator &sim) const
     {
         return cyclePowerW(sim.boundEnergyJ());
+    }
+
+    /** Mode-scaled bound power of the last cycle on @p sim. */
+    double
+    cycleBoundPowerW(const Simulator &sim, double energy_scale,
+                     double freq_hz) const
+    {
+        return cyclePowerW(sim.boundEnergyJ(), energy_scale, freq_hz);
     }
     /** Concrete-transition power of the last cycle. */
     double

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -111,6 +113,15 @@ class JsonParser {
         }
         for (;;) {
             JsonValue key = string();
+            // Reject duplicates instead of silently keeping the
+            // first: a file saying {"vdd": 1.0, "vdd": 0.6} is a
+            // mistake, not a preference.
+            for (const auto &[k, existing] : v.members) {
+                (void)existing;
+                if (k == key.text)
+                    fail("duplicate key \"" + key.text +
+                         "\" in object");
+            }
             expect(':');
             v.members.emplace_back(key.text, value());
             char c = peek();
@@ -251,6 +262,34 @@ asUint(const JsonValue &v, uint32_t max, const char *what)
     return uint32_t(n);
 }
 
+/** A positive JSON number (integer or scientific) or a numeric
+ *  string; rejects zero, negatives, NaN and infinities. */
+double
+asPositiveDouble(const JsonValue &v, const char *what)
+{
+    double d = 0.0;
+    if (v.kind == JsonValue::Number) {
+        d = v.number;
+    } else if (v.kind == JsonValue::String) {
+        try {
+            size_t used = 0;
+            d = std::stod(v.text, &used);
+            if (used != v.text.size())
+                throw std::runtime_error("trailing characters");
+        } catch (const std::exception &) {
+            throw std::runtime_error(std::string(what) +
+                                     ": bad number '" + v.text + "'");
+        }
+    } else {
+        throw std::runtime_error(std::string(what) +
+                                 ": expected a number");
+    }
+    if (!(d > 0.0) || !std::isfinite(d))
+        throw std::runtime_error(std::string(what) +
+                                 ": must be a positive finite number");
+    return d;
+}
+
 PortPattern
 patternFromJson(const JsonValue &v, const char *what)
 {
@@ -319,6 +358,12 @@ Scenario::isUnconstrained() const
 {
     if (!ramInit.empty() || !regInit.empty())
         return false;
+    // Operating modes change the numbers (voltage-scaled energies,
+    // per-mode clocks) even though they do not shrink the execution
+    // set, so a mode-carrying scenario never reports as the classic
+    // all-X flow.
+    if (hasModes())
+        return false;
     if (portSchedule.empty())
         return port.pinned == 0;
     return std::all_of(portSchedule.begin(), portSchedule.end(),
@@ -333,6 +378,62 @@ Scenario::patternAt(uint64_t cycle) const
     if (portSchedule.empty())
         return port;
     return portSchedule[size_t(cycle % portSchedule.size())];
+}
+
+std::vector<double>
+Scenario::phaseTclkS() const
+{
+    std::vector<double> tclk;
+    uint64_t period = modePeriod();
+    tclk.reserve(size_t(period));
+    for (uint64_t ph = 0; ph < period; ++ph)
+        tclk.push_back(1.0 / modeAt(ph).freqHz);
+    return tclk;
+}
+
+void
+Scenario::validate() const
+{
+    if (!modeSchedule.empty() && modes.empty())
+        throw std::runtime_error(
+            "scenario '" + name +
+            "': mode_schedule without any modes");
+    for (size_t i = 0; i < modes.size(); ++i) {
+        const OperatingMode &m = modes[i];
+        if (!(m.vdd > 0.0) || !std::isfinite(m.vdd))
+            throw std::runtime_error(
+                "scenario '" + name + "': mode '" + m.name +
+                "': vdd must be a positive finite voltage");
+        if (!(m.freqHz > 0.0) || !std::isfinite(m.freqHz))
+            throw std::runtime_error(
+                "scenario '" + name + "': mode '" + m.name +
+                "': freq_hz must be a positive finite frequency");
+        for (size_t j = i + 1; j < modes.size(); ++j)
+            if (modes[j].name == m.name)
+                throw std::runtime_error(
+                    "scenario '" + name + "': duplicate mode name '" +
+                    m.name + "'");
+    }
+    for (uint32_t idx : modeSchedule)
+        if (idx >= modes.size())
+            throw std::runtime_error(
+                "scenario '" + name + "': mode_schedule index " +
+                std::to_string(idx) + " out of range (have " +
+                std::to_string(modes.size()) + " modes)");
+    for (const ModeAssertion &a : assertions) {
+        bool known = false;
+        for (const OperatingMode &m : modes)
+            known = known || m.name == a.mode;
+        if (!known)
+            throw std::runtime_error(
+                "scenario '" + name + "': assertion names unknown "
+                "mode '" + a.mode + "'");
+        if (!(a.maxPowerW > 0.0) || !std::isfinite(a.maxPowerW))
+            throw std::runtime_error(
+                "scenario '" + name + "': assertion on mode '" +
+                a.mode +
+                "': max_power_w must be a positive finite power");
+    }
 }
 
 void
@@ -366,6 +467,24 @@ Scenario::hashInto(uint64_t &h) const
         mix(reg);
         mix(value);
     }
+    // Modes hash by their numeric content (exact double bit
+    // patterns) and the schedule by its indices; mode *names* and
+    // the assertion list stay out -- assertions are post-processing
+    // over the envelope, never inputs to the analysis, so two
+    // scenarios differing only in assertions share cache entries.
+    auto mixDouble = [&mix](double d) {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof bits);
+        mix(bits);
+    };
+    mix(modes.size());
+    for (const OperatingMode &m : modes) {
+        mixDouble(m.vdd);
+        mixDouble(m.freqHz);
+    }
+    mix(modeSchedule.size());
+    for (uint32_t idx : modeSchedule)
+        mix(idx);
 }
 
 std::string
@@ -386,6 +505,12 @@ Scenario::summary() const
     if (!regInit.empty())
         os << ", " << regInit.size() << " register"
            << (regInit.size() > 1 ? "s" : "");
+    if (hasModes()) {
+        os << ", " << modes.size() << " mode"
+           << (modes.size() > 1 ? "s" : "");
+        if (!modeSchedule.empty())
+            os << " period " << modeSchedule.size();
+    }
     return os.str();
 }
 
@@ -397,6 +522,7 @@ Scenario::presetNames()
         "ports-grounded",
         "sensor-4bit",
         "periodic-sensor",
+        "duty-cycled-dvfs",
     };
     return names;
 }
@@ -431,6 +557,16 @@ Scenario::preset(const std::string &name)
         s.portSchedule[0] = sample;
         return s;
     }
+    if (name == "duty-cycled-dvfs") {
+        // The duty-cycled deployment of ROADMAP item 3: two cycles
+        // of full-speed burst, six cycles of low-voltage sleep, on
+        // an eight-cycle period. Ports stay all-X so the operating
+        // modes are the only constraint in play.
+        s.modes.push_back({"burst", 1.0, 100e6});
+        s.modes.push_back({"sleep", 0.6, 8e6});
+        s.modeSchedule = {0, 0, 1, 1, 1, 1, 1, 1};
+        return s;
+    }
     std::string known;
     for (const std::string &n : presetNames())
         known += (known.empty() ? "" : ", ") + n;
@@ -448,6 +584,9 @@ Scenario::fromJson(const std::string &text)
             "scenario JSON: top level must be an object");
     Scenario s;
     s.name = "custom";
+    // By-name mode_schedule entries, resolved after the full parse
+    // ("" marks an already-numeric entry).
+    std::vector<std::string> mode_names;
     for (const auto &[key, v] : root.members) {
         if (key == "name") {
             if (v.kind != JsonValue::String)
@@ -503,11 +642,84 @@ Scenario::fromJson(const std::string &text)
                                       "reg_init value");
                 s.regInit.emplace_back(reg, uint16_t(val));
             }
+        } else if (key == "modes") {
+            if (v.kind != JsonValue::Array)
+                throw std::runtime_error("modes: expected an array");
+            for (const JsonValue &e : v.items) {
+                if (e.kind != JsonValue::Object || !e.find("name") ||
+                    !e.find("vdd") || !e.find("freq_hz"))
+                    throw std::runtime_error(
+                        "modes entries must be {name, vdd, freq_hz}");
+                const JsonValue &nv = *e.find("name");
+                if (nv.kind != JsonValue::String || nv.text.empty())
+                    throw std::runtime_error(
+                        "modes name: expected a non-empty string");
+                OperatingMode m;
+                m.name = nv.text;
+                m.vdd = asPositiveDouble(*e.find("vdd"), "mode vdd");
+                m.freqHz = asPositiveDouble(*e.find("freq_hz"),
+                                            "mode freq_hz");
+                s.modes.push_back(std::move(m));
+            }
+        } else if (key == "mode_schedule") {
+            if (v.kind != JsonValue::Array || v.items.empty())
+                throw std::runtime_error(
+                    "mode_schedule: expected a non-empty array");
+            for (const JsonValue &e : v.items) {
+                if (e.kind == JsonValue::String) {
+                    // Resolved against the modes array after the
+                    // whole object is read (key order is free).
+                    s.modeSchedule.push_back(0xffffffffu);
+                    mode_names.push_back(e.text);
+                } else {
+                    s.modeSchedule.push_back(asUint(
+                        e, 0xfffffffe, "mode_schedule index"));
+                    mode_names.emplace_back();
+                }
+            }
+        } else if (key == "assert") {
+            if (v.kind != JsonValue::Array)
+                throw std::runtime_error("assert: expected an array");
+            for (const JsonValue &e : v.items) {
+                if (e.kind != JsonValue::Object || !e.find("mode") ||
+                    !e.find("max_power_w"))
+                    throw std::runtime_error(
+                        "assert entries must be {mode, max_power_w"
+                        "[, settle_cycles]}");
+                const JsonValue &mv = *e.find("mode");
+                if (mv.kind != JsonValue::String)
+                    throw std::runtime_error(
+                        "assert mode: expected a mode name string");
+                ModeAssertion a;
+                a.mode = mv.text;
+                a.maxPowerW = asPositiveDouble(*e.find("max_power_w"),
+                                               "assert max_power_w");
+                if (const JsonValue *sc = e.find("settle_cycles"))
+                    a.settleCycles = asUint(*sc, 0xffffffffu,
+                                            "assert settle_cycles");
+                s.assertions.push_back(std::move(a));
+            }
         } else {
             throw std::runtime_error("unknown scenario key '" + key +
                                      "'");
         }
     }
+    // Resolve by-name mode_schedule entries now that every mode has
+    // been read regardless of key order.
+    for (size_t i = 0; i < s.modeSchedule.size(); ++i) {
+        if (mode_names[i].empty())
+            continue;
+        uint32_t idx = 0xffffffffu;
+        for (size_t m = 0; m < s.modes.size(); ++m)
+            if (s.modes[m].name == mode_names[i])
+                idx = uint32_t(m);
+        if (idx == 0xffffffffu)
+            throw std::runtime_error(
+                "mode_schedule: unknown mode name '" + mode_names[i] +
+                "'");
+        s.modeSchedule[i] = idx;
+    }
+    s.validate();
     return s;
 }
 

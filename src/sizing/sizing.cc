@@ -1,6 +1,8 @@
 #include "sizing/sizing.hh"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace ulpeak {
 namespace sizing {
@@ -77,7 +79,16 @@ decapFarads(double window_energy_j, double vdd, double vmin)
 {
     double dv2 = vdd * vdd - vmin * vmin;
     if (dv2 <= 0.0)
-        return 0.0;
+        // Returning 0.0 F here used to pass silently -- a "no decap
+        // needed" answer for a rail with *no* discharge headroom,
+        // exactly the case a low-voltage DVFS mode near
+        // kDecapVminRatio * vdd produces. No finite capacitor
+        // satisfies vmin >= vdd, so fail loudly.
+        throw std::invalid_argument(
+            "decapFarads: vmin must be below vdd (no discharge "
+            "headroom: vdd=" +
+            std::to_string(vdd) + " vmin=" + std::to_string(vmin) +
+            ")");
     return 2.0 * window_energy_j / dv2;
 }
 

@@ -105,6 +105,13 @@ SuiteSupply sizeSuiteSupply(double peak_power_w, double peak_energy_j);
  * This is the decap role of the windowed peak-energy curves: the
  * supply covers the sustained rate, the decap covers the worst
  * W-cycle burst above it.
+ *
+ * Throws std::invalid_argument when vmin >= vdd: no finite capacitor
+ * can deliver energy with zero (or negative) discharge headroom.
+ * That case used to return 0.0 F -- a silently wrong "no decap
+ * needed" answer, and exactly what a low-voltage operating mode near
+ * kDecapVminRatio * vdd would feed in (`ulpeak --modes` raises a
+ * finding for such modes before any sizing call gets here).
  */
 double decapFarads(double window_energy_j, double vdd, double vmin);
 

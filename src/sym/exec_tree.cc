@@ -58,8 +58,9 @@ struct EnergyMemo {
 };
 
 PathEnergy
-visit(const ExecTree &tree, uint32_t id, double tclk,
-      unsigned loop_bound, EnergyMemo &memo)
+visit(const ExecTree &tree, uint32_t id,
+      const std::vector<double> &self_energy_j, unsigned loop_bound,
+      EnergyMemo &memo)
 {
     if (memo.state[id] == 2)
         return memo.best[id];
@@ -77,8 +78,7 @@ visit(const ExecTree &tree, uint32_t id, double tclk,
 
     const TreeNode &n = tree.node(id);
     PathEnergy self;
-    for (float w : n.powerW)
-        self.energyJ += double(w) * tclk;
+    self.energyJ = self_energy_j[id];
     self.cycles = n.powerW.size();
 
     PathEnergy bestChild;
@@ -88,7 +88,8 @@ visit(const ExecTree &tree, uint32_t id, double tclk,
             continue;
         bool childOnStack =
             memo.state[e.child] == 1;
-        PathEnergy pe = visit(tree, e.child, tclk, loop_bound, memo);
+        PathEnergy pe =
+            visit(tree, e.child, self_energy_j, loop_bound, memo);
         if (childOnStack)
             sawBackEdge = true;
         if (pe.energyJ > bestChild.energyJ)
@@ -207,10 +208,54 @@ ExecTree::maxPathEnergy(double tclk, unsigned loop_bound) const
 {
     if (nodes_.empty())
         return PathEnergy{};
+    // Per-node self energies in the node's own per-cycle
+    // multiply-accumulate order (bit-identical to summing inline).
+    std::vector<double> self(nodes_.size(), 0.0);
+    for (size_t id = 0; id < nodes_.size(); ++id)
+        for (float w : nodes_[id].powerW)
+            self[id] += double(w) * tclk;
     EnergyMemo memo;
     memo.state.assign(nodes_.size(), 0);
     memo.best.assign(nodes_.size(), PathEnergy{});
-    return visit(*this, 0, tclk, loop_bound, memo);
+    return visit(*this, 0, self, loop_bound, memo);
+}
+
+PathEnergy
+ExecTree::maxPathEnergy(const std::vector<double> &tclk_by_phase,
+                        unsigned loop_bound) const
+{
+    if (nodes_.empty())
+        return PathEnergy{};
+    if (tclk_by_phase.empty())
+        throw std::invalid_argument(
+            "maxPathEnergy: tclk_by_phase must be non-empty");
+    const uint64_t period = tclk_by_phase.size();
+    // Each node's start offset in post-reset cycles, mod the
+    // schedule period. Parents are always allocated before their
+    // children (newNode takes an existing parent), so one ascending
+    // pass suffices. Dedup keys include the schedule phase, so every
+    // walk reaches a merged node at a congruent offset and the
+    // creating parent's offset is representative.
+    std::vector<uint64_t> start(nodes_.size(), 0);
+    for (size_t id = 1; id < nodes_.size(); ++id) {
+        uint32_t p = nodes_[id].parent;
+        start[id] = p == kNoNode
+                        ? 0
+                        : (start[p] + nodes_[p].powerW.size()) %
+                              period;
+    }
+    std::vector<double> self(nodes_.size(), 0.0);
+    for (size_t id = 0; id < nodes_.size(); ++id) {
+        const TreeNode &n = nodes_[id];
+        for (size_t c = 0; c < n.powerW.size(); ++c)
+            self[id] += double(n.powerW[c]) *
+                        tclk_by_phase[size_t((start[id] + c) %
+                                             period)];
+    }
+    EnergyMemo memo;
+    memo.state.assign(nodes_.size(), 0);
+    memo.best.assign(nodes_.size(), PathEnergy{});
+    return visit(*this, 0, self, loop_bound, memo);
 }
 
 } // namespace sym

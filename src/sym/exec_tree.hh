@@ -96,6 +96,22 @@ class ExecTree {
                              unsigned loop_bound = 0) const;
 
     /**
+     * maxPathEnergy under a repeating per-cycle clock schedule:
+     * post-reset cycle c costs powerW * tclk_by_phase[c % period]
+     * seconds (the operating-mode schedules of scenario::Scenario,
+     * where each phase runs at its mode's clock). Node start phases
+     * are reconstructed from parent pointers; the engine's dedup
+     * keys include the schedule phase, so every offset a merged node
+     * is reachable at is congruent mod the period and the body of a
+     * back-edge loop always spans a whole number of periods --
+     * making the per-phase costing well-defined and
+     * scheduling-independent. With a single-entry schedule this is
+     * exactly maxPathEnergy(tclk_by_phase[0], loop_bound).
+     */
+    PathEnergy maxPathEnergy(const std::vector<double> &tclk_by_phase,
+                             unsigned loop_bound = 0) const;
+
+    /**
      * The cycle-aligned upper-bound power envelope over *every* walk
      * of the tree: env[c] = max over all root-to-leaf walks of the
      * walk's power at cycle c. Unlike flatten() -- which emits each

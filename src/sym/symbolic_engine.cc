@@ -226,6 +226,18 @@ class Worker {
         sys_->attach(*sim_);
         ctx_ = std::make_unique<power::PowerContext>(sys_->netlist(),
                                                      cfg_.freqHz);
+        if (cfg_.scenario.hasModes()) {
+            // One (energy scale, clock) pair per schedule phase,
+            // resolved once against the library the netlist was
+            // built with (identical across worker clones).
+            const CellLibrary &lib = sys_->netlist().library();
+            const scenario::Scenario &scen = cfg_.scenario;
+            for (uint64_t ph = 0; ph < scen.modePeriod(); ++ph) {
+                const scenario::OperatingMode &m = scen.modeAt(ph);
+                modeFactors_.emplace_back(lib.energyScale(m.vdd),
+                                          m.freqHz);
+            }
+        }
         if (cfg_.recordActiveSets)
             everActive_.assign(sys_->netlist().numGates(), 0);
     }
@@ -405,6 +417,10 @@ class Worker {
             forcedPc = kNoForcedPc;
             bool applyRegs = applyInit;
             applyInit = false;
+            // The post-reset index of the cycle this step simulates
+            // (pathCycles increments right after), which selects the
+            // operating mode the cycle's power is computed at.
+            uint64_t cycleIdx = pathCycles;
             sim.step([&](Simulator &s) {
                 // Algorithm 1 line 11, generalized: the scenario
                 // says which port bits are X this cycle.
@@ -440,10 +456,33 @@ class Worker {
                 curInstr = lastPc; // the word under fetch
 
             // ---- Per-cycle Algorithm 2 assignment ----
-            double w = ctx.cycleBoundPowerW(sim);
+            // Under an operating-mode schedule the cycle's energy is
+            // scaled by its mode's (vdd/vdd_lib)^2 and its power uses
+            // the mode's clock; otherwise the classic fixed-point
+            // path (bit-identical: no extra arithmetic).
+            double w;
+            double modeScale = 1.0, modeFreq = ctx.freqHz();
+            if (modeFactors_.empty()) {
+                w = ctx.cycleBoundPowerW(sim);
+            } else {
+                const std::pair<double, double> &mf = modeFactors_
+                    [size_t(cycleIdx % modeFactors_.size())];
+                modeScale = mf.first;
+                modeFreq = mf.second;
+                w = ctx.cycleBoundPowerW(sim, modeScale, modeFreq);
+            }
             powerW.push_back(float(w));
             if (cfg_.recordModuleTrace) {
                 std::vector<double> mod = ctx.cycleModulePowerW(sim);
+                if (!modeFactors_.empty()) {
+                    // Same rescaling per module: (sw_m + static_m)
+                    // * scale * f_mode, expressed as a ratio against
+                    // the reference-clock value.
+                    double ratio =
+                        modeScale * (modeFreq / ctx.freqHz());
+                    for (double &m : mod)
+                        m *= ratio;
+                }
                 modulePowerW.emplace_back(mod.begin(), mod.end());
                 CycleInfo info;
                 info.instrPc = curInstr;
@@ -600,6 +639,9 @@ class Worker {
     msp::System *sys_ = nullptr;
     std::unique_ptr<Simulator> sim_;
     std::unique_ptr<power::PowerContext> ctx_;
+    /** Per-schedule-phase (energy scale, clock Hz); empty without
+     *  operating modes. */
+    std::vector<std::pair<double, double>> modeFactors_;
 };
 
 } // namespace
@@ -617,6 +659,18 @@ SymbolicEngine::run(const isa::Image &image)
     const Netlist &nl = sys_->netlist();
 
     unsigned numWorkers = cfg_.numThreads > 1 ? cfg_.numThreads : 1;
+
+    // Mode-schedule consistency first (like the regInit/ramInit
+    // validation below, programmatic scenarios must fail as cleanly
+    // as JSON ones) -- worker construction resolves mode voltages
+    // against the library, so a broken schedule must never get there.
+    try {
+        cfg_.scenario.validate();
+    } catch (const std::exception &e) {
+        res.ok = false;
+        res.error = e.what();
+        return res;
+    }
 
     // Algorithm 1 lines 2-5: everything X, load binary, reset. Worker
     // 0 wraps the caller's System; extra workers elaborate clones.
@@ -744,8 +798,13 @@ SymbolicEngine::run(const isa::Image &image)
     // ---- Section 3.3: peak energy over the tree ----
     power::PowerContext ctx(nl, cfg_.freqHz);
     try {
-        PathEnergy pe = res.tree.maxPathEnergy(
-            ctx.tclkS(), cfg_.inputDependentLoopBound);
+        PathEnergy pe =
+            cfg_.scenario.hasModes()
+                ? res.tree.maxPathEnergy(
+                      cfg_.scenario.phaseTclkS(),
+                      cfg_.inputDependentLoopBound)
+                : res.tree.maxPathEnergy(
+                      ctx.tclkS(), cfg_.inputDependentLoopBound);
         res.peakEnergyJ = pe.energyJ;
         res.maxPathCycles = pe.cycles;
         res.npeJPerCycle =

@@ -19,6 +19,7 @@
 
 #include "bench430/benchmarks.hh"
 #include "cli/driver.hh"
+#include "cli/fault_driver.hh"
 #include "peak/batch.hh"
 #include "tests/cpu_test_util.hh"
 
@@ -578,6 +579,57 @@ TEST(Cli, ParseArgs)
     const char *none[] = {"ulpeak"};
     cli::CliOptions o3;
     EXPECT_FALSE(cli::parseArgs(1, none, o3, err));
+}
+
+// --freq goes through parsePositiveDouble in both drivers: trailing
+// garbage, non-positive and non-finite values are usage errors, not
+// atof's silent truncation (atof("8e6x") == 8e6 used to run a whole
+// campaign at a typo'd operating point).
+TEST(Cli, FreqParsingRejectsTrailingGarbage)
+{
+    std::string err;
+    for (const char *v : {"8e6x", "0", "-1e6", "inf", "nan", ""}) {
+        const char *argv[] = {"ulpeak", "--freq", v, "mult"};
+        cli::CliOptions o;
+        EXPECT_FALSE(cli::parseArgs(4, argv, o, err)) << v;
+        EXPECT_NE(err.find("--freq"), std::string::npos) << v;
+
+        const char *fargv[] = {"ulfault", "mult", "--freq", v};
+        cli::FaultCliOptions fo;
+        EXPECT_FALSE(cli::parseFaultArgs(4, fargv, fo, err)) << v;
+        EXPECT_NE(err.find("--freq"), std::string::npos) << v;
+    }
+    const char *good[] = {"ulpeak", "--freq", "8e6", "mult"};
+    cli::CliOptions o;
+    ASSERT_TRUE(cli::parseArgs(4, good, o, err)) << err;
+    EXPECT_DOUBLE_EQ(o.freqHz, 8e6);
+    const char *fgood[] = {"ulfault", "mult", "--freq", "8e6"};
+    cli::FaultCliOptions fo;
+    ASSERT_TRUE(cli::parseFaultArgs(4, fgood, fo, err)) << err;
+    EXPECT_DOUBLE_EQ(fo.freqHz, 8e6);
+}
+
+TEST(Cli, ParseModesArgs)
+{
+    std::string err;
+    const char *argv[] = {"ulpeak", "--modes", "--no-timings", "mult"};
+    cli::CliOptions o;
+    ASSERT_TRUE(cli::parseArgs(4, argv, o, err)) << err;
+    EXPECT_TRUE(o.modes);
+    EXPECT_EQ(o.modesFormat, "table");
+    EXPECT_TRUE(o.noTimings);
+    // --modes implies envelope recording in the analysis options.
+    EXPECT_TRUE(cli::toBatchOptions(o).analysis.recordEnvelope);
+
+    const char *jsonv[] = {"ulpeak", "--modes=json", "mult"};
+    cli::CliOptions oj;
+    ASSERT_TRUE(cli::parseArgs(3, jsonv, oj, err)) << err;
+    EXPECT_EQ(oj.modesFormat, "json");
+
+    const char *bad[] = {"ulpeak", "--modes=xml", "mult"};
+    cli::CliOptions ob;
+    EXPECT_FALSE(cli::parseArgs(3, bad, ob, err));
+    EXPECT_NE(err.find("--modes"), std::string::npos);
 }
 
 TEST(Cli, ResolveProgramsAllAndErrors)

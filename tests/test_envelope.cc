@@ -383,7 +383,10 @@ TEST(EnvelopeSizing, DecapFormulaAndSupply)
         sizing::decapFarads(1e-9, 1.2, 1.2 * sizing::kDecapVminRatio),
         2e-9 / (1.2 * 1.2 * (1.0 - sizing::kDecapVminRatio *
                                        sizing::kDecapVminRatio)));
-    EXPECT_EQ(sizing::decapFarads(1e-9, 1.0, 1.0), 0.0);
+    // Zero (or negative) discharge headroom has no finite answer;
+    // it used to return a silently wrong 0.0 F.
+    EXPECT_THROW(sizing::decapFarads(1e-9, 1.0, 1.0),
+                 std::invalid_argument);
 
     std::vector<unsigned> windows = {1, 10};
     std::vector<double> peakE = {1e-11, 8e-11};

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -464,6 +465,209 @@ TEST(Scenario, BatchMatrixAndPerScenarioAggregates)
     EXPECT_EQ(cli::toCsv(rep).substr(0, cli::toCsv(rep).find("wall")),
               cli::toCsv(rep4).substr(0,
                                       cli::toCsv(rep4).find("wall")));
+}
+
+TEST(Scenario, ModeJsonParsing)
+{
+    Scenario s = Scenario::fromJson(R"({
+        "name": "duty",
+        "modes": [{"name": "burst", "vdd": 1.0, "freq_hz": 100e6},
+                  {"name": "sleep", "vdd": 0.6, "freq_hz": 8e6}],
+        "mode_schedule": ["burst", 1, "sleep", 0],
+        "assert": [{"mode": "sleep", "max_power_w": 1e-3,
+                    "settle_cycles": 2}]
+    })");
+    ASSERT_EQ(s.modes.size(), 2u);
+    EXPECT_EQ(s.modes[0].name, "burst");
+    EXPECT_DOUBLE_EQ(s.modes[1].vdd, 0.6);
+    // Names and indices resolve to the same schedule regardless of
+    // key order in the file.
+    EXPECT_EQ(s.modeSchedule, (std::vector<uint32_t>{0, 1, 1, 0}));
+    ASSERT_EQ(s.assertions.size(), 1u);
+    EXPECT_EQ(s.assertions[0].mode, "sleep");
+    EXPECT_DOUBLE_EQ(s.assertions[0].maxPowerW, 1e-3);
+    EXPECT_EQ(s.assertions[0].settleCycles, 2u);
+    EXPECT_TRUE(s.hasModes());
+    EXPECT_FALSE(s.isUnconstrained()); // modes change the numbers
+    EXPECT_EQ(s.modePeriod(), 4u);
+    EXPECT_EQ(s.modeAt(6).name, "sleep"); // wraps: 6 % 4 = 2
+    ASSERT_EQ(s.phaseTclkS().size(), 4u);
+    EXPECT_DOUBLE_EQ(s.phaseTclkS()[0], 1.0 / 100e6);
+    EXPECT_DOUBLE_EQ(s.phaseTclkS()[2], 1.0 / 8e6);
+}
+
+TEST(Scenario, ModeJsonRejectsMalformedInputs)
+{
+    const char *mode_hdr = R"({"modes": [{"name": "a", "vdd": 1.0,
+                                          "freq_hz": 1e6}],)";
+    // A schedule with nothing to schedule.
+    EXPECT_THROW(Scenario::fromJson(R"({"mode_schedule": [0]})"),
+                 std::runtime_error);
+    // Unknown mode names and out-of-range indices.
+    EXPECT_THROW(Scenario::fromJson(std::string(mode_hdr) +
+                                    R"("mode_schedule": ["b"]})"),
+                 std::runtime_error);
+    EXPECT_THROW(Scenario::fromJson(std::string(mode_hdr) +
+                                    R"("mode_schedule": [1]})"),
+                 std::runtime_error);
+    // Empty schedules are a structural error, not "no schedule".
+    EXPECT_THROW(Scenario::fromJson(std::string(mode_hdr) +
+                                    R"("mode_schedule": []})"),
+                 std::runtime_error);
+    // Non-positive vdd / freq.
+    EXPECT_THROW(Scenario::fromJson(
+                     R"({"modes": [{"name": "a", "vdd": 0,
+                                    "freq_hz": 1e6}]})"),
+                 std::runtime_error);
+    EXPECT_THROW(Scenario::fromJson(
+                     R"({"modes": [{"name": "a", "vdd": 1.0,
+                                    "freq_hz": -8e6}]})"),
+                 std::runtime_error);
+    // Duplicate mode names (two legal modes, colliding labels).
+    EXPECT_THROW(Scenario::fromJson(
+                     R"({"modes": [
+                         {"name": "a", "vdd": 1.0, "freq_hz": 1e6},
+                         {"name": "a", "vdd": 0.6, "freq_hz": 8e6}]})"),
+                 std::runtime_error);
+    // Duplicate object keys never silently last-write-wins.
+    EXPECT_THROW(Scenario::fromJson(
+                     R"({"modes": [{"name": "a", "vdd": 1.0,
+                                    "freq_hz": 1e6}],
+                         "modes": [{"name": "b", "vdd": 0.6,
+                                    "freq_hz": 8e6}]})"),
+                 std::runtime_error);
+    // Incomplete mode objects.
+    EXPECT_THROW(Scenario::fromJson(
+                     R"({"modes": [{"name": "a", "vdd": 1.0}]})"),
+                 std::runtime_error);
+    // Assertions must name a declared mode with a positive ceiling.
+    EXPECT_THROW(Scenario::fromJson(std::string(mode_hdr) +
+                                    R"("assert": [{"mode": "nope",
+                                        "max_power_w": 1e-3}]})"),
+                 std::runtime_error);
+    EXPECT_THROW(Scenario::fromJson(std::string(mode_hdr) +
+                                    R"("assert": [{"mode": "a",
+                                        "max_power_w": 0}]})"),
+                 std::runtime_error);
+}
+
+TEST(Scenario, DedupPhaseMixesPortAndModePeriods)
+{
+    Scenario s = Scenario::preset("periodic-sensor"); // port period 8
+    s.modes.push_back({"a", 1.0, 1e6});
+    s.modes.push_back({"b", 0.8, 1e6});
+    s.modeSchedule = {0, 1, 1}; // mode period 3
+    // Mixed-radix: equal dedupPhase iff congruent mod both periods.
+    EXPECT_EQ(s.dedupPhase(0), s.dedupPhase(24)); // lcm(8,3) = 24
+    EXPECT_NE(s.dedupPhase(0), s.dedupPhase(8));  // same port phase
+    EXPECT_NE(s.dedupPhase(0), s.dedupPhase(3));  // same mode phase
+    std::vector<uint64_t> phases;
+    for (uint64_t c = 0; c < 24; ++c)
+        phases.push_back(s.dedupPhase(c));
+    std::sort(phases.begin(), phases.end());
+    EXPECT_EQ(std::unique(phases.begin(), phases.end()),
+              phases.end()); // injective over one combined period
+}
+
+TEST(Scenario, ContentHashSeesModesButNotLabels)
+{
+    auto key = [](const Scenario &s) {
+        uint64_t h = 1469598103934665603ull;
+        s.hashInto(h);
+        return h;
+    };
+    Scenario a = Scenario::preset("duty-cycled-dvfs");
+    Scenario renamed = a;
+    renamed.modes[0].name = "sprint";
+    EXPECT_EQ(key(a), key(renamed)); // labels never split the cache
+
+    Scenario asserted = a;
+    asserted.assertions.push_back({"sleep", 1e-3, 2});
+    EXPECT_EQ(key(a), key(asserted)); // post-processing only
+
+    Scenario vddChanged = a;
+    vddChanged.modes[1].vdd = 0.7;
+    EXPECT_NE(key(a), key(vddChanged));
+    Scenario freqChanged = a;
+    freqChanged.modes[0].freqHz = 50e6;
+    EXPECT_NE(key(a), key(freqChanged));
+    Scenario reScheduled = a;
+    reScheduled.modeSchedule[7] = 0;
+    EXPECT_NE(key(a), key(reScheduled));
+
+    // And the analysis cache key inherits the distinction.
+    isa::Image img =
+        bench430::benchmarkByName("mult").assembleImage();
+    CellLibrary lib = CellLibrary::tsmc65Like();
+    peak::Options u;
+    peak::Options m;
+    m.scenario = a;
+    EXPECT_NE(peak::cacheKey(lib, img, u), peak::cacheKey(lib, img, m));
+}
+
+// A mode schedule re-prices cycles but never changes which executions
+// exist, so lowering every operating point can only tighten the
+// bounds -- and the mode-priced analysis must stay bit-identical
+// across thread counts and snapshot modes (mode phases join the
+// dedup keys).
+TEST(Scenario, ModeScheduleDominanceAndDeterminism)
+{
+    msp::System sys(CellLibrary::tsmc65Like());
+    isa::Image img = isa::assemble(portBranchSource());
+
+    peak::Options base;
+    base.recordEnvelope = true;
+    base.scenario = Scenario::preset("duty-cycled-dvfs");
+    peak::Report rb = peak::analyze(sys, img, base);
+    ASSERT_TRUE(rb.ok) << rb.error;
+
+    peak::Options lowered = base;
+    for (scenario::OperatingMode &m : lowered.scenario.modes) {
+        m.vdd *= 0.8;
+        m.freqHz *= 0.5;
+    }
+    peak::Report rl = peak::analyze(sys, img, lowered);
+    ASSERT_TRUE(rl.ok) << rl.error;
+    EXPECT_LE(rl.peakPowerW, rb.peakPowerW);
+    EXPECT_LE(rl.peakEnergyJ, rb.peakEnergyJ * (1 + 1e-6));
+    ASSERT_EQ(rl.envelope.powerW.size(), rb.envelope.powerW.size());
+    for (size_t c = 0; c < rl.envelope.powerW.size(); ++c)
+        ASSERT_LE(rl.envelope.powerW[c], rb.envelope.powerW[c]) << c;
+
+    peak::Options par = base;
+    par.numThreads = 4;
+    expectIdenticalReports(rb, peak::analyze(sys, img, par));
+    peak::Options full = base;
+    full.snapshotMode = sym::SnapshotMode::Full;
+    expectIdenticalReports(rb, peak::analyze(sys, img, full));
+    peak::Options sweep = base;
+    sweep.evalMode = EvalMode::FullSweep;
+    expectIdenticalReports(rb, peak::analyze(sys, img, sweep));
+}
+
+// The --modes report (JSON without timings) is byte-identical across
+// batch worker counts, like every other deterministic artifact.
+TEST(Scenario, ModeReportByteIdenticalAcrossJobs)
+{
+    auto suite = cli::resolvePrograms({"mult", "intAVG"});
+    peak::BatchOptions opts;
+    opts.analysis.recordEnvelope = true;
+    opts.scenarios = {Scenario::preset("duty-cycled-dvfs")};
+    opts.scenarios[0].assertions.push_back({"sleep", 1e-3, 2});
+    peak::BatchReport r1 = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, opts);
+    ASSERT_TRUE(r1.ok);
+    peak::BatchOptions par = opts;
+    par.jobs = 4;
+    peak::BatchReport r4 = peak::analyzeBatch(
+        CellLibrary::tsmc65Like(), suite, par);
+    double vdd = CellLibrary::tsmc65Like().vdd();
+    auto m1 = cli::buildModeReports(r1, opts.scenarios, vdd);
+    auto m4 = cli::buildModeReports(r4, par.scenarios, vdd);
+    EXPECT_EQ(cli::toModesJson(r1, m1), cli::toModesJson(r4, m4));
+    EXPECT_EQ(cli::toModesCsv(r1, m1), cli::toModesCsv(r4, m4));
+    EXPECT_EQ(cli::toJson(r1, opts, /*include_timings=*/false),
+              cli::toJson(r4, par, /*include_timings=*/false));
 }
 
 TEST(Scenario, BatchCacheIsScenarioAware)

@@ -39,6 +39,25 @@ TEST(Sizing, BatterySizing)
     EXPECT_NEAR(batteryMassG(460.0, liion), 1.0, 1e-12);
 }
 
+TEST(Sizing, DecapNeedsDischargeHeadroom)
+{
+    // The nominal model: 5% droop from a 1.0 V rail.
+    double c = decapFarads(1e-9, 1.0, kDecapVminRatio * 1.0);
+    EXPECT_NEAR(c, 2e-9 / (1.0 - 0.95 * 0.95), 1e-18);
+
+    // vmin >= vdd has no discharge headroom: no finite capacitor
+    // delivers the energy, so this must throw instead of returning
+    // the old silently-wrong 0.0 F. A DVFS sleep mode near
+    // kDecapVminRatio * vdd_nominal is exactly the caller that used
+    // to hit it.
+    EXPECT_THROW(decapFarads(1e-9, 1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(decapFarads(1e-9, 0.95, 1.0), std::invalid_argument);
+    EXPECT_THROW(decapFarads(1e-9, 0.6, 0.95),
+                 std::invalid_argument);
+    // Just inside the floor still sizes.
+    EXPECT_GT(decapFarads(1e-9, 1.0, 0.9999), 0.0);
+}
+
 TEST(Sizing, ReductionFormulaMatchesPaperStructure)
 {
     // Table 5.1 structure: reduction scales linearly with the

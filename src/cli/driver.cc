@@ -112,18 +112,12 @@ envelopeJson(const ulpeak::peak::Envelope &env)
     return o.str();
 }
 
+/** Shared whole-token integer parsing (cli/parse_util.hh): rejects
+ *  trailing garbage and "-1"-style wraparound like the other CLIs. */
 bool
 parseUnsigned(const std::string &s, uint64_t &out)
 {
-    // Digits only: strtoull would silently wrap "-1" to a huge value.
-    if (s.empty())
-        return false;
-    for (char c : s)
-        if (!std::isdigit(static_cast<unsigned char>(c)))
-            return false;
-    char *end = nullptr;
-    out = std::strtoull(s.c_str(), &end, 10);
-    return end && *end == '\0';
+    return parseUnsignedInt(s.c_str(), out);
 }
 
 } // namespace
@@ -151,6 +145,10 @@ usage()
         "  --loop-bound N    input-dependent loop bound    (default 0)\n"
         "  --max-cycles N    total symbolic cycle budget "
         "(default 3000000)\n"
+        "  --static-prune    skip gates the static lint analysis\n"
+        "                    proves constant under each scenario\n"
+        "                    (see ullint; never changes a reported\n"
+        "                    number)\n"
         "  --json FILE       write the suite report as JSON\n"
         "  --csv FILE        write per-program rows as CSV\n"
         "  --envelope[=json|csv]\n"
@@ -214,8 +212,22 @@ parseArgs(int argc, const char *const *argv, CliOptions &out,
             if (!v)
                 return false;
             splitSpecs(v);
-        } else if (a == "--jobs" || a == "--threads" ||
-                   a == "--loop-bound" || a == "--max-cycles") {
+        } else if (a == "--jobs" || a == "--threads") {
+            const char *v = value(a.c_str());
+            if (!v)
+                return false;
+            // Worker counts: a whole positive integer (0 workers is
+            // as much a typo as trailing garbage).
+            unsigned n = 0;
+            if (!parsePositiveInt(v, n)) {
+                err = a + ": not a positive worker count: " + v;
+                return false;
+            }
+            if (a == "--jobs")
+                out.jobs = n;
+            else
+                out.threads = n;
+        } else if (a == "--loop-bound" || a == "--max-cycles") {
             const char *v = value(a.c_str());
             if (!v)
                 return false;
@@ -224,11 +236,7 @@ parseArgs(int argc, const char *const *argv, CliOptions &out,
                 err = a + ": not a number: " + v;
                 return false;
             }
-            if (a == "--jobs")
-                out.jobs = unsigned(n);
-            else if (a == "--threads")
-                out.threads = unsigned(n);
-            else if (a == "--loop-bound")
+            if (a == "--loop-bound")
                 out.loopBound = unsigned(n);
             else
                 out.maxTotalCycles = n;
@@ -279,6 +287,8 @@ parseArgs(int argc, const char *const *argv, CliOptions &out,
                     return false;
                 }
             }
+        } else if (a == "--static-prune") {
+            out.staticPrune = true;
         } else if (a == "--no-timings") {
             out.noTimings = true;
         } else if (a == "--scenario") {
@@ -401,6 +411,7 @@ toBatchOptions(const CliOptions &cli)
     b.analysis.numThreads = cli.threads;
     b.analysis.inputDependentLoopBound = cli.loopBound;
     b.analysis.maxTotalCycles = cli.maxTotalCycles;
+    b.analysis.staticPrune = cli.staticPrune;
     // The mode report is sliced from the envelope, so --modes
     // records one even without an explicit --envelope.
     b.analysis.recordEnvelope = cli.envelope || cli.modes;

@@ -51,6 +51,11 @@ struct CliOptions {
     EvalMode evalMode = EvalMode::EventDriven; ///< --eval-mode
     unsigned loopBound = 0;     ///< --loop-bound
     uint64_t maxTotalCycles = 3000000; ///< --max-cycles
+    /** --static-prune: skip gates lint::analyzeConstants proves
+     *  constant under each scenario (peak::Options::staticPrune).
+     *  Never changes a reported number (fuzz property 9), so like
+     *  --eval-mode it is excluded from the result cache key. */
+    bool staticPrune = false;
     std::string jsonPath;       ///< --json FILE ("" = no JSON output)
     std::string csvPath;        ///< --csv FILE ("" = no CSV output)
     /** --envelope[=json|csv]: record per-cycle peak power envelopes

@@ -70,14 +70,12 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/** Shared whole-token integer parsing (cli/parse_util.hh): rejects
+ *  trailing garbage and "-1"-style wraparound like the other CLIs. */
 bool
 parseU64(const std::string &s, uint64_t &out)
 {
-    if (s.empty())
-        return false;
-    char *end = nullptr;
-    out = std::strtoull(s.c_str(), &end, 10);
-    return end && *end == '\0';
+    return parseUnsignedInt(s.c_str(), out);
 }
 
 const char *
@@ -249,20 +247,17 @@ parseFaultArgs(int argc, const char *const *argv, FaultCliOptions &out,
             }
             ++i;
         } else if (a == "--jobs") {
-            uint64_t n;
-            if (!(v = need(i)) || !parseU64(v, n) || !n) {
+            if (!(v = need(i)) || !parsePositiveInt(v, out.jobs)) {
                 err = "--jobs needs a positive integer";
                 return false;
             }
-            out.jobs = unsigned(n);
             ++i;
         } else if (a == "--cycles-per-site") {
-            uint64_t n;
-            if (!(v = need(i)) || !parseU64(v, n) || !n) {
+            if (!(v = need(i)) ||
+                !parsePositiveInt(v, out.cyclesPerSite)) {
                 err = "--cycles-per-site needs a positive integer";
                 return false;
             }
-            out.cyclesPerSite = unsigned(n);
             ++i;
         } else if (a == "--max-sites") {
             uint64_t n;

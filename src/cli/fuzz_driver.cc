@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "cli/parse_util.hh"
 #include "cosim/cosim.hh"
 #include "fuzz/program_gen.hh"
 #include "fuzz/properties.hh"
@@ -25,6 +26,7 @@ constexpr uint64_t kScenarioStream = 4ull << 32;
 constexpr uint64_t kPackedStream = 5ull << 32;
 constexpr uint64_t kFaultStream = 6ull << 32;
 constexpr uint64_t kDvfsStream = 7ull << 32;
+constexpr uint64_t kLintStream = 8ull << 32;
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
@@ -71,11 +73,14 @@ fuzzUsage()
         "  --dvfs-programs N  operating-mode dominance programs\n"
         "                    (default 8; `--mode dvfs` also honors a\n"
         "                    bare --programs N as the item count)\n"
+        "  --lint-programs N  static-prune soundness programs\n"
+        "                    (default 6; `--mode lint` also honors a\n"
+        "                    bare --programs N as the item count)\n"
         "  --instr N         body items per program (default 24)\n"
         "  --threads K       K of the 1-vs-K thread check (default 4)\n"
         "  --kernel-cycles N cycles per netlist run (default 64)\n"
         "  --mode M          all|cosim|kernel|sym|envelope|scenario\n"
-        "                    |packed|fault|dvfs (default all)\n"
+        "                    |packed|fault|dvfs|lint (default all)\n"
         "  --only I          run only item index I of the selected\n"
         "                    mode (replay a reported failure)\n"
         "  --dump-programs   print every generated program\n"
@@ -98,6 +103,24 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
         }
         return argv[++i];
     };
+    // Item counts and cycle budgets: whole unsigned token required
+    // (trailing garbage rejected), zero allowed -- `--netlists 0`
+    // legitimately skips a property.
+    auto countArg = [&](int &i, const char *flag,
+                        unsigned &dst) -> bool {
+        const char *v = value(i, flag);
+        if (!v)
+            return false;
+        uint64_t n = 0;
+        if (!parseUnsignedInt(v, n) ||
+            n > std::numeric_limits<unsigned>::max()) {
+            err = std::string(flag) + " expects an unsigned count, "
+                  "got \"" + v + "\"";
+            return false;
+        }
+        dst = unsigned(n);
+        return true;
+    };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         const char *v = nullptr;
@@ -106,69 +129,71 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
         } else if (a == "--seed") {
             if (!(v = value(i, "--seed")))
                 return false;
-            out.seed = std::strtoull(v, nullptr, 0);
-        } else if (a == "--programs") {
-            if (!(v = value(i, "--programs")))
+            if (!parseUnsignedInt(v, out.seed)) {
+                err = std::string("--seed expects an unsigned "
+                                  "integer, got \"") + v + "\"";
                 return false;
-            out.programs = unsigned(std::strtoul(v, nullptr, 0));
+            }
+        } else if (a == "--programs") {
+            if (!countArg(i, "--programs", out.programs))
+                return false;
             out.programsGiven = true;
         } else if (a == "--netlists") {
-            if (!(v = value(i, "--netlists")))
+            if (!countArg(i, "--netlists", out.netlists))
                 return false;
-            out.netlists = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--sym-programs") {
-            if (!(v = value(i, "--sym-programs")))
+            if (!countArg(i, "--sym-programs", out.symPrograms))
                 return false;
-            out.symPrograms = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--env-programs") {
-            if (!(v = value(i, "--env-programs")))
+            if (!countArg(i, "--env-programs", out.envPrograms))
                 return false;
-            out.envPrograms = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--scn-programs") {
-            if (!(v = value(i, "--scn-programs")))
+            if (!countArg(i, "--scn-programs", out.scnPrograms))
                 return false;
-            out.scnPrograms = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--packed-netlists") {
-            if (!(v = value(i, "--packed-netlists")))
+            if (!countArg(i, "--packed-netlists", out.packedNetlists))
                 return false;
-            out.packedNetlists = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--packed-programs") {
-            if (!(v = value(i, "--packed-programs")))
+            if (!countArg(i, "--packed-programs", out.packedPrograms))
                 return false;
-            out.packedPrograms = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--fault-netlists") {
-            if (!(v = value(i, "--fault-netlists")))
+            if (!countArg(i, "--fault-netlists", out.faultNetlists))
                 return false;
-            out.faultNetlists = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--fault-programs") {
-            if (!(v = value(i, "--fault-programs")))
+            if (!countArg(i, "--fault-programs", out.faultPrograms))
                 return false;
-            out.faultPrograms = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--dvfs-programs") {
-            if (!(v = value(i, "--dvfs-programs")))
+            if (!countArg(i, "--dvfs-programs", out.dvfsPrograms))
                 return false;
-            out.dvfsPrograms = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--lint-programs") {
+            if (!countArg(i, "--lint-programs", out.lintPrograms))
+                return false;
         } else if (a == "--instr") {
-            if (!(v = value(i, "--instr")))
+            if (!countArg(i, "--instr", out.instructions))
                 return false;
-            out.instructions = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--threads") {
             if (!(v = value(i, "--threads")))
                 return false;
-            out.threads = unsigned(std::strtoul(v, nullptr, 0));
-            if (out.threads < 2) {
-                err = "--threads must be >= 2 (it is the K of the "
-                      "1-vs-K comparison)";
+            if (!parsePositiveInt(v, out.threads) ||
+                out.threads < 2) {
+                err = "--threads must be an integer >= 2 (it is the "
+                      "K of the 1-vs-K comparison)";
                 return false;
             }
         } else if (a == "--kernel-cycles") {
-            if (!(v = value(i, "--kernel-cycles")))
+            if (!countArg(i, "--kernel-cycles", out.kernelCycles))
                 return false;
-            out.kernelCycles = unsigned(std::strtoul(v, nullptr, 0));
         } else if (a == "--only") {
             if (!(v = value(i, "--only")))
                 return false;
-            out.only = std::strtol(v, nullptr, 0);
+            uint64_t idx = 0;
+            if (!parseUnsignedInt(v, idx) ||
+                idx > uint64_t(std::numeric_limits<long>::max())) {
+                err = std::string("--only expects an item index, "
+                                  "got \"") + v + "\"";
+                return false;
+            }
+            out.only = long(idx);
         } else if (a == "--mode") {
             if (!(v = value(i, "--mode")))
                 return false;
@@ -177,9 +202,10 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
                 out.mode != "kernel" && out.mode != "sym" &&
                 out.mode != "envelope" && out.mode != "scenario" &&
                 out.mode != "packed" && out.mode != "fault" &&
-                out.mode != "dvfs") {
+                out.mode != "dvfs" && out.mode != "lint") {
                 err = "--mode must be all, cosim, kernel, sym, "
-                      "envelope, scenario, packed, fault or dvfs";
+                      "envelope, scenario, packed, fault, dvfs or "
+                      "lint";
                 return false;
             }
         } else if (a == "--dump-programs") {
@@ -542,6 +568,48 @@ runDvfs(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
     }
 }
 
+void
+runLint(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
+{
+    fuzz::ProgramGenOptions gen;
+    // Same sizing rationale as the sym mode: every X-dependent branch
+    // forks the tree, so keep bodies short.
+    gen.instructions = cli.instructions / 2 + 1;
+    // `--mode lint --programs N` means N lint items, like dvfs.
+    unsigned items = cli.lintPrograms;
+    if (cli.mode == "lint" && cli.programsGiven)
+        items = cli.programs;
+    for (unsigned i = 0; i < items; ++i) {
+        if (!selected(cli, i))
+            continue;
+        fuzz::Rng rng(
+            fuzz::Rng::deriveStream(cli.seed, kLintStream + i));
+        fuzz::GeneratedProgram prog = fuzz::generateProgram(rng, gen);
+        if (cli.dumpPrograms)
+            std::printf("--- lint item %u ---\n%s\n", i,
+                        prog.source.c_str());
+        ++c.run;
+        try {
+            isa::Image image = isa::assemble(prog.source);
+            fuzz::PropertyResult r = fuzz::staticPruneCheck(
+                sys, image, rng, cli.threads);
+            if (!r.ok) {
+                ++c.failed;
+                std::printf("lint item %u (seed %llu) PRUNE "
+                            "UNSOUNDNESS:\n%sprogram:\n%s\n",
+                            i, (unsigned long long)cli.seed,
+                            r.detail.c_str(), prog.source.c_str());
+            }
+        } catch (const std::exception &e) {
+            ++c.failed;
+            std::printf("lint item %u (seed %llu) "
+                        "generator/assembler error: %s\nprogram:\n%s\n",
+                        i, (unsigned long long)cli.seed, e.what(),
+                        prog.source.c_str());
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -561,7 +629,7 @@ runFuzzCli(int argc, const char *const *argv)
 
     auto t0 = std::chrono::steady_clock::now();
     Counters cosimC, kernelC, symC, envC, scnC, packedC, faultC,
-        dvfsC;
+        dvfsC, lintC;
 
     // One System serves every property: the netlist is immutable, and
     // each run reloads the behavioral memory.
@@ -583,15 +651,17 @@ runFuzzCli(int argc, const char *const *argv)
         runFault(cli, faultC);
     if (cli.mode == "all" || cli.mode == "dvfs")
         runDvfs(cli, sys, dvfsC);
+    if (cli.mode == "all" || cli.mode == "lint")
+        runLint(cli, sys, lintC);
 
     unsigned failed = cosimC.failed + kernelC.failed + symC.failed +
                       envC.failed + scnC.failed + packedC.failed +
-                      faultC.failed + dvfsC.failed;
+                      faultC.failed + dvfsC.failed + lintC.failed;
     if (!cli.quiet || failed) {
         std::printf("ulfuzz seed %llu: cosim %u/%u ok, kernel %u/%u "
                     "ok, sym %u/%u ok, envelope %u/%u ok, scenario "
                     "%u/%u ok, packed %u/%u ok, fault %u/%u ok, dvfs "
-                    "%u/%u ok (%.1fs)\n",
+                    "%u/%u ok, lint %u/%u ok (%.1fs)\n",
                     (unsigned long long)cli.seed,
                     cosimC.run - cosimC.failed, cosimC.run,
                     kernelC.run - kernelC.failed, kernelC.run,
@@ -601,6 +671,7 @@ runFuzzCli(int argc, const char *const *argv)
                     packedC.run - packedC.failed, packedC.run,
                     faultC.run - faultC.failed, faultC.run,
                     dvfsC.run - dvfsC.failed, dvfsC.run,
+                    lintC.run - lintC.failed, lintC.run,
                     secondsSince(t0));
     }
     return failed ? 1 : 0;

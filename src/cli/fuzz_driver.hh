@@ -3,7 +3,7 @@
  * The `ulfuzz` command-line driver: seeded differential fuzzing of
  * the whole stack, built on src/fuzz and src/cosim.
  *
- * One run checks eight properties end-to-end (docs/testing.md):
+ * One run checks nine properties end-to-end (docs/testing.md):
  *
  *  1. cosim  -- ISS <-> gate-level lockstep equivalence on
  *               --programs random programs;
@@ -44,7 +44,18 @@
  *               both kernels and both snapshot modes, and bound
  *               every mode-obeying concrete run, on --dvfs-programs
  *               random programs (`--mode dvfs` honors a bare
- *               --programs N as the item count too).
+ *               --programs N as the item count too);
+ *  9. lint   -- static-prune soundness: the netlist passes
+ *               structural lint, every constant the scenario-aware
+ *               const analysis proves is held by a concrete
+ *               scenario-obeying run from the engage cycle on, and
+ *               the analysis with Options::staticPrune reports
+ *               bit-identical peak power / energy / NPE / envelope /
+ *               ever-active set to the unpruned run, with the pruned
+ *               runs themselves bit-identical across 1-vs-K threads,
+ *               both kernels and both snapshot modes, on
+ *               --lint-programs random programs (`--mode lint`
+ *               honors a bare --programs N as the item count too).
  *
  * Every work item derives its own PRNG stream from (--seed, index),
  * and each failure prints the item index, so
@@ -81,16 +92,18 @@ struct FuzzCliOptions {
                                 ///< determinism programs
     unsigned dvfsPrograms = 8;  ///< --dvfs-programs: mode-dominance
                                 ///< runs
+    unsigned lintPrograms = 6;  ///< --lint-programs: static-prune
+                                ///< soundness runs
     unsigned instructions = 24; ///< --instr: body items per program
     unsigned threads = 4;      ///< --threads: K of the 1-vs-K check
     unsigned kernelCycles = 64; ///< --kernel-cycles per netlist
     long only = -1;            ///< --only INDEX: replay one item
     std::string mode = "all";  ///< --mode
                                ///< all|cosim|kernel|sym|envelope|
-                               ///< scenario|packed|fault|dvfs
+                               ///< scenario|packed|fault|dvfs|lint
     bool programsGiven = false; ///< --programs was on the command line
-                                ///< (`--mode dvfs` reuses it as the
-                                ///< dvfs item count)
+                                ///< (`--mode dvfs` / `--mode lint`
+                                ///< reuse it as their item count)
     bool dumpPrograms = false; ///< --dump-programs: print sources
     bool quiet = false;        ///< --quiet: only the summary line
     bool help = false;         ///< --help

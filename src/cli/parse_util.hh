@@ -8,8 +8,11 @@
 #ifndef ULPEAK_CLI_PARSE_UTIL_HH
 #define ULPEAK_CLI_PARSE_UTIL_HH
 
+#include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 namespace ulpeak {
@@ -41,6 +44,40 @@ inline bool
 parsePositiveDouble(const std::string &s, double &out)
 {
     return parsePositiveDouble(s.c_str(), out);
+}
+
+/**
+ * Parse @p s as an unsigned integer (decimal, or hex/octal via the
+ * usual 0x/0 prefixes). Like parsePositiveDouble the whole token
+ * must be consumed: "4x", "1e3" and "3 jobs" are rejected, not
+ * truncated. Returns false (leaving @p out untouched) on empty
+ * input, a leading minus sign, trailing characters, or overflow.
+ */
+inline bool
+parseUnsignedInt(const char *s, uint64_t &out)
+{
+    if (!s || !*s || *s == '-')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s, &end, 0);
+    if (!end || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+/** parseUnsignedInt restricted to values >= 1 and fitting unsigned
+ *  (the shape of every --jobs / --threads / item-count option). */
+inline bool
+parsePositiveInt(const char *s, unsigned &out)
+{
+    uint64_t v = 0;
+    if (!parseUnsignedInt(s, v) || v == 0 ||
+        v > std::numeric_limits<unsigned>::max())
+        return false;
+    out = unsigned(v);
+    return true;
 }
 
 } // namespace cli

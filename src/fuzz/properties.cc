@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "fault/campaign.hh"
+#include "lint/lint.hh"
 #include "peak/peak_analysis.hh"
 #include "peak/validation.hh"
 #include "power/analysis.hh"
@@ -979,6 +980,206 @@ modeDominanceCheck(msp::System &sys, const isa::Image &image,
             res.detail = os.str();
             return res;
         }
+    }
+    return res;
+}
+
+namespace {
+
+/**
+ * compareReports minus the tree-shape statistics: with
+ * maxPruneDepth > 0 the pruned run hashes pre-engage forks with the
+ * full basis and post-engage forks with the pruned one, so a dedup
+ * merge between a pre- and a post-engage state can be missed and the
+ * exploration re-walks a (bound-identical) duplicate subtree.
+ * totalCycles / pathsExplored / dedupMerges may therefore differ
+ * from the unpruned run; every reported *bound* may not.
+ */
+std::string
+comparePrunedBounds(const peak::Report &a, const peak::Report &b,
+                    const char *what_a, const char *what_b)
+{
+    std::ostringstream os;
+    if (!a.ok && !b.ok) {
+        if (a.error != b.error)
+            os << "errors differ: " << what_a << "=\"" << a.error
+               << "\" " << what_b << "=\"" << b.error << "\"\n";
+        return os.str();
+    }
+    if (!a.ok || !b.ok) {
+        os << what_a << " ok=" << a.ok << " (" << a.error << "), "
+           << what_b << " ok=" << b.ok << " (" << b.error << ")\n";
+        return os.str();
+    }
+    auto field = [&](const char *name, double va, double vb) {
+        if (va != vb)
+            os << name << ": " << what_a << "=" << va << " "
+               << what_b << "=" << vb << "\n";
+    };
+    field("peakPowerW", a.peakPowerW, b.peakPowerW);
+    field("peakEnergyJ", a.peakEnergyJ, b.peakEnergyJ);
+    field("npeJPerCycle", a.npeJPerCycle, b.npeJPerCycle);
+    field("maxPathCycles", double(a.maxPathCycles),
+          double(b.maxPathCycles));
+    if (a.envelope.present != b.envelope.present) {
+        os << "envelope.present: " << what_a << "="
+           << a.envelope.present << " " << what_b << "="
+           << b.envelope.present << "\n";
+    } else if (a.envelope.present) {
+        if (a.envelope.powerW != b.envelope.powerW)
+            os << "envelope.powerW: traces differ (" << what_a << " "
+               << a.envelope.powerW.size() << " cycles, " << what_b
+               << " " << b.envelope.powerW.size() << " cycles)\n";
+        if (a.envelope.windowEnergyJ != b.envelope.windowEnergyJ)
+            os << "envelope.windowEnergyJ: curves differ\n";
+        if (a.envelope.peakWindowEnergyJ !=
+            b.envelope.peakWindowEnergyJ)
+            os << "envelope.peakWindowEnergyJ: peaks differ\n";
+    }
+    if (a.everActive != b.everActive)
+        os << "everActive: sets differ\n";
+    return os.str();
+}
+
+} // namespace
+
+PropertyResult
+staticPruneCheck(msp::System &sys, const isa::Image &image, Rng &rng,
+                 unsigned threads)
+{
+    PropertyResult res;
+    std::ostringstream os;
+
+    // 1 in 4 unconstrained (the ullint / `ulpeak --static-prune`
+    // default, where only reset/irq/Const seeds prune), else a random
+    // port scenario so pinned-bit cones join the mask.
+    scenario::Scenario scn;
+    if (!rng.chance(25))
+        scn = randomScenario(rng);
+
+    // --- Static claims validated against a concrete run -----------
+    // The real core must be structurally clean: pruning (and the
+    // lint CLI's exit status) assume no comb loops, no floating
+    // inputs, no overlapping hook drivers.
+    const Netlist &nl = sys.netlist();
+    lint::StructuralReport sr = lint::structuralLint(nl);
+    if (sr.errors() != 0) {
+        os << "structural lint found " << sr.errors()
+           << " errors on the core netlist";
+        for (const lint::Issue &is : sr.issues)
+            if (is.severity == lint::Severity::Error)
+                os << "\n  " << is.message;
+        res.ok = false;
+        res.detail = os.str();
+        return res;
+    }
+
+    // The same analysis the engine runs for SymbolicConfig::
+    // staticPrune (see SymbolicEngine::run).
+    lint::ConstAnalysisOptions lo;
+    lo.scenario = scn;
+    const msp::CpuHandles &h = sys.handles();
+    lo.portBits.assign(h.portIn.begin(), h.portIn.end());
+    lo.drivenConstants = {{h.rstn, V4::One}, {h.irq, V4::Zero}};
+    lint::ConstAnalysis ca = lint::analyzeConstants(nl, lo);
+
+    // Drive one concrete scenario-obeying run and check every masked
+    // gate holds exactly its proven value from the engage cycle on.
+    // cycle_ increments at the end of step(), and the first step the
+    // engine would skip runs with cycle_ == engage, so the invariant
+    // it relies on is: after every step with sim.cycle() >= engage
+    // the masked values equal the proven constants (and from the
+    // next step on the gates never even toggle).
+    sys.memory().reset();
+    sys.loadImage(image);
+    for (const auto &[addr, words] : scn.ramInit)
+        sys.memory().loadRam(addr, words);
+    sys.clearHalted();
+    Simulator sim(nl);
+    sys.attach(sim);
+    sys.reset(sim);
+    const uint64_t engage = sim.cycle() + 1 + ca.maxPruneDepth;
+    const uint64_t maxCycles = sim.cycle() + 400;
+    while (!sys.halted() && sim.cycle() < maxCycles) {
+        const scenario::PortPattern &p =
+            scn.patternAt(sim.cycle() - msp::System::kResetCycles);
+        uint16_t w = uint16_t((rng.word() & ~p.pinned) | p.value);
+        sim.step([&](Simulator &s) {
+            sys.driveCycle(s, Word16::known(w));
+        });
+        if (sim.cycle() < engage)
+            continue;
+        for (GateId g = 0; g < GateId(nl.numGates()); ++g) {
+            if (!ca.pruneMask[g])
+                continue;
+            if (sim.value(g) != ca.value[g]) {
+                os << "cycle " << (sim.cycle() - 1) << " gate " << g
+                   << " (" << nl.gateName(g) << "): proven "
+                   << v4Char(ca.value[g]) << " but concrete run has "
+                   << v4Char(sim.value(g)) << " (engage " << engage
+                   << ", scenario " << scn.summary() << ")\n";
+                res.ok = false;
+                res.detail = os.str();
+                return res;
+            }
+            if (sim.cycle() > engage && sim.isActive(g)) {
+                os << "cycle " << (sim.cycle() - 1) << " gate " << g
+                   << " (" << nl.gateName(g)
+                   << "): proven constant but toggled after the "
+                      "engage cycle "
+                   << engage << " (scenario " << scn.summary()
+                   << ")\n";
+                res.ok = false;
+                res.detail = os.str();
+                return res;
+            }
+        }
+    }
+
+    // --- Pruned vs unpruned report identity ------------------------
+    peak::Options base;
+    base.recordEnvelope = true;
+    base.recordActiveSets = true;
+    base.scenario = scn;
+    peak::Report unp = peak::analyze(sys, image, base);
+
+    peak::Options popts = base;
+    popts.staticPrune = true;
+    peak::Report pru = peak::analyze(sys, image, popts);
+
+    std::string diff =
+        comparePrunedBounds(unp, pru, "unpruned", "pruned");
+    if (!diff.empty()) {
+        res.ok = false;
+        res.detail = "scenario " + scn.summary() + ":\n" + diff;
+        return res;
+    }
+    if (!unp.ok)
+        return res; // identically rejected: nothing more to compare
+
+    // The pruned runs among themselves share one hash basis and one
+    // engage cycle, so like symDeterminismCheck they must agree on
+    // every scheduling-independent field, statistics included.
+    peak::Options o = popts;
+    o.numThreads = threads;
+    diff = compareReports(pru, peak::analyze(sys, image, o),
+                          "pruned-1-thread", "pruned-K-thread");
+    if (diff.empty()) {
+        o = popts;
+        o.evalMode = EvalMode::FullSweep;
+        diff = compareReports(pru, peak::analyze(sys, image, o),
+                              "pruned-event", "pruned-sweep");
+    }
+    if (diff.empty()) {
+        o = popts;
+        o.snapshotMode = sym::SnapshotMode::Full;
+        diff = compareReports(pru, peak::analyze(sys, image, o),
+                              "pruned-delta", "pruned-full-snap");
+    }
+    if (!diff.empty()) {
+        res.ok = false;
+        res.detail = "scenario " + scn.summary() +
+                     ": pruned determinism broke:\n" + diff;
     }
     return res;
 }

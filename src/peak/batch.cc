@@ -304,10 +304,11 @@ cacheKey(const CellLibrary &lib, const isa::Image &image,
         hashDouble(h, p.areaUm2);
         hashDouble(h, p.clkPinEnergyJ);
     }
-    // Result-affecting options only; numThreads, evalMode and
-    // snapshotMode are excluded on purpose (scheduling-independent
-    // exploration, bit-identical kernels and fork representations),
-    // as are recordActiveSets and recordModuleTrace (never cached).
+    // Result-affecting options only; numThreads, evalMode,
+    // snapshotMode and staticPrune are excluded on purpose
+    // (scheduling-independent exploration, bit-identical kernels,
+    // fork representations and prune masks), as are recordActiveSets
+    // and recordModuleTrace (never cached).
     // recordEnvelope and the window set participate: they change
     // what a cached entry must contain. The scenario participates by
     // content (not name): it changes every number.

@@ -58,6 +58,12 @@ struct Options {
      *  default, full = reference); never changes a reported number,
      *  so it is excluded from the cache key like evalMode. */
     sym::SnapshotMode snapshotMode = sym::SnapshotMode::Delta;
+    /** Static constant-cone pruning (SymbolicConfig::staticPrune,
+     *  `ulpeak --static-prune`): skip gates lint::analyzeConstants
+     *  proves constant under the scenario. Never changes a reported
+     *  number (fuzz property 9), so it is excluded from the cache
+     *  key like evalMode and snapshotMode. */
+    bool staticPrune = false;
 };
 
 /** Application-specific input-independent requirements (the paper's

@@ -19,6 +19,7 @@ analyze(msp::System &sys, const isa::Image &image, const Options &opts)
     cfg.recordEnvelope = opts.recordEnvelope;
     cfg.scenario = opts.scenario;
     cfg.snapshotMode = opts.snapshotMode;
+    cfg.staticPrune = opts.staticPrune;
 
     sym::SymbolicEngine engine(sys, cfg);
     sym::SymbolicResult sr = engine.run(image);

@@ -110,13 +110,22 @@ Simulator::markFanoutsDirty(GateId g, bool value_changed)
     // (Section 3.1's X rule applies to X outputs only).
     uint32_t begin = flat_->fanoutOffset[g];
     uint32_t end = flat_->fanoutOffset[g + 1];
+    // An engaged prune mask drops proven-constant consumers from the
+    // worklist: re-evaluating one reproduces its settled value and
+    // inactivity, so skipping is value- and energy-neutral.
+    const uint8_t *pm = staticPruneActive() ? pruneMask_->data()
+                                            : nullptr;
     if (value_changed) {
-        for (uint32_t i = begin; i < end; ++i)
-            enqueueNode(flat_->fanout[i]);
+        for (uint32_t i = begin; i < end; ++i) {
+            GateId t = flat_->fanout[i];
+            if (pm && pm[t])
+                continue;
+            enqueueNode(t);
+        }
     } else {
         for (uint32_t i = begin; i < end; ++i) {
             GateId t = flat_->fanout[i];
-            if (val_[t] == V4::X)
+            if (val_[t] == V4::X && !(pm && pm[t]))
                 enqueueNode(t);
         }
     }
@@ -133,9 +142,44 @@ Simulator::clearEventQueues()
 }
 
 void
+Simulator::setStaticPrune(
+    std::shared_ptr<const std::vector<uint8_t>> mask,
+    uint64_t engage_cycle)
+{
+    if (mask && mask->size() != nl_->numGates())
+        throw std::logic_error(
+            "static prune mask size != gate count");
+    pruneMask_ = std::move(mask);
+    pruneEngage_ = engage_cycle;
+    pruneDisabled_ = false;
+    unprunedRuns_.clear();
+    if (!pruneMask_)
+        return;
+    const std::vector<uint8_t> &m = *pruneMask_;
+    for (uint32_t g = 0; g < m.size();) {
+        if (m[g]) {
+            ++g;
+            continue;
+        }
+        uint32_t begin = g;
+        while (g < m.size() && !m[g])
+            ++g;
+        unprunedRuns_.push_back({begin, g});
+    }
+}
+
+void
 Simulator::setInput(GateId g, V4 v)
 {
     assert(nl_->gate(g).kind == CellKind::Input);
+    if (pruneMask_ && !pruneDisabled_ && (*pruneMask_)[g] &&
+        cycle_ >= pruneEngage_) {
+        if (val_[g] == v)
+            return; // settled pinned input: provably no event
+        // Out-of-contract drive of a proven-constant input: fall
+        // back to unpruned operation rather than go unsound.
+        pruneDisabled_ = true;
+    }
     if (mode_ == EvalMode::EventDriven) {
         // A changed value must wake consumers immediately: when the
         // call happens between steps (legal per the API), the next
@@ -160,6 +204,13 @@ Simulator::setInputBus(const std::vector<GateId> &bus, Word16 w)
 void
 Simulator::forceValue(GateId g, V4 v)
 {
+    // Forcing a masked gate off its proven constant voids the static
+    // analysis: disable pruning rather than go unsound (the symbolic
+    // engine only ever forces PC / register flops, never masked
+    // gates).
+    if (pruneMask_ && !pruneDisabled_ && (*pruneMask_)[g] &&
+        val_[g] != v && cycle_ >= pruneEngage_)
+        pruneDisabled_ = true;
     // Forcing a scheduled combinational gate cannot work in either
     // kernel (the full sweep would recompute it from its fanins,
     // discarding the force): only sequential outputs and Input-kind
@@ -196,6 +247,12 @@ Simulator::injectSeuFlip(GateId g)
     uint32_t si = seqIndexOf_[g];
     assert(si != UINT32_MAX);
     (void)si;
+    // An upset can ripple into a proven-constant cone (the proof
+    // assumed fault-free operation), so any injection permanently
+    // disables pruning for this simulator. Fault campaigns never
+    // install masks; this is the defensive backstop.
+    if (pruneMask_)
+        pruneDisabled_ = true;
     V4 cur = val_[g];
     if (cur == V4::X)
         return false;
@@ -363,8 +420,23 @@ Simulator::evalNode(uint32_t node)
 void
 Simulator::sweepFull()
 {
-    for (uint32_t node : flat_->schedule)
+    if (!staticPruneActive()) {
+        for (uint32_t node : flat_->schedule)
+            evalNode<false>(node);
+        return;
+    }
+    // A masked gate whose activity flag is clear already settled to
+    // its proven constant and cannot toggle again: its re-evaluation
+    // would reproduce val_ and a clear flag, so skipping it is
+    // exact. A masked gate with the flag still set (its settle
+    // transition, or any pre-engage activity carried in a restored
+    // snapshot) is evaluated normally, which clears the flag.
+    const uint8_t *pm = pruneMask_->data();
+    for (uint32_t node : flat_->schedule) {
+        if (node < flat_->numGates && pm[node] && !active_[node])
+            continue;
         evalNode<false>(node);
+    }
 }
 
 void
@@ -682,6 +754,22 @@ Simulator::hashFullState() const
             h *= 0x100000001b3ull;
         }
     };
+    if (staticPruneActive()) {
+        // Masked gates hold their proven constant and stay inactive
+        // in every reachable state, so their bytes carry no
+        // information: hash only the unmasked runs. The basis is a
+        // pure function of (mask, engage, cycle), identical across
+        // workers, kernels, and snapshot modes, so dedup keys stay
+        // scheduling-independent.
+        const auto *vals =
+            reinterpret_cast<const uint8_t *>(val_.data());
+        for (const auto &r : unprunedRuns_)
+            mix(vals + r.first, r.second - r.first);
+        for (const auto &r : unprunedRuns_)
+            mix(active_.data() + r.first, r.second - r.first);
+        mix(loadedPrevEdge_.data(), loadedPrevEdge_.size());
+        return h;
+    }
     mix(reinterpret_cast<const uint8_t *>(val_.data()), val_.size());
     mix(active_.data(), active_.size());
     mix(loadedPrevEdge_.data(), loadedPrevEdge_.size());

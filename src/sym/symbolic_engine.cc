@@ -13,6 +13,7 @@
 
 #include "isa/disassembler.hh"
 #include "isa/encoding.hh"
+#include "lint/lint.hh"
 
 namespace ulpeak {
 namespace sym {
@@ -686,6 +687,29 @@ SymbolicEngine::run(const isa::Image &image)
         return res;
     }
     sys_->reset(workers[0]->sim());
+
+    if (cfg_.staticPrune) {
+        // Static quiescence: prove gates constant under the scenario
+        // and let every worker simulator skip them once settled. The
+        // engage cycle is the settle bound relative to the end of
+        // reset: one cycle for the depth-0 combinational cones plus
+        // one per sequential stage the deepest pruned proof crosses.
+        // Bit-identity of all reported numbers with the unpruned
+        // analysis is enforced by fuzz property 9.
+        lint::ConstAnalysisOptions lopts;
+        lopts.scenario = cfg_.scenario;
+        const msp::CpuHandles &h = sys_->handles();
+        lopts.portBits.assign(h.portIn.begin(), h.portIn.end());
+        lopts.drivenConstants = {{h.rstn, V4::One},
+                                 {h.irq, V4::Zero}};
+        lint::ConstAnalysis ca = lint::analyzeConstants(nl, lopts);
+        auto mask = std::make_shared<const std::vector<uint8_t>>(
+            std::move(ca.pruneMask));
+        uint64_t engage =
+            workers[0]->sim().cycle() + 1 + ca.maxPruneDepth;
+        for (auto &w : workers)
+            w->sim().setStaticPrune(mask, engage);
+    }
 
     // Scenario constraints are validated here, not only in the JSON
     // parser: scenarios built programmatically must fail as cleanly

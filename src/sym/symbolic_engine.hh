@@ -118,6 +118,20 @@ struct SymbolicConfig {
     /** Fork snapshot form; Delta is the fast default, Full the
      *  reference. Never changes any reported number. */
     SnapshotMode snapshotMode = SnapshotMode::Delta;
+    /**
+     * Run lint::analyzeConstants over the scenario before exploring
+     * and install its prune mask in every worker simulator
+     * (Simulator::setStaticPrune): gates the static analysis proves
+     * constant under this scenario drop out of the event-driven
+     * worklists, the full sweep, and the fork-time dedup hashing.
+     * Opt-in and bit-identity-neutral: every reported number --
+     * peak power, peak energy, NPE, envelope, activity sets -- is
+     * identical with and without it (fuzz property 9 / `ulfuzz
+     * --mode lint` enforces this across threads, kernels, and
+     * snapshot modes), so like evalMode and snapshotMode it is
+     * excluded from the batch result cache key.
+     */
+    bool staticPrune = false;
 };
 
 struct SymbolicResult {

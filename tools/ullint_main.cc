@@ -1,0 +1,7 @@
+#include "cli/lint_driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return ulpeak::cli::runLintCli(argc, argv);
+}

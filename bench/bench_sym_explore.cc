@@ -12,7 +12,20 @@
  * BENCH_sym_explore.json at the repository root additionally keeps
  * the pre-refactor shared-mutex baseline for the speedup claim).
  *
+ * A packed-frontier section times the same exploration with
+ * Options::packedExplore (the 64-lane batched sweep) against the
+ * scalar engine at the same thread counts, after the same
+ * bit-identity check, and reports the forks/sec ratio. Two optional
+ * CI gates turn measurements into pass/fail exit codes:
+ *  --min-ratio X    fail unless packed/scalar forks/sec at 1 thread
+ *                   reaches X;
+ *  --min-scaling X  fail unless the largest measured thread count
+ *                   scales at least Xx over 1 thread -- auto-skipped
+ *                   (with a note) when the host has fewer than 4
+ *                   CPUs, where scaling numbers are noise.
+ *
  * Usage: bench_sym_explore [branch_rounds] [reps] [max_threads]
+ *                          [--min-ratio X] [--min-scaling X]
  */
 
 #include <algorithm>
@@ -20,8 +33,10 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hh"
@@ -67,9 +82,23 @@ int
 main(int argc, char **argv)
 {
     using namespace ulpeak;
-    unsigned rounds = argc > 1 ? unsigned(std::atoi(argv[1])) : 32;
-    int reps = argc > 2 ? std::atoi(argv[2]) : 3;
-    unsigned maxThreads = argc > 3 ? unsigned(std::atoi(argv[3])) : 8;
+    unsigned positional[3] = {32, 3, 8};
+    int npos = 0;
+    double minRatio = 0.0, minScaling = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--min-ratio") && i + 1 < argc) {
+            minRatio = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--min-scaling") &&
+                   i + 1 < argc) {
+            minScaling = std::atof(argv[++i]);
+        } else if (npos < 3) {
+            positional[npos++] = unsigned(std::atoi(argv[i]));
+        }
+    }
+    unsigned rounds = positional[0];
+    int reps = int(positional[1]);
+    unsigned maxThreads = positional[2];
+    unsigned hostCpus = std::thread::hardware_concurrency();
 
     bench_util::printHeader(
         "sym exploration core: fork throughput and thread scaling");
@@ -120,6 +149,7 @@ main(int argc, char **argv)
     std::string json =
         "{\n  \"bench\": \"sym_explore\",\n"
         "  \"branch_rounds\": " + std::to_string(rounds) +
+        ",\n  \"host_cpus\": " + std::to_string(hostCpus) +
         ",\n  \"paths\": " + std::to_string(refRep.pathsExplored) +
         ",\n  \"total_cycles\": " +
         std::to_string(refRep.totalCycles) +
@@ -132,6 +162,7 @@ main(int argc, char **argv)
 
     double wall1 = 0.0;
     bool first = true;
+    std::vector<std::pair<unsigned, double>> scalarWalls;
     for (unsigned t : threadCounts) {
         peak::Options opts;
         opts.numThreads = t;
@@ -153,6 +184,7 @@ main(int argc, char **argv)
         }
         if (t == 1)
             wall1 = best;
+        scalarWalls.emplace_back(t, best);
         double forksPerSec = double(rep.pathsExplored) / best;
         double cyclesPerSec = double(rep.totalCycles) / best;
         std::printf("%-8u %10.3f %12.0f %12.0f %7.2fx\n", t, best,
@@ -167,11 +199,102 @@ main(int argc, char **argv)
         json += std::string(first ? "" : ",\n") + buf;
         first = false;
     }
+    json += "\n  ],\n";
+
+    // Packed-frontier section: the same exploration drained through
+    // the 64-lane batched sweep, same bit-identity bar, reported as a
+    // forks/sec ratio against the scalar engine at the same thread
+    // count.
+    std::printf("\npacked frontier (64-lane batched sweeps):\n");
+    std::printf("%-8s %10s %12s %10s %10s\n", "threads", "wall [s]",
+                "forks/sec", "occupancy", "vs scalar");
+    json += "  \"packed\": [\n";
+    first = true;
+    double packedRatio1t = 0.0;
+    for (unsigned t : threadCounts) {
+        if (t > 2 && t != threadCounts.back())
+            continue; // 1, 2 and the widest point tell the story
+        peak::Options opts;
+        opts.numThreads = t;
+        opts.packedExplore = true;
+        double best = 1e9;
+        peak::Report rep;
+        for (int rep_i = 0; rep_i < reps; ++rep_i) {
+            auto t0 = std::chrono::steady_clock::now();
+            rep = peak::analyze(sys, img, opts);
+            best = std::min(best, seconds(t0));
+        }
+        if (!rep.ok || rep.peakPowerW != refRep.peakPowerW ||
+            rep.peakEnergyJ != refRep.peakEnergyJ ||
+            rep.npeJPerCycle != refRep.npeJPerCycle ||
+            rep.pathsExplored != refRep.pathsExplored) {
+            std::fprintf(stderr,
+                         "packed threads=%u diverged from the scalar "
+                         "reference -- timing aborted\n", t);
+            return 1;
+        }
+        double scalarBest = 0.0;
+        for (auto &sw : scalarWalls)
+            if (sw.first == t)
+                scalarBest = sw.second;
+        double forksPerSec = double(rep.pathsExplored) / best;
+        double ratio = scalarBest / best;
+        double occupancy =
+            rep.packedSweeps
+                ? double(rep.packedLaneCycles) /
+                      (64.0 * double(rep.packedSweeps))
+                : 0.0;
+        if (t == 1)
+            packedRatio1t = ratio;
+        std::printf("%-8u %10.3f %12.0f %9.1f%% %9.2fx\n", t, best,
+                    forksPerSec, 100.0 * occupancy, ratio);
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"threads\": %u, \"wall_s\": %.4f, "
+                      "\"forks_per_sec\": %.0f, \"lane_occupancy\": "
+                      "%.3f, \"ratio_vs_scalar\": %.3f}",
+                      t, best, forksPerSec, occupancy, ratio);
+        json += std::string(first ? "" : ",\n") + buf;
+        first = false;
+    }
     json += "\n  ]\n}\n";
 
     std::ofstream(bench_util::outDir() + "BENCH_sym_explore.json")
         << json;
     std::printf("\nwrote %sBENCH_sym_explore.json\n",
                 bench_util::outDir().c_str());
+
+    if (minRatio > 0.0 && packedRatio1t < minRatio) {
+        std::fprintf(stderr,
+                     "FAIL: packed/scalar forks/sec ratio %.2fx at 1 "
+                     "thread below the --min-ratio gate %.2fx\n",
+                     packedRatio1t, minRatio);
+        return 1;
+    }
+    if (minScaling > 0.0) {
+        if (hostCpus < 4) {
+            std::printf("--min-scaling gate skipped: host has %u "
+                        "CPUs (< 4), scaling numbers are noise\n",
+                        hostCpus);
+        } else {
+            unsigned gateT = 1;
+            double gateWall = wall1;
+            for (auto &sw : scalarWalls)
+                if (sw.first <= hostCpus && sw.first > gateT) {
+                    gateT = sw.first;
+                    gateWall = sw.second;
+                }
+            double scaling = gateWall > 0.0 ? wall1 / gateWall : 0.0;
+            if (scaling < minScaling) {
+                std::fprintf(stderr,
+                             "FAIL: %u-thread scaling %.2fx below "
+                             "the --min-scaling gate %.2fx\n",
+                             gateT, scaling, minScaling);
+                return 1;
+            }
+            std::printf("--min-scaling gate: %.2fx at %u threads "
+                        ">= %.2fx\n", scaling, gateT, minScaling);
+        }
+    }
     return 0;
 }

@@ -149,6 +149,10 @@ usage()
         "                    proves constant under each scenario\n"
         "                    (see ullint; never changes a reported\n"
         "                    number)\n"
+        "  --packed-explore  drain the exploration frontier through\n"
+        "                    the bit-parallel kernel, up to 64 paths\n"
+        "                    per sweep (never changes a reported\n"
+        "                    number)\n"
         "  --json FILE       write the suite report as JSON\n"
         "  --csv FILE        write per-program rows as CSV\n"
         "  --envelope[=json|csv]\n"
@@ -289,6 +293,8 @@ parseArgs(int argc, const char *const *argv, CliOptions &out,
             }
         } else if (a == "--static-prune") {
             out.staticPrune = true;
+        } else if (a == "--packed-explore") {
+            out.packedExplore = true;
         } else if (a == "--no-timings") {
             out.noTimings = true;
         } else if (a == "--scenario") {
@@ -412,6 +418,7 @@ toBatchOptions(const CliOptions &cli)
     b.analysis.inputDependentLoopBound = cli.loopBound;
     b.analysis.maxTotalCycles = cli.maxTotalCycles;
     b.analysis.staticPrune = cli.staticPrune;
+    b.analysis.packedExplore = cli.packedExplore;
     // The mode report is sliced from the envelope, so --modes
     // records one even without an explicit --envelope.
     b.analysis.recordEnvelope = cli.envelope || cli.modes;
@@ -483,6 +490,9 @@ toJson(const peak::BatchReport &rep, const peak::BatchOptions &opts,
               << ", \"snapshot_bytes_copied\": "
               << r.snapshotBytesCopied
               << ", \"snapshot_bytes_full\": " << r.snapshotBytesFull
+              << ", \"packed_batches\": " << r.packedBatches
+              << ", \"packed_sweeps\": " << r.packedSweeps
+              << ", \"packed_lane_cycles\": " << r.packedLaneCycles
               << ", \"per_worker_cycles\": [";
             for (size_t w = 0; w < r.perWorkerCycles.size(); ++w)
                 o << (w ? ", " : "") << r.perWorkerCycles[w];

@@ -56,6 +56,11 @@ struct CliOptions {
      *  Never changes a reported number (fuzz property 9), so like
      *  --eval-mode it is excluded from the result cache key. */
     bool staticPrune = false;
+    /** --packed-explore: drain the exploration frontier through the
+     *  bit-parallel 64-lane kernel (peak::Options::packedExplore).
+     *  Never changes a reported number (fuzz --mode packed-sym), so
+     *  like --eval-mode it is excluded from the result cache key. */
+    bool packedExplore = false;
     std::string jsonPath;       ///< --json FILE ("" = no JSON output)
     std::string csvPath;        ///< --csv FILE ("" = no CSV output)
     /** --envelope[=json|csv]: record per-cycle peak power envelopes

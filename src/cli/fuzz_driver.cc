@@ -27,6 +27,7 @@ constexpr uint64_t kPackedStream = 5ull << 32;
 constexpr uint64_t kFaultStream = 6ull << 32;
 constexpr uint64_t kDvfsStream = 7ull << 32;
 constexpr uint64_t kLintStream = 8ull << 32;
+constexpr uint64_t kPackedSymStream = 9ull << 32;
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
@@ -76,11 +77,16 @@ fuzzUsage()
         "  --lint-programs N  static-prune soundness programs\n"
         "                    (default 6; `--mode lint` also honors a\n"
         "                    bare --programs N as the item count)\n"
+        "  --psym-programs N  packed-frontier exploration identity\n"
+        "                    programs (default 6; `--mode packed-sym`\n"
+        "                    also honors a bare --programs N as the\n"
+        "                    item count)\n"
         "  --instr N         body items per program (default 24)\n"
         "  --threads K       K of the 1-vs-K thread check (default 4)\n"
         "  --kernel-cycles N cycles per netlist run (default 64)\n"
         "  --mode M          all|cosim|kernel|sym|envelope|scenario\n"
-        "                    |packed|fault|dvfs|lint (default all)\n"
+        "                    |packed|fault|dvfs|lint|packed-sym\n"
+        "                    (default all)\n"
         "  --only I          run only item index I of the selected\n"
         "                    mode (replay a reported failure)\n"
         "  --dump-programs   print every generated program\n"
@@ -168,6 +174,9 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
         } else if (a == "--lint-programs") {
             if (!countArg(i, "--lint-programs", out.lintPrograms))
                 return false;
+        } else if (a == "--psym-programs") {
+            if (!countArg(i, "--psym-programs", out.psymPrograms))
+                return false;
         } else if (a == "--instr") {
             if (!countArg(i, "--instr", out.instructions))
                 return false;
@@ -202,10 +211,11 @@ parseFuzzArgs(int argc, const char *const *argv, FuzzCliOptions &out,
                 out.mode != "kernel" && out.mode != "sym" &&
                 out.mode != "envelope" && out.mode != "scenario" &&
                 out.mode != "packed" && out.mode != "fault" &&
-                out.mode != "dvfs" && out.mode != "lint") {
+                out.mode != "dvfs" && out.mode != "lint" &&
+                out.mode != "packed-sym") {
                 err = "--mode must be all, cosim, kernel, sym, "
-                      "envelope, scenario, packed, fault, dvfs or "
-                      "lint";
+                      "envelope, scenario, packed, fault, dvfs, "
+                      "lint or packed-sym";
                 return false;
             }
         } else if (a == "--dump-programs") {
@@ -610,6 +620,48 @@ runLint(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
     }
 }
 
+void
+runPackedSym(const FuzzCliOptions &cli, msp::System &sys, Counters &c)
+{
+    fuzz::ProgramGenOptions gen;
+    // Same sizing rationale as the sym mode: every X-dependent branch
+    // forks the tree, so keep bodies short.
+    gen.instructions = cli.instructions / 2 + 1;
+    // `--mode packed-sym --programs N` means N items, like dvfs/lint.
+    unsigned items = cli.psymPrograms;
+    if (cli.mode == "packed-sym" && cli.programsGiven)
+        items = cli.programs;
+    for (unsigned i = 0; i < items; ++i) {
+        if (!selected(cli, i))
+            continue;
+        fuzz::Rng rng(
+            fuzz::Rng::deriveStream(cli.seed, kPackedSymStream + i));
+        fuzz::GeneratedProgram prog = fuzz::generateProgram(rng, gen);
+        if (cli.dumpPrograms)
+            std::printf("--- packed-sym item %u ---\n%s\n", i,
+                        prog.source.c_str());
+        ++c.run;
+        try {
+            isa::Image image = isa::assemble(prog.source);
+            fuzz::PropertyResult r = fuzz::packedExploreCheck(
+                sys, image, rng, cli.threads);
+            if (!r.ok) {
+                ++c.failed;
+                std::printf("packed-sym item %u (seed %llu) FRONTIER "
+                            "MISMATCH:\n%sprogram:\n%s\n",
+                            i, (unsigned long long)cli.seed,
+                            r.detail.c_str(), prog.source.c_str());
+            }
+        } catch (const std::exception &e) {
+            ++c.failed;
+            std::printf("packed-sym item %u (seed %llu) "
+                        "generator/assembler error: %s\nprogram:\n%s\n",
+                        i, (unsigned long long)cli.seed, e.what(),
+                        prog.source.c_str());
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -629,7 +681,7 @@ runFuzzCli(int argc, const char *const *argv)
 
     auto t0 = std::chrono::steady_clock::now();
     Counters cosimC, kernelC, symC, envC, scnC, packedC, faultC,
-        dvfsC, lintC;
+        dvfsC, lintC, psymC;
 
     // One System serves every property: the netlist is immutable, and
     // each run reloads the behavioral memory.
@@ -653,15 +705,19 @@ runFuzzCli(int argc, const char *const *argv)
         runDvfs(cli, sys, dvfsC);
     if (cli.mode == "all" || cli.mode == "lint")
         runLint(cli, sys, lintC);
+    if (cli.mode == "all" || cli.mode == "packed-sym")
+        runPackedSym(cli, sys, psymC);
 
     unsigned failed = cosimC.failed + kernelC.failed + symC.failed +
                       envC.failed + scnC.failed + packedC.failed +
-                      faultC.failed + dvfsC.failed + lintC.failed;
+                      faultC.failed + dvfsC.failed + lintC.failed +
+                      psymC.failed;
     if (!cli.quiet || failed) {
         std::printf("ulfuzz seed %llu: cosim %u/%u ok, kernel %u/%u "
                     "ok, sym %u/%u ok, envelope %u/%u ok, scenario "
                     "%u/%u ok, packed %u/%u ok, fault %u/%u ok, dvfs "
-                    "%u/%u ok, lint %u/%u ok (%.1fs)\n",
+                    "%u/%u ok, lint %u/%u ok, packed-sym %u/%u ok "
+                    "(%.1fs)\n",
                     (unsigned long long)cli.seed,
                     cosimC.run - cosimC.failed, cosimC.run,
                     kernelC.run - kernelC.failed, kernelC.run,
@@ -672,6 +728,7 @@ runFuzzCli(int argc, const char *const *argv)
                     faultC.run - faultC.failed, faultC.run,
                     dvfsC.run - dvfsC.failed, dvfsC.run,
                     lintC.run - lintC.failed, lintC.run,
+                    psymC.run - psymC.failed, psymC.run,
                     secondsSince(t0));
     }
     return failed ? 1 : 0;

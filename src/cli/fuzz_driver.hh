@@ -3,7 +3,7 @@
  * The `ulfuzz` command-line driver: seeded differential fuzzing of
  * the whole stack, built on src/fuzz and src/cosim.
  *
- * One run checks nine properties end-to-end (docs/testing.md):
+ * One run checks ten properties end-to-end (docs/testing.md):
  *
  *  1. cosim  -- ISS <-> gate-level lockstep equivalence on
  *               --programs random programs;
@@ -55,7 +55,17 @@
  *               runs themselves bit-identical across 1-vs-K threads,
  *               both kernels and both snapshot modes, on
  *               --lint-programs random programs (`--mode lint`
- *               honors a bare --programs N as the item count too).
+ *               honors a bare --programs N as the item count too);
+ * 10. packed-sym -- packed-frontier exploration identity: the
+ *               analysis with Options::packedExplore (pending paths
+ *               drained through the 64-lane kernel) reports
+ *               bit-identical numbers, traces, envelopes and
+ *               activity sets to the scalar exploration under random
+ *               scenarios / DVFS schedules / snapshot modes /
+ *               staticPrune, and stays 1-vs-K-thread deterministic,
+ *               on --psym-programs random programs
+ *               (`--mode packed-sym` honors a bare --programs N as
+ *               the item count too).
  *
  * Every work item derives its own PRNG stream from (--seed, index),
  * and each failure prints the item index, so
@@ -94,16 +104,20 @@ struct FuzzCliOptions {
                                 ///< runs
     unsigned lintPrograms = 6;  ///< --lint-programs: static-prune
                                 ///< soundness runs
+    unsigned psymPrograms = 6;  ///< --psym-programs: packed-frontier
+                                ///< exploration identity runs
     unsigned instructions = 24; ///< --instr: body items per program
     unsigned threads = 4;      ///< --threads: K of the 1-vs-K check
     unsigned kernelCycles = 64; ///< --kernel-cycles per netlist
     long only = -1;            ///< --only INDEX: replay one item
     std::string mode = "all";  ///< --mode
                                ///< all|cosim|kernel|sym|envelope|
-                               ///< scenario|packed|fault|dvfs|lint
+                               ///< scenario|packed|fault|dvfs|lint|
+                               ///< packed-sym
     bool programsGiven = false; ///< --programs was on the command line
-                                ///< (`--mode dvfs` / `--mode lint`
-                                ///< reuse it as their item count)
+                                ///< (`--mode dvfs` / `--mode lint` /
+                                ///< `--mode packed-sym` reuse it as
+                                ///< their item count)
     bool dumpPrograms = false; ///< --dump-programs: print sources
     bool quiet = false;        ///< --quiet: only the summary line
     bool help = false;         ///< --help

@@ -1184,5 +1184,83 @@ staticPruneCheck(msp::System &sys, const isa::Image &image, Rng &rng,
     return res;
 }
 
+namespace {
+
+/** The report fields compareReports skips because only some callers
+ *  record them: the flattened trace and the activity sets. Both are
+ *  part of the packed-frontier bit-identity contract. */
+std::string
+compareTraces(const peak::Report &a, const peak::Report &b,
+              const char *what_a, const char *what_b)
+{
+    std::ostringstream os;
+    if (!a.ok || !b.ok)
+        return os.str();
+    if (a.flatTraceW != b.flatTraceW)
+        os << "flatTraceW: per-cycle traces differ (" << what_a << " "
+           << a.flatTraceW.size() << " cycles, " << what_b << " "
+           << b.flatTraceW.size() << " cycles)\n";
+    if (a.everActive != b.everActive)
+        os << "everActive: ever-toggled sets differ\n";
+    if (a.peakActive != b.peakActive)
+        os << "peakActive: peak-cycle activity sets differ\n";
+    return os.str();
+}
+
+} // namespace
+
+PropertyResult
+packedExploreCheck(msp::System &sys, const isa::Image &image,
+                   Rng &rng, unsigned threads)
+{
+    PropertyResult res;
+    // A random analysis configuration: the packed frontier must be
+    // invisible under every combination the scalar engine supports.
+    peak::Options opts;
+    opts.recordEnvelope = true;
+    opts.recordActiveSets = true;
+    unsigned kind = rng.below(3);
+    if (kind == 1)
+        opts.scenario = randomScenario(rng);
+    else if (kind == 2)
+        opts.scenario = randomModeScenario(rng);
+    if (rng.chance(50))
+        opts.snapshotMode = sym::SnapshotMode::Full;
+    if (rng.chance(25))
+        opts.staticPrune = true;
+
+    peak::Report scalar = peak::analyze(sys, image, opts);
+    peak::Options popts = opts;
+    popts.packedExplore = true;
+    peak::Report packed = peak::analyze(sys, image, popts);
+    std::string diff =
+        compareReports(scalar, packed, "scalar", "packed");
+    diff += compareTraces(scalar, packed, "scalar", "packed");
+    if (!diff.empty()) {
+        res.ok = false;
+        res.detail = "scenario " + opts.scenario.summary() +
+                     ": scalar vs packed diverged:\n" + diff;
+        return res;
+    }
+    if (!scalar.ok)
+        return res; // identically rejected: nothing more to compare
+
+    // The packed runs among themselves: 1-vs-K-thread determinism of
+    // the batched frontier (lane refills race across workers, the
+    // reports must not notice).
+    popts.numThreads = threads;
+    peak::Report packedK = peak::analyze(sys, image, popts);
+    diff = compareReports(packed, packedK, "packed-1-thread",
+                          "packed-K-thread");
+    diff += compareTraces(packed, packedK, "packed-1-thread",
+                          "packed-K-thread");
+    if (!diff.empty()) {
+        res.ok = false;
+        res.detail = "scenario " + opts.scenario.summary() +
+                     ": packed determinism broke:\n" + diff;
+    }
+    return res;
+}
+
 } // namespace fuzz
 } // namespace ulpeak

@@ -279,6 +279,9 @@ copyScalars(ProgramResult &r, Report &full)
     r.snapshotBytesCopied = full.snapshotBytesCopied;
     r.snapshotBytesFull = full.snapshotBytesFull;
     r.perWorkerCycles = std::move(full.perWorkerCycles);
+    r.packedBatches = full.packedBatches;
+    r.packedSweeps = full.packedSweeps;
+    r.packedLaneCycles = full.packedLaneCycles;
     r.envelope = std::move(full.envelope);
 }
 
@@ -305,9 +308,10 @@ cacheKey(const CellLibrary &lib, const isa::Image &image,
         hashDouble(h, p.clkPinEnergyJ);
     }
     // Result-affecting options only; numThreads, evalMode,
-    // snapshotMode and staticPrune are excluded on purpose
-    // (scheduling-independent exploration, bit-identical kernels,
-    // fork representations and prune masks), as are recordActiveSets
+    // snapshotMode, staticPrune and packedExplore are excluded on
+    // purpose (scheduling-independent exploration, bit-identical
+    // kernels, fork representations, prune masks and the packed
+    // frontier), as are recordActiveSets
     // and recordModuleTrace (never cached).
     // recordEnvelope and the window set participate: they change
     // what a cached entry must contain. The scenario participates by

@@ -64,6 +64,13 @@ struct Options {
      *  number (fuzz property 9), so it is excluded from the cache
      *  key like evalMode and snapshotMode. */
     bool staticPrune = false;
+    /** Packed 64-lane frontier exploration
+     *  (SymbolicConfig::packedExplore, `ulpeak --packed-explore`):
+     *  drain pending paths through the bit-parallel kernel, up to 64
+     *  per sweep. Never changes a reported number (fuzz
+     *  `--mode packed-sym`), so it is excluded from the cache key
+     *  like evalMode and snapshotMode. */
+    bool packedExplore = false;
 };
 
 /** Application-specific input-independent requirements (the paper's
@@ -99,6 +106,11 @@ struct Report {
     uint64_t snapshotBytesCopied = 0;
     uint64_t snapshotBytesFull = 0;
     std::vector<uint64_t> perWorkerCycles;
+    /** Packed-frontier scheduling counters (zero unless
+     *  Options::packedExplore; scheduling-dependent, like steals). */
+    uint64_t packedBatches = 0;
+    uint64_t packedSweeps = 0;
+    uint64_t packedLaneCycles = 0;
 
     /** Full result (execution tree etc.) for advanced consumers. */
     sym::SymbolicResult sym;

@@ -20,6 +20,7 @@ analyze(msp::System &sys, const isa::Image &image, const Options &opts)
     cfg.scenario = opts.scenario;
     cfg.snapshotMode = opts.snapshotMode;
     cfg.staticPrune = opts.staticPrune;
+    cfg.packedExplore = opts.packedExplore;
 
     sym::SymbolicEngine engine(sys, cfg);
     sym::SymbolicResult sr = engine.run(image);
@@ -38,6 +39,9 @@ analyze(msp::System &sys, const isa::Image &image, const Options &opts)
     r.snapshotBytesCopied = sr.snapshotBytesCopied;
     r.snapshotBytesFull = sr.snapshotBytesFull;
     r.perWorkerCycles = sr.perWorkerCycles;
+    r.packedBatches = sr.packedBatches;
+    r.packedSweeps = sr.packedSweeps;
+    r.packedLaneCycles = sr.packedLaneCycles;
     if (sr.ok)
         r.flatTraceW = sr.tree.flatten();
     if (sr.ok && opts.recordEnvelope) {

@@ -22,10 +22,16 @@ PowerContext::PowerContext(const Netlist &nl, double freq)
 std::vector<double>
 PowerContext::cycleModulePowerW(const Simulator &sim) const
 {
-    const std::vector<double> &sw = sim.moduleBoundEnergyJ();
-    std::vector<double> out(sw.size(), 0.0);
-    for (size_t m = 0; m < sw.size(); ++m)
-        out[m] = (sw[m] + moduleStatic_[m]) * freq_;
+    return cycleModulePowerW(sim.moduleBoundEnergyJ());
+}
+
+std::vector<double>
+PowerContext::cycleModulePowerW(
+    const std::vector<double> &switching_j) const
+{
+    std::vector<double> out(switching_j.size(), 0.0);
+    for (size_t m = 0; m < switching_j.size(); ++m)
+        out[m] = (switching_j[m] + moduleStatic_[m]) * freq_;
     return out;
 }
 

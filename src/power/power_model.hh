@@ -98,6 +98,10 @@ class PowerContext {
      * plus index 0 for unattributed top-level gates).
      */
     std::vector<double> cycleModulePowerW(const Simulator &sim) const;
+    /** Same split from an explicit per-module switching vector (e.g.
+     *  one PackedSimulator lane); identical arithmetic per entry. */
+    std::vector<double>
+    cycleModulePowerW(const std::vector<double> &switching_j) const;
 
     const Netlist &netlist() const { return *nl_; }
     /** Static (clock+leak) per-cycle energy of one module [J]. */

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "cell/cell_library.hh"
+
 namespace ulpeak {
 
 namespace {
@@ -428,6 +430,102 @@ PackedSimulator::hashLaneState(unsigned lane) const
     for (size_t i = 0; i < loadedPrevEdge_.size(); ++i)
         mix(uint8_t((loadedPrevEdge_[i] >> lane) & 1));
     return h;
+}
+
+void
+PackedSimulator::loadLaneState(unsigned lane,
+                               const Simulator::Snapshot &s)
+{
+    size_t n = valV_.size();
+    if (s.val.size() != n)
+        throw std::logic_error(
+            "loadLaneState from a snapshot of a different netlist");
+    uint64_t m = uint64_t(1) << lane;
+    for (size_t g = 0; g < n; ++g) {
+        V4 v = s.val[g];
+        if (v == V4::X) {
+            valV_[g] &= ~m;
+            valK_[g] &= ~m;
+        } else {
+            valK_[g] |= m;
+            if (v == V4::One)
+                valV_[g] |= m;
+            else
+                valV_[g] &= ~m;
+        }
+        if (s.activeLast[g])
+            act_[g] |= m;
+        else
+            act_[g] &= ~m;
+    }
+    for (size_t i = 0; i < loadedPrevEdge_.size(); ++i) {
+        if (s.loadedPrevEdge[i])
+            loadedPrevEdge_[i] |= m;
+        else
+            loadedPrevEdge_[i] &= ~m;
+    }
+}
+
+Simulator::Snapshot
+PackedSimulator::extractLaneState(unsigned lane, uint64_t cycle) const
+{
+    Simulator::Snapshot s;
+    size_t n = valV_.size();
+    s.val.resize(n);
+    for (size_t g = 0; g < n; ++g)
+        s.val[g] = V64(valV_[g], valK_[g]).lane(lane);
+    // The scalar active_ array is zero-padded to a whole number of
+    // words for the word-at-a-time delta diff; emit the same shape so
+    // the transpose round-trips byte for byte.
+    s.activeLast.assign((n + 7) & ~size_t(7), 0);
+    for (size_t g = 0; g < n; ++g)
+        s.activeLast[g] = uint8_t((act_[g] >> lane) & 1);
+    s.loadedPrevEdge.resize(loadedPrevEdge_.size());
+    for (size_t i = 0; i < loadedPrevEdge_.size(); ++i)
+        s.loadedPrevEdge[i] =
+            uint8_t((loadedPrevEdge_[i] >> lane) & 1);
+    s.cycle = cycle;
+    return s;
+}
+
+void
+PackedSimulator::forceLane(GateId g, unsigned lane, V4 v)
+{
+    // Same restriction as Simulator::forceValue: a scheduled
+    // combinational gate would be recomputed by the next sweep.
+    assert(isSequential(flat_->kind[g]) ||
+           flat_->kind[g] == CellKind::Input);
+    uint64_t m = uint64_t(1) << lane;
+    if (v == V4::X) {
+        valV_[g] &= ~m;
+        valK_[g] &= ~m;
+    } else {
+        valK_[g] |= m;
+        if (v == V4::One)
+            valV_[g] |= m;
+        else
+            valV_[g] &= ~m;
+    }
+}
+
+void
+PackedSimulator::forceBusLane(const std::vector<GateId> &bus,
+                              unsigned lane, Word16 w)
+{
+    for (size_t i = 0; i < bus.size(); ++i)
+        forceLane(bus[i], lane, w.bit(unsigned(i)));
+}
+
+V4
+PackedSimulator::predictSeqValueLane(GateId g, unsigned lane) const
+{
+    const FlatNetlist &f = *flat_;
+    uint32_t off = f.faninOffset[g];
+    V4 ins[3];
+    for (unsigned p = 0; p < f.nin[g]; ++p)
+        ins[p] = valueLane(f.fanin[off + p], lane);
+    bool held = false;
+    return evalSeqCell(f.kind[g], valueLane(g, lane), ins, held);
 }
 
 } // namespace ulpeak

@@ -32,9 +32,15 @@
  * (the packed analogue of EvalMode::FullSweep): event-driven worklists
  * pay off when few gates change, but across 64 patterns the union of
  * changed gates approaches the whole cone, so the oblivious sweep wins
- * and stays branch-free. There is no snapshot/fork support: the packed
- * kernel targets embarrassingly multi-pattern consumers (ulfuzz lane
- * sweeps, batched concrete trace validation), not tree exploration.
+ * and stays branch-free. Beyond the embarrassingly multi-pattern
+ * consumers (ulfuzz lane sweeps, batched concrete trace validation,
+ * fault campaigns), the symbolic engine's packed frontier mode
+ * (SymbolicConfig::packedExplore) drives independent pending
+ * execution paths through the lanes: loadLaneState / extractLaneState
+ * transpose scalar Simulator::Snapshots into and out of a lane, and
+ * forceLane / predictSeqValueLane give the engine its per-lane fork
+ * machinery -- each backed by the lane-identity invariant above, so a
+ * lane's continuation is bit-identical to the scalar restore-and-run.
  */
 
 #ifndef ULPEAK_SIM_PACKED_SIMULATOR_HH
@@ -46,6 +52,7 @@
 
 #include "logic/v64.hh"
 #include "netlist/netlist.hh"
+#include "sim/simulator.hh"
 
 namespace ulpeak {
 
@@ -132,6 +139,51 @@ class PackedSimulator {
     /** Per-lane FNV-1a over the complete inter-step state, identical
      *  to the scalar Simulator::hashFullState() of that lane's run. */
     uint64_t hashLaneState(unsigned lane) const;
+
+    /// @name Lane <-> scalar snapshot transpose (symbolic frontier)
+    /// @{
+    /**
+     * Install a scalar Simulator::Snapshot into lane @p lane: gate
+     * values, activity flags and sequential load history, exactly the
+     * state Simulator::restore reinstates (previous-cycle planes are
+     * dead across a load for the same reason they are absent from
+     * Snapshot: step() rebuilds them before any read). Legal between
+     * steps. The next step()'s edge functions run against the loaded
+     * values, mirroring the scalar restore-then-step sequence, so the
+     * caller must have pre-stepped the simulator once (cycle() > 0)
+     * and must inhibit the edge effects of lanes it has not loaded.
+     */
+    void loadLaneState(unsigned lane, const Simulator::Snapshot &s);
+    /**
+     * Transpose lane @p lane back into a scalar snapshot stamped with
+     * @p cycle (the lane's own cycle count -- the packed simulator's
+     * global cycle() says how many sweeps ran, not how old any lane
+     * is). For a lane loaded from a snapshot and stepped N times the
+     * result is byte-identical to the scalar restore-and-step-N
+     * Simulator::snapshot(): values per lane(), activity as 0/1 bytes
+     * zero-padded to the scalar active_ array's 8-byte-aligned size,
+     * load history as 0/1 bytes.
+     */
+    Simulator::Snapshot extractLaneState(unsigned lane,
+                                         uint64_t cycle) const;
+    /// @}
+
+    /**
+     * Per-lane Simulator::forceValue: overwrite gate @p g's value in
+     * lane @p lane only. Same contract -- sound only for narrowing an
+     * X to a feasible value, on sequential outputs or Input-kind
+     * gates (the oblivious sweep recomputes anything scheduled). Like
+     * the scalar force, the gate's activity flag is left as the
+     * sequential update computed it.
+     */
+    void forceLane(GateId g, unsigned lane, V4 v);
+    void forceBusLane(const std::vector<GateId> &bus, unsigned lane,
+                      Word16 w);
+
+    /** Per-lane Simulator::predictSeqValue: the value sequential gate
+     *  @p g will take at the next edge in lane @p lane, from the
+     *  lane's current stable values. */
+    V4 predictSeqValueLane(GateId g, unsigned lane) const;
 
   private:
     void evalSeqGate(size_t i);

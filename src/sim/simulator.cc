@@ -691,6 +691,20 @@ Simulator::snapshotDelta(std::shared_ptr<const Snapshot> base) const
     return d;
 }
 
+Simulator::DeltaSnapshot
+Simulator::deltaBetween(const Snapshot &cur,
+                        std::shared_ptr<const Snapshot> base)
+{
+    DeltaSnapshot d;
+    diffInto(cur.val, base->val, d.valIdx, d.valNew);
+    diffInto(cur.activeLast, base->activeLast, d.actIdx, d.actNew);
+    diffInto(cur.loadedPrevEdge, base->loadedPrevEdge, d.seqIdx,
+             d.seqNew);
+    d.cycle = cur.cycle;
+    d.base = std::move(base);
+    return d;
+}
+
 void
 Simulator::restore(const DeltaSnapshot &s)
 {
@@ -741,12 +755,16 @@ Simulator::hashSeqState() const
     return h;
 }
 
+namespace {
+
+/** The shared body of hashFullState / hashSnapshotState: FNV-1a over
+ *  (values, activity, load history), restricted to the unmasked runs
+ *  when @p runs is non-null. */
 uint64_t
-Simulator::hashFullState() const
+hashStateBytes(const uint8_t *vals, size_t nval, const uint8_t *act,
+               size_t nact, const uint8_t *lpe, size_t nlpe,
+               const std::vector<std::pair<uint32_t, uint32_t>> *runs)
 {
-    // FNV-1a over everything snapshot() captures (except the cycle
-    // counter): two simulators with equal full-state hashes produce
-    // identical continuations under identical drivers.
     uint64_t h = 0xcbf29ce484222325ull;
     auto mix = [&h](const uint8_t *p, size_t len) {
         for (size_t i = 0; i < len; ++i) {
@@ -754,26 +772,54 @@ Simulator::hashFullState() const
             h *= 0x100000001b3ull;
         }
     };
-    if (staticPruneActive()) {
+    if (runs) {
         // Masked gates hold their proven constant and stay inactive
         // in every reachable state, so their bytes carry no
         // information: hash only the unmasked runs. The basis is a
         // pure function of (mask, engage, cycle), identical across
         // workers, kernels, and snapshot modes, so dedup keys stay
         // scheduling-independent.
-        const auto *vals =
-            reinterpret_cast<const uint8_t *>(val_.data());
-        for (const auto &r : unprunedRuns_)
+        for (const auto &r : *runs)
             mix(vals + r.first, r.second - r.first);
-        for (const auto &r : unprunedRuns_)
-            mix(active_.data() + r.first, r.second - r.first);
-        mix(loadedPrevEdge_.data(), loadedPrevEdge_.size());
+        for (const auto &r : *runs)
+            mix(act + r.first, r.second - r.first);
+        mix(lpe, nlpe);
         return h;
     }
-    mix(reinterpret_cast<const uint8_t *>(val_.data()), val_.size());
-    mix(active_.data(), active_.size());
-    mix(loadedPrevEdge_.data(), loadedPrevEdge_.size());
+    mix(vals, nval);
+    mix(act, nact);
+    mix(lpe, nlpe);
     return h;
+}
+
+} // namespace
+
+uint64_t
+Simulator::hashFullState() const
+{
+    // FNV-1a over everything snapshot() captures (except the cycle
+    // counter): two simulators with equal full-state hashes produce
+    // identical continuations under identical drivers.
+    return hashStateBytes(
+        reinterpret_cast<const uint8_t *>(val_.data()), val_.size(),
+        active_.data(), active_.size(), loadedPrevEdge_.data(),
+        loadedPrevEdge_.size(),
+        staticPruneActive() ? &unprunedRuns_ : nullptr);
+}
+
+uint64_t
+Simulator::hashSnapshotState(const Snapshot &s) const
+{
+    // Same basis rule as hashFullState, with the engage test applied
+    // to the snapshot's cycle (the state's own age, not this
+    // simulator's).
+    bool pruned = pruneMask_ && !pruneDisabled_ &&
+                  s.cycle >= pruneEngage_;
+    return hashStateBytes(
+        reinterpret_cast<const uint8_t *>(s.val.data()), s.val.size(),
+        s.activeLast.data(), s.activeLast.size(),
+        s.loadedPrevEdge.data(), s.loadedPrevEdge.size(),
+        pruned ? &unprunedRuns_ : nullptr);
 }
 
 } // namespace ulpeak

@@ -233,6 +233,14 @@ class Simulator {
     static Snapshot materialize(const DeltaSnapshot &s);
     /** Heap bytes of a full snapshot of this simulator's netlist. */
     static size_t bytesOf(const Snapshot &s);
+    /** Capture @p cur as a delta against @p base -- snapshotDelta for
+     *  a state that lives in a Snapshot instead of in a Simulator.
+     *  For identical states the produced delta is byte-identical to
+     *  snapshotDelta's (same diff, same base), so the packed
+     *  exploration's fork captures match the scalar engine's exactly. */
+    static DeltaSnapshot
+    deltaBetween(const Snapshot &cur,
+                 std::shared_ptr<const Snapshot> base);
     /// @}
 
     /**
@@ -278,6 +286,14 @@ class Simulator {
      *  merge target's trace never depends on which racing path
      *  claimed it. */
     uint64_t hashFullState() const;
+    /** hashFullState over a captured Snapshot instead of the live
+     *  state, with this simulator's prune configuration applied
+     *  against @p s.cycle (the snapshot's own engage test). For a
+     *  snapshot of this simulator's current state the result equals
+     *  hashFullState() bit for bit -- the packed exploration hashes
+     *  extracted lane snapshots through this so its dedup keys match
+     *  the scalar engine's. */
+    uint64_t hashSnapshotState(const Snapshot &s) const;
 
     /**
      * Predict the value a sequential gate will take at the next clock

@@ -1,5 +1,6 @@
 #include "sym/symbolic_engine.hh"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <condition_variable>
@@ -14,6 +15,7 @@
 #include "isa/disassembler.hh"
 #include "isa/encoding.hh"
 #include "lint/lint.hh"
+#include "power/packed_run.hh"
 
 namespace ulpeak {
 namespace sym {
@@ -119,6 +121,9 @@ struct SharedState {
     std::atomic<uint32_t> steals{0};
     std::atomic<uint64_t> snapshotBytesCopied{0};
     std::atomic<uint64_t> snapshotBytesFull{0};
+    std::atomic<uint64_t> packedBatches{0};
+    std::atomic<uint64_t> packedSweeps{0};
+    std::atomic<uint64_t> packedLaneCycles{0};
     /// @}
 
     std::atomic<bool> failed{false};
@@ -241,6 +246,36 @@ class Worker {
         }
         if (cfg_.recordActiveSets)
             everActive_.assign(sys_->netlist().numGates(), 0);
+        if (cfg_.packedExplore) {
+            psim_ = std::make_unique<PackedSimulator>(
+                sys_->netlist());
+            // Per-lane behavioral memory; contents are overwritten at
+            // every lane load, but the ROM image (not part of memory
+            // snapshots) must already be in the copies.
+            laneMem_.assign(PackedSimulator::kLanes, sys_->memory());
+            const msp::CpuHandles &h = sys_->handles();
+            psim_->setHookFn(h.memHookId, [this](PackedSimulator &s) {
+                power::packedMemHook(s, sys_->handles(), laneMem_);
+            });
+            psim_->addEdgeFn([this](PackedSimulator &s) {
+                // Lanes not carrying a pending path are skipped:
+                // their scalar counterparts are not stepping here, so
+                // nothing may commit (the halted-lane rule of the
+                // concrete packed runner, driven by liveness).
+                power::packedMemEdge(s, sys_->handles(), laneMem_,
+                                     haltedMask_, faultMask_,
+                                     /*skip_mask=*/~liveMask_);
+            });
+            // Prime one sweep: edge functions only run when
+            // cycle() > 0, and a loaded lane's first step must run
+            // them against the loaded state exactly like the scalar
+            // restore-then-step sequence. The priming sweep itself is
+            // inert -- every lane is all-X (the memory hook sees an X
+            // enable and returns X data without billing) and no lane
+            // is live, so no edge effect can commit.
+            psim_->step();
+            lanes_.resize(PackedSimulator::kLanes);
+        }
     }
 
     msp::System &sys() { return *sys_; }
@@ -250,13 +285,23 @@ class Worker {
     void
     explore(SharedState &sh)
     {
+        if (cfg_.packedExplore) {
+            explorePacked(sh);
+            return;
+        }
         for (;;) {
             if (sh.failed.load())
                 break;
             Pending p;
             bool got = sh.popOwn(id_, p);
-            if (!got && sh.queues.size() > 1)
+            if (!got && sh.queues.size() > 1) {
                 got = sh.stealFrom(id_, p);
+                // Back off after a failed steal sweep: when workers
+                // outnumber cores, re-spinning over the victims'
+                // mutexes starves the owners mid-push.
+                if (!got)
+                    std::this_thread::yield();
+            }
             if (got) {
                 sh.pathsExplored.fetch_add(
                     1, std::memory_order_relaxed);
@@ -580,58 +625,515 @@ class Worker {
             // resolve each target against the sharded dedup map.
             nodePtr->branchPc = (lastPc - 2) & 0xffff;
             commitNode(false);
-            for (unsigned t = 0; t < numTargets; ++t) {
-                uint64_t key = keys[t];
-                SharedState::Shard &shard =
-                    sh.shards[SharedState::shardOf(key)];
-                uint32_t child = kNoNode;
-                TreeNode *childPtr = nullptr;
-                {
-                    std::lock_guard<std::mutex> lock(shard.mu);
-                    auto it = shard.visited.find(key);
-                    if (it != shard.visited.end()) {
-                        // Algorithm 1 line 19: already simulated (or
-                        // claimed by a racing worker, which will
-                        // simulate the identical continuation); merge.
-                        nodePtr->edges.push_back(
-                            TreeEdge{targets[t], it->second, true});
-                        sh.dedupMerges.fetch_add(
-                            1, std::memory_order_relaxed);
-                        continue;
-                    }
-                    // New state: allocate its node while holding the
-                    // shard (lock order: shard -> tree, never the
-                    // reverse), so a racing twin either sees our map
-                    // entry or blocks until it does.
-                    {
-                        std::lock_guard<std::mutex> tlock(sh.treeMu);
-                        if (sh.tree->numNodes() >= cfg_.maxNodes) {
-                            sh.fail("execution tree node budget "
-                                    "exhausted");
-                            return;
-                        }
-                        child = sh.tree->newNode(nodeId);
-                        childPtr = &sh.tree->node(child);
-                    }
-                    shard.visited.emplace(key, child);
-                }
-                nodePtr->edges.push_back(
-                    TreeEdge{targets[t], child, false});
-                Pending next;
-                next.simFull = childFull;
-                next.simDelta = childDelta;
-                next.sysSnap = sysSnap;
-                next.node = child;
-                next.nodePtr = childPtr;
-                next.nodeKey = key;
-                next.forcedPc = targets[t];
-                next.lastKnownPc = lastPc;
-                next.curInstrAddr = curInstr;
-                next.pathCycles = pathCycles;
-                sh.push(id_, std::move(next));
-            }
+            resolveFork(sh, nodePtr, nodeId, targets, keys,
+                        numTargets, childFull, childDelta, sysSnap,
+                        lastPc, curInstr, pathCycles);
             return; // continuations live on the work queues
         }
+    }
+
+    /** Resolve fork targets against the sharded dedup map, link
+     * edges from @p nodePtr, and enqueue new children on this
+     * worker's deque -- the tail shared by the scalar and packed
+     * forks, so the key -> node semantics cannot diverge. Returns
+     * false when the node budget failed the engine. */
+    bool
+    resolveFork(
+        SharedState &sh, TreeNode *nodePtr, uint32_t nodeId,
+        const uint32_t *targets, const uint64_t *keys,
+        unsigned numTargets,
+        const std::shared_ptr<const Simulator::Snapshot> &childFull,
+        const std::shared_ptr<const Simulator::DeltaSnapshot>
+            &childDelta,
+        const std::shared_ptr<const msp::System::Snapshot> &sysSnap,
+        uint32_t lastPc, uint32_t curInstr, uint64_t pathCycles)
+    {
+        for (unsigned t = 0; t < numTargets; ++t) {
+            uint64_t key = keys[t];
+            SharedState::Shard &shard =
+                sh.shards[SharedState::shardOf(key)];
+            uint32_t child = kNoNode;
+            TreeNode *childPtr = nullptr;
+            {
+                std::lock_guard<std::mutex> lock(shard.mu);
+                auto it = shard.visited.find(key);
+                if (it != shard.visited.end()) {
+                    // Algorithm 1 line 19: already simulated (or
+                    // claimed by a racing worker, which will
+                    // simulate the identical continuation); merge.
+                    nodePtr->edges.push_back(
+                        TreeEdge{targets[t], it->second, true});
+                    sh.dedupMerges.fetch_add(
+                        1, std::memory_order_relaxed);
+                    continue;
+                }
+                // New state: allocate its node while holding the
+                // shard (lock order: shard -> tree, never the
+                // reverse), so a racing twin either sees our map
+                // entry or blocks until it does.
+                {
+                    std::lock_guard<std::mutex> tlock(sh.treeMu);
+                    if (sh.tree->numNodes() >= cfg_.maxNodes) {
+                        sh.fail("execution tree node budget "
+                                "exhausted");
+                        return false;
+                    }
+                    child = sh.tree->newNode(nodeId);
+                    childPtr = &sh.tree->node(child);
+                }
+                shard.visited.emplace(key, child);
+            }
+            nodePtr->edges.push_back(
+                TreeEdge{targets[t], child, false});
+            Pending next;
+            next.simFull = childFull;
+            next.simDelta = childDelta;
+            next.sysSnap = sysSnap;
+            next.node = child;
+            next.nodePtr = childPtr;
+            next.nodeKey = key;
+            next.forcedPc = targets[t];
+            next.lastKnownPc = lastPc;
+            next.curInstrAddr = curInstr;
+            next.pathCycles = pathCycles;
+            sh.push(id_, std::move(next));
+        }
+        return true;
+    }
+
+    // ---- Packed frontier (SymbolicConfig::packedExplore) ----
+    //
+    // Up to 64 pending paths ride the PackedSimulator's lanes at
+    // once: a lane is loaded from a Pending's (delta or full)
+    // snapshot, advanced by the shared level-bucketed sweep until it
+    // reaches its own fork / halt / failure boundary, then transposed
+    // back to a scalar snapshot for the exact same dedup, capture and
+    // commit path runPath takes. The lane-identity invariant of the
+    // packed kernel makes every per-lane byte -- values, activity,
+    // energies, and therefore hashes, keys, traces and snapshots --
+    // equal to the scalar run's, which is the whole bit-identity
+    // argument: same keys => same node set, edges and merge counts;
+    // same traces => same peak/energy/NPE/envelope; same snapshot
+    // bytes => same byte statistics. Only scheduling statistics
+    // (steals, batch/occupancy counters, per-worker cycles) differ.
+
+    /** One lane's in-flight continuation (the live part of a
+     *  Pending, plus the path-local trace buffers of runPath). */
+    struct Lane {
+        bool live = false;
+        bool applyInit = false;
+        uint32_t node = 0;
+        TreeNode *nodePtr = nullptr;
+        uint64_t nodeKey = 0;
+        uint32_t forcedPc = kNoForcedPc;
+        uint32_t lastPc = 0;
+        uint32_t curInstr = 0;
+        uint64_t pathCycles = 0;
+        /** Absolute simulator cycle of the lane (the scalar sim's
+         *  cycle() after restore + steps); stamps extracted
+         *  snapshots so prune engagement and deltas line up. */
+        uint64_t absCycle = 0;
+        /** Snapshot base the lane restored from (delta denominator
+         *  and diff base for this lane's own fork captures). */
+        std::shared_ptr<const Simulator::Snapshot> base;
+        std::vector<float> powerW;
+        std::vector<std::vector<float>> modulePowerW;
+        std::vector<CycleInfo> cycleInfo;
+    };
+
+    /** explore()'s pop/steal/idle protocol with up to 64 paths in
+     *  flight at once. */
+    void
+    explorePacked(SharedState &sh)
+    {
+        for (;;) {
+            if (sh.failed.load())
+                break;
+            // Refill every free lane while work is available; steals
+            // fill lanes the own deque cannot.
+            unsigned loadedNow = 0;
+            uint64_t freeMask = ~liveMask_;
+            while (freeMask) {
+                unsigned l = unsigned(__builtin_ctzll(freeMask));
+                Pending p;
+                bool got = sh.popOwn(id_, p);
+                if (!got && sh.queues.size() > 1)
+                    got = sh.stealFrom(id_, p);
+                if (!got)
+                    break;
+                freeMask &= freeMask - 1;
+                sh.pathsExplored.fetch_add(
+                    1, std::memory_order_relaxed);
+                loadLane(l, std::move(p));
+                ++loadedNow;
+            }
+            if (loadedNow)
+                sh.packedBatches.fetch_add(
+                    1, std::memory_order_relaxed);
+            if (liveMask_) {
+                // Exceptions must not escape the worker thread (see
+                // explore()).
+                try {
+                    stepBatch(sh);
+                } catch (const std::exception &e) {
+                    sh.fail(std::string("worker exception: ") +
+                            e.what());
+                }
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(sh.idleMu);
+            sh.idleCv.wait(lock, [&] {
+                return sh.failed.load() ||
+                       sh.inflight.load() == 0 ||
+                       sh.queued.load(std::memory_order_acquire) > 0;
+            });
+            if (sh.failed.load() || sh.inflight.load() == 0)
+                break;
+        }
+        std::lock_guard<std::mutex> lock(sh.idleMu);
+        sh.idleCv.notify_all();
+    }
+
+    /** Install @p p into lane @p l -- the packed counterpart of
+     *  runPath's restore prologue. */
+    void
+    loadLane(unsigned l, Pending p)
+    {
+        Lane &L = lanes_[l];
+        if (p.simDelta) {
+            Simulator::Snapshot snap =
+                Simulator::materialize(*p.simDelta);
+            psim_->loadLaneState(l, snap);
+            L.absCycle = snap.cycle;
+            L.base = p.simDelta->base;
+        } else {
+            psim_->loadLaneState(l, *p.simFull);
+            L.absCycle = p.simFull->cycle;
+            L.base = p.simFull;
+        }
+        laneMem_[l].restore(p.sysSnap->mem);
+        // Pending paths are never halted or faulted (either would
+        // have ended the parent as a leaf / failure, not a fork).
+        uint64_t bit = uint64_t(1) << l;
+        haltedMask_ &= ~bit;
+        faultMask_ &= ~bit;
+        L.live = true;
+        L.applyInit = p.applyInit;
+        L.node = p.node;
+        L.nodePtr = p.nodePtr;
+        L.nodeKey = p.nodeKey;
+        L.forcedPc = p.forcedPc;
+        L.lastPc = p.lastKnownPc;
+        L.curInstr = p.curInstrAddr;
+        L.pathCycles = p.pathCycles;
+        L.powerW.clear();
+        L.modulePowerW.clear();
+        L.cycleInfo.clear();
+        liveMask_ |= bit;
+    }
+
+    void
+    commitLane(Lane &L, bool ends_halted)
+    {
+        L.nodePtr->powerW = std::move(L.powerW);
+        L.nodePtr->modulePowerW = std::move(L.modulePowerW);
+        L.nodePtr->cycleInfo = std::move(L.cycleInfo);
+        L.nodePtr->endsHalted = ends_halted;
+    }
+
+    /** Free lane @p l and account its path as done (the per-path
+     *  inflight decrement of explore()). */
+    void
+    retireLane(SharedState &sh, unsigned l)
+    {
+        lanes_[l].live = false;
+        lanes_[l].base.reset();
+        liveMask_ &= ~(uint64_t(1) << l);
+        if (sh.inflight.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lock(sh.idleMu);
+            sh.idleCv.notify_all();
+        }
+    }
+
+    /** Per-lane mirror of System::fsmState. */
+    int
+    fsmStateLane(unsigned l) const
+    {
+        const msp::CpuHandles &h = sys_->handles();
+        int found = -1;
+        for (unsigned s = 0; s < msp::kNumStates; ++s) {
+            V4 v = psim_->valueLane(h.state[s], l);
+            if (v == V4::X)
+                return -1;
+            if (v == V4::One) {
+                if (found >= 0)
+                    return -1;
+                found = int(s);
+            }
+        }
+        return found;
+    }
+
+    /** One packed cycle of every live lane: the per-lane mirror of
+     *  one runPath loop iteration (same check order, same failure
+     *  strings), retiring lanes that reach their fork / halt
+     *  boundary this cycle. */
+    void
+    stepBatch(SharedState &sh)
+    {
+        PackedSimulator &ps = *psim_;
+        const msp::CpuHandles &h = sys_->handles();
+        power::PowerContext &ctx = *ctx_;
+        const scenario::Scenario &scen = cfg_.scenario;
+
+        for (uint64_t m = liveMask_; m; m &= m - 1) {
+            Lane &L = lanes_[unsigned(__builtin_ctzll(m))];
+            if (sh.totalCycles.load(std::memory_order_relaxed) >=
+                cfg_.maxTotalCycles) {
+                sh.fail("symbolic cycle budget exhausted");
+                return;
+            }
+            if (L.pathCycles >= cfg_.maxPathCycles) {
+                sh.fail("path exceeded maxPathCycles (missing "
+                        "halt or unbounded loop?)");
+                return;
+            }
+        }
+
+        std::array<Word16, PackedSimulator::kLanes> ports;
+        ports.fill(Word16::allX());
+        for (uint64_t m = liveMask_; m; m &= m - 1) {
+            unsigned l = unsigned(__builtin_ctzll(m));
+            ports[l] = scen.portWordAt(lanes_[l].pathCycles);
+        }
+        uint64_t stepped = liveMask_;
+        ps.step([&](PackedSimulator &s) {
+            // driveCycle splatted to all lanes (dead lanes' inputs
+            // are dont-cares: their edges are skipped and their
+            // values never read), then runPath's per-path forces
+            // narrowed to single lanes.
+            s.setInput(h.rstn, V64::splat(V4::One));
+            s.setInput(h.irq, V64::splat(V4::Zero));
+            s.setInputBusLanes(h.portIn, ports);
+            for (uint64_t m = stepped; m; m &= m - 1) {
+                unsigned l = unsigned(__builtin_ctzll(m));
+                Lane &L = lanes_[l];
+                if (L.applyInit) {
+                    L.applyInit = false;
+                    for (const auto &[reg, value] : scen.regInit)
+                        s.forceBusLane(h.regs[reg], l,
+                                       Word16::known(value));
+                }
+                if (L.forcedPc != kNoForcedPc) {
+                    s.forceBusLane(
+                        h.pc, l,
+                        Word16::known(uint16_t(L.forcedPc)));
+                    L.forcedPc = kNoForcedPc;
+                }
+            }
+        });
+        unsigned nLive = unsigned(__builtin_popcountll(stepped));
+        sh.totalCycles.fetch_add(nLive, std::memory_order_relaxed);
+        sh.packedSweeps.fetch_add(1, std::memory_order_relaxed);
+        sh.packedLaneCycles.fetch_add(nLive,
+                                      std::memory_order_relaxed);
+        cyclesRun += nLive;
+
+        if (cfg_.recordActiveSets) {
+            size_t n = everActive_.size();
+            for (GateId g = 0; g < n; ++g)
+                if (ps.activeMask(g) & stepped)
+                    everActive_[g] = 1;
+        }
+
+        for (uint64_t m = stepped; m; m &= m - 1) {
+            unsigned l = unsigned(__builtin_ctzll(m));
+            uint64_t lbit = uint64_t(1) << l;
+            Lane &L = lanes_[l];
+            uint64_t cycleIdx = L.pathCycles; // mode phase of this step
+            ++L.pathCycles;
+            ++L.absCycle;
+
+            Word16 pcNow = ps.readBusLane(h.pc, l);
+            if (pcNow.isFullyKnown()) {
+                L.lastPc = pcNow.value;
+            } else {
+                sh.fail("PC became X without fork interception");
+                return;
+            }
+            int fsm = fsmStateLane(l);
+            if (fsm == msp::kStFetch)
+                L.curInstr = L.lastPc;
+
+            double w;
+            double modeScale = 1.0, modeFreq = ctx.freqHz();
+            if (modeFactors_.empty()) {
+                w = ctx.cyclePowerW(ps.boundEnergyJ(l));
+            } else {
+                const std::pair<double, double> &mf = modeFactors_
+                    [size_t(cycleIdx % modeFactors_.size())];
+                modeScale = mf.first;
+                modeFreq = mf.second;
+                w = ctx.cyclePowerW(ps.boundEnergyJ(l), modeScale,
+                                    modeFreq);
+            }
+            L.powerW.push_back(float(w));
+            if (cfg_.recordModuleTrace) {
+                std::vector<double> mod = ctx.cycleModulePowerW(
+                    ps.moduleBoundEnergyLaneJ(l));
+                if (!modeFactors_.empty()) {
+                    double ratio =
+                        modeScale * (modeFreq / ctx.freqHz());
+                    for (double &mm : mod)
+                        mm *= ratio;
+                }
+                L.modulePowerW.emplace_back(mod.begin(), mod.end());
+                CycleInfo info;
+                info.instrPc = L.curInstr;
+                info.fsmState = uint8_t(fsm < 0 ? 255 : fsm);
+                L.cycleInfo.push_back(info);
+            }
+            uint32_t cyc = uint32_t(L.powerW.size() - 1);
+            if (betterCandidate(w, L.nodeKey, cyc)) {
+                peakPowerW = w;
+                peakNode = L.node;
+                peakCycleInNode = cyc;
+                peakNodeKey = L.nodeKey;
+                if (cfg_.recordActiveSets) {
+                    // Ascending gate id, like the canonicalized
+                    // scalar activeGates() view.
+                    peakActive.clear();
+                    size_t n = everActive_.size();
+                    for (GateId g = 0; g < n; ++g)
+                        if (ps.activeMask(g) & lbit)
+                            peakActive.push_back(g);
+                }
+            }
+
+            if (faultMask_ & lbit) {
+                sh.fail("store with unknown address or enable "
+                        "(X-store); see DESIGN.md section 5");
+                return;
+            }
+            if (haltedMask_ & lbit) {
+                commitLane(L, /*ends_halted=*/true);
+                retireLane(sh, l);
+                continue;
+            }
+            if (fsm == msp::kStHalt) {
+                sh.fail("core trapped (invalid instruction) at "
+                        "pc~0x" + std::to_string(L.lastPc));
+                return;
+            }
+
+            bool pcNextX = false;
+            for (GateId g : h.pc) {
+                if (ps.predictSeqValueLane(g, l) == V4::X) {
+                    pcNextX = true;
+                    break;
+                }
+            }
+            if (!pcNextX)
+                continue;
+            if (!forkLane(sh, l))
+                return;
+        }
+    }
+
+    /** The fork tail of runPath for lane @p l: resolve targets from
+     *  the lane's (concrete) IR, hash and capture the transposed
+     *  lane state, and hand the children to resolveFork. Returns
+     *  false when the engine failed. */
+    bool
+    forkLane(SharedState &sh, unsigned l)
+    {
+        Lane &L = lanes_[l];
+        PackedSimulator &ps = *psim_;
+        const msp::CpuHandles &h = sys_->handles();
+        const scenario::Scenario &scen = cfg_.scenario;
+
+        Word16 ir = ps.readBusLane(h.ir, l);
+        if (!ir.isFullyKnown()) {
+            sh.fail("X program counter with unknown IR");
+            return false;
+        }
+        isa::Decoded dec = isa::decode(ir.value, 0, 0);
+        if (!dec.valid || !isa::isJump(dec.instr.op)) {
+            sh.fail("unresolvable X program counter (op " +
+                    std::string(isa::opName(dec.instr.op)) +
+                    "): indirect jump through unknown data");
+            return false;
+        }
+
+        uint32_t fallThrough = L.lastPc;
+        uint32_t taken =
+            (L.lastPc +
+             uint32_t(int32_t(dec.instr.jumpOffsetWords) * 2)) &
+            0xffff;
+        uint32_t targets[2] = {taken, fallThrough};
+        unsigned numTargets = taken == fallThrough ? 1 : 2;
+
+        // Same key recipe as the scalar fork, over the transposed
+        // lane state (lane identity makes the hashed bytes equal);
+        // hashSnapshotState applies the prune-basis rule against the
+        // snapshot's own cycle, so --static-prune keys match too.
+        Simulator::Snapshot snap =
+            ps.extractLaneState(l, L.absCycle);
+        uint64_t keyBase = sim_->hashSnapshotState(snap);
+        laneMem_[l].hashInto(keyBase);
+        keyBase ^= 0xda942042e4dd58b5ull *
+                   (scen.dedupPhase(L.pathCycles) + 1);
+        uint64_t keys[2];
+        for (unsigned t = 0; t < numTargets; ++t)
+            keys[t] = keyBase ^ 0x9e3779b97f4a7c15ull *
+                                    (uint64_t(targets[t]) + 1);
+        std::shared_ptr<const Simulator::Snapshot> childFull;
+        std::shared_ptr<const Simulator::DeltaSnapshot> childDelta;
+        captureLane(sh, L, std::move(snap), childFull, childDelta);
+        auto sysSnap = std::make_shared<const msp::System::Snapshot>(
+            msp::System::Snapshot{laneMem_[l].snapshot(),
+                                  /*halted=*/false,
+                                  /*xStoreFault=*/false});
+
+        L.nodePtr->branchPc = (L.lastPc - 2) & 0xffff;
+        commitLane(L, /*ends_halted=*/false);
+        if (!resolveFork(sh, L.nodePtr, L.node, targets, keys,
+                         numTargets, childFull, childDelta, sysSnap,
+                         L.lastPc, L.curInstr, L.pathCycles))
+            return false;
+        retireLane(sh, l);
+        return true;
+    }
+
+    /** captureSim for a transposed lane state: the same promote rule
+     *  and byte statistics, with the delta diffed between snapshots
+     *  (Simulator::deltaBetween) instead of read out of a live
+     *  simulator. */
+    void
+    captureLane(SharedState &sh, Lane &L, Simulator::Snapshot snap,
+                std::shared_ptr<const Simulator::Snapshot> &out_full,
+                std::shared_ptr<const Simulator::DeltaSnapshot>
+                    &out_delta) const
+    {
+        size_t full_bytes = Simulator::bytesOf(*L.base);
+        sh.snapshotBytesFull.fetch_add(full_bytes,
+                                       std::memory_order_relaxed);
+        if (cfg_.snapshotMode == SnapshotMode::Delta) {
+            Simulator::DeltaSnapshot d =
+                Simulator::deltaBetween(snap, L.base);
+            if (d.deltaBytes() * kDeltaPromoteDen <=
+                full_bytes * kDeltaPromoteNum) {
+                sh.snapshotBytesCopied.fetch_add(
+                    d.deltaBytes(), std::memory_order_relaxed);
+                out_delta = std::make_shared<
+                    const Simulator::DeltaSnapshot>(std::move(d));
+                return;
+            }
+        }
+        sh.snapshotBytesCopied.fetch_add(full_bytes,
+                                         std::memory_order_relaxed);
+        out_full = std::make_shared<const Simulator::Snapshot>(
+            std::move(snap));
     }
 
     SymbolicConfig cfg_;
@@ -643,6 +1145,15 @@ class Worker {
     /** Per-schedule-phase (energy scale, clock Hz); empty without
      *  operating modes. */
     std::vector<std::pair<double, double>> modeFactors_;
+    /// @name Packed-frontier state (null/empty unless packedExplore)
+    /// @{
+    std::unique_ptr<PackedSimulator> psim_;
+    std::vector<Memory> laneMem_;
+    std::vector<Lane> lanes_;
+    uint64_t liveMask_ = 0;
+    uint64_t haltedMask_ = 0;
+    uint64_t faultMask_ = 0;
+    /// @}
 };
 
 } // namespace
@@ -660,6 +1171,16 @@ SymbolicEngine::run(const isa::Image &image)
     const Netlist &nl = sys_->netlist();
 
     unsigned numWorkers = cfg_.numThreads > 1 ? cfg_.numThreads : 1;
+    if (numWorkers > 1) {
+        // More exploration threads than cores adds no parallelism and
+        // burns time in the steal loop (results are identical at any
+        // worker count, so clamping only changes the scheduling
+        // statistics). Never clamp below 2: the concurrent paths stay
+        // exercised even on single-core hosts.
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw && numWorkers > hw)
+            numWorkers = std::max(2u, hw);
+    }
 
     // Mode-schedule consistency first (like the regInit/ramInit
     // validation below, programmatic scenarios must fail as cleanly
@@ -785,6 +1306,9 @@ SymbolicEngine::run(const isa::Image &image)
     res.steals = sh.steals.load();
     res.snapshotBytesCopied = sh.snapshotBytesCopied.load();
     res.snapshotBytesFull = sh.snapshotBytesFull.load();
+    res.packedBatches = sh.packedBatches.load();
+    res.packedSweeps = sh.packedSweeps.load();
+    res.packedLaneCycles = sh.packedLaneCycles.load();
     res.perWorkerCycles.reserve(numWorkers);
     for (auto &w : workers)
         res.perWorkerCycles.push_back(w->cyclesRun);

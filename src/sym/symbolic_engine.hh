@@ -132,6 +132,23 @@ struct SymbolicConfig {
      * excluded from the batch result cache key.
      */
     bool staticPrune = false;
+    /**
+     * Drain the pending-path frontier through the 64-lane
+     * PackedSimulator: each worker loads up to 64 pending execution
+     * paths into lanes (stealing to fill), advances all of them with
+     * one level-bucketed packed sweep per cycle, and transposes a
+     * lane back to a scalar snapshot when it reaches its next fork /
+     * halt / dedup boundary. Backed by the packed kernel's
+     * lane-identity invariant, every reported number -- peak power,
+     * peak energy, NPE, envelope, activity sets, path/merge/snapshot
+     * statistics -- is bit-identical to the scalar exploration across
+     * threads, kernels, snapshot modes, scenarios, operating-mode
+     * schedules, and staticPrune (fuzz `--mode packed-sym` enforces
+     * this), so like evalMode it is excluded from the batch result
+     * cache key. Only the scheduling-dependent statistics (steals,
+     * per-worker cycles, packed batch/occupancy counters) differ.
+     */
+    bool packedExplore = false;
 };
 
 struct SymbolicResult {
@@ -172,7 +189,8 @@ struct SymbolicResult {
     /// dedupMerges, snapshotBytesCopied/Full (every path captures
     /// the same snapshots whoever runs it). Scheduling-dependent
     /// (excluded from determinism comparisons, like timings):
-    /// steals, perWorkerCycles.
+    /// steals, perWorkerCycles, packedBatches, packedSweeps,
+    /// packedLaneCycles.
     /// @{
     uint64_t totalCycles = 0;
     uint32_t pathsExplored = 0;
@@ -186,6 +204,16 @@ struct SymbolicResult {
     uint64_t snapshotBytesFull = 0;
     /** Simulated cycles per exploration worker (size numThreads). */
     std::vector<uint64_t> perWorkerCycles;
+    /// @name Packed-frontier counters (zero unless packedExplore)
+    /// @{
+    /** Lane-refill rounds that loaded at least one pending path. */
+    uint64_t packedBatches = 0;
+    /** Packed step() sweeps executed. */
+    uint64_t packedSweeps = 0;
+    /** Live-lane cycles simulated by those sweeps; divided by
+     *  64 * packedSweeps this is the mean lane occupancy. */
+    uint64_t packedLaneCycles = 0;
+    /// @}
     /// @}
 };
 
